@@ -1,0 +1,48 @@
+//! The Sec. 4.5 complexity study: sweeps structured and unstructured
+//! program families over size and reports wall time, motion rounds and
+//! solver iterations, plus the fitted scaling exponent.
+//!
+//! ```sh
+//! cargo run --release -p am-bench --bin complexity
+//! ```
+
+use am_bench::workloads::{fit_exponent, structured_sweep, unstructured_sweep, ComplexityRow};
+
+fn print_table(title: &str, rows: &[ComplexityRow]) {
+    println!("== {title} ==");
+    println!(
+        "{:<20} {:>6} {:>7} {:>10} {:>7} {:>10} {:>6}",
+        "workload", "nodes", "instrs", "time(us)", "rounds", "dfa iters", "conv"
+    );
+    for r in rows {
+        println!(
+            "{:<20} {:>6} {:>7} {:>10} {:>7} {:>10} {:>6}",
+            r.label, r.nodes, r.instrs, r.micros, r.motion_rounds, r.solver_iterations, r.converged
+        );
+    }
+    // Fit each workload family separately: mixing families with different
+    // constant factors makes a single exponent meaningless.
+    let mut families: Vec<&str> = rows
+        .iter()
+        .map(|r| r.label.split_whitespace().next().unwrap_or(""))
+        .collect();
+    families.dedup();
+    for family in families {
+        let subset: Vec<ComplexityRow> = rows
+            .iter()
+            .filter(|r| r.label.starts_with(family))
+            .cloned()
+            .collect();
+        if subset.len() >= 2 {
+            println!("  {family}: fitted time ~ instrs^{:.2}", fit_exponent(&subset));
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let structured = structured_sweep();
+    print_table("structured programs (paper: essentially quadratic)", &structured);
+    let unstructured = unstructured_sweep();
+    print_table("unstructured programs (paper: up to fourth order)", &unstructured);
+}

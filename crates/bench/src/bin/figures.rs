@@ -1,0 +1,65 @@
+//! Regenerates every figure of the paper: prints the input program, each
+//! transformed variant, and dynamic cost measurements on corresponding runs.
+//!
+//! ```sh
+//! cargo run -p am-bench --bin figures                  # all figures
+//! cargo run -p am-bench --bin figures -- fig05         # one figure
+//! cargo run -p am-bench --bin figures -- --dot fig05   # Graphviz output
+//! ```
+
+use am_bench::figures::all_reports;
+use am_ir::text::parse;
+
+fn main() {
+    let mut dot = false;
+    let mut filter: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--dot" {
+            dot = true;
+        } else {
+            filter = Some(arg);
+        }
+    }
+    for report in all_reports() {
+        if let Some(f) = &filter {
+            if !report.id.contains(f.as_str()) {
+                continue;
+            }
+        }
+        if dot {
+            // Emit Graphviz for the input and each transformed variant
+            // (parse back the canonical text — it round-trips).
+            println!("// {} — {} (input)", report.id, report.title);
+            println!("{}", am_ir::dot::to_dot(&parse(&report.before).expect("round trip")));
+            for (label, text) in &report.after {
+                println!("// {} — {label}", report.id);
+                println!("{}", am_ir::dot::to_dot(&parse(text).expect("round trip")));
+            }
+            continue;
+        }
+        println!("================================================================");
+        println!("{} — {}", report.id, report.title);
+        println!("================================================================");
+        println!("--- input ---\n{}", report.before);
+        for (label, text) in &report.after {
+            println!("--- {label} ---\n{text}");
+        }
+        if !report.measurements.is_empty() {
+            println!("--- dynamic cost over corresponding runs ---");
+            println!(
+                "{:<24} {:>10} {:>12} {:>12} {:>6}",
+                "variant", "expr evals", "assignments", "temp assigns", "runs"
+            );
+            for m in &report.measurements {
+                println!(
+                    "{:<24} {:>10} {:>12} {:>12} {:>6}",
+                    m.label, m.expr_evals, m.assign_execs, m.temp_assigns, m.runs
+                );
+            }
+        }
+        for note in &report.notes {
+            println!("note: {note}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,109 @@
+//! Extended randomized soundness sweep: thousands of random programs
+//! through the full pipeline and baselines, checking observables and
+//! expression optimality on corresponding runs. Not part of the test
+//! suite (slow); run before releases:
+//!
+//! ```sh
+//! cargo run --release -p am-bench --bin fuzz_blitz -- 2000
+//! ```
+
+use am_core::global::optimize;
+use am_core::lcm::lazy_expression_motion;
+use am_core::sink::{sink_assignments, SinkConfig};
+use am_core::verify::weakly_equivalent;
+use am_ir::interp::{run, Config, Oracle, StopReason};
+use am_ir::random::{structured, unstructured, StructuredConfig, UnstructuredConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let count: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    let mut checked = 0u64;
+    let mut runs = 0u64;
+    for seed in 0..count {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = match seed % 3 {
+            0 => structured(&mut rng, &StructuredConfig::default()),
+            1 => structured(
+                &mut rng,
+                &StructuredConfig {
+                    allow_div: true,
+                    max_depth: 4,
+                    ..Default::default()
+                },
+            ),
+            _ => unstructured(
+                &mut rng,
+                &UnstructuredConfig {
+                    nodes: 8 + (seed as usize % 12),
+                    extra_edges: 4 + (seed as usize % 8),
+                    max_instrs: 4,
+                    num_vars: 6,
+                    allow_div: seed % 6 == 5,
+                },
+            ),
+        };
+        let result = optimize(&program);
+        assert!(result.motion.converged, "seed {seed} did not converge");
+        assert_eq!(result.program.validate(), Ok(()), "seed {seed}");
+
+        let mut em = program.clone();
+        em.split_critical_edges();
+        lazy_expression_motion(&mut em);
+
+        let mut sunk = program.clone();
+        sunk.split_critical_edges();
+        sink_assignments(
+            &mut sunk,
+            &SinkConfig {
+                eliminate_nontrivial_dead: false, // keep trap potential
+            },
+        );
+
+        for run_seed in 0..10u64 {
+            let cfg = Config {
+                oracle: Oracle::random(seed.wrapping_mul(1_000_003) + run_seed, 14),
+                inputs: vec![
+                    ("v0".into(), (seed as i64 % 7) - 3),
+                    ("v1".into(), 2),
+                    ("v2".into(), -5),
+                    ("v3".into(), 1),
+                ],
+                ..Config::default()
+            };
+            let base = run(&program, &cfg);
+            for (label, g) in [("full", &result.program), ("em", &em), ("sink", &sunk)] {
+                let r = run(g, &cfg);
+                assert!(
+                    weakly_equivalent(&base, &r),
+                    "seed {seed}/{run_seed} {label}: {:?} vs {:?}\n{program:?}\n{g:?}",
+                    base.observable(),
+                    r.observable()
+                );
+                assert_eq!(
+                    base.trap.is_some(),
+                    r.trap.is_some(),
+                    "seed {seed}/{run_seed} {label}: trap potential changed"
+                );
+                if base.stop == StopReason::ReachedEnd
+                    && r.stop == StopReason::ReachedEnd
+                    && label == "full"
+                {
+                    assert!(
+                        r.expr_evals <= base.expr_evals,
+                        "seed {seed}/{run_seed}: optimality violated"
+                    );
+                }
+                runs += 1;
+            }
+        }
+        checked += 1;
+        if checked.is_multiple_of(250) {
+            eprintln!("... {checked}/{count} programs");
+        }
+    }
+    println!("fuzz blitz: {checked} programs, {runs} corresponding runs, all equivalent");
+}

@@ -1,0 +1,46 @@
+//! Searches random programs for Fig. 16/17-style witnesses — see
+//! [`am_bench::witness`] for the machinery and the pinned example.
+//!
+//! ```sh
+//! cargo run --release -p am-bench --bin incomparable_search -- 400
+//! ```
+
+use am_bench::witness::find_witness;
+use am_ir::alpha::canonical_text;
+use am_ir::random::{structured, StructuredConfig};
+use am_ir::text::to_text;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let count: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let mut found = 0;
+    for seed in 0..count {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let original = structured(
+            &mut rng,
+            &StructuredConfig {
+                max_depth: 2,
+                max_stmts: 3,
+                num_vars: 4,
+                allow_div: false,
+            },
+        );
+        if let Some(w) = find_witness(&original, 8) {
+            found += 1;
+            println!("=== witness (source seed {seed}) ===");
+            println!("--- original ---\n{}", to_text(&original));
+            println!("--- expression-optimal variant A ---\n{}", canonical_text(&w.a.0));
+            println!("profile A (evals, assigns): {:?}", w.a.1);
+            println!("--- expression-optimal variant B ---\n{}", canonical_text(&w.b.0));
+            println!("profile B (evals, assigns): {:?}", w.b.1);
+            if found >= 2 {
+                return;
+            }
+        }
+    }
+    println!("searched {count} programs, found {found} witnesses");
+}

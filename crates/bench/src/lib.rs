@@ -1,0 +1,16 @@
+//! Benchmark harness: executable reproductions of every figure in *The
+//! Power of Assignment Motion* and the Sec. 4.5 complexity study.
+//!
+//! * [`figures`] — one reproduction function per paper figure, returning
+//!   before/after programs and dynamic cost measurements (used by the
+//!   `figures` binary, the integration tests and the Criterion benches);
+//! * [`workloads`] — the synthetic program families and measurement
+//!   machinery of the complexity study (`complexity` binary);
+//! * [`programs`] — the figure input programs in textual IR.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod programs;
+pub mod witness;
+pub mod workloads;

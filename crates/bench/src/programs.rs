@@ -1,0 +1,165 @@
+//! The input programs of every figure in the paper, as textual IR.
+//!
+//! Where the scanned source is unambiguous the graphs are exact; Fig. 7 and
+//! Fig. 16 are reconstructions that preserve the properties the paper uses
+//! them for (documented in EXPERIMENTS.md).
+
+/// Fig. 1(a)/3(a): partially redundant expression `a+b` on both branches.
+pub const FIG1: &str = "
+    start 1
+    end 4
+    node 1 { skip }
+    node 2 { z := a+b; x := a+b }
+    node 3 { x := a+b; y := x+y }
+    node 4 { out(x,y,z) }
+    edge 1 -> 2, 3
+    edge 2 -> 4
+    edge 3 -> 4
+";
+
+/// Fig. 2(a): the *assignment* `x := a+b` re-executed in a loop.
+pub const FIG2: &str = "
+    start 1
+    end 5
+    node 1 { skip }
+    node 2 { z := a+b; x := a+b }
+    node 3 { x := a+b; y := x+y }
+    node w { skip }
+    node 4 { out(x,y) }
+    node 5 { skip }
+    edge 1 -> 2, 3
+    edge 2 -> 4
+    edge 3 -> w
+    edge w -> 3, 4
+    edge 4 -> 5
+";
+
+/// Fig. 4: the running example.
+pub const FIG4: &str = "
+    start 1
+    end 4
+    node 1 { y := c+d }
+    node 2 { branch x+z > y+i }
+    node 3 { y := c+d; x := y+z; i := i+x }
+    node 4 { x := y+z; x := c+d; out(i,x,y) }
+    edge 1 -> 2
+    edge 2 -> 3, 4
+    edge 3 -> 2
+";
+
+/// Fig. 7 (reconstruction): two loop constructs, the second irreducible.
+/// `x := y+z` occurs at nodes 7, 9 and 11 and is hoistable to node 6 —
+/// across the irreducible construct — while the occurrence inside the first
+/// loop (node 3) is locally blocked, so node 6's instance stays partially
+/// redundant (eliminating it would require motion *into* the first loop).
+pub const FIG7: &str = "
+    start 1
+    end 12
+    node 1 { w := u+v }
+    node 2 { branch w > 0 }
+    node 3 { y := w; x := y+z }
+    node 6 { skip }
+    node 7 { x := y+z }
+    node 8 { skip }
+    node 9 { x := y+z }
+    node 10 { skip }
+    node 11 { x := y+z }
+    node 12 { out(x) }
+    edge 1 -> 2
+    edge 2 -> 3, 6
+    edge 3 -> 2
+    edge 6 -> 7, 8, 10
+    edge 7 -> 12
+    edge 8 -> 9
+    edge 9 -> 11, 12
+    edge 10 -> 11
+    edge 11 -> 9, 12
+";
+
+/// Fig. 8: the restricted-motion counterexample. The blocker `a := x+y` in
+/// the join block is not itself partially redundant, so a
+/// profitable-hoistings-only algorithm never moves it and the partially
+/// redundant `x := y+z` survives.
+pub const FIG8: &str = "
+    start 0
+    end e
+    node 0 { branch p > 0 }
+    node 1 { x := y+z }
+    node 3 { skip }
+    node 4 { a := x+y; x := y+z; out(a,x) }
+    node e { skip }
+    edge 0 -> 1, 3
+    edge 1 -> 4
+    edge 3 -> 4
+    edge 4 -> e
+";
+
+/// Fig. 10(a): the critical edge (2,3).
+pub const FIG10: &str = "
+    start s
+    end e
+    node s { skip }
+    node 1 { x := a+b }
+    node 2 { branch p > 0 }
+    node 3 { x := a+b }
+    node e { out(x) }
+    edge s -> 1, 2
+    edge 1 -> 3
+    edge 2 -> 3, e
+    edge 3 -> e
+";
+
+/// Fig. 13: hoisting candidates within one block.
+pub const FIG13: &str = "
+    start 1
+    end 2
+    node 1 { x := d; y := a+b; x := 3*y; a := c; y := a+b }
+    node 2 { out(x,y) }
+    edge 1 -> 2
+";
+
+/// Fig. 16 (reconstruction): a program with two *incomparable*
+/// expression-optimal solutions. `c+d` must be shared across both entry
+/// branches and `a+b` at the join is computed from an `a` that one branch
+/// redefines; placing the `a+b` initialization early or late trades
+/// assignment executions between the two paths.
+pub const FIG16: &str = "
+    start s
+    end e
+    node s { branch p > 0 }
+    node 1 { a := c+d }
+    node 2 { b := c+d }
+    node 3 { skip }
+    node 4 { skip }
+    node 6 { x := a+b; a := c+d; out(x,a,b) }
+    node e { skip }
+    edge s -> 1, 2
+    edge 1 -> 3
+    edge 2 -> 3
+    edge 3 -> 4
+    edge 4 -> 6
+    edge 6 -> e
+";
+
+/// Fig. 18(a): a complex expression, loop-invariant in a do-while loop.
+/// Parsed with `Mode::Decompose` this becomes Fig. 18(b)'s 3-address form
+/// `t1 := a+b; x := t1+c`.
+pub const FIG18: &str = "
+    start 0
+    end 3
+    node 0 { skip }
+    node 1 { x := a+b+c }
+    node 2 { branch q > 0 }
+    node 3 { out(x) }
+    edge 0 -> 1
+    edge 1 -> 2
+    edge 2 -> 1, 3
+";
+
+/// The running example's inputs for dynamic measurements.
+pub fn fig4_inputs() -> Vec<(String, i64)> {
+    [("c", 1), ("d", 2), ("x", 3), ("z", 4), ("i", 0), ("y", 7)]
+        .into_iter()
+        .map(|(n, v)| (n.to_owned(), v))
+        .collect()
+}

@@ -1,0 +1,310 @@
+//! Workload families and measurement for the complexity study (Sec. 4.5).
+//!
+//! The paper claims the global algorithm is "essentially quadratic" for
+//! realistic structured programs and up to fourth order in the unrestricted
+//! worst case. [`structured_sweep`]/[`unstructured_sweep`] regenerate that
+//! study: program families swept over size, measuring wall time, assignment
+//! motion rounds and total data-flow solver iterations.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use am_core::global::{optimize_with, GlobalConfig};
+use am_ir::random::{unstructured, UnstructuredConfig};
+use am_ir::text::parse;
+use am_ir::FlowGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic nest of `depth` do-while loops, each body carrying
+/// `width` assignment patterns: one loop-invariant chain (hoistable, with
+/// second-order dependencies) and one induction-style update per slot.
+///
+/// Do-while loops make the invariants admissibly hoistable (their bodies
+/// are unavoidable), so the motion phase has real work at every level.
+pub fn loop_nest(depth: usize, width: usize) -> FlowGraph {
+    let depth = depth.max(1);
+    let width = width.max(1);
+    let mut src = String::new();
+    let _ = writeln!(src, "start init");
+    let _ = writeln!(src, "end done");
+    let mut inits = String::from("s := 0");
+    for k in 0..depth {
+        let _ = write!(inits, "; i{k} := n");
+    }
+    let _ = writeln!(src, "node init {{ {inits} }}");
+    for k in 0..depth {
+        let mut body = String::new();
+        for j in 0..width {
+            // An invariant chain: w depends on the previous slot's w, so
+            // hoisting slot j+1 requires slot j to move first (second-order
+            // effects at every level).
+            if j == 0 {
+                let _ = write!(body, "w{k}_0 := a + {k}; ");
+            } else {
+                let prev = j - 1;
+                let _ = write!(body, "w{k}_{j} := w{k}_{prev} + {j}; ");
+            }
+        }
+        let _ = write!(body, "s := s + w{k}_{}", width - 1);
+        let _ = writeln!(src, "node head{k} {{ {body} }}");
+        let _ = writeln!(src, "node latch{k} {{ i{k} := i{k} - 1; branch i{k} > 0 }}");
+    }
+    let _ = writeln!(src, "node done {{ out(s) }}");
+    // Wiring: init -> head0; headk -> head(k+1) ... innermost -> latch(d-1);
+    // latchk -> headk (back) | latch(k-1) (exit); latch0 exits to done.
+    let _ = writeln!(src, "edge init -> head0");
+    for k in 0..depth {
+        if k + 1 < depth {
+            let _ = writeln!(src, "edge head{k} -> head{}", k + 1);
+        } else {
+            let _ = writeln!(src, "edge head{k} -> latch{k}");
+        }
+    }
+    for k in (0..depth).rev() {
+        let exit = if k == 0 {
+            "done".to_owned()
+        } else {
+            format!("latch{}", k - 1)
+        };
+        let _ = writeln!(src, "edge latch{k} -> head{k}, {exit}");
+    }
+    parse(&src).expect("generated loop nest parses")
+}
+
+/// A straight-line/diamond chain of `sections` sections, each containing
+/// `width` assignments with one partially redundant pattern per diamond —
+/// cheap per-round work, many patterns.
+pub fn diamond_chain(sections: usize, width: usize) -> FlowGraph {
+    let sections = sections.max(1);
+    let width = width.max(1);
+    let mut src = String::new();
+    let _ = writeln!(src, "start n0");
+    let _ = writeln!(src, "end done");
+    let _ = writeln!(src, "node n0 {{ skip }}");
+    for k in 0..sections {
+        let mut left = String::new();
+        let mut right = String::new();
+        for j in 0..width {
+            let _ = write!(left, "x{j} := a + {j}; ");
+            let _ = write!(right, "x{j} := a + {j}; ");
+        }
+        let _ = writeln!(src, "node l{k} {{ {left}skip }}");
+        let _ = writeln!(src, "node r{k} {{ {right}skip }}");
+        let _ = writeln!(src, "node j{k} {{ y{k} := x0 + b }}");
+        let prev = if k == 0 { "n0".to_owned() } else { format!("j{}", k - 1) };
+        let _ = writeln!(src, "edge {prev} -> l{k}, r{k}");
+        let _ = writeln!(src, "edge l{k} -> j{k}");
+        let _ = writeln!(src, "edge r{k} -> j{k}");
+    }
+    let _ = writeln!(src, "node done {{ out(y0) }}");
+    let _ = writeln!(src, "edge j{} -> done", sections - 1);
+    parse(&src).expect("generated diamond chain parses")
+}
+
+/// A while-language benchmark program: `bodies` nested do-while loops,
+/// each with an invariant chain and induction updates — compiled through
+/// the `am-lang` frontend (parser + 3-address lowering), so the sweep also
+/// exercises the full stack.
+pub fn while_workload(bodies: usize, chain: usize) -> FlowGraph {
+    use std::fmt::Write as _;
+    let bodies = bodies.max(1);
+    let chain = chain.max(1);
+    let mut src = String::from("acc := 0;\n");
+    for k in 0..bodies {
+        let _ = writeln!(src, "i{k} := n;");
+        let _ = writeln!(src, "do {{");
+        for j in 0..chain {
+            if j == 0 {
+                let _ = writeln!(src, "  w{k}_0 := base + {k};");
+            } else {
+                let _ = writeln!(src, "  w{k}_{j} := w{k}_{} * 3 + {j};", j - 1);
+            }
+        }
+        let _ = writeln!(src, "  acc := acc + w{k}_{} + i{k};", chain - 1);
+        let _ = writeln!(src, "  i{k} := i{k} - 1;");
+        let _ = writeln!(src, "}} while (i{k} > 0);");
+    }
+    src.push_str("print(acc);\n");
+    am_lang::compile(&src).expect("generated while program compiles")
+}
+
+/// One measured data point of the complexity study.
+#[derive(Clone, Debug)]
+pub struct ComplexityRow {
+    /// Workload label.
+    pub label: String,
+    /// Nodes before optimization.
+    pub nodes: usize,
+    /// Instructions before optimization.
+    pub instrs: usize,
+    /// Wall time of the full pipeline, in microseconds.
+    pub micros: u128,
+    /// Assignment-motion rounds until stabilization.
+    pub motion_rounds: usize,
+    /// Total data-flow solver iterations across all phases.
+    pub solver_iterations: u64,
+    /// Whether the motion phase converged within budget.
+    pub converged: bool,
+}
+
+/// Runs the full pipeline on `g` and records the complexity metrics.
+pub fn measure_complexity(label: &str, g: &FlowGraph) -> ComplexityRow {
+    let config = GlobalConfig {
+        keep_snapshots: false,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let result = optimize_with(g, &config);
+    let micros = start.elapsed().as_micros();
+    ComplexityRow {
+        label: label.to_owned(),
+        nodes: g.node_count(),
+        instrs: g.instr_count(),
+        micros,
+        motion_rounds: result.motion.rounds,
+        solver_iterations: result.motion.iterations + result.flush.iterations,
+        converged: result.motion.converged,
+    }
+}
+
+/// The structured sweep: loop nests of growing depth and width.
+pub fn structured_sweep() -> Vec<ComplexityRow> {
+    let mut rows = Vec::new();
+    for (depth, width) in [(1, 2), (2, 2), (2, 4), (3, 4), (4, 4), (4, 8), (6, 8), (8, 8)] {
+        let g = loop_nest(depth, width);
+        rows.push(measure_complexity(&format!("nest d={depth} w={width}"), &g));
+    }
+    for sections in [2, 4, 8, 16, 32] {
+        let g = diamond_chain(sections, 4);
+        rows.push(measure_complexity(&format!("diamonds s={sections}"), &g));
+    }
+    for (bodies, chain) in [(1, 3), (2, 3), (4, 3), (4, 6), (8, 6)] {
+        let g = while_workload(bodies, chain);
+        rows.push(measure_complexity(&format!("whilelang b={bodies} c={chain}"), &g));
+    }
+    rows
+}
+
+/// The unstructured sweep: random graphs of growing node count.
+pub fn unstructured_sweep() -> Vec<ComplexityRow> {
+    let mut rows = Vec::new();
+    for nodes in [8, 16, 32, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(nodes as u64);
+        let g = unstructured(
+            &mut rng,
+            &UnstructuredConfig {
+                nodes,
+                extra_edges: nodes / 2,
+                max_instrs: 4,
+                num_vars: 6,
+                allow_div: false,
+            },
+        );
+        rows.push(measure_complexity(&format!("random n={nodes}"), &g));
+    }
+    rows
+}
+
+/// Least-squares slope of `ln(time)` over `ln(size)` — the empirical
+/// scaling exponent of a sweep.
+pub fn fit_exponent(rows: &[ComplexityRow]) -> f64 {
+    let points: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|r| r.micros > 0 && r.instrs > 0)
+        .map(|r| ((r.instrs as f64).ln(), (r.micros as f64).ln()))
+        .collect();
+    if points.len() < 2 {
+        return f64::NAN;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_nest_is_valid_and_scales() {
+        let small = loop_nest(1, 1);
+        let large = loop_nest(4, 6);
+        assert_eq!(small.validate(), Ok(()));
+        assert_eq!(large.validate(), Ok(()));
+        assert!(large.instr_count() > small.instr_count());
+        assert!(am_ir::analysis::is_reducible(&large));
+    }
+
+    #[test]
+    fn diamond_chain_is_valid() {
+        let g = diamond_chain(5, 3);
+        assert_eq!(g.validate(), Ok(()));
+        assert!(g.node_count() >= 5 * 3);
+    }
+
+    #[test]
+    fn loop_nest_optimizes_and_converges() {
+        let g = loop_nest(3, 4);
+        let row = measure_complexity("t", &g);
+        assert!(row.converged);
+        assert!(row.motion_rounds >= 2, "second-order chain needs rounds");
+    }
+
+    #[test]
+    fn loop_nest_semantics_preserved_through_pipeline() {
+        use am_core::global::optimize;
+        use am_ir::interp::{run, Config};
+        let g = loop_nest(2, 3);
+        let opt = optimize(&g).program;
+        for n in [1, 2, 4] {
+            let cfg = Config::with_inputs(vec![("n", n), ("a", 7)]);
+            let r0 = run(&g, &cfg);
+            let r1 = run(&opt, &cfg);
+            assert_eq!(r0.observable(), r1.observable(), "n={n}");
+            assert!(r1.expr_evals <= r0.expr_evals, "n={n}");
+        }
+    }
+
+    #[test]
+    fn exponent_fit_on_synthetic_data() {
+        let rows: Vec<ComplexityRow> = [(10usize, 100u128), (20, 400), (40, 1600)]
+            .into_iter()
+            .map(|(instrs, micros)| ComplexityRow {
+                label: "synthetic".into(),
+                nodes: 1,
+                instrs,
+                micros,
+                motion_rounds: 1,
+                solver_iterations: 1,
+                converged: true,
+            })
+            .collect();
+        let k = fit_exponent(&rows);
+        assert!((k - 2.0).abs() < 1e-9, "{k}");
+    }
+}
+
+#[cfg(test)]
+mod while_workload_tests {
+    use super::*;
+    use am_core::global::optimize;
+    use am_ir::interp::{run, Config};
+
+    #[test]
+    fn while_workload_compiles_and_optimizes() {
+        let g = while_workload(2, 3);
+        assert_eq!(g.validate(), Ok(()));
+        let opt = optimize(&g).program;
+        for n in [1, 3] {
+            let cfg = Config::with_inputs(vec![("n", n), ("base", 10)]);
+            let a = run(&g, &cfg);
+            let b = run(&opt, &cfg);
+            assert_eq!(a.observable(), b.observable(), "n={n}");
+            assert!(b.expr_evals <= a.expr_evals);
+        }
+    }
+}

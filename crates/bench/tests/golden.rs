@@ -1,0 +1,57 @@
+//! Golden-file snapshots of every figure reproduction: any change to a
+//! transformed program is a visible diff. Regenerate with
+//! `BLESS=1 cargo test -p am-bench --test golden`.
+
+use am_bench::figures::all_reports;
+
+fn render(report: &am_bench::figures::FigureReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {} — {}\n", report.id, report.title));
+    out.push_str("## input\n");
+    out.push_str(&report.before);
+    for (label, text) in &report.after {
+        out.push_str(&format!("## {label}\n"));
+        out.push_str(text);
+    }
+    for note in &report.notes {
+        out.push_str(&format!("note: {note}\n"));
+    }
+    out
+}
+
+#[test]
+fn figures_match_golden_snapshots() {
+    let bless = std::env::var("BLESS").is_ok();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden");
+    let mut failures = Vec::new();
+    for report in all_reports() {
+        let rendered = render(&report);
+        let path = dir.join(format!("{}.txt", report.id));
+        if bless {
+            std::fs::write(&path, &rendered).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(expected) if expected == rendered => {}
+            Ok(expected) => {
+                let diff: Vec<String> = expected
+                    .lines()
+                    .zip(rendered.lines())
+                    .filter(|(a, b)| a != b)
+                    .take(5)
+                    .map(|(a, b)| format!("- {a}\n+ {b}"))
+                    .collect();
+                failures.push(format!(
+                    "{}: snapshot differs:\n{}",
+                    report.id,
+                    diff.join("\n")
+                ));
+            }
+            Err(_) => failures.push(format!(
+                "{}: missing golden file (run with BLESS=1 to create)",
+                report.id
+            )),
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}

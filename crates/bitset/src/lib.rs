@@ -1,0 +1,50 @@
+//! Dense, fixed-universe bit sets and bit matrices.
+//!
+//! Bit-vector data-flow analyses manipulate sets drawn from a small, fixed
+//! universe (the assignment and expression patterns of a program). This crate
+//! provides the two containers those analyses need:
+//!
+//! * [`BitSet`] — a dense set of `usize` elements below a fixed universe
+//!   size, with in-place union/intersection/difference and change reporting
+//!   (the change bit is what drives worklist convergence).
+//! * [`BitMatrix`] — a rectangular array of bit rows, used to store one
+//!   [`BitSet`] per program point without per-point allocation.
+//!
+//! # Examples
+//!
+//! ```
+//! use am_bitset::BitSet;
+//!
+//! let mut a = BitSet::new(70);
+//! a.insert(3);
+//! a.insert(69);
+//! let mut b = BitSet::new(70);
+//! b.insert(3);
+//! assert!(b.is_subset(&a));
+//! assert!(a.intersect_with(&b)); // `a` changed
+//! assert_eq!(a.iter().collect::<Vec<_>>(), vec![3]);
+//! ```
+
+mod matrix;
+mod set;
+
+pub use matrix::BitMatrix;
+pub use set::BitSet;
+
+/// Number of bits per storage word.
+pub(crate) const WORD_BITS: usize = u64::BITS as usize;
+
+/// Number of `u64` words needed to hold `bits` bits.
+pub(crate) fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+/// Mask selecting the in-universe bits of the final word of a `bits`-bit set.
+pub(crate) fn tail_mask(bits: usize) -> u64 {
+    let rem = bits % WORD_BITS;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}

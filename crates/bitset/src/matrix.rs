@@ -1,0 +1,258 @@
+use std::fmt;
+
+use crate::set::BitSet;
+use crate::{tail_mask, words_for, WORD_BITS};
+
+/// A rectangular array of bit rows over a shared column universe.
+///
+/// Data-flow solvers keep one row per program point; storing the rows
+/// contiguously avoids one allocation per point and keeps the whole solver
+/// state cache-friendly.
+///
+/// # Examples
+///
+/// ```
+/// use am_bitset::BitMatrix;
+///
+/// let mut m = BitMatrix::new(3, 10);
+/// m.insert(0, 7);
+/// m.insert(2, 7);
+/// assert!(m.contains(0, 7));
+/// assert!(!m.contains(1, 7));
+/// assert_eq!(m.row(2).iter().collect::<Vec<_>>(), vec![7]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    row_words: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix with `rows` rows and `cols` columns.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let row_words = words_for(cols);
+        BitMatrix {
+            rows,
+            cols,
+            row_words,
+            words: vec![0; rows * row_words],
+        }
+    }
+
+    /// Creates an all-one matrix (every in-universe bit set).
+    pub fn full(rows: usize, cols: usize) -> Self {
+        let mut m = BitMatrix::new(rows, cols);
+        m.words.iter_mut().for_each(|w| *w = u64::MAX);
+        let mask = tail_mask(cols);
+        if m.row_words > 0 {
+            for r in 0..rows {
+                let end = (r + 1) * m.row_words - 1;
+                m.words[end] &= mask;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the universe size of each row).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn range(&self, row: usize) -> std::ops::Range<usize> {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        row * self.row_words..(row + 1) * self.row_words
+    }
+
+    /// Tests the bit at (`row`, `col`).
+    pub fn contains(&self, row: usize, col: usize) -> bool {
+        assert!(col < self.cols, "col {col} out of range {}", self.cols);
+        let r = self.range(row);
+        self.words[r][col / WORD_BITS] & (1 << (col % WORD_BITS)) != 0
+    }
+
+    /// Sets the bit at (`row`, `col`); returns `true` if the matrix changed.
+    pub fn insert(&mut self, row: usize, col: usize) -> bool {
+        assert!(col < self.cols, "col {col} out of range {}", self.cols);
+        let r = self.range(row);
+        let w = &mut self.words[r][col / WORD_BITS];
+        let mask = 1 << (col % WORD_BITS);
+        let changed = *w & mask == 0;
+        *w |= mask;
+        changed
+    }
+
+    /// Clears the bit at (`row`, `col`); returns `true` if the matrix changed.
+    pub fn remove(&mut self, row: usize, col: usize) -> bool {
+        assert!(col < self.cols, "col {col} out of range {}", self.cols);
+        let r = self.range(row);
+        let w = &mut self.words[r][col / WORD_BITS];
+        let mask = 1 << (col % WORD_BITS);
+        let changed = *w & mask != 0;
+        *w &= !mask;
+        changed
+    }
+
+    /// Copies row `row` out into an owned [`BitSet`].
+    pub fn row(&self, row: usize) -> BitSet {
+        let mut set = BitSet::new(self.cols);
+        for col in self.iter_row(row) {
+            set.insert(col);
+        }
+        set
+    }
+
+    /// Overwrites row `row` with `set`; returns `true` if the row changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set.len() != self.cols()`.
+    pub fn set_row(&mut self, row: usize, set: &BitSet) -> bool {
+        assert_eq!(set.len(), self.cols, "row universe mismatch");
+        let mut changed = false;
+        let r = self.range(row);
+        let words = &mut self.words[r];
+        let mut fresh = vec![0u64; words.len()];
+        for col in set.iter() {
+            fresh[col / WORD_BITS] |= 1 << (col % WORD_BITS);
+        }
+        for (dst, src) in words.iter_mut().zip(&fresh) {
+            changed |= *dst != *src;
+            *dst = *src;
+        }
+        changed
+    }
+
+    /// `rows[dst] ∪= rows[src]`; returns `true` if row `dst` changed.
+    pub fn union_rows(&mut self, dst: usize, src: usize) -> bool {
+        self.combine_rows(dst, src, |a, b| a | b)
+    }
+
+    /// `rows[dst] ∩= rows[src]`; returns `true` if row `dst` changed.
+    pub fn intersect_rows(&mut self, dst: usize, src: usize) -> bool {
+        self.combine_rows(dst, src, |a, b| a & b)
+    }
+
+    fn combine_rows(&mut self, dst: usize, src: usize, f: impl Fn(u64, u64) -> u64) -> bool {
+        let dst_range = self.range(dst);
+        let src_range = self.range(src);
+        let mut changed = false;
+        if dst == src {
+            return false;
+        }
+        // Split the storage so we can borrow the two rows simultaneously.
+        let (lo, hi, dst_first) = if dst_range.start < src_range.start {
+            (dst_range, src_range, true)
+        } else {
+            (src_range, dst_range, false)
+        };
+        let (head, tail) = self.words.split_at_mut(hi.start);
+        let lo_row = &mut head[lo];
+        let hi_row = &mut tail[..lo_row.len()];
+        let (d, s): (&mut [u64], &[u64]) = if dst_first { (lo_row, hi_row) } else { (hi_row, lo_row) };
+        for (a, b) in d.iter_mut().zip(s) {
+            let new = f(*a, *b);
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Iterates over the set columns of `row` in increasing order.
+    pub fn iter_row(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        let r = self.range(row);
+        self.words[r]
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| {
+                (0..WORD_BITS).filter_map(move |b| (w & (1 << b) != 0).then_some(wi * WORD_BITS + b))
+            })
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut dbg = f.debug_map();
+        for r in 0..self.rows {
+            dbg.entry(&r, &self.row(r));
+        }
+        dbg.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_matrix_is_zero() {
+        let m = BitMatrix::new(4, 100);
+        for r in 0..4 {
+            assert!(m.row(r).is_empty());
+        }
+    }
+
+    #[test]
+    fn full_matrix_respects_tail() {
+        let m = BitMatrix::full(2, 70);
+        assert_eq!(m.row(0).count(), 70);
+        assert_eq!(m.row(1).count(), 70);
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut m = BitMatrix::new(3, 65);
+        assert!(m.insert(1, 64));
+        assert!(!m.insert(1, 64));
+        assert!(m.contains(1, 64));
+        assert!(!m.contains(0, 64));
+        assert!(m.remove(1, 64));
+        assert!(!m.remove(1, 64));
+    }
+
+    #[test]
+    fn set_row_round_trips() {
+        let mut m = BitMatrix::new(2, 10);
+        let mut s = BitSet::new(10);
+        s.extend([0, 9]);
+        assert!(m.set_row(1, &s));
+        assert_eq!(m.row(1), s);
+        assert!(!m.set_row(1, &s));
+        assert!(m.row(0).is_empty());
+    }
+
+    #[test]
+    fn union_and_intersect_rows() {
+        let mut m = BitMatrix::new(2, 130);
+        m.insert(0, 0);
+        m.insert(0, 129);
+        m.insert(1, 129);
+        assert!(m.union_rows(1, 0));
+        assert_eq!(m.iter_row(1).collect::<Vec<_>>(), vec![0, 129]);
+        assert!(!m.intersect_rows(0, 1)); // row 0 ⊆ row 1 already
+        m.remove(1, 0);
+        assert!(m.intersect_rows(0, 1));
+        assert_eq!(m.iter_row(0).collect::<Vec<_>>(), vec![129]);
+    }
+
+    #[test]
+    fn self_combination_is_noop() {
+        let mut m = BitMatrix::new(2, 8);
+        m.insert(0, 3);
+        assert!(!m.union_rows(0, 0));
+        assert!(m.contains(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "row 5 out of range")]
+    fn row_out_of_range_panics() {
+        let m = BitMatrix::new(2, 8);
+        let _ = m.row(5);
+    }
+}

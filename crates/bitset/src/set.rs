@@ -1,0 +1,412 @@
+use std::fmt;
+
+use crate::{tail_mask, words_for, WORD_BITS};
+
+/// A dense set of `usize` elements drawn from a fixed universe `0..len`.
+///
+/// All binary operations require both operands to share the same universe
+/// size and report whether the receiver changed, which is the signal
+/// worklist solvers use to decide whether to requeue dependents.
+///
+/// # Examples
+///
+/// ```
+/// use am_bitset::BitSet;
+///
+/// let mut live = BitSet::new(8);
+/// live.insert(1);
+/// live.insert(5);
+/// assert_eq!(live.count(), 2);
+/// assert!(live.contains(5));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            len,
+            words: vec![0; words_for(len)],
+        }
+    }
+
+    /// Creates a full set containing every element of `0..len`.
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet {
+            len,
+            words: vec![u64::MAX; words_for(len)],
+        };
+        s.trim();
+        s
+    }
+
+    fn trim(&mut self) {
+        if let Some(last) = self.words.last_mut() {
+            *last &= tail_mask(self.len);
+        }
+    }
+
+    /// The universe size (not the number of elements; see [`BitSet::count`]).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the set contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements currently in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Tests membership of `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the universe.
+    pub fn contains(&self, bit: usize) -> bool {
+        assert!(bit < self.len, "bit {bit} out of universe {}", self.len);
+        self.words[bit / WORD_BITS] & (1 << (bit % WORD_BITS)) != 0
+    }
+
+    /// Inserts `bit`; returns `true` if the set changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the universe.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        assert!(bit < self.len, "bit {bit} out of universe {}", self.len);
+        let w = &mut self.words[bit / WORD_BITS];
+        let mask = 1 << (bit % WORD_BITS);
+        let changed = *w & mask == 0;
+        *w |= mask;
+        changed
+    }
+
+    /// Removes `bit`; returns `true` if the set changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the universe.
+    pub fn remove(&mut self, bit: usize) -> bool {
+        assert!(bit < self.len, "bit {bit} out of universe {}", self.len);
+        let w = &mut self.words[bit / WORD_BITS];
+        let mask = 1 << (bit % WORD_BITS);
+        let changed = *w & mask != 0;
+        *w &= !mask;
+        changed
+    }
+
+    /// Sets or clears `bit` according to `value`; returns `true` on change.
+    pub fn set(&mut self, bit: usize, value: bool) -> bool {
+        if value {
+            self.insert(bit)
+        } else {
+            self.remove(bit)
+        }
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Inserts every element of the universe.
+    pub fn insert_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = u64::MAX);
+        self.trim();
+    }
+
+    fn assert_same_universe(&self, other: &BitSet) {
+        assert_eq!(
+            self.len, other.len,
+            "bit set universes differ: {} vs {}",
+            self.len, other.len
+        );
+    }
+
+    /// `self ∪= other`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        self.assert_same_universe(other);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; returns `true` if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        self.assert_same_universe(other);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self −= other`; returns `true` if `self` changed.
+    pub fn difference_with(&mut self, other: &BitSet) -> bool {
+        self.assert_same_universe(other);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & !b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Replaces `self` with a copy of `other`; returns `true` if it changed.
+    pub fn copy_from(&mut self, other: &BitSet) -> bool {
+        self.assert_same_universe(other);
+        let changed = self.words != other.words;
+        self.words.copy_from_slice(&other.words);
+        changed
+    }
+
+    /// Tests `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.assert_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Tests whether the sets share no element.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.assert_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for bit in iter {
+            self.insert(bit);
+        }
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] in increasing order.
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = BitSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().next(), None);
+        for i in 0..100 {
+            assert!(!s.contains(i));
+        }
+    }
+
+    #[test]
+    fn full_set_respects_universe_boundary() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert_eq!(s.iter().last(), Some(69));
+    }
+
+    #[test]
+    fn full_set_of_word_multiple() {
+        let s = BitSet::full(128);
+        assert_eq!(s.count(), 128);
+        assert!(s.contains(127));
+    }
+
+    #[test]
+    fn insert_remove_report_changes() {
+        let mut s = BitSet::new(10);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn set_dispatches_on_value() {
+        let mut s = BitSet::new(4);
+        assert!(s.set(2, true));
+        assert!(!s.set(2, true));
+        assert!(s.set(2, false));
+        assert!(!s.set(2, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn contains_out_of_range_panics() {
+        let s = BitSet::new(8);
+        let _ = s.contains(8);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let mut a = BitSet::new(130);
+        a.extend([1, 64, 129]);
+        let mut b = BitSet::new(130);
+        b.extend([64, 65]);
+
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 64, 65, 129]);
+        assert!(!u.union_with(&b));
+
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![64]);
+
+        let mut d = a.clone();
+        assert!(d.difference_with(&b));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 129]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let mut a = BitSet::new(20);
+        a.extend([2, 5]);
+        let mut b = BitSet::new(20);
+        b.extend([2, 5, 9]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        let mut c = BitSet::new(20);
+        c.insert(7);
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn copy_from_reports_change() {
+        let mut a = BitSet::new(9);
+        let mut b = BitSet::new(9);
+        b.insert(8);
+        assert!(a.copy_from(&b));
+        assert!(!a.copy_from(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "universes differ")]
+    fn mismatched_universes_panic() {
+        let mut a = BitSet::new(8);
+        let b = BitSet::new(9);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn insert_all_then_clear() {
+        let mut s = BitSet::new(77);
+        s.insert_all();
+        assert_eq!(s.count(), 77);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn debug_formats_as_set() {
+        let mut s = BitSet::new(8);
+        s.extend([1, 3]);
+        assert_eq!(format!("{s:?}"), "{1, 3}");
+        assert_eq!(format!("{:?}", BitSet::new(3)), "{}");
+    }
+
+    #[test]
+    fn zero_universe_is_fine() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(BitSet::full(0).count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod iterator_tests {
+    use super::*;
+
+    #[test]
+    fn into_iterator_by_reference() {
+        let mut s = BitSet::new(70);
+        s.extend([0, 64, 69]);
+        let via_for: Vec<usize> = (&s).into_iter().collect();
+        assert_eq!(via_for, vec![0, 64, 69]);
+    }
+
+    #[test]
+    fn iterating_a_full_set_visits_everything() {
+        let s = BitSet::full(129);
+        let elems: Vec<usize> = s.iter().collect();
+        assert_eq!(elems.len(), 129);
+        assert_eq!(elems.first(), Some(&0));
+        assert_eq!(elems.last(), Some(&128));
+        assert!(elems.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+    }
+
+    #[test]
+    fn extend_accepts_any_usize_iterator() {
+        let mut s = BitSet::new(10);
+        s.extend((0..10).filter(|i| i % 3 == 0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 6, 9]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Model-based property tests: `BitSet` against `std::collections::BTreeSet`.
+
+use std::collections::BTreeSet;
+
+use am_bitset::{BitMatrix, BitSet};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(usize),
+    Remove(usize),
+    Clear,
+    InsertAll,
+    UnionWith(Vec<usize>),
+    IntersectWith(Vec<usize>),
+    DifferenceWith(Vec<usize>),
+}
+
+fn op_strategy(universe: usize) -> impl Strategy<Value = Op> {
+    let bit = 0..universe;
+    let bits = proptest::collection::vec(0..universe, 0..8);
+    prop_oneof![
+        bit.clone().prop_map(Op::Insert),
+        bit.prop_map(Op::Remove),
+        Just(Op::Clear),
+        Just(Op::InsertAll),
+        bits.clone().prop_map(Op::UnionWith),
+        bits.clone().prop_map(Op::IntersectWith),
+        bits.prop_map(Op::DifferenceWith),
+    ]
+}
+
+fn other_set(universe: usize, bits: &[usize]) -> (BitSet, BTreeSet<usize>) {
+    let mut s = BitSet::new(universe);
+    let mut m = BTreeSet::new();
+    for &b in bits {
+        s.insert(b);
+        m.insert(b);
+    }
+    (s, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn operations_match_the_model(
+        ops in proptest::collection::vec(op_strategy(130), 1..40),
+    ) {
+        let universe = 130;
+        let mut set = BitSet::new(universe);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(b) => {
+                    let changed = set.insert(b);
+                    prop_assert_eq!(changed, model.insert(b));
+                }
+                Op::Remove(b) => {
+                    let changed = set.remove(b);
+                    prop_assert_eq!(changed, model.remove(&b));
+                }
+                Op::Clear => {
+                    set.clear();
+                    model.clear();
+                }
+                Op::InsertAll => {
+                    set.insert_all();
+                    model = (0..universe).collect();
+                }
+                Op::UnionWith(bits) => {
+                    let (other, other_model) = other_set(universe, &bits);
+                    set.union_with(&other);
+                    model = model.union(&other_model).copied().collect();
+                }
+                Op::IntersectWith(bits) => {
+                    let (other, other_model) = other_set(universe, &bits);
+                    set.intersect_with(&other);
+                    model = model.intersection(&other_model).copied().collect();
+                }
+                Op::DifferenceWith(bits) => {
+                    let (other, other_model) = other_set(universe, &bits);
+                    set.difference_with(&other);
+                    model = model.difference(&other_model).copied().collect();
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(set.count(), model.len());
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+            let elems: Vec<usize> = set.iter().collect();
+            let expected: Vec<usize> = model.iter().copied().collect();
+            prop_assert_eq!(elems, expected);
+        }
+    }
+
+    #[test]
+    fn subset_and_disjoint_match_the_model(
+        a in proptest::collection::vec(0usize..90, 0..20),
+        b in proptest::collection::vec(0usize..90, 0..20),
+    ) {
+        let (sa, ma) = other_set(90, &a);
+        let (sb, mb) = other_set(90, &b);
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
+    }
+
+    #[test]
+    fn matrix_rows_behave_like_independent_sets(
+        rows in 1usize..6,
+        cols in 1usize..100,
+        writes in proptest::collection::vec((0usize..6, 0usize..100), 0..40),
+    ) {
+        let mut m = BitMatrix::new(rows, cols);
+        let mut model: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); rows];
+        for (r, c) in writes {
+            let (r, c) = (r % rows, c % cols);
+            m.insert(r, c);
+            model[r].insert(c);
+        }
+        for (r, row_model) in model.iter().enumerate() {
+            let row: Vec<usize> = m.iter_row(r).collect();
+            let expected: Vec<usize> = row_model.iter().copied().collect();
+            prop_assert_eq!(row, expected);
+        }
+    }
+
+    #[test]
+    fn copy_from_round_trips(bits in proptest::collection::vec(0usize..70, 0..30)) {
+        let (src, _) = other_set(70, &bits);
+        let mut dst = BitSet::new(70);
+        dst.copy_from(&src);
+        prop_assert_eq!(&dst, &src);
+        prop_assert!(!dst.copy_from(&src), "second copy reports no change");
+    }
+}

@@ -1,0 +1,225 @@
+//! The global algorithm (Sec. 4.1): initialization → assignment motion →
+//! final flush, with the intermediate programs the paper names `G_Init`
+//! (Fig. 12), `G_AssMot` (Fig. 14) and `G_GlobAlg` (Fig. 15) exposed for
+//! inspection, testing and figure regeneration.
+
+use am_ir::FlowGraph;
+
+use crate::flush::{final_flush, FlushStats};
+use crate::init::{initialize, InitStats};
+use crate::motion::{assignment_motion_bounded, default_round_budget, MotionStats};
+
+/// Configuration of the global algorithm.
+#[derive(Clone, Debug)]
+pub struct GlobalConfig {
+    /// Round budget for the assignment motion fixed point; `None` uses the
+    /// paper's quadratic bound.
+    pub max_motion_rounds: Option<usize>,
+    /// Keep copies of the intermediate programs (costs two clones).
+    pub keep_snapshots: bool,
+}
+
+impl Default for GlobalConfig {
+    fn default() -> Self {
+        GlobalConfig {
+            max_motion_rounds: None,
+            keep_snapshots: true,
+        }
+    }
+}
+
+/// The result of running the global algorithm.
+#[derive(Clone, Debug)]
+pub struct GlobalResult {
+    /// The transformed program `G_GlobAlg`.
+    pub program: FlowGraph,
+    /// `G_Init` — after the initialization phase (Fig. 12), if snapshots
+    /// were requested.
+    pub after_init: Option<FlowGraph>,
+    /// `G_AssMot` — after the assignment motion phase (Fig. 14), if
+    /// snapshots were requested.
+    pub after_motion: Option<FlowGraph>,
+    /// Initialization statistics.
+    pub init: InitStats,
+    /// Assignment motion statistics.
+    pub motion: MotionStats,
+    /// Final flush statistics.
+    pub flush: FlushStats,
+    /// Critical edges split before the phases ran.
+    pub edges_split: usize,
+}
+
+/// Runs the complete algorithm on a copy of `g` with default configuration.
+///
+/// Critical edges are split first (Sec. 2.1); the original graph is not
+/// modified.
+///
+/// # Examples
+///
+/// ```
+/// use am_ir::text::parse;
+/// use am_core::global::optimize;
+///
+/// let g = parse(
+///     "start 1\nend 2\nnode 1 { x := a+b; y := a+b }\nnode 2 { out(x,y) }\nedge 1 -> 2",
+/// )?;
+/// let result = optimize(&g);
+/// // The second a+b evaluation is gone: one initialization, two copies.
+/// let text = am_ir::alpha::canonical_text(&result.program);
+/// assert_eq!(text.matches("a+b").count(), 1);
+/// # Ok::<(), am_ir::text::ParseError>(())
+/// ```
+pub fn optimize(g: &FlowGraph) -> GlobalResult {
+    optimize_with(g, &GlobalConfig::default())
+}
+
+/// Runs the complete algorithm with explicit configuration.
+pub fn optimize_with(g: &FlowGraph, config: &GlobalConfig) -> GlobalResult {
+    let mut program = g.clone();
+    let edges_split = program.split_critical_edges();
+    let init = initialize(&mut program);
+    let after_init = config.keep_snapshots.then(|| program.clone());
+    let budget = config
+        .max_motion_rounds
+        .unwrap_or_else(|| default_round_budget(&program));
+    let motion = assignment_motion_bounded(&mut program, budget);
+    let after_motion = config.keep_snapshots.then(|| program.clone());
+    let flush = final_flush(&mut program);
+    GlobalResult {
+        program,
+        after_init,
+        after_motion,
+        init,
+        motion,
+        flush,
+        edges_split,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_ir::alpha::canonical_text;
+    use am_ir::interp;
+    use am_ir::text::parse;
+
+    const RUNNING_EXAMPLE: &str = "
+        start 1
+        end 4
+        node 1 { y := c+d }
+        node 2 { branch x+z > y+i }
+        node 3 { y := c+d; x := y+z; i := i+x }
+        node 4 { x := y+z; x := c+d; out(i,x,y) }
+        edge 1 -> 2
+        edge 2 -> 3, 4
+        edge 3 -> 2
+    ";
+
+    #[test]
+    fn snapshots_match_paper_phases() {
+        let g = parse(RUNNING_EXAMPLE).unwrap();
+        let result = optimize(&g);
+        assert!(result.motion.converged);
+        // Fig. 12 snapshot: the branch now compares two temporaries.
+        let init_text = canonical_text(result.after_init.as_ref().unwrap());
+        assert!(init_text.contains("branch h2 > h3"), "{init_text}");
+        // Fig. 14 snapshot: everything hoisted to node 1, y := c+d of the
+        // loop eliminated.
+        let motion_text = canonical_text(result.after_motion.as_ref().unwrap());
+        let node1 = motion_text
+            .split("node 2 {")
+            .next()
+            .unwrap()
+            .to_owned();
+        for line in ["h1 := c+d", "y := h1", "h2 := x+z", "h3 := y+i", "h4 := y+z", "x := h4"] {
+            assert!(node1.contains(line), "missing {line} in node 1:\n{motion_text}");
+        }
+        // Fig. 15: final program.
+        let final_text = canonical_text(&result.program);
+        assert!(final_text.contains("x := y+z"), "{final_text}");
+        assert!(final_text.contains("branch h2 > y+i"), "{final_text}");
+    }
+
+    #[test]
+    fn optimize_does_not_touch_the_input() {
+        let g = parse(RUNNING_EXAMPLE).unwrap();
+        let before = am_ir::text::to_text(&g);
+        let _ = optimize(&g);
+        assert_eq!(am_ir::text::to_text(&g), before);
+    }
+
+    #[test]
+    fn snapshots_can_be_disabled() {
+        let g = parse(RUNNING_EXAMPLE).unwrap();
+        let result = optimize_with(
+            &g,
+            &GlobalConfig {
+                keep_snapshots: false,
+                ..Default::default()
+            },
+        );
+        assert!(result.after_init.is_none());
+        assert!(result.after_motion.is_none());
+    }
+
+    #[test]
+    fn untouched_computations_stay_untouched() {
+        // The paper highlights that i := i+x and the y+i / i+x
+        // computations of the running example are not moved — they cannot
+        // be moved profitably.
+        let g = parse(RUNNING_EXAMPLE).unwrap();
+        let result = optimize(&g);
+        let text = canonical_text(&result.program);
+        assert!(text.contains("i := i+x"), "{text}");
+        assert!(text.contains("y+i"), "{text}");
+    }
+
+    #[test]
+    fn global_preserves_semantics_on_random_programs() {
+        use am_ir::random::{structured, unstructured, StructuredConfig, UnstructuredConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..25 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let orig = if seed % 2 == 0 {
+                structured(&mut rng, &StructuredConfig::default())
+            } else {
+                unstructured(&mut rng, &UnstructuredConfig::default())
+            };
+            let result = optimize(&orig);
+            assert!(result.motion.converged, "seed {seed}");
+            assert_eq!(result.program.validate(), Ok(()), "seed {seed}");
+            for run_seed in 0..5 {
+                let cfg = interp::Config {
+                    oracle: interp::Oracle::random(seed * 31 + run_seed, 14),
+                    inputs: vec![
+                        ("v0".into(), 2),
+                        ("v1".into(), -3),
+                        ("v2".into(), 11),
+                        ("v3".into(), 0),
+                    ],
+                    ..Default::default()
+                };
+                let a = interp::run(&orig, &cfg);
+                let b = interp::run(&result.program, &cfg);
+                assert_eq!(
+                    a.observable(),
+                    b.observable(),
+                    "seed {seed}/{run_seed}\nORIG:\n{orig:?}\nOPT:\n{:?}",
+                    result.program
+                );
+                if a.stop == interp::StopReason::ReachedEnd
+                    && b.stop == interp::StopReason::ReachedEnd
+                {
+                    assert!(
+                        b.expr_evals <= a.expr_evals,
+                        "expression optimality violated at seed {seed}/{run_seed}: {} -> {}\nORIG:\n{orig:?}\nOPT:\n{:?}",
+                        a.expr_evals,
+                        b.expr_evals,
+                        result.program
+                    );
+                }
+            }
+        }
+    }
+}

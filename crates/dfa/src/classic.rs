@@ -1,0 +1,279 @@
+//! Classic bit-vector analyses as framework instances.
+//!
+//! These serve two purposes: they validate the solver against well-known
+//! semantics, and they are building blocks for the baseline transformations
+//! (the lazy-code-motion baseline uses down-safety/anticipability; copy
+//! propagation uses reaching copies; assignment sinking uses liveness).
+
+use am_bitset::BitSet;
+use am_ir::{FlowGraph, Instr, PatternUniverse, Term, Var};
+
+use crate::points::{PointGraph, PointId};
+use crate::solve::{solve, Confluence, Direction, Problem, Solution};
+
+/// Whether `instr` is transparent for expression `t`: it modifies no
+/// operand of `t`.
+pub fn expr_transparent(instr: &Instr, t: Term) -> bool {
+    match instr.def() {
+        Some(d) => !t.mentions(d),
+        None => true,
+    }
+}
+
+/// Whether `instr` computes `t` (an occurrence of the expression pattern).
+pub fn expr_computed(instr: &Instr, t: Term) -> bool {
+    let mut found = false;
+    instr.for_each_expr_occurrence(|occ| found |= occ == t);
+    found
+}
+
+/// Available expressions: expression `t` is available at a point when every
+/// path from the start computes `t` afterwards unmodified. Forward, must,
+/// greatest solution.
+pub fn available_expressions(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
+    let n = pg.len();
+    let mut p = Problem::new(Direction::Forward, Confluence::Must, n, universe.expr_count());
+    for point in pg.points() {
+        if let Some(instr) = pg.instr(point) {
+            for (i, t) in universe.expr_patterns() {
+                if expr_computed(instr, t) {
+                    p.gen[point.index()].insert(i);
+                }
+                if !expr_transparent(instr, t) {
+                    p.kill[point.index()].insert(i);
+                    // An instruction that both computes and kills (x := x+1)
+                    // does not make the expression available after it.
+                    if instr.def().map(|d| t.mentions(d)).unwrap_or(false) {
+                        p.gen[point.index()].remove(i);
+                    }
+                }
+            }
+        }
+    }
+    solve(pg.succs(), pg.preds(), &p)
+}
+
+/// Anticipability (down-safety): expression `t` is anticipated at a point
+/// when every path to the end computes `t` before an operand changes.
+/// Backward, must, greatest solution.
+pub fn anticipated_expressions(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
+    let n = pg.len();
+    let mut p = Problem::new(Direction::Backward, Confluence::Must, n, universe.expr_count());
+    for point in pg.points() {
+        if let Some(instr) = pg.instr(point) {
+            for (i, t) in universe.expr_patterns() {
+                if expr_computed(instr, t) {
+                    p.gen[point.index()].insert(i);
+                }
+                if !expr_transparent(instr, t) {
+                    p.kill[point.index()].insert(i);
+                }
+            }
+        }
+    }
+    solve(pg.succs(), pg.preds(), &p)
+}
+
+/// Live variables: variable `v` is live at a point when some path to the
+/// end reads `v` before writing it. Backward, may, least solution.
+pub fn live_variables(pg: &PointGraph<'_>) -> Solution {
+    let g = pg.graph();
+    let n = pg.len();
+    let vars = g.pool().len();
+    let mut p = Problem::new(Direction::Backward, Confluence::May, n, vars);
+    for point in pg.points() {
+        if let Some(instr) = pg.instr(point) {
+            let idx = point.index();
+            // live-before = uses ∪ (live-after ∖ def); the solver applies
+            // gen after kill, so `x := x+1` correctly stays live before.
+            instr.for_each_use(|v| {
+                p.gen[idx].insert(v.index());
+            });
+            if let Some(d) = instr.def() {
+                p.kill[idx].insert(d.index());
+            }
+        }
+    }
+    solve(pg.succs(), pg.preds(), &p)
+}
+
+/// Reaching copies: the copy `x := y` (or constant copy `x := 5`) reaches a
+/// point when it was executed on every path and neither `x` nor its source
+/// changed since. Forward, must, greatest solution. The universe is the set
+/// of trivial assignment patterns of `universe` (identified by their
+/// assignment-pattern index).
+pub fn reaching_copies(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
+    let n = pg.len();
+    let mut p = Problem::new(Direction::Forward, Confluence::Must, n, universe.assign_count());
+    for point in pg.points() {
+        if let Some(instr) = pg.instr(point) {
+            for (i, pat) in universe.assign_patterns() {
+                if !matches!(pat.rhs, Term::Operand(_)) {
+                    continue;
+                }
+                if pat.executed_by(instr) {
+                    p.gen[point.index()].insert(i);
+                } else if let Some(d) = instr.def() {
+                    if d == pat.lhs || pat.rhs.mentions(d) {
+                        p.kill[point.index()].insert(i);
+                    }
+                }
+            }
+        }
+    }
+    solve(pg.succs(), pg.preds(), &p)
+}
+
+/// Convenience: the set of variables live before point `p`.
+pub fn live_before(sol: &Solution, p: PointId, g: &FlowGraph) -> Vec<Var> {
+    let set: &BitSet = &sol.before[p.index()];
+    g.pool().iter().filter(|v| set.contains(v.index())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_ir::text::parse;
+    use am_ir::BinOp;
+
+    fn fig1() -> FlowGraph {
+        // Fig. 1(a): a+b computed in nodes 2 and 3, join in 4.
+        parse(
+            "start 1\nend 4\n\
+             node 1 { skip }\n\
+             node 2 { z := a+b; x := a+b }\n\
+             node 3 { x := a+b; y := x+y }\n\
+             node 4 { out(x,y,z) }\n\
+             edge 1 -> 2, 3\nedge 2 -> 4\nedge 3 -> 4",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn availability_after_both_branches() {
+        let g = fig1();
+        let pg = PointGraph::build(&g);
+        let u = PatternUniverse::collect(&g);
+        let sol = available_expressions(&pg, &u);
+        let a = g.pool().lookup("a").unwrap();
+        let b = g.pool().lookup("b").unwrap();
+        let ab = u.expr_id(&Term::binary(BinOp::Add, a, b)).unwrap();
+        let n4 = g.end();
+        assert!(sol.before[pg.first_of(n4).index()].contains(ab));
+        let n1 = g.start();
+        assert!(!sol.after[pg.last_of(n1).index()].contains(ab));
+    }
+
+    #[test]
+    fn availability_killed_by_operand_write() {
+        let g = parse(
+            "start 1\nend 3\n\
+             node 1 { x := a+b }\n\
+             node 2 { a := 0 }\n\
+             node 3 { out(x) }\n\
+             edge 1 -> 2\nedge 2 -> 3",
+        )
+        .unwrap();
+        let pg = PointGraph::build(&g);
+        let u = PatternUniverse::collect(&g);
+        let sol = available_expressions(&pg, &u);
+        let a = g.pool().lookup("a").unwrap();
+        let b = g.pool().lookup("b").unwrap();
+        let ab = u.expr_id(&Term::binary(BinOp::Add, a, b)).unwrap();
+        let n2 = g.nodes().find(|&n| g.label(n) == "2").unwrap();
+        assert!(sol.before[pg.first_of(n2).index()].contains(ab));
+        assert!(!sol.after[pg.last_of(n2).index()].contains(ab));
+    }
+
+    #[test]
+    fn anticipability_holds_before_both_branch_computations() {
+        let g = fig1();
+        let pg = PointGraph::build(&g);
+        let u = PatternUniverse::collect(&g);
+        let sol = anticipated_expressions(&pg, &u);
+        let a = g.pool().lookup("a").unwrap();
+        let b = g.pool().lookup("b").unwrap();
+        let ab = u.expr_id(&Term::binary(BinOp::Add, a, b)).unwrap();
+        // a+b is computed on both branches, so it is anticipated at node 1.
+        assert!(sol.before[pg.first_of(g.start()).index()].contains(ab));
+        // But not at node 4 (never computed afterwards).
+        assert!(!sol.before[pg.first_of(g.end()).index()].contains(ab));
+    }
+
+    #[test]
+    fn liveness_through_branches() {
+        let g = parse(
+            "start 1\nend 4\n\
+             node 1 { x := 1; y := 2 }\n\
+             node 2 { out(x) }\n\
+             node 3 { out(y) }\n\
+             node 4 { skip }\n\
+             edge 1 -> 2, 3\nedge 2 -> 4\nedge 3 -> 4",
+        )
+        .unwrap();
+        let pg = PointGraph::build(&g);
+        let sol = live_variables(&pg);
+        let x = g.pool().lookup("x").unwrap();
+        let y = g.pool().lookup("y").unwrap();
+        // Both x and y are live at the end of node 1 (different branches).
+        let last1 = pg.last_of(g.start());
+        assert!(sol.after[last1.index()].contains(x.index()));
+        assert!(sol.after[last1.index()].contains(y.index()));
+        // x is dead after node 2's out.
+        let n2 = g.nodes().find(|&n| g.label(n) == "2").unwrap();
+        assert!(!sol.after[pg.last_of(n2).index()].contains(x.index()));
+    }
+
+    #[test]
+    fn self_increment_keeps_variable_live() {
+        let g = parse(
+            "start 1\nend 2\nnode 1 { i := i+1 }\nnode 2 { out(i) }\nedge 1 -> 2",
+        )
+        .unwrap();
+        let pg = PointGraph::build(&g);
+        let sol = live_variables(&pg);
+        let i = g.pool().lookup("i").unwrap();
+        assert!(sol.before[pg.entry().index()].contains(i.index()));
+    }
+
+    #[test]
+    fn reaching_copy_killed_by_source_write() {
+        let g = parse(
+            "start 1\nend 3\n\
+             node 1 { x := y }\n\
+             node 2 { y := 0 }\n\
+             node 3 { out(x) }\n\
+             edge 1 -> 2\nedge 2 -> 3",
+        )
+        .unwrap();
+        let pg = PointGraph::build(&g);
+        let u = PatternUniverse::collect(&g);
+        let sol = reaching_copies(&pg, &u);
+        let x = g.pool().lookup("x").unwrap();
+        let y = g.pool().lookup("y").unwrap();
+        let copy = u
+            .assign_id(&am_ir::AssignPattern::new(x, y))
+            .unwrap();
+        let n2 = g.nodes().find(|&n| g.label(n) == "2").unwrap();
+        assert!(sol.before[pg.first_of(n2).index()].contains(copy));
+        assert!(!sol.after[pg.last_of(n2).index()].contains(copy));
+    }
+
+    #[test]
+    fn expression_in_condition_counts_as_computation() {
+        let g = parse(
+            "start 1\nend 3\n\
+             node 1 { branch a+b > 0 }\n\
+             node 2 { skip }\n\
+             node 3 { out(a) }\n\
+             edge 1 -> 2, 3\nedge 2 -> 3",
+        )
+        .unwrap();
+        let pg = PointGraph::build(&g);
+        let u = PatternUniverse::collect(&g);
+        assert_eq!(u.expr_count(), 1);
+        let sol = available_expressions(&pg, &u);
+        let n2 = g.nodes().find(|&n| g.label(n) == "2").unwrap();
+        assert!(sol.before[pg.first_of(n2).index()].contains(0));
+    }
+}

@@ -1,0 +1,436 @@
+//! The generic bit-vector fixed-point solver.
+//!
+//! Every analysis in the paper (Tables 1–3) is a *gen/kill* system over a
+//! pattern universe: at each point, `out = gen ∪ (in ∖ kill)`, with `in`
+//! combined over neighbours by either intersection (`∏`, must/all-paths) or
+//! union (`Σ`, may/some-path). Must-systems are solved to their **greatest**
+//! fixed point (initialize ⊤ and shrink), may-systems to their **least**
+//! (initialize ⊥ and grow) — the directions in which those systems are
+//! meaningful.
+//!
+//! The solver is granularity-agnostic: callers hand it predecessor and
+//! successor adjacency over any point set — instruction-level points
+//! ([`PointGraph`](crate::PointGraph), Tables 2–3) or whole blocks
+//! (Table 1).
+
+use am_bitset::BitSet;
+
+/// Propagation direction of an analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow with control (e.g. redundancy, delayability).
+    Forward,
+    /// Facts flow against control (e.g. hoistability, usability).
+    Backward,
+}
+
+/// How facts combine at control-flow merges.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Confluence {
+    /// `∏` — the fact must hold on all paths (intersection).
+    Must,
+    /// `Σ` — the fact holds on some path (union).
+    May,
+}
+
+/// A gen/kill bit-vector data-flow problem.
+///
+/// `gen[p]` and `kill[p]` give the transfer function of point `p`:
+/// `out = gen ∪ (in ∖ kill)`. `boundary` is the value at the points with no
+/// upstream neighbour (the entry point for forward problems, the exit point
+/// for backward ones) — `false` everywhere in all of the paper's systems.
+pub struct Problem {
+    /// Propagation direction.
+    pub direction: Direction,
+    /// Merge operator.
+    pub confluence: Confluence,
+    /// Universe size (bits per set).
+    pub universe: usize,
+    /// Per-point generated facts.
+    pub gen: Vec<BitSet>,
+    /// Per-point killed facts.
+    pub kill: Vec<BitSet>,
+    /// Value at boundary points.
+    pub boundary: BitSet,
+}
+
+impl Problem {
+    /// Creates a problem with empty gen/kill sets and a `false` boundary.
+    pub fn new(direction: Direction, confluence: Confluence, points: usize, universe: usize) -> Self {
+        Problem {
+            direction,
+            confluence,
+            universe,
+            gen: vec![BitSet::new(universe); points],
+            kill: vec![BitSet::new(universe); points],
+            boundary: BitSet::new(universe),
+        }
+    }
+}
+
+/// The fixed-point solution of a [`Problem`].
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Entry fact of each point (the paper's `N-…`).
+    pub before: Vec<BitSet>,
+    /// Exit fact of each point (the paper's `X-…`).
+    pub after: Vec<BitSet>,
+    /// Number of point updates performed until convergence — the iteration
+    /// count reported by the complexity study.
+    pub iterations: u64,
+}
+
+impl Solution {
+    /// Entry fact of point `p` restricted to bit `bit`.
+    pub fn before_bit(&self, p: usize, bit: usize) -> bool {
+        self.before[p].contains(bit)
+    }
+
+    /// Exit fact of point `p` restricted to bit `bit`.
+    pub fn after_bit(&self, p: usize, bit: usize) -> bool {
+        self.after[p].contains(bit)
+    }
+}
+
+/// Solves `problem` over the point set described by `succs`/`preds`.
+///
+/// Must-problems are initialized to ⊤ and shrink to the greatest fixed
+/// point; may-problems start at ⊥ and grow to the least. A worklist over
+/// the appropriate traversal order keeps the pass count low (linear for
+/// acyclic graphs, proportional to loop nesting otherwise).
+///
+/// # Panics
+///
+/// Panics if the adjacency, gen and kill vectors disagree on the number of
+/// points.
+pub fn solve(succs: &[Vec<usize>], preds: &[Vec<usize>], problem: &Problem) -> Solution {
+    let n = succs.len();
+    assert_eq!(preds.len(), n, "preds/succs length mismatch");
+    assert_eq!(problem.gen.len(), n, "gen length mismatch");
+    assert_eq!(problem.kill.len(), n, "kill length mismatch");
+    let universe = problem.universe;
+
+    let top = match problem.confluence {
+        Confluence::Must => BitSet::full(universe),
+        Confluence::May => BitSet::new(universe),
+    };
+    // `input[p]` is the merged incoming fact, `output[p]` the transferred
+    // one. For forward problems input = before/entry, output = after/exit;
+    // for backward problems input = after/exit, output = before/entry.
+    let mut input: Vec<BitSet> = vec![top.clone(); n];
+    let mut output: Vec<BitSet> = vec![top; n];
+
+    let (upstream, downstream) = match problem.direction {
+        Direction::Forward => (preds, succs),
+        Direction::Backward => (succs, preds),
+    };
+
+    let mut iterations: u64 = 0;
+    let mut on_list = vec![true; n];
+    let mut worklist: Vec<usize> = (0..n).collect();
+    let mut scratch = BitSet::new(universe);
+    while let Some(p) = worklist.pop() {
+        on_list[p] = false;
+        iterations += 1;
+        // Merge incoming facts.
+        if upstream[p].is_empty() {
+            scratch.copy_from(&problem.boundary);
+        } else {
+            match problem.confluence {
+                Confluence::Must => {
+                    scratch.insert_all();
+                    for &q in &upstream[p] {
+                        scratch.intersect_with(&output[q]);
+                    }
+                }
+                Confluence::May => {
+                    scratch.clear();
+                    for &q in &upstream[p] {
+                        scratch.union_with(&output[q]);
+                    }
+                }
+            }
+        }
+        input[p].copy_from(&scratch);
+        // Transfer: out = gen ∪ (in ∖ kill).
+        scratch.difference_with(&problem.kill[p]);
+        scratch.union_with(&problem.gen[p]);
+        if output[p].copy_from(&scratch) {
+            for &q in &downstream[p] {
+                if !on_list[q] {
+                    on_list[q] = true;
+                    worklist.push(q);
+                }
+            }
+        }
+    }
+
+    let (before, after) = match problem.direction {
+        Direction::Forward => (input, output),
+        Direction::Backward => (output, input),
+    };
+    Solution {
+        before,
+        after,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-point diamond: 0 -> {1,2} -> 3.
+    fn diamond() -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        let succs = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let preds = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        (succs, preds)
+    }
+
+    #[test]
+    fn forward_must_intersects_at_joins() {
+        let (succs, preds) = diamond();
+        let mut p = Problem::new(Direction::Forward, Confluence::Must, 4, 2);
+        // Bit 0 generated on both branches, bit 1 only on the left.
+        p.gen[1].insert(0);
+        p.gen[1].insert(1);
+        p.gen[2].insert(0);
+        let sol = solve(&succs, &preds, &p);
+        assert!(sol.before_bit(3, 0));
+        assert!(!sol.before_bit(3, 1));
+        assert!(!sol.before_bit(1, 0), "boundary is false");
+    }
+
+    #[test]
+    fn forward_may_unions_at_joins() {
+        let (succs, preds) = diamond();
+        let mut p = Problem::new(Direction::Forward, Confluence::May, 4, 2);
+        p.gen[1].insert(1);
+        let sol = solve(&succs, &preds, &p);
+        assert!(sol.before_bit(3, 1));
+        assert!(!sol.before_bit(2, 1));
+    }
+
+    #[test]
+    fn backward_must_with_kill() {
+        let (succs, preds) = diamond();
+        let mut p = Problem::new(Direction::Backward, Confluence::Must, 4, 1);
+        // Fact generated at exit point 3, killed in branch 1.
+        p.gen[3].insert(0);
+        p.kill[1].insert(0);
+        let sol = solve(&succs, &preds, &p);
+        assert!(sol.before_bit(3, 0));
+        // After point 1 the fact holds (incoming from 3), before it doesn't.
+        assert!(sol.after_bit(1, 0));
+        assert!(!sol.before_bit(1, 0));
+        assert!(sol.before_bit(2, 0));
+        // At node 0 the merge over {1,2} intersects: false.
+        assert!(!sol.after_bit(0, 0));
+    }
+
+    #[test]
+    fn greatest_solution_on_cycles() {
+        // 0 -> 1 <-> 2, 1 -> 3. A must-fact that no point kills stays true
+        // on the cycle only if it is true on every path into it; with a
+        // false boundary it collapses to gen-reachability.
+        let succs = vec![vec![1], vec![2, 3], vec![1], vec![]];
+        let preds = vec![vec![], vec![0, 2], vec![1], vec![3]];
+        // preds[3] should be [1]; typo guard below.
+        let preds = {
+            let mut p = preds;
+            p[3] = vec![1];
+            p
+        };
+        let mut p = Problem::new(Direction::Forward, Confluence::Must, 4, 1);
+        p.gen[0].insert(0);
+        let sol = solve(&succs, &preds, &p);
+        // Generated at 0, never killed: holds everywhere downstream, even
+        // around the cycle (greatest fixed point keeps it).
+        assert!(sol.before_bit(1, 0));
+        assert!(sol.before_bit(2, 0));
+        assert!(sol.before_bit(3, 0));
+    }
+
+    #[test]
+    fn least_solution_on_cycles_is_not_self_justifying() {
+        // Backward may-analysis (like usability): a cycle with no uses must
+        // not mark itself usable.
+        let succs = vec![vec![1], vec![2, 3], vec![1], vec![]];
+        let preds = vec![vec![], vec![0, 2], vec![1], vec![1]];
+        let p = Problem::new(Direction::Backward, Confluence::May, 4, 1);
+        let sol = solve(&succs, &preds, &p);
+        for i in 0..4 {
+            assert!(!sol.before_bit(i, 0));
+            assert!(!sol.after_bit(i, 0));
+        }
+    }
+
+    #[test]
+    fn iteration_count_is_reported() {
+        let (succs, preds) = diamond();
+        let p = Problem::new(Direction::Forward, Confluence::Must, 4, 1);
+        let sol = solve(&succs, &preds, &p);
+        assert!(sol.iterations >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "gen length mismatch")]
+    fn length_mismatch_panics() {
+        let (succs, preds) = diamond();
+        let mut p = Problem::new(Direction::Forward, Confluence::Must, 3, 1);
+        p.boundary = BitSet::new(1);
+        solve(&succs, &preds, &p);
+    }
+}
+
+/// Restriction of a problem to a contiguous bit range (used by the
+/// parallel solver — gen/kill systems are independent per bit).
+fn restrict(problem: &Problem, range: std::ops::Range<usize>) -> Problem {
+    let width = range.len();
+    let shrink = |set: &BitSet| {
+        let mut out = BitSet::new(width);
+        for b in set.iter() {
+            if range.contains(&b) {
+                out.insert(b - range.start);
+            }
+        }
+        out
+    };
+    Problem {
+        direction: problem.direction,
+        confluence: problem.confluence,
+        universe: width,
+        gen: problem.gen.iter().map(&shrink).collect(),
+        kill: problem.kill.iter().map(&shrink).collect(),
+        boundary: shrink(&problem.boundary),
+    }
+}
+
+/// Solves `problem` with the bit universe partitioned across `threads`
+/// worker threads.
+///
+/// A gen/kill system is a product of independent one-bit systems, so the
+/// universe can be chunked and solved concurrently; the merged solution is
+/// identical to [`solve`]'s. Worth it for programs with many patterns;
+/// for small universes the sequential solver wins.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`solve`], and if `threads == 0`.
+pub fn solve_parallel(
+    succs: &[Vec<usize>],
+    preds: &[Vec<usize>],
+    problem: &Problem,
+    threads: usize,
+) -> Solution {
+    assert!(threads > 0, "at least one thread required");
+    let universe = problem.universe;
+    if threads == 1 || universe < 2 * threads {
+        return solve(succs, preds, problem);
+    }
+    let chunk = universe.div_ceil(threads);
+    let ranges: Vec<std::ops::Range<usize>> = (0..threads)
+        .map(|t| (t * chunk).min(universe)..((t + 1) * chunk).min(universe))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let partials: Vec<(std::ops::Range<usize>, Solution)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                scope.spawn(move || {
+                    let sub = restrict(problem, range.clone());
+                    (range, solve(succs, preds, &sub))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("solver thread")).collect()
+    });
+    // Merge.
+    let points = succs.len();
+    let mut before = vec![BitSet::new(universe); points];
+    let mut after = vec![BitSet::new(universe); points];
+    let mut iterations = 0;
+    for (range, sol) in partials {
+        iterations += sol.iterations;
+        for p in 0..points {
+            for b in sol.before[p].iter() {
+                before[p].insert(b + range.start);
+            }
+            for b in sol.after[p].iter() {
+                after[p].insert(b + range.start);
+            }
+        }
+    }
+    Solution {
+        before,
+        after,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    fn random_setup(seed: u64, points: usize, universe: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>, Problem) {
+        // Deterministic pseudo-random structure without external deps.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut succs = vec![Vec::new(); points];
+        let mut preds = vec![Vec::new(); points];
+        for i in 0..points - 1 {
+            succs[i].push(i + 1);
+            preds[i + 1].push(i);
+        }
+        for _ in 0..points {
+            let a = (next() as usize) % points;
+            let b = (next() as usize) % points;
+            if a != b && !succs[a].contains(&b) {
+                succs[a].push(b);
+                preds[b].push(a);
+            }
+        }
+        let mut p = Problem::new(Direction::Forward, Confluence::Must, points, universe);
+        for _ in 0..universe * 2 {
+            p.gen[(next() as usize) % points].insert((next() as usize) % universe);
+            p.kill[(next() as usize) % points].insert((next() as usize) % universe);
+        }
+        (succs, preds, p)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for seed in 0..8 {
+            let (succs, preds, p) = random_setup(seed, 20, 70);
+            let seq = solve(&succs, &preds, &p);
+            for threads in [1, 2, 4, 7] {
+                let par = solve_parallel(&succs, &preds, &p, threads);
+                for point in 0..succs.len() {
+                    assert_eq!(par.before[point], seq.before[point], "seed {seed} t {threads}");
+                    assert_eq!(par.after[point], seq.after[point], "seed {seed} t {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_universes_fall_back_to_sequential() {
+        let (succs, preds, p) = random_setup(3, 8, 3);
+        let par = solve_parallel(&succs, &preds, &p, 8);
+        let seq = solve(&succs, &preds, &p);
+        assert_eq!(par.before, seq.before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let (succs, preds, p) = random_setup(1, 4, 4);
+        solve_parallel(&succs, &preds, &p, 0);
+    }
+}

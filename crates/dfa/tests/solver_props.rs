@@ -1,0 +1,246 @@
+//! Properties of the fixed-point solver on random point graphs:
+//!
+//! * the returned solution **is** a fixed point of the equations;
+//! * it is extremal (greatest for must, least for may), checked against a
+//!   naive round-robin reference solver;
+//! * per-point facts are consistent with path semantics on acyclic graphs.
+
+use am_bitset::BitSet;
+use am_dfa::{solve, Confluence, Direction, Problem};
+use proptest::prelude::*;
+
+/// A random DAG plus optional back edges over `n` points.
+#[derive(Clone, Debug)]
+struct RandomFlow {
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+fn random_flow(n: usize, edges: &[(usize, usize)], back_edges: bool) -> RandomFlow {
+    let mut succs = vec![Vec::new(); n];
+    let mut preds = vec![Vec::new(); n];
+    // Skeleton chain keeps everything connected.
+    for i in 0..n - 1 {
+        succs[i].push(i + 1);
+        preds[i + 1].push(i);
+    }
+    for &(a, b) in edges {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        let (from, to) = if a < b || back_edges { (a, b) } else { (b, a) };
+        if !succs[from].contains(&to) {
+            succs[from].push(to);
+            preds[to].push(from);
+        }
+    }
+    RandomFlow { succs, preds }
+}
+
+fn random_problem(
+    flow: &RandomFlow,
+    universe: usize,
+    direction: Direction,
+    confluence: Confluence,
+    gen_bits: &[(usize, usize)],
+    kill_bits: &[(usize, usize)],
+) -> Problem {
+    let n = flow.succs.len();
+    let mut p = Problem::new(direction, confluence, n, universe);
+    for &(point, bit) in gen_bits {
+        p.gen[point % n].insert(bit % universe);
+    }
+    for &(point, bit) in kill_bits {
+        p.kill[point % n].insert(bit % universe);
+    }
+    p
+}
+
+/// Naive reference: iterate all points round-robin until nothing changes.
+fn reference_solve(flow: &RandomFlow, p: &Problem) -> (Vec<BitSet>, Vec<BitSet>) {
+    let n = flow.succs.len();
+    let top = match p.confluence {
+        Confluence::Must => BitSet::full(p.universe),
+        Confluence::May => BitSet::new(p.universe),
+    };
+    let mut input = vec![top.clone(); n];
+    let mut output = vec![top; n];
+    let (upstream, _) = match p.direction {
+        Direction::Forward => (&flow.preds, &flow.succs),
+        Direction::Backward => (&flow.succs, &flow.preds),
+    };
+    loop {
+        let mut changed = false;
+        for point in 0..n {
+            let mut merged = if upstream[point].is_empty() {
+                p.boundary.clone()
+            } else {
+                match p.confluence {
+                    Confluence::Must => {
+                        let mut acc = BitSet::full(p.universe);
+                        for &q in &upstream[point] {
+                            acc.intersect_with(&output[q]);
+                        }
+                        acc
+                    }
+                    Confluence::May => {
+                        let mut acc = BitSet::new(p.universe);
+                        for &q in &upstream[point] {
+                            acc.union_with(&output[q]);
+                        }
+                        acc
+                    }
+                }
+            };
+            changed |= input[point].copy_from(&merged);
+            merged.difference_with(&p.kill[point]);
+            merged.union_with(&p.gen[point]);
+            changed |= output[point].copy_from(&merged);
+        }
+        if !changed {
+            break;
+        }
+    }
+    match p.direction {
+        Direction::Forward => (input, output),
+        Direction::Backward => (output, input),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn worklist_matches_round_robin_reference(
+        n in 2usize..14,
+        universe in 1usize..20,
+        edges in proptest::collection::vec((0usize..14, 0usize..14), 0..16),
+        back in proptest::bool::ANY,
+        gen_bits in proptest::collection::vec((0usize..14, 0usize..20), 0..20),
+        kill_bits in proptest::collection::vec((0usize..14, 0usize..20), 0..20),
+        fwd in proptest::bool::ANY,
+        must in proptest::bool::ANY,
+    ) {
+        let flow = random_flow(n, &edges, back);
+        let direction = if fwd { Direction::Forward } else { Direction::Backward };
+        let confluence = if must { Confluence::Must } else { Confluence::May };
+        let p = random_problem(&flow, universe, direction, confluence, &gen_bits, &kill_bits);
+        let sol = solve(&flow.succs, &flow.preds, &p);
+        let (ref_before, ref_after) = reference_solve(&flow, &p);
+        for point in 0..n {
+            prop_assert_eq!(&sol.before[point], &ref_before[point], "before at {}", point);
+            prop_assert_eq!(&sol.after[point], &ref_after[point], "after at {}", point);
+        }
+    }
+
+    #[test]
+    fn solution_is_a_fixed_point(
+        n in 2usize..14,
+        universe in 1usize..20,
+        edges in proptest::collection::vec((0usize..14, 0usize..14), 0..16),
+        gen_bits in proptest::collection::vec((0usize..14, 0usize..20), 0..20),
+        kill_bits in proptest::collection::vec((0usize..14, 0usize..20), 0..20),
+        must in proptest::bool::ANY,
+    ) {
+        let flow = random_flow(n, &edges, true);
+        let confluence = if must { Confluence::Must } else { Confluence::May };
+        let p = random_problem(&flow, universe, Direction::Forward, confluence, &gen_bits, &kill_bits);
+        let sol = solve(&flow.succs, &flow.preds, &p);
+        for point in 0..n {
+            // before = merge over preds (or boundary).
+            let expected_before = if flow.preds[point].is_empty() {
+                p.boundary.clone()
+            } else {
+                match confluence {
+                    Confluence::Must => {
+                        let mut acc = BitSet::full(universe);
+                        for &q in &flow.preds[point] {
+                            acc.intersect_with(&sol.after[q]);
+                        }
+                        acc
+                    }
+                    Confluence::May => {
+                        let mut acc = BitSet::new(universe);
+                        for &q in &flow.preds[point] {
+                            acc.union_with(&sol.after[q]);
+                        }
+                        acc
+                    }
+                }
+            };
+            prop_assert_eq!(&sol.before[point], &expected_before);
+            // after = gen ∪ (before ∖ kill).
+            let mut expected_after = sol.before[point].clone();
+            expected_after.difference_with(&p.kill[point]);
+            expected_after.union_with(&p.gen[point]);
+            prop_assert_eq!(&sol.after[point], &expected_after);
+        }
+    }
+
+    #[test]
+    fn acyclic_forward_may_equals_reachability(
+        n in 2usize..12,
+        universe in 1usize..8,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..12),
+        gen_bits in proptest::collection::vec((0usize..12, 0usize..8), 1..8),
+    ) {
+        // On a DAG with no kills, a forward-may fact holds after p iff some
+        // point generating it reaches p (reflexively).
+        let flow = random_flow(n, &edges, false);
+        let p = random_problem(&flow, universe, Direction::Forward, Confluence::May, &gen_bits, &[]);
+        let sol = solve(&flow.succs, &flow.preds, &p);
+        // Reachability closure per bit.
+        for bit in 0..universe {
+            let mut holds_after = vec![false; n];
+            for point in 0..n {
+                // Topological order: skeleton guarantees index order works
+                // for the forward direction (all extra edges go forward).
+                let incoming = flow.preds[point].iter().any(|&q| holds_after[q]);
+                holds_after[point] = p.gen[point].contains(bit) || incoming;
+                prop_assert_eq!(sol.after[point].contains(bit), holds_after[point]);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn worklist_iteration_count_is_bounded(
+        n in 2usize..14,
+        universe in 1usize..20,
+        edges in proptest::collection::vec((0usize..14, 0usize..14), 0..16),
+        back in proptest::bool::ANY,
+        gen_bits in proptest::collection::vec((0usize..14, 0usize..20), 0..20),
+        kill_bits in proptest::collection::vec((0usize..14, 0usize..20), 0..20),
+        fwd in proptest::bool::ANY,
+        must in proptest::bool::ANY,
+    ) {
+        // Monotone gen/kill systems: every point's output changes at most
+        // `universe` times after its first computation, and each change
+        // requeues at most `max_degree` neighbours. The worklist must stay
+        // within n + n·universe·max_degree point updates.
+        let flow = random_flow(n, &edges, back);
+        let direction = if fwd { Direction::Forward } else { Direction::Backward };
+        let confluence = if must { Confluence::Must } else { Confluence::May };
+        let p = random_problem(&flow, universe, direction, confluence, &gen_bits, &kill_bits);
+        let sol = solve(&flow.succs, &flow.preds, &p);
+        let max_degree = flow
+            .succs
+            .iter()
+            .chain(flow.preds.iter())
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let bound = (n + n * universe * max_degree) as u64;
+        prop_assert!(
+            sol.iterations <= bound,
+            "{} iterations exceeds bound {}",
+            sol.iterations,
+            bound
+        );
+    }
+}

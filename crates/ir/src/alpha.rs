@@ -1,0 +1,192 @@
+//! Canonical renaming of temporaries and alpha-equivalence of programs.
+//!
+//! The optimizer names the temporary of expression ε canonically after ε
+//! (e.g. `h<a+b>`), while the paper's figures use positional names (`h1`,
+//! `h2`, …). Tests that pin transformed programs against the paper compare
+//! *canonical text*: temporaries are renamed to `h1`, `h2`, … in order of
+//! first occurrence, so the comparison is insensitive to internal naming.
+
+use std::collections::HashMap;
+
+use crate::graph::FlowGraph;
+use crate::instr::{Cond, Instr};
+use crate::term::Term;
+use crate::text::to_text;
+use crate::var::Var;
+
+/// Returns a copy of `g` whose temporaries are renamed to `h1`, `h2`, … in
+/// order of first occurrence (instruction order, nodes in index order).
+///
+/// Non-temporary variables keep their names. The copy shares no state with
+/// the original.
+pub fn rename_temps_canonically(g: &FlowGraph) -> FlowGraph {
+    // Order temporaries by first occurrence.
+    let mut order: Vec<Var> = Vec::new();
+    let mut seen: HashMap<Var, ()> = HashMap::new();
+    let note = |v: Var, pool: &crate::var::VarPool, order: &mut Vec<Var>, seen: &mut HashMap<Var, ()>| {
+        if pool.is_temp(v) && !seen.contains_key(&v) {
+            seen.insert(v, ());
+            order.push(v);
+        }
+    };
+    for (_, instr) in g.locs() {
+        if let Some(d) = instr.def() {
+            note(d, g.pool(), &mut order, &mut seen);
+        }
+        instr.for_each_use(|v| note(v, g.pool(), &mut order, &mut seen));
+    }
+
+    let mut renamed = g.clone();
+    let new_names: HashMap<Var, String> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, format!("h{}", i + 1)))
+        .collect();
+
+    // Build a fresh pool: keep non-temp names, substitute temp names.
+    let mut pool = crate::var::VarPool::new();
+    let mut map: HashMap<Var, Var> = HashMap::new();
+    for v in g.pool().iter() {
+        let nv = match new_names.get(&v) {
+            Some(name) => pool.intern_temp(name),
+            None if g.pool().is_temp(v) => pool.intern_temp(g.pool().name(v)),
+            None => pool.intern(g.pool().name(v)),
+        };
+        map.insert(v, nv);
+    }
+    *renamed.pool_mut() = pool;
+    let remap = |v: Var| map[&v];
+    for n in g.nodes() {
+        for instr in &mut renamed.block_mut(n).instrs {
+            *instr = map_instr(instr, &remap);
+        }
+    }
+    renamed
+}
+
+fn map_instr(instr: &Instr, f: &impl Fn(Var) -> Var) -> Instr {
+    match instr {
+        Instr::Skip => Instr::Skip,
+        Instr::Assign { lhs, rhs } => Instr::Assign {
+            lhs: f(*lhs),
+            rhs: rhs.map_vars(f),
+        },
+        Instr::Out(ops) => Instr::Out(
+            ops.iter()
+                .map(|o| match o {
+                    crate::term::Operand::Var(v) => crate::term::Operand::Var(f(*v)),
+                    c => *c,
+                })
+                .collect(),
+        ),
+        Instr::Branch(c) => Instr::Branch(Cond {
+            op: c.op,
+            lhs: c.lhs.map_vars(f),
+            rhs: c.rhs.map_vars(f),
+        }),
+    }
+}
+
+/// The canonical textual form of `g`: temporaries renamed positionally, then
+/// printed with [`to_text`]. Two programs are *alpha-equivalent* when their
+/// canonical texts are equal.
+pub fn canonical_text(g: &FlowGraph) -> String {
+    to_text(&rename_temps_canonically(g))
+}
+
+/// Whether two programs are identical up to the renaming of temporaries.
+pub fn alpha_eq(a: &FlowGraph, b: &FlowGraph) -> bool {
+    canonical_text(a) == canonical_text(b)
+}
+
+/// Helper for terms in tests: maps a term's variables.
+pub fn map_term(t: Term, f: &impl Fn(Var) -> Var) -> Term {
+    t.map_vars(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::BinOp;
+    use crate::text::parse;
+
+    fn with_temp(name_suffix: &str) -> FlowGraph {
+        let mut g = parse(
+            "start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e",
+        )
+        .unwrap();
+        let a = g.pool().lookup("a").unwrap();
+        let b = g.pool().lookup("b").unwrap();
+        let h = g.pool_mut().intern_temp(&format!("h<{name_suffix}>"));
+        let x = g.pool().lookup("x").unwrap();
+        let start = g.start();
+        g.block_mut(start).instrs.clear();
+        g.block_mut(start)
+            .instrs
+            .push(Instr::assign(h, Term::binary(BinOp::Add, a, b)));
+        g.block_mut(start).instrs.push(Instr::assign(x, h));
+        g
+    }
+
+    #[test]
+    fn temps_get_positional_names() {
+        let g = with_temp("a+b");
+        let text = canonical_text(&g);
+        assert!(text.contains("h1 := a+b"), "{text}");
+        assert!(text.contains("x := h1"), "{text}");
+        assert!(!text.contains("h<"), "{text}");
+    }
+
+    #[test]
+    fn alpha_eq_ignores_temp_names() {
+        let g1 = with_temp("a+b");
+        let g2 = with_temp("weird_name");
+        assert!(alpha_eq(&g1, &g2));
+    }
+
+    #[test]
+    fn alpha_eq_distinguishes_real_differences() {
+        let g1 = with_temp("a+b");
+        let g2 = parse("start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e")
+            .unwrap();
+        assert!(!alpha_eq(&g1, &g2));
+    }
+
+    #[test]
+    fn non_temp_names_are_preserved() {
+        let g = parse("start s\nend e\nnode s { hello := a+b }\nnode e { out(hello) }\nedge s -> e").unwrap();
+        let text = canonical_text(&g);
+        assert!(text.contains("hello := a+b"));
+    }
+
+    #[test]
+    fn numbering_follows_first_occurrence() {
+        let mut g = parse(
+            "start s\nend e\nnode s { x := a+b; y := c+d }\nnode e { out(x,y) }\nedge s -> e",
+        )
+        .unwrap();
+        let a = g.pool().lookup("a").unwrap();
+        let b = g.pool().lookup("b").unwrap();
+        let c = g.pool().lookup("c").unwrap();
+        let d = g.pool().lookup("d").unwrap();
+        // Intern the temporaries in the *opposite* order of use.
+        let h_cd = g.temp_for(Term::binary(BinOp::Add, c, d));
+        let h_ab = g.temp_for(Term::binary(BinOp::Add, a, b));
+        let x = g.pool().lookup("x").unwrap();
+        let y = g.pool().lookup("y").unwrap();
+        let start = g.start();
+        g.block_mut(start).instrs.clear();
+        g.block_mut(start)
+            .instrs
+            .push(Instr::assign(h_ab, Term::binary(BinOp::Add, a, b)));
+        g.block_mut(start).instrs.push(Instr::assign(x, h_ab));
+        g.block_mut(start)
+            .instrs
+            .push(Instr::assign(h_cd, Term::binary(BinOp::Add, c, d)));
+        g.block_mut(start).instrs.push(Instr::assign(y, h_cd));
+        let text = canonical_text(&g);
+        // h_ab occurs first, so it becomes h1 regardless of interning order.
+        assert!(text.contains("h1 := a+b"), "{text}");
+        assert!(text.contains("h2 := c+d"), "{text}");
+    }
+}

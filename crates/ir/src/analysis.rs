@@ -1,0 +1,296 @@
+//! Structural graph analyses: traversal orders, dominators, reducibility
+//! and natural loops.
+//!
+//! The paper's algorithm itself needs none of these (its analyses are plain
+//! fixed points), but the *evaluation* does: Fig. 7 distinguishes reducible
+//! from irreducible loop structure, and the complexity study (Sec. 4.5)
+//! separates structured from unstructured programs.
+
+use crate::graph::{FlowGraph, NodeId};
+
+/// Nodes of `g` in postorder of a depth-first search from the start node.
+pub fn postorder(g: &FlowGraph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut order = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    let mut stack: Vec<(NodeId, usize)> = vec![(g.start(), 0)];
+    state[g.start().index()] = 1;
+    while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+        let succs = g.succs(node);
+        if *next < succs.len() {
+            let m = succs[*next];
+            *next += 1;
+            if state[m.index()] == 0 {
+                state[m.index()] = 1;
+                stack.push((m, 0));
+            }
+        } else {
+            state[node.index()] = 2;
+            order.push(node);
+            stack.pop();
+        }
+    }
+    order
+}
+
+/// Nodes of `g` in reverse postorder (a topological order if `g` is acyclic).
+pub fn reverse_postorder(g: &FlowGraph) -> Vec<NodeId> {
+    let mut order = postorder(g);
+    order.reverse();
+    order
+}
+
+/// Immediate-dominator tree of a flow graph, computed with the iterative
+/// Cooper–Harvey–Kennedy algorithm over reverse postorder.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    idom: Vec<Option<NodeId>>,
+}
+
+impl Dominators {
+    /// Computes the dominator tree of `g` rooted at the start node.
+    pub fn compute(g: &FlowGraph) -> Self {
+        let rpo = reverse_postorder(g);
+        let mut rpo_index = vec![usize::MAX; g.node_count()];
+        for (i, &n) in rpo.iter().enumerate() {
+            rpo_index[n.index()] = i;
+        }
+        let mut idom: Vec<Option<NodeId>> = vec![None; g.node_count()];
+        idom[g.start().index()] = Some(g.start());
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in rpo.iter().skip(1) {
+                let mut new_idom: Option<NodeId> = None;
+                for &p in g.preds(n) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(d) = new_idom {
+                    if idom[n.index()] != Some(d) {
+                        idom[n.index()] = Some(d);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// The immediate dominator of `n` (`None` for the start node and for
+    /// nodes unreachable from the start).
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        let d = self.idom[n.index()]?;
+        if d == n {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<NodeId>],
+    rpo_index: &[usize],
+    mut a: NodeId,
+    mut b: NodeId,
+) -> NodeId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("intersect on unprocessed node");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("intersect on unprocessed node");
+        }
+    }
+    a
+}
+
+/// Edges `(m, n)` where the target `n` dominates the source `m` — the back
+/// edges of the natural-loop decomposition.
+pub fn back_edges(g: &FlowGraph) -> Vec<(NodeId, NodeId)> {
+    let dom = Dominators::compute(g);
+    let mut edges = Vec::new();
+    for m in g.nodes() {
+        for &n in g.succs(m) {
+            if dom.dominates(n, m) {
+                edges.push((m, n));
+            }
+        }
+    }
+    edges
+}
+
+/// Whether `g` is reducible: deleting all dominator back edges leaves the
+/// graph acyclic. Fig. 7's second loop is a standard irreducible construct
+/// and fails this test.
+pub fn is_reducible(g: &FlowGraph) -> bool {
+    let back: std::collections::HashSet<(NodeId, NodeId)> =
+        back_edges(g).into_iter().collect();
+    // Kahn-style cycle check on the remaining edges.
+    let n = g.node_count();
+    let mut indeg = vec![0usize; n];
+    for m in g.nodes() {
+        for &t in g.succs(m) {
+            if !back.contains(&(m, t)) {
+                indeg[t.index()] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<NodeId> = g.nodes().filter(|x| indeg[x.index()] == 0).collect();
+    let mut seen = 0;
+    while let Some(m) = queue.pop() {
+        seen += 1;
+        for &t in g.succs(m) {
+            if !back.contains(&(m, t)) {
+                indeg[t.index()] -= 1;
+                if indeg[t.index()] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+    }
+    seen == n
+}
+
+/// The natural loop of a back edge `(m, h)`: `h` plus all nodes that reach
+/// `m` without passing through `h`.
+pub fn natural_loop(g: &FlowGraph, tail: NodeId, header: NodeId) -> Vec<NodeId> {
+    let mut in_loop = vec![false; g.node_count()];
+    in_loop[header.index()] = true;
+    let mut stack = Vec::new();
+    if !in_loop[tail.index()] {
+        in_loop[tail.index()] = true;
+        stack.push(tail);
+    }
+    while let Some(n) = stack.pop() {
+        for &p in g.preds(n) {
+            if !in_loop[p.index()] {
+                in_loop[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    let mut result: Vec<NodeId> = g.nodes().filter(|n| in_loop[n.index()]).collect();
+    result.sort();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::FlowGraph;
+
+    /// s -> a -> b -> e  with loop b -> a.
+    fn looped() -> (FlowGraph, [NodeId; 4]) {
+        let mut g = FlowGraph::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let e = g.add_node("e");
+        g.set_start(s);
+        g.set_end(e);
+        g.add_edge(s, a);
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        g.add_edge(b, e);
+        (g, [s, a, b, e])
+    }
+
+    /// An irreducible graph: s branches to a and b which branch to each
+    /// other, both reach e.
+    fn irreducible() -> FlowGraph {
+        let mut g = FlowGraph::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let e = g.add_node("e");
+        g.set_start(s);
+        g.set_end(e);
+        g.add_edge(s, a);
+        g.add_edge(s, b);
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        g.add_edge(a, e);
+        g.add_edge(b, e);
+        g
+    }
+
+    #[test]
+    fn rpo_starts_at_start() {
+        let (g, [s, a, b, e]) = looped();
+        let rpo = reverse_postorder(&g);
+        assert_eq!(rpo[0], s);
+        assert_eq!(rpo.len(), 4);
+        let pos = |n: NodeId| rpo.iter().position(|&x| x == n).unwrap();
+        assert!(pos(s) < pos(a));
+        assert!(pos(a) < pos(b));
+        assert!(pos(b) < pos(e) || pos(e) > pos(a)); // e after the loop entry
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let (g, [s, a, b, e]) = looped();
+        let dom = Dominators::compute(&g);
+        assert_eq!(dom.idom(s), None);
+        assert_eq!(dom.idom(a), Some(s));
+        assert_eq!(dom.idom(b), Some(a));
+        assert_eq!(dom.idom(e), Some(b));
+        assert!(dom.dominates(a, e));
+        assert!(!dom.dominates(b, a));
+        assert!(dom.dominates(s, s));
+    }
+
+    #[test]
+    fn back_edge_of_natural_loop() {
+        let (g, [_, a, b, _]) = looped();
+        assert_eq!(back_edges(&g), vec![(b, a)]);
+        assert_eq!(natural_loop(&g, b, a), vec![a, b]);
+    }
+
+    #[test]
+    fn reducibility_classification() {
+        let (g, _) = looped();
+        assert!(is_reducible(&g));
+        assert!(!is_reducible(&irreducible()));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let mut g = FlowGraph::new();
+        let s = g.add_node("s");
+        let l = g.add_node("l");
+        let r = g.add_node("r");
+        let e = g.add_node("e");
+        g.set_start(s);
+        g.set_end(e);
+        g.add_edge(s, l);
+        g.add_edge(s, r);
+        g.add_edge(l, e);
+        g.add_edge(r, e);
+        let dom = Dominators::compute(&g);
+        assert_eq!(dom.idom(e), Some(s));
+        assert!(!dom.dominates(l, e));
+        assert!(back_edges(&g).is_empty());
+        assert!(is_reducible(&g));
+    }
+}

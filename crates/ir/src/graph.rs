@@ -1,0 +1,760 @@
+use std::fmt;
+
+use crate::instr::Instr;
+use crate::term::Term;
+use crate::var::{Var, VarPool};
+
+/// Identifier of a basic block (node) within a [`FlowGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The node's index into the graph's block vector.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A basic block: a straight-line sequence of instructions.
+///
+/// A block of a node with several successors contains exactly one
+/// [`Instr::Branch`] (or none, in which case the branch is nondeterministic,
+/// as in Sec. 2 of the paper). The branch instruction records the *decision
+/// point*; instructions may legally follow it — they execute before control
+/// transfers, which is how insertions "at the exit of a block" (Table 1's
+/// `X-INSERT`) are represented.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Block {
+    /// The instruction sequence.
+    pub instrs: Vec<Instr>,
+}
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new() -> Self {
+        Block::default()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the block contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// A location of an instruction: node plus index within the block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Loc {
+    /// The node containing the instruction.
+    pub node: NodeId,
+    /// The instruction's index within the node's block.
+    pub index: usize,
+}
+
+/// Structural problems reported by [`FlowGraph::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The start node has incoming edges.
+    StartHasPreds,
+    /// The end node has outgoing edges.
+    EndHasSuccs,
+    /// A node is not on any path from start to end.
+    Unreachable(NodeId),
+    /// A node with at most one successor contains a branch instruction.
+    BranchInStraightNode(NodeId),
+    /// A node contains more than one branch instruction.
+    MultipleBranches(NodeId),
+    /// An edge is duplicated.
+    DuplicateEdge(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::StartHasPreds => write!(f, "start node has predecessors"),
+            GraphError::EndHasSuccs => write!(f, "end node has successors"),
+            GraphError::Unreachable(n) => {
+                write!(f, "node {n:?} is not on a path from start to end")
+            }
+            GraphError::BranchInStraightNode(n) => {
+                write!(f, "node {n:?} has a branch but at most one successor")
+            }
+            GraphError::MultipleBranches(n) => {
+                write!(f, "node {n:?} has more than one branch instruction")
+            }
+            GraphError::DuplicateEdge(m, n) => write!(f, "duplicate edge {m:?} -> {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A directed flow graph `G = (N, E, s, e)` in the sense of Sec. 2.
+///
+/// Nodes are basic blocks; edges express the (possibly nondeterministic)
+/// branching structure; `s` and `e` are the unique start and end node, which
+/// have no predecessors and no successors respectively. Successor lists are
+/// *ordered*: for a two-way branch, successor 0 is the "true" edge.
+///
+/// # Examples
+///
+/// ```
+/// use am_ir::{FlowGraph, Instr, Term, BinOp};
+///
+/// let mut g = FlowGraph::new();
+/// let s = g.add_node("s");
+/// let n = g.add_node("1");
+/// let e = g.add_node("e");
+/// g.set_start(s);
+/// g.set_end(e);
+/// g.add_edge(s, n);
+/// g.add_edge(n, e);
+/// let a = g.pool_mut().intern("a");
+/// let b = g.pool_mut().intern("b");
+/// let x = g.pool_mut().intern("x");
+/// g.block_mut(n).instrs.push(Instr::assign(x, Term::binary(BinOp::Add, a, b)));
+/// assert!(g.validate().is_ok());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct FlowGraph {
+    pool: VarPool,
+    blocks: Vec<Block>,
+    labels: Vec<String>,
+    synthetic: Vec<bool>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    start: NodeId,
+    end: NodeId,
+}
+
+impl Default for FlowGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowGraph {
+    /// Creates an empty graph. Set start and end before use.
+    pub fn new() -> Self {
+        FlowGraph {
+            pool: VarPool::new(),
+            blocks: Vec::new(),
+            labels: Vec::new(),
+            synthetic: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            start: NodeId(0),
+            end: NodeId(0),
+        }
+    }
+
+    /// Adds an empty node with the given display label.
+    pub fn add_node(&mut self, label: &str) -> NodeId {
+        self.add_node_inner(label, false)
+    }
+
+    fn add_node_inner(&mut self, label: &str, synthetic: bool) -> NodeId {
+        let id = NodeId(u32::try_from(self.blocks.len()).expect("too many nodes"));
+        self.blocks.push(Block::new());
+        self.labels.push(label.to_owned());
+        self.synthetic.push(synthetic);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds the edge `(m, n)`, appended to `m`'s ordered successor list.
+    pub fn add_edge(&mut self, m: NodeId, n: NodeId) {
+        self.succs[m.index()].push(n);
+        self.preds[n.index()].push(m);
+    }
+
+    /// Declares `n` as the start node `s`.
+    pub fn set_start(&mut self, n: NodeId) {
+        self.start = n;
+    }
+
+    /// Declares `n` as the end node `e`.
+    pub fn set_end(&mut self, n: NodeId) {
+        self.end = n;
+    }
+
+    /// The start node.
+    pub fn start(&self) -> NodeId {
+        self.start
+    }
+
+    /// The end node.
+    pub fn end(&self) -> NodeId {
+        self.end
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of instructions over all blocks.
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(Block::len).sum()
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.blocks.len() as u32).map(NodeId)
+    }
+
+    /// Ordered successors of `n`.
+    pub fn succs(&self, n: NodeId) -> &[NodeId] {
+        &self.succs[n.index()]
+    }
+
+    /// Predecessors of `n`.
+    pub fn preds(&self, n: NodeId) -> &[NodeId] {
+        &self.preds[n.index()]
+    }
+
+    /// The block of `n`.
+    pub fn block(&self, n: NodeId) -> &Block {
+        &self.blocks[n.index()]
+    }
+
+    /// Mutable access to the block of `n`.
+    pub fn block_mut(&mut self, n: NodeId) -> &mut Block {
+        &mut self.blocks[n.index()]
+    }
+
+    /// The display label of `n`.
+    pub fn label(&self, n: NodeId) -> &str {
+        &self.labels[n.index()]
+    }
+
+    /// Whether `n` was introduced by critical-edge splitting.
+    pub fn is_synthetic(&self, n: NodeId) -> bool {
+        self.synthetic[n.index()]
+    }
+
+    /// The graph's variable pool.
+    pub fn pool(&self) -> &VarPool {
+        &self.pool
+    }
+
+    /// Mutable access to the variable pool.
+    pub fn pool_mut(&mut self) -> &mut VarPool {
+        &mut self.pool
+    }
+
+    /// The unique temporary `h_ε` associated with the non-trivial term `ε`
+    /// (Sec. 2: "every expression pattern ε is associated with a unique
+    /// temporary h_ε").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `term` is trivial.
+    pub fn temp_for(&mut self, term: Term) -> Var {
+        assert!(term.is_nontrivial(), "only non-trivial terms own temporaries");
+        let name = format!("h<{}>", term.display(&self.pool));
+        self.pool.intern_temp(&name)
+    }
+
+    /// Iterates over `(Loc, &Instr)` pairs of all instructions in node/index
+    /// order.
+    pub fn locs(&self) -> impl Iterator<Item = (Loc, &Instr)> {
+        self.blocks.iter().enumerate().flat_map(|(b, block)| {
+            block.instrs.iter().enumerate().map(move |(i, instr)| {
+                (
+                    Loc {
+                        node: NodeId(b as u32),
+                        index: i,
+                    },
+                    instr,
+                )
+            })
+        })
+    }
+
+    /// Whether the edge `(m, n)` is critical: `m` has several successors and
+    /// `n` several predecessors (Sec. 2.1).
+    pub fn is_critical_edge(&self, m: NodeId, n: NodeId) -> bool {
+        self.succs(m).len() > 1 && self.preds(n).len() > 1
+    }
+
+    /// Splits every critical edge by inserting a synthetic node (Fig. 10),
+    /// returning the number of edges split. Code motion requires this
+    /// normalization; all transformation entry points call it implicitly.
+    pub fn split_critical_edges(&mut self) -> usize {
+        let mut split = 0;
+        for m in 0..self.blocks.len() {
+            let m = NodeId(m as u32);
+            for si in 0..self.succs[m.index()].len() {
+                let n = self.succs[m.index()][si];
+                if self.is_critical_edge(m, n) {
+                    let label = format!("S{},{}", self.labels[m.index()], self.labels[n.index()]);
+                    let synth = self.add_node_inner(&label, true);
+                    // Redirect m's si-th successor to the synthetic node,
+                    // preserving successor order (branch decisions).
+                    self.succs[m.index()][si] = synth;
+                    let pred_slot = self.preds[n.index()]
+                        .iter()
+                        .position(|&p| p == m)
+                        .expect("edge lists out of sync");
+                    self.preds[n.index()][pred_slot] = synth;
+                    self.succs[synth.index()].push(n);
+                    self.preds[synth.index()].push(m);
+                    split += 1;
+                }
+            }
+        }
+        split
+    }
+
+    /// Checks the structural invariants of Sec. 2 and the branch-placement
+    /// rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: start/end degree rules, every
+    /// node on an `s`–`e` path, branch instructions only in multi-successor
+    /// nodes and at most one per node, no duplicate edges.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if !self.preds(self.start).is_empty() {
+            return Err(GraphError::StartHasPreds);
+        }
+        if !self.succs(self.end).is_empty() {
+            return Err(GraphError::EndHasSuccs);
+        }
+        let reach_fwd = self.reachable_from(self.start, false);
+        let reach_bwd = self.reachable_from(self.end, true);
+        for n in self.nodes() {
+            if !(reach_fwd[n.index()] && reach_bwd[n.index()]) {
+                return Err(GraphError::Unreachable(n));
+            }
+            let branches = self.blocks[n.index()]
+                .instrs
+                .iter()
+                .filter(|i| matches!(i, Instr::Branch(_)))
+                .count();
+            if branches > 1 {
+                return Err(GraphError::MultipleBranches(n));
+            }
+            if branches == 1 && self.succs(n).len() <= 1 {
+                return Err(GraphError::BranchInStraightNode(n));
+            }
+            let mut seen = Vec::new();
+            for &m in self.succs(n) {
+                if seen.contains(&m) {
+                    return Err(GraphError::DuplicateEdge(n, m));
+                }
+                seen.push(m);
+            }
+        }
+        Ok(())
+    }
+
+    fn reachable_from(&self, origin: NodeId, backward: bool) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![origin];
+        seen[origin.index()] = true;
+        while let Some(n) = stack.pop() {
+            let nexts = if backward { self.preds(n) } else { self.succs(n) };
+            for &m in nexts {
+                if !seen[m.index()] {
+                    seen[m.index()] = true;
+                    stack.push(m);
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl fmt::Debug for FlowGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FlowGraph(start={:?}, end={:?})", self.start, self.end)?;
+        for n in self.nodes() {
+            let succs: Vec<_> = self.succs(n).iter().map(|m| self.label(*m)).collect();
+            writeln!(f, "  node {} -> [{}]", self.label(n), succs.join(", "))?;
+            for instr in &self.block(n).instrs {
+                writeln!(f, "    {}", instr.display(&self.pool))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::BinOp;
+
+    fn diamond() -> (FlowGraph, [NodeId; 4]) {
+        let mut g = FlowGraph::new();
+        let s = g.add_node("s");
+        let l = g.add_node("l");
+        let r = g.add_node("r");
+        let e = g.add_node("e");
+        g.set_start(s);
+        g.set_end(e);
+        g.add_edge(s, l);
+        g.add_edge(s, r);
+        g.add_edge(l, e);
+        g.add_edge(r, e);
+        (g, [s, l, r, e])
+    }
+
+    #[test]
+    fn diamond_is_valid() {
+        let (g, _) = diamond();
+        assert_eq!(g.validate(), Ok(()));
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn start_with_preds_is_invalid() {
+        let (mut g, [s, l, ..]) = diamond();
+        g.add_edge(l, s);
+        assert_eq!(g.validate(), Err(GraphError::StartHasPreds));
+    }
+
+    #[test]
+    fn unreachable_node_is_invalid() {
+        let (mut g, _) = diamond();
+        g.add_node("island");
+        assert!(matches!(g.validate(), Err(GraphError::Unreachable(_))));
+    }
+
+    #[test]
+    fn node_not_reaching_end_is_invalid() {
+        let (mut g, [s, ..]) = diamond();
+        let dead = g.add_node("dead");
+        g.add_edge(s, dead);
+        assert!(matches!(g.validate(), Err(GraphError::Unreachable(n)) if n == dead));
+    }
+
+    #[test]
+    fn branch_rules_are_checked() {
+        let (mut g, [s, l, ..]) = diamond();
+        let x = g.pool_mut().intern("x");
+        g.block_mut(l)
+            .instrs
+            .push(Instr::Branch(crate::instr::Cond::truthy(x)));
+        assert_eq!(g.validate(), Err(GraphError::BranchInStraightNode(l)));
+        g.block_mut(l).instrs.clear();
+        g.block_mut(s)
+            .instrs
+            .push(Instr::Branch(crate::instr::Cond::truthy(x)));
+        assert_eq!(g.validate(), Ok(()));
+        g.block_mut(s)
+            .instrs
+            .push(Instr::Branch(crate::instr::Cond::truthy(x)));
+        assert_eq!(g.validate(), Err(GraphError::MultipleBranches(s)));
+    }
+
+    #[test]
+    fn critical_edge_detection_and_splitting() {
+        // Fig. 10: node 1 -> 3, node 2 -> {3, elsewhere}; edge (2,3) critical.
+        let mut g = FlowGraph::new();
+        let s = g.add_node("s");
+        let n1 = g.add_node("1");
+        let n2 = g.add_node("2");
+        let n3 = g.add_node("3");
+        let e = g.add_node("e");
+        g.set_start(s);
+        g.set_end(e);
+        g.add_edge(s, n1);
+        g.add_edge(s, n2);
+        g.add_edge(n1, n3);
+        g.add_edge(n2, n3);
+        g.add_edge(n2, e);
+        g.add_edge(n3, e);
+        assert!(g.is_critical_edge(n2, n3));
+        assert!(g.is_critical_edge(n2, e)); // e also has two predecessors
+        assert!(!g.is_critical_edge(n1, n3));
+        let count = g.split_critical_edges();
+        assert_eq!(count, 2);
+        assert_eq!(g.validate(), Ok(()));
+        // n2's first successor is now a synthetic node leading to n3.
+        let synth = g.succs(n2)[0];
+        assert!(g.is_synthetic(synth));
+        assert_eq!(g.succs(synth), [n3]);
+        assert_eq!(g.label(synth), "S2,3");
+        // No critical edges remain.
+        for m in g.nodes() {
+            for &n in g.succs(m) {
+                assert!(!g.is_critical_edge(m, n));
+            }
+        }
+    }
+
+    #[test]
+    fn splitting_preserves_successor_order() {
+        let (mut g, [s, l, r, e]) = diamond();
+        // Make both diamond edges into critical ones by adding a second
+        // entry into l and r.
+        let m = g.add_node("m");
+        g.add_edge(s, m);
+        g.add_edge(m, l);
+        g.add_edge(m, r);
+        // Avoid duplicate-edge complaints; m joins both sides.
+        assert_eq!(g.validate(), Ok(()));
+        let order_before: Vec<_> = g.succs(s).to_vec();
+        g.split_critical_edges();
+        assert_eq!(g.validate(), Ok(()));
+        // Successor count and the targets' ultimate destinations preserved.
+        assert_eq!(g.succs(s).len(), order_before.len());
+        let dest = |g: &FlowGraph, n: NodeId| -> NodeId {
+            if g.is_synthetic(n) {
+                g.succs(n)[0]
+            } else {
+                n
+            }
+        };
+        assert_eq!(dest(&g, g.succs(s)[0]), l);
+        assert_eq!(dest(&g, g.succs(s)[1]), r);
+        assert_eq!(dest(&g, g.succs(s)[2]), m);
+        let _ = e;
+    }
+
+    #[test]
+    fn temp_for_is_stable() {
+        let mut g = FlowGraph::new();
+        let a = g.pool_mut().intern("a");
+        let b = g.pool_mut().intern("b");
+        let t = Term::binary(BinOp::Add, a, b);
+        let h1 = g.temp_for(t);
+        let h2 = g.temp_for(t);
+        assert_eq!(h1, h2);
+        assert!(g.pool().is_temp(h1));
+        let other = g.temp_for(Term::binary(BinOp::Mul, a, b));
+        assert_ne!(h1, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-trivial")]
+    fn temp_for_trivial_panics() {
+        let mut g = FlowGraph::new();
+        let a = g.pool_mut().intern("a");
+        g.temp_for(Term::operand(a));
+    }
+
+    #[test]
+    fn locs_iterate_in_order() {
+        let (mut g, [s, l, ..]) = diamond();
+        let x = g.pool_mut().intern("x");
+        g.block_mut(s).instrs.push(Instr::assign(x, 1));
+        g.block_mut(l).instrs.push(Instr::assign(x, 2));
+        let locs: Vec<_> = g.locs().map(|(l, _)| l).collect();
+        assert_eq!(
+            locs,
+            vec![
+                Loc { node: s, index: 0 },
+                Loc { node: l, index: 0 }
+            ]
+        );
+        assert_eq!(g.instr_count(), 2);
+    }
+}
+
+impl FlowGraph {
+    /// Returns a copy of `g` with contractible synthetic nodes removed.
+    ///
+    /// Edge splitting introduces synthetic nodes (Sec. 2.1); after
+    /// optimization many remain empty. A synthetic node with an empty
+    /// block, one predecessor and one successor is contracted when the
+    /// bypassing edge would be neither critical nor a duplicate — i.e.
+    /// when the node no longer serves its purpose. The result is a fresh
+    /// graph (node ids are renumbered); labels and the variable pool are
+    /// preserved.
+    pub fn simplified(&self) -> FlowGraph {
+        let mut g = self.clone();
+        // Phase 1: rewire contractible synthetic nodes out of the way.
+        loop {
+            let candidate = g.nodes().find(|&n| {
+                g.is_synthetic(n)
+                    && g.block(n).is_empty()
+                    && g.preds(n).len() == 1
+                    && g.succs(n).len() == 1
+                    && {
+                        let p = g.preds(n)[0];
+                        let s = g.succs(n)[0];
+                        p != n
+                            && s != n
+                            && !g.succs(p).contains(&s) // no duplicate edge
+                            // The bypass edge must not be critical.
+                            && !(g.succs(p).len() > 1 && g.preds(s).len() > 1)
+                    }
+            });
+            let Some(n) = candidate else { break };
+            let p = g.preds(n)[0];
+            let s = g.succs(n)[0];
+            let slot = g.succs[p.index()]
+                .iter()
+                .position(|&m| m == n)
+                .expect("edge lists in sync");
+            g.succs[p.index()][slot] = s;
+            let pslot = g.preds[s.index()]
+                .iter()
+                .position(|&m| m == n)
+                .expect("edge lists in sync");
+            g.preds[s.index()][pslot] = p;
+            g.succs[n.index()].clear();
+            g.preds[n.index()].clear();
+        }
+        // Phase 2: compact, dropping now-disconnected nodes.
+        let keep: Vec<NodeId> = g
+            .nodes()
+            .filter(|&n| {
+                n == g.start()
+                    || n == g.end()
+                    || !g.preds(n).is_empty()
+                    || !g.succs(n).is_empty()
+            })
+            .collect();
+        let mut out = FlowGraph::new();
+        *out.pool_mut() = g.pool.clone();
+        let mut map = vec![None; g.node_count()];
+        for &n in &keep {
+            let id = out.add_node_inner(g.label(n), g.is_synthetic(n));
+            out.block_mut(id).instrs = g.block(n).instrs.clone();
+            map[n.index()] = Some(id);
+        }
+        for &n in &keep {
+            let from = map[n.index()].expect("kept");
+            for &m in g.succs(n) {
+                let to = map[m.index()].expect("successors of kept nodes are kept");
+                out.add_edge(from, to);
+            }
+        }
+        out.set_start(map[g.start().index()].expect("start kept"));
+        out.set_end(map[g.end().index()].expect("end kept"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod simplify_tests {
+    use super::*;
+    use crate::text::{parse, to_text};
+
+    #[test]
+    fn contracts_bypassable_synthetic_nodes() {
+        // A synthetic pass-through node on a straight edge (not breaking
+        // any critical edge) is contracted away.
+        let mut g = FlowGraph::new();
+        let s = g.add_node("s");
+        let synth = g.add_node_inner("S", true);
+        let e = g.add_node("e");
+        g.set_start(s);
+        g.set_end(e);
+        g.add_edge(s, synth);
+        g.add_edge(synth, e);
+        let x = g.pool_mut().intern("x");
+        g.block_mut(s).instrs.push(Instr::assign(x, 1));
+        g.block_mut(e).instrs.push(Instr::Out(vec![x.into()]));
+        assert_eq!(g.validate(), Ok(()));
+        let simplified = g.simplified();
+        assert_eq!(simplified.node_count(), 2);
+        assert_eq!(simplified.validate(), Ok(()));
+        assert_eq!(simplified.succs(simplified.start()), [simplified.end()]);
+    }
+
+    #[test]
+    fn split_edge_synthetics_on_critical_edges_are_never_contracted() {
+        // The synthetic node created by splitting still breaks the
+        // critical edge; contracting it would recreate the edge.
+        let mut g = parse(
+            "start s\nend e\n\
+             node s { branch p > 0 }\n\
+             node a { x := 1 }\n\
+             node e { out(x) }\n\
+             edge s -> a, e\nedge a -> e",
+        )
+        .unwrap();
+        let before_nodes = g.node_count();
+        g.split_critical_edges(); // splits s -> e
+        assert_eq!(g.node_count(), before_nodes + 1);
+        let simplified = g.simplified();
+        assert_eq!(simplified.node_count(), before_nodes + 1);
+        let _ = to_text(&simplified);
+        for m in simplified.nodes() {
+            for &n in simplified.succs(m) {
+                assert!(!simplified.is_critical_edge(m, n));
+            }
+        }
+    }
+
+    #[test]
+    fn keeps_synthetic_nodes_with_content() {
+        let mut g = parse(
+            "start s\nend e\n\
+             node s { branch p > 0 }\n\
+             node a { x := 1 }\n\
+             node e { out(x) }\n\
+             edge s -> a, e\nedge a -> e",
+        )
+        .unwrap();
+        g.split_critical_edges();
+        let synth = g.nodes().find(|&n| g.is_synthetic(n)).unwrap();
+        let x = g.pool().lookup("x").unwrap();
+        g.block_mut(synth).instrs.push(Instr::assign(x, 7));
+        let simplified = g.simplified();
+        assert_eq!(simplified.node_count(), g.node_count(), "nothing contracted");
+        assert_eq!(simplified.validate(), Ok(()));
+    }
+
+    #[test]
+    fn keeps_synthetic_nodes_that_still_break_critical_edges() {
+        // Both outgoing edges of the branch land on join nodes: the
+        // synthetic nodes are still load-bearing.
+        let mut g = parse(
+            "start s\nend e\n\
+             node s { branch p > 0 }\n\
+             node a { skip }\n\
+             node j { x := 1 }\n\
+             node e { out(x) }\n\
+             edge s -> a, j\nedge a -> j\nedge j -> e",
+        )
+        .unwrap();
+        let split = g.split_critical_edges();
+        assert_eq!(split, 1);
+        let simplified = g.simplified();
+        assert_eq!(simplified.node_count(), g.node_count());
+        assert_eq!(simplified.validate(), Ok(()));
+    }
+
+    #[test]
+    fn simplified_preserves_semantics() {
+        use crate::interp::{run, Config, Oracle};
+        let mut g = parse(
+            "start s\nend e\n\
+             node s { branch p > 0 }\n\
+             node a { x := 1 }\n\
+             node e { out(x,p) }\n\
+             edge s -> a, e\nedge a -> e",
+        )
+        .unwrap();
+        g.split_critical_edges();
+        let simplified = g.simplified();
+        for d in [0usize, 1] {
+            let cfg = Config {
+                oracle: Oracle::Fixed(vec![d]),
+                inputs: vec![("p".into(), 5)],
+                ..Config::default()
+            };
+            assert_eq!(
+                run(&g, &cfg).observable(),
+                run(&simplified, &cfg).observable()
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+use crate::term::{BinOp, Operand, Term};
+use crate::var::VarPool;
+
+/// A surface expression: arbitrarily nested, as written in source text.
+///
+/// The core IR only admits 3-address terms; [`Expr::depth`] distinguishes
+/// expressions that fit directly from those needing the Sec. 6
+/// decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A variable or constant leaf.
+    Operand(Operand),
+    /// `lhs op rhs`.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left subexpression.
+        lhs: Box<Expr>,
+        /// Right subexpression.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Builds a binary node.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Operator nesting depth: 0 for a leaf, 1 for `a+b`, 2 for `a+b+c`, …
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Operand(_) => 0,
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.depth().max(rhs.depth()),
+        }
+    }
+
+    /// Converts to a 3-address [`Term`] if the expression is shallow enough.
+    pub fn as_term(&self) -> Option<Term> {
+        match self {
+            Expr::Operand(o) => Some(Term::Operand(*o)),
+            Expr::Binary { op, lhs, rhs } => match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Operand(l), Expr::Operand(r)) => Some(Term::Binary {
+                    op: *op,
+                    lhs: *l,
+                    rhs: *r,
+                }),
+                _ => None,
+            },
+        }
+    }
+
+    /// Flattens the expression into 3-address form (Sec. 6, Fig. 18):
+    /// every nested subexpression is assigned to a fresh variable drawn from
+    /// `fresh`, the generated `(var, term)` assignments are appended to
+    /// `emitted` in evaluation order, and the resulting operand is returned.
+    pub fn decompose(
+        &self,
+        pool: &mut VarPool,
+        fresh: &mut dyn FnMut(&mut VarPool) -> crate::var::Var,
+        emitted: &mut Vec<(crate::var::Var, Term)>,
+    ) -> Operand {
+        match self {
+            Expr::Operand(o) => *o,
+            Expr::Binary { op, lhs, rhs } => {
+                let l = lhs.decompose(pool, fresh, emitted);
+                let r = rhs.decompose(pool, fresh, emitted);
+                let v = fresh(pool);
+                emitted.push((
+                    v,
+                    Term::Binary {
+                        op: *op,
+                        lhs: l,
+                        rhs: r,
+                    },
+                ));
+                Operand::Var(v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::Var;
+
+    fn leaf(pool: &mut VarPool, name: &str) -> Expr {
+        Expr::Operand(Operand::Var(pool.intern(name)))
+    }
+
+    #[test]
+    fn depth_and_as_term() {
+        let mut pool = VarPool::new();
+        let a = leaf(&mut pool, "a");
+        let b = leaf(&mut pool, "b");
+        let c = leaf(&mut pool, "c");
+        assert_eq!(a.depth(), 0);
+        let ab = Expr::binary(BinOp::Add, a.clone(), b.clone());
+        assert_eq!(ab.depth(), 1);
+        assert!(ab.as_term().is_some());
+        let abc = Expr::binary(BinOp::Add, ab.clone(), c);
+        assert_eq!(abc.depth(), 2);
+        assert!(abc.as_term().is_none());
+        assert_eq!(a.as_term(), Some(Term::operand(pool.lookup("a").unwrap())));
+    }
+
+    #[test]
+    fn decompose_emits_in_evaluation_order() {
+        // (a+b)+c  =>  t1 := a+b ; result term t1+c
+        let mut pool = VarPool::new();
+        let a = leaf(&mut pool, "a");
+        let b = leaf(&mut pool, "b");
+        let c = leaf(&mut pool, "c");
+        let abc = Expr::binary(BinOp::Add, Expr::binary(BinOp::Add, a, b), c);
+        let mut counter = 0;
+        let mut fresh = |pool: &mut VarPool| -> Var {
+            counter += 1;
+            pool.intern(&format!("t{counter}"))
+        };
+        let mut emitted = Vec::new();
+        let result = abc.decompose(&mut pool, &mut fresh, &mut emitted);
+        assert_eq!(emitted.len(), 2);
+        let t1 = pool.lookup("t1").unwrap();
+        let t2 = pool.lookup("t2").unwrap();
+        let (v1, term1) = emitted[0];
+        assert_eq!(v1, t1);
+        assert_eq!(
+            term1,
+            Term::binary(BinOp::Add, pool.lookup("a").unwrap(), pool.lookup("b").unwrap())
+        );
+        let (v2, term2) = emitted[1];
+        assert_eq!(v2, t2);
+        assert_eq!(
+            term2,
+            Term::binary(BinOp::Add, t1, pool.lookup("c").unwrap())
+        );
+        assert_eq!(result, Operand::Var(t2));
+    }
+}

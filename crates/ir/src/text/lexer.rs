@@ -1,0 +1,388 @@
+use std::fmt;
+
+/// A token of the textual IR language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `:=`
+    Assign,
+    /// `->`
+    Arrow,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;` or a newline — statement separator.
+    Sep,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Assign => write!(f, ":="),
+            Token::Arrow => write!(f, "->"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Sep => write!(f, "';'"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+        }
+    }
+}
+
+/// A lexing failure with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`, returning `(token, line)` pairs.
+///
+/// Newlines outside parentheses are emitted as [`Token::Sep`]; consecutive
+/// separators are collapsed. `#` and `//` start comments running to the end
+/// of the line.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters or malformed numbers.
+pub fn lex(src: &str) -> Result<Vec<(Token, usize)>, LexError> {
+    let mut out: Vec<(Token, usize)> = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    let mut paren_depth = 0usize;
+    let err = |line: usize, message: String| LexError { line, message };
+
+    let push_sep = |out: &mut Vec<(Token, usize)>, line: usize| {
+        if !matches!(out.last(), Some((Token::Sep, _)) | None) {
+            out.push((Token::Sep, line));
+        }
+    };
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                if paren_depth == 0 {
+                    push_sep(&mut out, line);
+                }
+                line += 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                } else {
+                    out.push((Token::Slash, line));
+                }
+            }
+            ';' => {
+                chars.next();
+                push_sep(&mut out, line);
+            }
+            '{' => {
+                chars.next();
+                out.push((Token::LBrace, line));
+            }
+            '}' => {
+                chars.next();
+                // A closing brace also terminates the statement before it.
+                push_sep(&mut out, line);
+                // Replace the separator ordering: Sep then RBrace reads
+                // naturally for the parser.
+                out.push((Token::RBrace, line));
+            }
+            '(' => {
+                chars.next();
+                paren_depth += 1;
+                out.push((Token::LParen, line));
+            }
+            ')' => {
+                chars.next();
+                paren_depth = paren_depth.saturating_sub(1);
+                out.push((Token::RParen, line));
+            }
+            ',' => {
+                chars.next();
+                out.push((Token::Comma, line));
+            }
+            '+' => {
+                chars.next();
+                out.push((Token::Plus, line));
+            }
+            '*' => {
+                chars.next();
+                out.push((Token::Star, line));
+            }
+            '%' => {
+                chars.next();
+                out.push((Token::Percent, line));
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    out.push((Token::Arrow, line));
+                } else {
+                    out.push((Token::Minus, line));
+                }
+            }
+            ':' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push((Token::Assign, line));
+                } else {
+                    return Err(err(line, "expected ':='".into()));
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push((Token::Le, line));
+                } else {
+                    out.push((Token::Lt, line));
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push((Token::Ge, line));
+                } else {
+                    out.push((Token::Gt, line));
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push((Token::EqEq, line));
+                } else {
+                    return Err(err(line, "expected '=='".into()));
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push((Token::Ne, line));
+                } else {
+                    return Err(err(line, "expected '!='".into()));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| err(line, format!("integer literal '{text}' out of range")))?;
+                out.push((Token::Int(value), line));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '\'' {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Token::Ident(text), line));
+            }
+            other => {
+                return Err(err(line, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    // Drop leading/trailing separators for convenience.
+    while matches!(out.last(), Some((Token::Sep, _))) {
+        out.pop();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            toks("x := a+b"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::Ident("a".into()),
+                Token::Plus,
+                Token::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn newlines_and_semicolons_collapse() {
+        assert_eq!(
+            toks("a := 1\n\n;;\nb := 2"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Assign,
+                Token::Int(1),
+                Token::Sep,
+                Token::Ident("b".into()),
+                Token::Assign,
+                Token::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("x := 1 # trailing\n// whole line\ny := 2"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::Int(1),
+                Token::Sep,
+                Token::Ident("y".into()),
+                Token::Assign,
+                Token::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn newlines_inside_parens_are_ignored() {
+        assert_eq!(
+            toks("out(x,\n y)"),
+            vec![
+                Token::Ident("out".into()),
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::Comma,
+                Token::Ident("y".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            toks("a <= b >= c == d != e -> f"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::Ge,
+                Token::Ident("c".into()),
+                Token::EqEq,
+                Token::Ident("d".into()),
+                Token::Ne,
+                Token::Ident("e".into()),
+                Token::Arrow,
+                Token::Ident("f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_is_reported_with_line() {
+        let e = lex("x := 1\ny ?= 2").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains('?'));
+    }
+
+    #[test]
+    fn lone_colon_is_an_error() {
+        assert!(lex("x : 1").is_err());
+        assert!(lex("x = 1").is_err());
+        assert!(lex("x != ").is_ok());
+        assert!(lex("x !").is_err());
+    }
+}

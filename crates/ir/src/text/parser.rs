@@ -1,0 +1,800 @@
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::graph::{FlowGraph, NodeId};
+use crate::instr::{Cond, Instr};
+use crate::term::{BinOp, Operand, Term};
+use crate::var::Var;
+
+use super::ast::Expr;
+use super::lexer::{lex, Token};
+
+/// How the parser treats expressions deeper than 3-address form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mode {
+    /// Reject nested expressions: right-hand sides must contain at most one
+    /// operator and condition sides likewise (Sec. 2).
+    #[default]
+    Strict,
+    /// Decompose nested expressions into fresh variables, the canonical
+    /// 3-address lowering of Sec. 6 (Fig. 18).
+    Decompose,
+}
+
+/// A parse failure with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line (0 when no position applies).
+    pub line: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a flow graph in [`Mode::Strict`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors, on nested expressions (use
+/// [`parse_with_mode`] with [`Mode::Decompose`] to lower them instead) and
+/// on structurally invalid graphs (see
+/// [`FlowGraph::validate`](crate::FlowGraph::validate)).
+pub fn parse(src: &str) -> Result<FlowGraph, ParseError> {
+    parse_with_mode(src, Mode::Strict)
+}
+
+/// Parses a flow graph, handling nested expressions according to `mode`.
+///
+/// # Errors
+///
+/// See [`parse`].
+pub fn parse_with_mode(src: &str, mode: Mode) -> Result<FlowGraph, ParseError> {
+    let tokens = lex(src).map_err(|e| ParseError {
+        line: e.line,
+        message: e.message,
+    })?;
+    let taken_names: HashSet<String> = tokens
+        .iter()
+        .filter_map(|(t, _)| match t {
+            Token::Ident(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    Parser {
+        tokens,
+        pos: 0,
+        graph: FlowGraph::new(),
+        nodes: HashMap::new(),
+        defined: HashSet::new(),
+        start: None,
+        end: None,
+        mode,
+        taken_names,
+        fresh_counter: 0,
+    }
+    .run()
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    graph: FlowGraph,
+    nodes: HashMap<String, NodeId>,
+    defined: HashSet<String>,
+    start: Option<String>,
+    end: Option<String>,
+    mode: Mode,
+    taken_names: HashSet<String>,
+    fresh_counter: usize,
+}
+
+impl Parser {
+    fn run(mut self) -> Result<FlowGraph, ParseError> {
+        while self.peek().is_some() {
+            self.skip_seps();
+            let Some(tok) = self.peek().cloned() else { break };
+            match tok {
+                Token::Ident(kw) if kw == "start" => {
+                    self.advance();
+                    // Resolved lazily so that node ids follow the order of
+                    // `node`/`edge` items (canonical temporary numbering
+                    // depends on node order).
+                    self.start = Some(self.expect_label()?);
+                }
+                Token::Ident(kw) if kw == "end" => {
+                    self.advance();
+                    self.end = Some(self.expect_label()?);
+                }
+                Token::Ident(kw) if kw == "node" => {
+                    self.advance();
+                    self.parse_node()?;
+                }
+                Token::Ident(kw) if kw == "edge" => {
+                    self.advance();
+                    self.parse_edge()?;
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected 'start', 'end', 'node' or 'edge', found {other}"
+                    )));
+                }
+            }
+            self.skip_seps();
+        }
+        self.finish()
+    }
+
+    fn finish(mut self) -> Result<FlowGraph, ParseError> {
+        let start_label = self
+            .start
+            .take()
+            .ok_or_else(|| self.missing("no 'start' declaration"))?;
+        let end_label = self
+            .end
+            .take()
+            .ok_or_else(|| self.missing("no 'end' declaration"))?;
+        let start = self.node_for(&start_label);
+        let end = self.node_for(&end_label);
+        for label in self.nodes.keys() {
+            if !self.defined.contains(label) {
+                return Err(self.missing(&format!("node '{label}' referenced but never defined")));
+            }
+        }
+        self.graph.set_start(start);
+        self.graph.set_end(end);
+        self.graph.validate().map_err(|e| ParseError {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        Ok(self.graph)
+    }
+
+    fn missing(&self, msg: &str) -> ParseError {
+        ParseError {
+            line: 0,
+            message: msg.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message,
+        }
+    }
+
+    fn skip_seps(&mut self) {
+        while matches!(self.peek(), Some(Token::Sep)) {
+            self.advance();
+        }
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.advance() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => Err(self.error(format!("expected {want}, found {t}"))),
+            None => Err(self.error(format!("expected {want}, found end of input"))),
+        }
+    }
+
+    /// Node labels may be identifiers or bare integers.
+    fn expect_label(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(Token::Int(i)) => Ok(i.to_string()),
+            Some(t) => Err(self.error(format!("expected a node label, found {t}"))),
+            None => Err(self.error("expected a node label, found end of input".into())),
+        }
+    }
+
+    fn node_for(&mut self, label: &str) -> NodeId {
+        if let Some(&n) = self.nodes.get(label) {
+            return n;
+        }
+        let n = self.graph.add_node(label);
+        self.nodes.insert(label.to_owned(), n);
+        n
+    }
+
+    fn parse_edge(&mut self) -> Result<(), ParseError> {
+        let from = self.expect_label()?;
+        let from = self.node_for(&from);
+        self.expect(&Token::Arrow)?;
+        loop {
+            let to = self.expect_label()?;
+            let to = self.node_for(&to);
+            self.graph.add_edge(from, to);
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_node(&mut self) -> Result<(), ParseError> {
+        let label = self.expect_label()?;
+        if !self.defined.insert(label.clone()) {
+            return Err(self.error(format!("node '{label}' defined twice")));
+        }
+        let node = self.node_for(&label);
+        self.expect(&Token::LBrace)?;
+        loop {
+            self.skip_seps();
+            if matches!(self.peek(), Some(Token::RBrace)) {
+                self.advance();
+                break;
+            }
+            if self.peek().is_none() {
+                return Err(self.error("unterminated node body".into()));
+            }
+            let instrs = self.parse_stmt()?;
+            self.graph.block_mut(node).instrs.extend(instrs);
+        }
+        Ok(())
+    }
+
+    fn parse_stmt(&mut self) -> Result<Vec<Instr>, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Ident(kw)) if kw == "skip" => {
+                self.advance();
+                Ok(vec![Instr::Skip])
+            }
+            Some(Token::Ident(kw)) if kw == "out" => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let mut ops = Vec::new();
+                if !matches!(self.peek(), Some(Token::RParen)) {
+                    loop {
+                        ops.push(self.parse_operand()?);
+                        if matches!(self.peek(), Some(Token::Comma)) {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                Ok(vec![Instr::Out(ops)])
+            }
+            Some(Token::Ident(kw)) if kw == "branch" => {
+                self.advance();
+                self.parse_branch()
+            }
+            Some(Token::Ident(name)) => {
+                self.advance();
+                self.expect(&Token::Assign)?;
+                let lhs = self.graph.pool_mut().intern(&name);
+                let expr = self.parse_expr(0)?;
+                self.lower_assign(lhs, &expr)
+            }
+            Some(t) => Err(self.error(format!("expected a statement, found {t}"))),
+            None => Err(self.error("expected a statement, found end of input".into())),
+        }
+    }
+
+    fn parse_operand(&mut self) -> Result<Operand, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(name)) => Ok(Operand::Var(self.graph.pool_mut().intern(&name))),
+            Some(Token::Int(i)) => Ok(Operand::Const(i)),
+            Some(Token::Minus) => match self.advance() {
+                Some(Token::Int(i)) => Ok(Operand::Const(-i)),
+                _ => Err(self.error("expected an integer after '-'".into())),
+            },
+            Some(t) => Err(self.error(format!("expected an operand, found {t}"))),
+            None => Err(self.error("expected an operand, found end of input".into())),
+        }
+    }
+
+    /// Precedence-climbing expression parser.
+    /// Level 0: relational; level 1: `+`/`-`; level 2: `*`/`/`/`%`.
+    fn parse_expr(&mut self, min_level: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_primary()?;
+        while let Some((op, level)) = self.peek_binop() {
+            if level < min_level {
+                break;
+            }
+            self.advance();
+            let rhs = self.parse_expr(level + 1)?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        Some(match self.peek()? {
+            Token::Lt => (BinOp::Lt, 0),
+            Token::Le => (BinOp::Le, 0),
+            Token::Gt => (BinOp::Gt, 0),
+            Token::Ge => (BinOp::Ge, 0),
+            Token::EqEq => (BinOp::EqOp, 0),
+            Token::Ne => (BinOp::Ne, 0),
+            Token::Plus => (BinOp::Add, 1),
+            Token::Minus => (BinOp::Sub, 1),
+            Token::Star => (BinOp::Mul, 2),
+            Token::Slash => (BinOp::Div, 2),
+            Token::Percent => (BinOp::Mod, 2),
+            _ => return None,
+        })
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.advance();
+            let e = self.parse_expr(0)?;
+            self.expect(&Token::RParen)?;
+            return Ok(e);
+        }
+        Ok(Expr::Operand(self.parse_operand()?))
+    }
+
+    fn fresh_var(&mut self) -> Var {
+        loop {
+            self.fresh_counter += 1;
+            let name = format!("t{}", self.fresh_counter);
+            if !self.taken_names.contains(&name) {
+                return self.graph.pool_mut().intern(&name);
+            }
+        }
+    }
+
+    /// Lowers `lhs := expr` to instructions, decomposing nested expressions
+    /// when the mode allows it.
+    fn lower_assign(&mut self, lhs: Var, expr: &Expr) -> Result<Vec<Instr>, ParseError> {
+        if let Some(term) = expr.as_term() {
+            return Ok(vec![Instr::assign(lhs, term)]);
+        }
+        if self.mode == Mode::Strict {
+            return Err(self.error(
+                "nested expression requires 3-address form (parse with Mode::Decompose)".into(),
+            ));
+        }
+        let Expr::Binary { op, lhs: l, rhs: r } = expr else {
+            unreachable!("operand exprs always convert to terms");
+        };
+        let mut instrs = Vec::new();
+        let lo = self.lower_subexpr(l, &mut instrs);
+        let ro = self.lower_subexpr(r, &mut instrs);
+        instrs.push(Instr::assign(
+            lhs,
+            Term::Binary {
+                op: *op,
+                lhs: lo,
+                rhs: ro,
+            },
+        ));
+        Ok(instrs)
+    }
+
+    fn lower_subexpr(&mut self, expr: &Expr, instrs: &mut Vec<Instr>) -> Operand {
+        match expr {
+            Expr::Operand(o) => *o,
+            Expr::Binary { op, lhs, rhs } => {
+                let lo = self.lower_subexpr(lhs, instrs);
+                let ro = self.lower_subexpr(rhs, instrs);
+                let v = self.fresh_var();
+                instrs.push(Instr::assign(
+                    v,
+                    Term::Binary {
+                        op: *op,
+                        lhs: lo,
+                        rhs: ro,
+                    },
+                ));
+                Operand::Var(v)
+            }
+        }
+    }
+
+    /// Lowers a side of a branch condition to a 3-address term, emitting
+    /// decomposition assignments into `instrs` when needed.
+    fn lower_cond_side(
+        &mut self,
+        expr: &Expr,
+        instrs: &mut Vec<Instr>,
+    ) -> Result<Term, ParseError> {
+        if let Some(t) = expr.as_term() {
+            return Ok(t);
+        }
+        if self.mode == Mode::Strict {
+            return Err(self.error(
+                "nested condition requires 3-address form (parse with Mode::Decompose)".into(),
+            ));
+        }
+        match expr {
+            Expr::Operand(o) => Ok(Term::Operand(*o)),
+            Expr::Binary { op, lhs, rhs } => {
+                let lo = self.lower_subexpr(lhs, instrs);
+                let ro = self.lower_subexpr(rhs, instrs);
+                Ok(Term::Binary {
+                    op: *op,
+                    lhs: lo,
+                    rhs: ro,
+                })
+            }
+        }
+    }
+
+    fn parse_branch(&mut self) -> Result<Vec<Instr>, ParseError> {
+        let expr = self.parse_expr(0)?;
+        let mut instrs = Vec::new();
+        let cond = match &expr {
+            Expr::Binary { op, lhs, rhs } if op.is_relational() => {
+                let l = self.lower_cond_side(lhs, &mut instrs)?;
+                let r = self.lower_cond_side(rhs, &mut instrs)?;
+                Cond { op: *op, lhs: l, rhs: r }
+            }
+            other => {
+                // `branch x` means `branch x != 0`.
+                let t = self.lower_cond_side(other, &mut instrs)?;
+                Cond {
+                    op: BinOp::Ne,
+                    lhs: t,
+                    rhs: Term::from(0),
+                }
+            }
+        };
+        instrs.push(Instr::Branch(cond));
+        Ok(instrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RUNNING_EXAMPLE: &str = "
+        # Fig. 4 of the paper.
+        start 1
+        end 4
+        node 1 { y := c+d }
+        node 2 { branch x+z > y+i }
+        node 3 { y := c+d; x := y+z; i := i+x }
+        node 4 { x := y+z; x := c+d; out(i,x,y) }
+        edge 1 -> 2
+        edge 2 -> 3, 4
+        edge 3 -> 2
+    ";
+
+    #[test]
+    fn parses_running_example() {
+        let g = parse(RUNNING_EXAMPLE).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.instr_count(), 1 + 1 + 3 + 3);
+        assert_eq!(g.label(g.start()), "1");
+        assert_eq!(g.label(g.end()), "4");
+        let n2 = g.nodes().find(|&n| g.label(n) == "2").unwrap();
+        assert_eq!(g.succs(n2).len(), 2);
+        assert!(matches!(g.block(n2).instrs[0], Instr::Branch(_)));
+    }
+
+    #[test]
+    fn branch_condition_structure() {
+        let g = parse(RUNNING_EXAMPLE).unwrap();
+        let n2 = g.nodes().find(|&n| g.label(n) == "2").unwrap();
+        let Instr::Branch(c) = &g.block(n2).instrs[0] else {
+            panic!("expected branch")
+        };
+        let x = g.pool().lookup("x").unwrap();
+        let z = g.pool().lookup("z").unwrap();
+        let y = g.pool().lookup("y").unwrap();
+        let i = g.pool().lookup("i").unwrap();
+        assert_eq!(c.op, BinOp::Gt);
+        assert_eq!(c.lhs, Term::binary(BinOp::Add, x, z));
+        assert_eq!(c.rhs, Term::binary(BinOp::Add, y, i));
+    }
+
+    #[test]
+    fn strict_mode_rejects_nested() {
+        let src = "start s\nend e\nnode s { x := a+b+c }\nnode e { out(x) }\nedge s -> e";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("3-address"));
+    }
+
+    #[test]
+    fn decompose_mode_lowers_nested() {
+        // Fig. 18: x := a+b+c  =>  t1 := a+b; x := t1+c.
+        let src = "start s\nend e\nnode s { x := a+b+c }\nnode e { out(x) }\nedge s -> e";
+        let g = parse_with_mode(src, Mode::Decompose).unwrap();
+        let s = g.start();
+        let instrs = &g.block(s).instrs;
+        assert_eq!(instrs.len(), 2);
+        let t1 = g.pool().lookup("t1").unwrap();
+        let a = g.pool().lookup("a").unwrap();
+        let b = g.pool().lookup("b").unwrap();
+        let c = g.pool().lookup("c").unwrap();
+        assert_eq!(instrs[0], Instr::assign(t1, Term::binary(BinOp::Add, a, b)));
+        let x = g.pool().lookup("x").unwrap();
+        assert_eq!(instrs[1], Instr::assign(x, Term::binary(BinOp::Add, t1, c)));
+    }
+
+    #[test]
+    fn fresh_vars_avoid_source_names() {
+        let src =
+            "start s\nend e\nnode s { t1 := 5; x := a+b+c }\nnode e { out(x,t1) }\nedge s -> e";
+        let g = parse_with_mode(src, Mode::Decompose).unwrap();
+        // The decomposition variable must not collide with source t1.
+        let instrs = &g.block(g.start()).instrs;
+        assert_eq!(instrs.len(), 3);
+        let Instr::Assign { lhs, .. } = &instrs[1] else {
+            panic!()
+        };
+        assert_ne!(g.pool().name(*lhs), "t1");
+        assert_eq!(g.pool().name(*lhs), "t2");
+    }
+
+    #[test]
+    fn branch_of_plain_var() {
+        let src = "start s\nend e\nnode s { branch p }\nnode a { skip }\nnode e { out() }\nedge s -> a, e\nedge a -> e";
+        let g = parse(src).unwrap();
+        let Instr::Branch(c) = &g.block(g.start()).instrs[0] else {
+            panic!()
+        };
+        assert_eq!(c.op, BinOp::Ne);
+        assert_eq!(c.rhs, Term::from(0));
+    }
+
+    #[test]
+    fn self_assignment_becomes_skip() {
+        let src = "start s\nend e\nnode s { x := x }\nnode e { out() }\nedge s -> e";
+        let g = parse(src).unwrap();
+        assert_eq!(g.block(g.start()).instrs, vec![Instr::Skip]);
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let src = "start s\nend e\nnode s { x := a+b*c }\nnode e { out(x) }\nedge s -> e";
+        // a + (b*c) is nested: strict must reject, decompose computes b*c first.
+        assert!(parse(src).is_err());
+        let g = parse_with_mode(src, Mode::Decompose).unwrap();
+        let instrs = &g.block(g.start()).instrs;
+        let b = g.pool().lookup("b").unwrap();
+        let c = g.pool().lookup("c").unwrap();
+        let Instr::Assign { rhs, .. } = &instrs[0] else {
+            panic!()
+        };
+        assert_eq!(*rhs, Term::binary(BinOp::Mul, b, c));
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        // Undefined node referenced in an edge.
+        let src = "start s\nend e\nnode s { skip }\nnode e { out() }\nedge s -> ghost\nedge ghost -> e";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("ghost"));
+        // Missing start.
+        let err = parse("end e\nnode e { out() }").unwrap_err();
+        assert!(err.message.contains("start"));
+        // Duplicate node.
+        let err =
+            parse("start s\nend e\nnode s { skip }\nnode s { skip }\nnode e { out() }\nedge s -> e")
+                .unwrap_err();
+        assert!(err.message.contains("twice"));
+        // Invalid graph: unreachable node is caught by validation.
+        let err = parse("start s\nend e\nnode s { skip }\nnode x { skip }\nnode e { out() }\nedge s -> e\nedge x -> e").unwrap_err();
+        assert!(err.message.contains("path"));
+    }
+
+    #[test]
+    fn negative_constants() {
+        let src = "start s\nend e\nnode s { x := -3; y := x + -2 }\nnode e { out(x,y) }\nedge s -> e";
+        let g = parse(src).unwrap();
+        let instrs = &g.block(g.start()).instrs;
+        assert_eq!(instrs.len(), 2);
+        let Instr::Assign { rhs, .. } = &instrs[0] else {
+            panic!()
+        };
+        assert_eq!(*rhs, Term::from(-3));
+    }
+}
+
+/// A tiny cursor for parsing standalone expressions and conditions
+/// (used by [`crate::builder`]).
+struct ExprCursor<'p> {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    pool: &'p mut crate::var::VarPool,
+}
+
+impl ExprCursor<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: 1,
+            message: message.into(),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(name)) => Ok(Operand::Var(self.pool.intern(&name))),
+            Some(Token::Int(i)) => Ok(Operand::Const(i)),
+            Some(Token::Minus) => match self.advance() {
+                Some(Token::Int(i)) => Ok(Operand::Const(-i)),
+                _ => Err(self.err("expected an integer after '-'")),
+            },
+            Some(t) => Err(self.err(format!("expected an operand, found {t}"))),
+            None => Err(self.err("expected an operand, found end of input")),
+        }
+    }
+
+    fn binop(&self) -> Option<(BinOp, u8)> {
+        Some(match self.peek()? {
+            Token::Lt => (BinOp::Lt, 0),
+            Token::Le => (BinOp::Le, 0),
+            Token::Gt => (BinOp::Gt, 0),
+            Token::Ge => (BinOp::Ge, 0),
+            Token::EqEq => (BinOp::EqOp, 0),
+            Token::Ne => (BinOp::Ne, 0),
+            Token::Plus => (BinOp::Add, 1),
+            Token::Minus => (BinOp::Sub, 1),
+            Token::Star => (BinOp::Mul, 2),
+            Token::Slash => (BinOp::Div, 2),
+            Token::Percent => (BinOp::Mod, 2),
+            _ => return None,
+        })
+    }
+
+    fn expr(&mut self, min_level: u8) -> Result<Expr, ParseError> {
+        let mut lhs = if matches!(self.peek(), Some(Token::LParen)) {
+            self.advance();
+            let e = self.expr(0)?;
+            match self.advance() {
+                Some(Token::RParen) => e,
+                _ => return Err(self.err("expected ')'")),
+            }
+        } else {
+            Expr::Operand(self.operand()?)
+        };
+        while let Some((op, level)) = self.binop() {
+            if level < min_level {
+                break;
+            }
+            self.advance();
+            let rhs = self.expr(level + 1)?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn finish(&self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(self.err(format!("unexpected trailing {t}"))),
+        }
+    }
+}
+
+fn cursor<'p>(
+    src: &str,
+    pool: &'p mut crate::var::VarPool,
+) -> Result<ExprCursor<'p>, ParseError> {
+    let tokens = lex(src).map_err(|e| ParseError {
+        line: e.line,
+        message: e.message,
+    })?;
+    Ok(ExprCursor {
+        tokens,
+        pos: 0,
+        pool,
+    })
+}
+
+/// Parses a standalone 3-address term, e.g. `"a+b"`, `"x"`, `"-3"`.
+/// Variables are interned into `pool`.
+///
+/// # Errors
+///
+/// Rejects nested expressions (`"a+b+c"`) and syntax errors.
+pub fn parse_expr_str(
+    src: &str,
+    pool: &mut crate::var::VarPool,
+) -> Result<Term, ParseError> {
+    let mut c = cursor(src, pool)?;
+    let expr = c.expr(0)?;
+    c.finish()?;
+    expr.as_term().ok_or_else(|| ParseError {
+        line: 1,
+        message: "nested expression requires 3-address form".into(),
+    })
+}
+
+/// Parses a standalone branch condition, e.g. `"x+z > y+i"` or `"p"`
+/// (shorthand for `p != 0`). Sides must be 3-address terms.
+///
+/// # Errors
+///
+/// Rejects sides deeper than one operator and syntax errors.
+pub fn parse_cond_str(
+    src: &str,
+    pool: &mut crate::var::VarPool,
+) -> Result<Cond, ParseError> {
+    let mut c = cursor(src, pool)?;
+    let expr = c.expr(0)?;
+    c.finish()?;
+    let side = |e: &Expr| {
+        e.as_term().ok_or_else(|| ParseError {
+            line: 1,
+            message: "condition side requires 3-address form".into(),
+        })
+    };
+    match &expr {
+        Expr::Binary { op, lhs, rhs } if op.is_relational() => Ok(Cond {
+            op: *op,
+            lhs: side(lhs)?,
+            rhs: side(rhs)?,
+        }),
+        other => Ok(Cond {
+            op: BinOp::Ne,
+            lhs: side(other)?,
+            rhs: Term::from(0),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod expr_str_tests {
+    use super::*;
+    use crate::var::VarPool;
+
+    #[test]
+    fn parses_terms() {
+        let mut pool = VarPool::new();
+        let t = parse_expr_str("a+b", &mut pool).unwrap();
+        assert!(t.is_nontrivial());
+        assert_eq!(parse_expr_str("5", &mut pool).unwrap(), Term::from(5));
+        assert_eq!(parse_expr_str("-5", &mut pool).unwrap(), Term::from(-5));
+        assert!(parse_expr_str("a+b+c", &mut pool).is_err());
+        assert!(parse_expr_str("a +", &mut pool).is_err());
+        assert!(parse_expr_str("a b", &mut pool).is_err());
+    }
+
+    #[test]
+    fn parses_conditions() {
+        let mut pool = VarPool::new();
+        let c = parse_cond_str("x+z > y+i", &mut pool).unwrap();
+        assert_eq!(c.op, BinOp::Gt);
+        assert!(c.lhs.is_nontrivial() && c.rhs.is_nontrivial());
+        let truthy = parse_cond_str("p", &mut pool).unwrap();
+        assert_eq!(truthy.op, BinOp::Ne);
+        assert!(parse_cond_str("(a+b)*2 > 0", &mut pool).is_err());
+    }
+}

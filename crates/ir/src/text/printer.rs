@@ -1,0 +1,86 @@
+use crate::graph::{FlowGraph, NodeId};
+
+/// Renders `g` in the textual IR syntax accepted by [`parse`](super::parse).
+///
+/// Nodes are printed in index order with one instruction per line, followed
+/// by the edge list. The output round-trips: parsing it yields a graph that
+/// prints identically.
+pub fn to_text(g: &FlowGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("start {}\n", g.label(g.start())));
+    out.push_str(&format!("end {}\n", g.label(g.end())));
+    for n in g.nodes() {
+        out.push_str(&format!("node {} {{\n", g.label(n)));
+        for instr in &g.block(n).instrs {
+            out.push_str(&format!("  {}\n", instr.display(g.pool())));
+        }
+        out.push_str("}\n");
+    }
+    for n in g.nodes() {
+        if !g.succs(n).is_empty() {
+            let targets: Vec<&str> = g.succs(n).iter().map(|&m| g.label(m)).collect();
+            out.push_str(&format!("edge {} -> {}\n", g.label(n), targets.join(", ")));
+        }
+    }
+    out
+}
+
+/// A one-line summary of a node: `label[instr; instr; ...]`.
+///
+/// Handy for assertions about individual blocks in tests and for compact
+/// figure output.
+pub fn node_summary(g: &FlowGraph, n: NodeId) -> String {
+    let body: Vec<String> = g
+        .block(n)
+        .instrs
+        .iter()
+        .map(|i| i.display(g.pool()))
+        .collect();
+    format!("{}[{}]", g.label(n), body.join("; "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse;
+    use super::*;
+
+    const SRC: &str = "
+        start 1
+        end 4
+        node 1 { y := c+d }
+        node 2 { branch x+z > y+i }
+        node 3 { y := c+d; x := y+z; i := i+x }
+        node 4 { x := y+z; x := c+d; out(i,x,y) }
+        edge 1 -> 2
+        edge 2 -> 3, 4
+        edge 3 -> 2
+    ";
+
+    #[test]
+    fn round_trip_is_stable() {
+        let g = parse(SRC).unwrap();
+        let text = to_text(&g);
+        let g2 = parse(&text).unwrap();
+        assert_eq!(to_text(&g2), text);
+    }
+
+    #[test]
+    fn printed_text_contains_everything() {
+        let g = parse(SRC).unwrap();
+        let text = to_text(&g);
+        assert!(text.contains("start 1"));
+        assert!(text.contains("end 4"));
+        assert!(text.contains("branch x+z > y+i"));
+        assert!(text.contains("edge 2 -> 3, 4"));
+        assert!(text.contains("out(i,x,y)"));
+    }
+
+    #[test]
+    fn node_summary_format() {
+        let g = parse(SRC).unwrap();
+        let n3 = g.nodes().find(|&n| g.label(n) == "3").unwrap();
+        assert_eq!(node_summary(&g, n3), "3[y := c+d; x := y+z; i := i+x]");
+        let n1 = g.nodes().find(|&n| g.label(n) == "1").unwrap();
+        assert_eq!(node_summary(&g, n1), "1[y := c+d]");
+    }
+}

@@ -1,0 +1,67 @@
+//! Fuzz-style robustness tests: the lexer and parser must never panic, on
+//! any input; valid programs survive mutation without UB.
+
+use am_ir::text::{lex, parse, parse_with_mode, Mode};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(src in "\\PC*") {
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "\\PC*") {
+        let _ = parse(&src);
+        let _ = parse_with_mode(&src, Mode::Decompose);
+    }
+
+    #[test]
+    fn parser_never_panics_on_grammar_like_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("start".to_owned()),
+                Just("end".to_owned()),
+                Just("node".to_owned()),
+                Just("edge".to_owned()),
+                Just("{".to_owned()),
+                Just("}".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just(":=".to_owned()),
+                Just("->".to_owned()),
+                Just(";".to_owned()),
+                Just(",".to_owned()),
+                Just("+".to_owned()),
+                Just(">".to_owned()),
+                Just("out".to_owned()),
+                Just("branch".to_owned()),
+                Just("skip".to_owned()),
+                Just("x".to_owned()),
+                Just("1".to_owned()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn valid_programs_with_injected_noise_do_not_panic(
+        pos in 0usize..200,
+        noise in "\\PC{0,3}",
+    ) {
+        let base = "start 1\nend 4\nnode 1 { y := c+d }\nnode 2 { branch x+z > y+i }\n\
+                    node 3 { y := c+d; x := y+z }\nnode 4 { out(y,x) }\n\
+                    edge 1 -> 2\nedge 2 -> 3, 4\nedge 3 -> 2";
+        let mut src = base.to_owned();
+        let at = pos.min(src.len());
+        // Keep the insertion point on a char boundary.
+        let at = (0..=at).rev().find(|&i| src.is_char_boundary(i)).unwrap_or(0);
+        src.insert_str(at, &noise);
+        let _ = parse(&src);
+    }
+}

@@ -1,0 +1,111 @@
+//! The abstract syntax of the while-language.
+
+use am_ir::BinOp;
+
+/// An expression with named variables, arbitrarily nested. Lowering interns
+/// names and decomposes nesting into 3-address form (Sec. 6 of the paper).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LExpr {
+    /// A variable reference by name.
+    Var(String),
+    /// An integer literal.
+    Const(i64),
+    /// `lhs op rhs`.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left subexpression.
+        lhs: Box<LExpr>,
+        /// Right subexpression.
+        rhs: Box<LExpr>,
+    },
+}
+
+impl LExpr {
+    /// Builds a binary node.
+    pub fn binary(op: BinOp, lhs: LExpr, rhs: LExpr) -> LExpr {
+        LExpr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Operator nesting depth: 0 for a leaf.
+    pub fn depth(&self) -> usize {
+        match self {
+            LExpr::Var(_) | LExpr::Const(_) => 0,
+            LExpr::Binary { lhs, rhs, .. } => 1 + lhs.depth().max(rhs.depth()),
+        }
+    }
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `v := expr;` — expressions may be arbitrarily nested.
+    Assign {
+        /// Target variable name.
+        lhs: String,
+        /// Right-hand side expression.
+        rhs: LExpr,
+    },
+    /// `skip;`
+    Skip,
+    /// `print(e1, ..., ek);` — lowered to `out(...)` (non-variable
+    /// arguments get a fresh variable first).
+    Print(Vec<LExpr>),
+    /// `if (cond) { then } else { else }` — the else block may be empty.
+    If {
+        /// Branch condition.
+        cond: LExpr,
+        /// Then block.
+        then_body: Vec<Stmt>,
+        /// Else block (empty for if-without-else).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { body }` — may execute zero times.
+    While {
+        /// Loop condition.
+        cond: LExpr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `do { body } while (cond);` — executes at least once. This is the
+    /// shape where loop-invariant *assignment* motion is admissible (the
+    /// body is unavoidable).
+    DoWhile {
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Loop condition.
+        cond: LExpr,
+    },
+}
+
+/// A parsed program: a statement sequence.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Number of statements, recursively.
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => 1 + count(then_body) + count(else_body),
+                    Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}

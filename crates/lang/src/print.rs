@@ -1,0 +1,133 @@
+//! Pretty-printer for the while-language — round-trips through
+//! [`parse_program`](crate::parse_program).
+
+use std::fmt::Write as _;
+
+use am_ir::BinOp;
+
+use crate::ast::{LExpr, Program, Stmt};
+
+fn level(op: BinOp) -> u8 {
+    match op {
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::EqOp | BinOp::Ne => 0,
+        BinOp::Add | BinOp::Sub => 1,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 2,
+    }
+}
+
+fn expr_prec(e: &LExpr, parent_level: u8, out: &mut String) {
+    match e {
+        LExpr::Var(n) => out.push_str(n),
+        LExpr::Const(c) => {
+            let _ = write!(out, "{c}");
+        }
+        LExpr::Binary { op, lhs, rhs } => {
+            let my = level(*op);
+            let need_parens = my < parent_level;
+            if need_parens {
+                out.push('(');
+            }
+            expr_prec(lhs, my, out);
+            let _ = write!(out, " {} ", op.symbol());
+            // Operators are left-associative: parenthesize a right child at
+            // the same level.
+            expr_prec(rhs, my + 1, out);
+            if need_parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Renders an expression in source syntax.
+pub fn expr_to_source(e: &LExpr) -> String {
+    let mut out = String::new();
+    expr_prec(e, 0, &mut out);
+    out
+}
+
+fn stmts(body: &[Stmt], indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    for s in body {
+        match s {
+            Stmt::Skip => {
+                let _ = writeln!(out, "{pad}skip;");
+            }
+            Stmt::Assign { lhs, rhs } => {
+                let _ = writeln!(out, "{pad}{lhs} := {};", expr_to_source(rhs));
+            }
+            Stmt::Print(args) => {
+                let rendered: Vec<String> = args.iter().map(expr_to_source).collect();
+                let _ = writeln!(out, "{pad}print({});", rendered.join(", "));
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let _ = writeln!(out, "{pad}if ({}) {{", expr_to_source(cond));
+                stmts(then_body, indent + 1, out);
+                if else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    stmts(else_body, indent + 1, out);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+            Stmt::While { cond, body } => {
+                let _ = writeln!(out, "{pad}while ({}) {{", expr_to_source(cond));
+                stmts(body, indent + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::DoWhile { body, cond } => {
+                let _ = writeln!(out, "{pad}do {{");
+                stmts(body, indent + 1, out);
+                let _ = writeln!(out, "{pad}}} while ({});", expr_to_source(cond));
+            }
+        }
+    }
+}
+
+/// Renders a program in source syntax; parsing the result yields an equal
+/// AST.
+pub fn to_source(p: &Program) -> String {
+    let mut out = String::new();
+    stmts(&p.body, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn print_parses_back() {
+        let src = "x := a + b * c;\nif (x > 0) {\n    print(x);\n} else {\n    skip;\n}\n";
+        let p = parse_program(src).unwrap();
+        let rendered = to_source(&p);
+        let reparsed = parse_program(&rendered).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn parentheses_preserve_structure() {
+        // (a + b) * c must not print as a + b * c.
+        let p = parse_program("x := (a + b) * c;").unwrap();
+        let rendered = to_source(&p);
+        assert!(rendered.contains("(a + b) * c"), "{rendered}");
+        assert_eq!(parse_program(&rendered).unwrap(), p);
+    }
+
+    #[test]
+    fn left_associativity_round_trips() {
+        // a - b - c is (a-b)-c; a - (b - c) needs parens.
+        let p1 = parse_program("x := a - b - c;").unwrap();
+        assert_eq!(parse_program(&to_source(&p1)).unwrap(), p1);
+        let p2 = parse_program("x := a - (b - c);").unwrap();
+        let rendered = to_source(&p2);
+        assert!(rendered.contains("a - (b - c)"), "{rendered}");
+        assert_eq!(parse_program(&rendered).unwrap(), p2);
+    }
+}

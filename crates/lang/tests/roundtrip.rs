@@ -1,0 +1,97 @@
+//! Property tests: randomly generated ASTs round-trip through the printer
+//! and parser, and their lowered graphs execute deterministically.
+
+use am_lang::{lower, parse_program, to_source, LExpr, Program, Stmt};
+use am_ir::BinOp;
+use proptest::prelude::*;
+
+fn arb_expr() -> impl Strategy<Value = LExpr> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("x"), Just("y")]
+            .prop_map(|n: &str| LExpr::Var(n.to_owned())),
+        (-9i64..10).prop_map(LExpr::Const),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Lt),
+                Just(BinOp::EqOp),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| LExpr::binary(op, l, r))
+    })
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let assign = ("[a-e]", arb_expr()).prop_map(|(lhs, rhs)| Stmt::Assign { lhs, rhs });
+    let print = proptest::collection::vec(arb_expr(), 0..3).prop_map(Stmt::Print);
+    if depth == 0 {
+        prop_oneof![assign, Just(Stmt::Skip), print].boxed()
+    } else {
+        let body = proptest::collection::vec(arb_stmt(depth - 1), 0..3);
+        prop_oneof![
+            assign,
+            Just(Stmt::Skip),
+            print,
+            (arb_expr(), body.clone(), body.clone()).prop_map(|(cond, t, e)| Stmt::If {
+                cond,
+                then_body: t,
+                else_body: e,
+            }),
+            (arb_expr(), body.clone()).prop_map(|(cond, body)| Stmt::While { cond, body }),
+            (body, arb_expr()).prop_map(|(body, cond)| Stmt::DoWhile { body, cond }),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_stmt(2), 1..6).prop_map(|body| Program { body })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn source_round_trips(p in arb_program()) {
+        let rendered = to_source(&p);
+        let reparsed = parse_program(&rendered)
+            .unwrap_or_else(|e| panic!("{e}\n--- source ---\n{rendered}"));
+        prop_assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn lowered_graphs_are_valid_and_runnable(p in arb_program()) {
+        let g = lower(&p);
+        prop_assert_eq!(g.validate(), Ok(()));
+        prop_assert!(am_ir::analysis::is_reducible(&g));
+        let cfg = am_ir::interp::Config {
+            oracle: am_ir::interp::Oracle::random(7, 16),
+            inputs: vec![("a".into(), 1), ("b".into(), -2), ("c".into(), 3)],
+            max_steps: 2_000,
+        };
+        // Must terminate for one of the sanctioned reasons, never panic.
+        let _ = am_ir::interp::run(&g, &cfg);
+    }
+
+    #[test]
+    fn lowering_then_optimizing_preserves_semantics(p in arb_program()) {
+        let g = lower(&p);
+        let optimized = am_core::global::optimize(&g).program;
+        for seed in 0..3u64 {
+            let cfg = am_ir::interp::Config {
+                oracle: am_ir::interp::Oracle::random(seed, 12),
+                inputs: vec![("a".into(), 2), ("b".into(), 5), ("c".into(), -1)],
+                max_steps: 2_000,
+            };
+            let r0 = am_ir::interp::run(&g, &cfg);
+            let r1 = am_ir::interp::run(&optimized, &cfg);
+            prop_assert_eq!(r0.observable(), r1.observable());
+        }
+    }
+}

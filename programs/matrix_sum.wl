@@ -1,0 +1,15 @@
+// Row-major matrix summation: the address arithmetic is loop-invariant
+// in the inner do-while loop.
+i := 0; sum := 0;
+while (i < rows) {
+    j := 0;
+    do {
+        rowoff := i * cols;
+        rowbase := base + rowoff;
+        addr := rowbase + j;
+        sum := sum + addr % 97;
+        j := j + 1;
+    } while (j < cols);
+    i := i + 1;
+}
+print(sum);

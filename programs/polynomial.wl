@@ -1,0 +1,7 @@
+// Horner evaluation with a for loop; coefficients synthesized as (k*7)%13.
+acc := 0;
+for (k := 0; k < degree; k := k + 1) {
+    coeff := (k * 7) % 13;
+    acc := acc * x + coeff;
+}
+print(acc);

@@ -1,0 +1,66 @@
+//! # assignment-motion
+//!
+//! A complete implementation of *The Power of Assignment Motion* (Jens
+//! Knoop, Oliver Rüthing, Bernhard Steffen — PLDI 1995): uniform
+//! elimination of partially redundant expressions **and** assignments,
+//! capturing all second-order effects between expression motion (EM) and
+//! assignment motion (AM).
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`ir`] ([`am_ir`]) — the flow-graph program representation, textual
+//!   frontend, counting interpreter and program generators;
+//! * [`dfa`] ([`am_dfa`]) — the generic bit-vector data-flow framework;
+//! * [`bitset`] ([`am_bitset`]) — dense bit sets;
+//! * [`alg`] ([`am_core`]) — the paper's three-phase algorithm
+//!   ([`alg::global::optimize`]) and every baseline it is compared against
+//!   (lazy code motion, restricted assignment motion, copy propagation,
+//!   assignment sinking).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use assignment_motion::prelude::*;
+//!
+//! // The paper's running example (Fig. 4).
+//! let program = parse(
+//!     "start 1\nend 4\n\
+//!      node 1 { y := c+d }\n\
+//!      node 2 { branch x+z > y+i }\n\
+//!      node 3 { y := c+d; x := y+z; i := i+x }\n\
+//!      node 4 { x := y+z; x := c+d; out(i,x,y) }\n\
+//!      edge 1 -> 2\nedge 2 -> 3, 4\nedge 3 -> 2",
+//! )?;
+//! let optimized = optimize(&program);
+//!
+//! // Fig. 5: loop-invariant assignment hoisted, redundant assignment gone.
+//! let text = canonical_text(&optimized.program);
+//! assert!(text.contains("node 3 {\n  i := i+x\n  h2 := x+z\n}"));
+//!
+//! // And it provably pays: fewer expression evaluations on every run.
+//! let report = compare(&program, &optimized.program, &Default::default());
+//! assert!(report.semantically_equal());
+//! assert!(report.expression_dominates());
+//! # Ok::<(), assignment_motion::ir::text::ParseError>(())
+//! ```
+
+pub use am_bitset as bitset;
+pub use am_core as alg;
+pub use am_dfa as dfa;
+pub use am_ir as ir;
+pub use am_lang as lang;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use am_lang::compile as compile_while;
+    pub use am_core::global::{optimize, optimize_with, GlobalConfig, GlobalResult};
+    pub use am_core::lcm::{busy_expression_motion, lazy_expression_motion};
+    pub use am_core::motion::assignment_motion;
+    pub use am_core::restricted::restricted_assignment_motion;
+    pub use am_core::sink::{sink_assignments, SinkConfig};
+    pub use am_core::verify::{compare, CompareConfig};
+    pub use am_ir::alpha::{alpha_eq, canonical_text};
+    pub use am_ir::interp::{run, Config as RunConfig, Oracle};
+    pub use am_ir::text::{parse, parse_with_mode, to_text, Mode};
+    pub use am_ir::FlowGraph;
+}

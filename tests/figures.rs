@@ -1,0 +1,171 @@
+//! Integration tests pinning the load-bearing facts of every reproduced
+//! figure (see `am-bench::figures` and EXPERIMENTS.md).
+
+use am_bench::figures::{self, FigureReport};
+
+fn measurement<'r>(report: &'r FigureReport, label: &str) -> &'r figures::Measurement {
+    report
+        .measurements
+        .iter()
+        .find(|m| m.label == label)
+        .unwrap_or_else(|| panic!("missing measurement '{label}' in {}", report.id))
+}
+
+#[test]
+fn fig01_em_shares_the_expression() {
+    let r = figures::fig01_expression_motion();
+    let (_, after) = &r.after[0];
+    assert_eq!(after.matches("a+b").count(), 1, "{after}");
+    let orig = measurement(&r, "original");
+    let em = measurement(&r, "EM");
+    assert!(em.expr_evals < orig.expr_evals);
+    // EM cannot reduce assignment executions; it adds temporaries.
+    assert!(em.assign_execs >= orig.assign_execs);
+    assert!(em.temp_assigns > 0);
+}
+
+#[test]
+fn fig02_am_eliminates_whole_assignments() {
+    let r = figures::fig02_assignment_motion();
+    let (_, after) = &r.after[0];
+    assert_eq!(after.matches("x := a+b").count(), 1, "{after}");
+    let orig = measurement(&r, "original");
+    let am = measurement(&r, "AM");
+    assert!(am.expr_evals < orig.expr_evals);
+    assert!(am.assign_execs < orig.assign_execs, "AM removes assignments");
+    assert_eq!(am.temp_assigns, 0, "AM alone introduces no temporaries");
+}
+
+#[test]
+fn fig03_initialized_am_subsumes_em() {
+    let r = figures::fig03_uniform();
+    let em = figures::fig01_expression_motion();
+    // Same evaluation counts as EM on the same program and oracles.
+    assert_eq!(
+        measurement(&r, "init+AM").expr_evals,
+        measurement(&em, "EM").expr_evals
+    );
+}
+
+#[test]
+fn fig05_global_matches_paper_output() {
+    let r = figures::fig05_global();
+    let (_, final_text) = r.after.last().unwrap();
+    assert!(final_text.contains("node 1 {\n  h1 := c+d\n  y := h1\n  h2 := x+z\n  x := y+z\n}"), "{final_text}");
+    assert!(final_text.contains("node 2 {\n  branch h2 > y+i\n}"), "{final_text}");
+    assert!(final_text.contains("node 3 {\n  i := i+x\n  h2 := x+z\n}"), "{final_text}");
+    assert!(final_text.contains("node 4 {\n  x := h1\n  out(i,x,y)\n}"), "{final_text}");
+    let orig = measurement(&r, "original");
+    let opt = measurement(&r, "GlobAlg");
+    assert!(opt.expr_evals < orig.expr_evals);
+}
+
+#[test]
+fn fig06_uniform_beats_both_separate_effects() {
+    let r = figures::fig06_separate_effects();
+    let em = measurement(&r, "EM only").expr_evals;
+    let am = measurement(&r, "AM only").expr_evals;
+    let both = measurement(&r, "uniform EM & AM").expr_evals;
+    let orig = measurement(&r, "original").expr_evals;
+    assert!(em < orig);
+    assert!(am < orig);
+    assert!(both < em, "uniform beats EM alone");
+    assert!(both < am, "uniform beats AM alone");
+    // Neither separate effect removes the loop-invariant assignment.
+    let (_, em_text) = &r.after[0];
+    let (_, am_text) = &r.after[1];
+    assert!(em_text.contains("node 3 {\n  y :="), "{em_text}");
+    assert!(am_text.contains("x+z"), "{am_text}");
+}
+
+#[test]
+fn fig07_motion_across_irreducible_loop() {
+    let r = figures::fig07_loops();
+    let (_, after) = &r.after[0];
+    // Merged at node 6…
+    assert!(after.contains("node 6 {\n  x := y+z"), "{after}");
+    // …nodes 7, 9, 11 emptied…
+    for node in ["node 7 {\n}", "node 9 {\n}", "node 11 {\n}"] {
+        assert!(after.contains(node), "{after}");
+    }
+    // …and the first loop's blocked occurrence untouched.
+    assert!(after.contains("node 3 {\n  y := w\n  x := y+z\n}"), "{after}");
+    assert!(
+        measurement(&r, "AM").expr_evals < measurement(&r, "original").expr_evals
+    );
+}
+
+#[test]
+fn fig08_restricted_vs_unrestricted() {
+    let r = figures::fig08_restricted();
+    let (label, restricted_text) = &r.after[0];
+    assert!(label.contains("unchanged"));
+    assert!(restricted_text.contains("x := y+z\n  out(a,x)"), "{restricted_text}");
+    let (_, unrestricted_text) = &r.after[1];
+    assert!(!unrestricted_text.contains("x := y+z\n  out(a,x)"), "{unrestricted_text}");
+    assert_eq!(
+        measurement(&r, "restricted").expr_evals,
+        measurement(&r, "original").expr_evals,
+        "restricted motion achieves nothing on Fig. 8"
+    );
+    assert!(
+        measurement(&r, "unrestricted").expr_evals
+            < measurement(&r, "original").expr_evals
+    );
+}
+
+#[test]
+fn fig10_splitting_unblocks_elimination() {
+    let r = figures::fig10_critical_edges();
+    assert!(r.after[0].0.contains("2 edge(s) split") || r.after[0].0.contains("1 edge(s) split"));
+    assert!(
+        measurement(&r, "AM after splitting").expr_evals
+            < measurement(&r, "original").expr_evals
+    );
+}
+
+#[test]
+fn fig13_candidate_identification() {
+    let r = figures::fig13_candidates();
+    // Fig. 13: the first y := a+b is a candidate, the second is not.
+    assert!(r.notes.iter().any(|n| n.contains("'y := a+b' at instruction 1")), "{:?}", r.notes);
+    assert!(!r.notes.iter().any(|n| n.contains("'y := a+b' at instruction 4")), "{:?}", r.notes);
+}
+
+#[test]
+fn fig16_relative_optimality_is_a_fixpoint() {
+    let r = figures::fig16_incomparable();
+    assert!(
+        r.notes.iter().any(|n| n.contains("identity (relative optimality): true")),
+        "{:?}",
+        r.notes
+    );
+}
+
+#[test]
+fn fig18_three_address_comparison() {
+    let r = figures::fig18_three_address();
+    let orig = measurement(&r, "original (3-address)").expr_evals;
+    let em = measurement(&r, "EM only").expr_evals;
+    let emcp = measurement(&r, "EM + CP").expr_evals;
+    let full = measurement(&r, "uniform EM & AM").expr_evals;
+    // EM alone helps but is stuck on t+c; EM+CP recovers; the uniform
+    // algorithm matches EM+CP's evaluations with zero temporaries.
+    assert!(em < orig);
+    assert!(emcp < em);
+    assert!(full <= emcp);
+    assert_eq!(measurement(&r, "uniform EM & AM").temp_assigns, 0);
+    assert!(measurement(&r, "EM + CP").temp_assigns > 0);
+    // Fig. 20(b): the loop body is empty; both assignments sit before it.
+    let (_, full_text) = r.after.last().unwrap();
+    assert!(full_text.contains("t1 := a+b\n  x := t1+c"), "{full_text}");
+}
+
+#[test]
+fn all_reports_generate() {
+    let reports = figures::all_reports();
+    assert_eq!(reports.len(), 11);
+    for r in &reports {
+        assert!(!r.before.is_empty(), "{} missing input", r.id);
+    }
+}

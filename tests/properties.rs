@@ -1,0 +1,350 @@
+//! Property-based tests for the paper's theorems over random programs.
+//!
+//! * Thm 5.1 (correctness): the transformed program is observationally
+//!   equivalent to the original on corresponding runs.
+//! * Thm 5.2 (expression optimality): no complete corresponding run of the
+//!   transformed program evaluates more expressions — and the output also
+//!   dominates every baseline (EM only, AM only, restricted AM).
+//! * Thm 5.3/5.4 (relative optimality): the output is a fixed point of
+//!   further assignment motion and flushing.
+
+use assignment_motion::prelude::*;
+use am_ir::interp::{run, Config, Oracle, StopReason};
+use am_ir::random::{structured, unstructured, StructuredConfig, UnstructuredConfig};
+use am_ir::FlowGraph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arbitrary_program(seed: u64, unstructured_graph: bool) -> FlowGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if unstructured_graph {
+        unstructured(
+            &mut rng,
+            &UnstructuredConfig {
+                nodes: 10,
+                extra_edges: 5,
+                max_instrs: 3,
+                num_vars: 5,
+                allow_div: false,
+            },
+        )
+    } else {
+        structured(&mut rng, &StructuredConfig::default())
+    }
+}
+
+fn run_cfg(seed: u64, inputs: &[(String, i64)]) -> Config {
+    Config {
+        oracle: Oracle::random(seed, 12),
+        inputs: inputs.to_vec(),
+        ..Config::default()
+    }
+}
+
+fn inputs(values: [i64; 3]) -> Vec<(String, i64)> {
+    vec![
+        ("v0".into(), values[0]),
+        ("v1".into(), values[1]),
+        ("v2".into(), values[2]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn global_preserves_semantics_and_expression_optimality(
+        seed in 0u64..2_000,
+        unstructured_graph in proptest::bool::ANY,
+        vals in [-8i64..8, -8i64..8, -8i64..8],
+        run_seed in 0u64..1_000,
+    ) {
+        let program = arbitrary_program(seed, unstructured_graph);
+        let result = optimize(&program);
+        prop_assert!(result.motion.converged);
+        prop_assert_eq!(result.program.validate(), Ok(()));
+        let cfg = run_cfg(run_seed, &inputs(vals));
+        let a = run(&program, &cfg);
+        let b = run(&result.program, &cfg);
+        prop_assert_eq!(a.observable(), b.observable());
+        if a.stop == StopReason::ReachedEnd && b.stop == StopReason::ReachedEnd {
+            prop_assert!(b.expr_evals <= a.expr_evals,
+                "expression optimality violated: {} -> {}", a.expr_evals, b.expr_evals);
+            // The refined per-pattern claim of Def. 3.8(1): each pattern is
+            // evaluated at most as often as in the original.
+            prop_assert!(
+                am_core::verify::pattern_dominates(&a, &b),
+                "per-pattern optimality violated: {:?} vs {:?}",
+                a.expr_evals_by_pattern, b.expr_evals_by_pattern
+            );
+        }
+    }
+
+    #[test]
+    fn global_dominates_baselines(
+        seed in 0u64..800,
+        vals in [-8i64..8, -8i64..8, -8i64..8],
+        run_seed in 0u64..500,
+    ) {
+        let program = arbitrary_program(seed, false);
+        let full = optimize(&program).program;
+
+        let mut em = program.clone();
+        em.split_critical_edges();
+        lazy_expression_motion(&mut em);
+
+        let mut am = program.clone();
+        am.split_critical_edges();
+        assignment_motion(&mut am);
+
+        let cfg = run_cfg(run_seed, &inputs(vals));
+        let r_full = run(&full, &cfg);
+        for (label, g) in [("em", &em), ("am", &am)] {
+            let r_base = run(g, &cfg);
+            prop_assert_eq!(r_base.observable(), r_full.observable(), "{} semantics", label);
+            if r_base.stop == StopReason::ReachedEnd && r_full.stop == StopReason::ReachedEnd {
+                prop_assert!(
+                    r_full.expr_evals <= r_base.expr_evals,
+                    "{}: {} < {} (full should dominate)",
+                    label, r_base.expr_evals, r_full.expr_evals
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_a_fixpoint_of_further_motion(
+        seed in 0u64..800,
+        vals in [-8i64..8, -8i64..8, -8i64..8],
+        run_seed in 0u64..500,
+    ) {
+        // Thm 5.3: further assignment motion cannot improve the output —
+        // nothing is eliminated and no run gets cheaper. (The program text
+        // may still change by reordering independent instructions within a
+        // block, which is cost-neutral.)
+        let program = arbitrary_program(seed, false);
+        let result = optimize(&program);
+        let mut again = result.program.clone();
+        let stats = assignment_motion(&mut again);
+        prop_assert!(stats.converged);
+        prop_assert_eq!(stats.eliminated, 0, "relative assignment optimality");
+        let cfg = run_cfg(run_seed, &inputs(vals));
+        let a = run(&result.program, &cfg);
+        let b = run(&again, &cfg);
+        prop_assert_eq!(a.observable(), b.observable());
+        if a.stop == StopReason::ReachedEnd && b.stop == StopReason::ReachedEnd {
+            prop_assert_eq!(a.expr_evals, b.expr_evals);
+            prop_assert_eq!(a.assign_execs, b.assign_execs);
+        }
+    }
+
+    #[test]
+    fn em_baseline_preserves_semantics(
+        seed in 0u64..1_000,
+        unstructured_graph in proptest::bool::ANY,
+        vals in [-8i64..8, -8i64..8, -8i64..8],
+        run_seed in 0u64..500,
+    ) {
+        let program = arbitrary_program(seed, unstructured_graph);
+        let mut em = program.clone();
+        em.split_critical_edges();
+        lazy_expression_motion(&mut em);
+        prop_assert_eq!(em.validate(), Ok(()));
+        let cfg = run_cfg(run_seed, &inputs(vals));
+        let a = run(&program, &cfg);
+        let b = run(&em, &cfg);
+        prop_assert_eq!(a.observable(), b.observable());
+        if a.stop == StopReason::ReachedEnd && b.stop == StopReason::ReachedEnd {
+            prop_assert!(b.expr_evals <= a.expr_evals);
+        }
+    }
+
+    #[test]
+    fn restricted_baseline_preserves_semantics(
+        seed in 0u64..500,
+        vals in [-8i64..8, -8i64..8, -8i64..8],
+        run_seed in 0u64..500,
+    ) {
+        let program = arbitrary_program(seed, false);
+        let mut restricted = program.clone();
+        restricted.split_critical_edges();
+        restricted_assignment_motion(&mut restricted);
+        prop_assert_eq!(restricted.validate(), Ok(()));
+        let cfg = run_cfg(run_seed, &inputs(vals));
+        let a = run(&program, &cfg);
+        let b = run(&restricted, &cfg);
+        prop_assert_eq!(a.observable(), b.observable());
+    }
+
+    #[test]
+    fn parser_round_trips_generated_programs(seed in 0u64..2_000, unstructured_graph in proptest::bool::ANY) {
+        let program = arbitrary_program(seed, unstructured_graph);
+        let text = to_text(&program);
+        let reparsed = parse(&text).expect("round trip parses");
+        prop_assert_eq!(to_text(&reparsed), text);
+    }
+
+    #[test]
+    fn canonical_text_is_idempotent(seed in 0u64..1_000) {
+        let program = arbitrary_program(seed, false);
+        let result = optimize(&program);
+        let once = canonical_text(&result.program);
+        let reparsed = parse(&once).expect("canonical text parses");
+        prop_assert_eq!(canonical_text(&reparsed), once);
+    }
+
+    #[test]
+    fn splitting_is_idempotent(seed in 0u64..1_000, unstructured_graph in proptest::bool::ANY) {
+        let mut program = arbitrary_program(seed, unstructured_graph);
+        program.split_critical_edges();
+        let once = to_text(&program);
+        prop_assert_eq!(program.split_critical_edges(), 0);
+        prop_assert_eq!(to_text(&program), once);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn division_programs_are_weakly_preserved(
+        seed in 0u64..1_000,
+        vals in [-4i64..5, -4i64..5, -4i64..5],
+        run_seed in 0u64..500,
+    ) {
+        // With division enabled, traps are part of the semantics; motion
+        // may move a trap across writes but never add or remove one.
+        use am_core::verify::weakly_equivalent;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = structured(
+            &mut rng,
+            &StructuredConfig {
+                allow_div: true,
+                ..StructuredConfig::default()
+            },
+        );
+        let result = optimize(&program);
+        prop_assert!(result.motion.converged);
+        let cfg = run_cfg(run_seed, &inputs(vals));
+        let a = run(&program, &cfg);
+        let b = run(&result.program, &cfg);
+        prop_assert!(
+            weakly_equivalent(&a, &b),
+            "weak equivalence violated:\n{:?}\nvs\n{:?}", a, b
+        );
+        prop_assert_eq!(a.trap.is_some(), b.trap.is_some(), "trap potential changed");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn motion_order_is_confluent_in_costs(
+        seed in 0u64..800,
+        vals in [-8i64..8, -8i64..8, -8i64..8],
+        run_seed in 0u64..500,
+    ) {
+        // Lemma 3.6 (local confluence) implies both procedure orders reach
+        // cost-equivalent fixed points.
+        use am_core::motion::{assignment_motion_ordered, MotionOrder};
+        let program = arbitrary_program(seed, false);
+        let budget = am_core::motion::default_round_budget(&program) * 2 + 32;
+        let mut rae_first = program.clone();
+        rae_first.split_critical_edges();
+        let s1 = assignment_motion_ordered(&mut rae_first, budget, MotionOrder::RaeFirst);
+        let mut hoist_first = program.clone();
+        hoist_first.split_critical_edges();
+        let s2 = assignment_motion_ordered(&mut hoist_first, budget, MotionOrder::HoistFirst);
+        prop_assert!(s1.converged && s2.converged);
+        let cfg = run_cfg(run_seed, &inputs(vals));
+        let a = run(&rae_first, &cfg);
+        let b = run(&hoist_first, &cfg);
+        prop_assert_eq!(a.observable(), b.observable());
+        if a.stop == StopReason::ReachedEnd && b.stop == StopReason::ReachedEnd {
+            prop_assert_eq!(a.expr_evals, b.expr_evals, "expression costs must agree");
+            prop_assert_eq!(a.assign_execs, b.assign_execs, "assignment costs must agree");
+        }
+    }
+
+    #[test]
+    fn flush_justifies_the_three_address_assumption(
+        exprs in 1usize..4,
+        depth in 2usize..4,
+        trip in 1i64..5,
+    ) {
+        // Sec. 6 / Figs. 18-20: on programs whose only non-3-address
+        // structure comes from decomposing nested loop-invariant
+        // expressions, the uniform algorithm matches or beats the classic
+        // EM-with-copy-propagation pipeline.
+        //
+        // The claim is deliberately *not* universal: on programs with
+        // source-level copies (x := y), copy propagation can merge
+        // syntactically different patterns (x*z with y*z) — a value-level
+        // transformation outside the universe G, where it may beat any
+        // member of G (see EXPERIMENTS.md, "boundary of the theorem").
+        use std::fmt::Write as _;
+        let mut src = String::from("start 0\nend 3\nnode 0 { skip }\nnode 1 {\n");
+        for e in 0..exprs {
+            let mut rhs = format!("a{e}");
+            for level in 0..depth {
+                let _ = write!(rhs, " + b{level} * c{e}");
+            }
+            let _ = writeln!(src, "  x{e} := {rhs}");
+        }
+        let _ = writeln!(src, "  acc := acc + x0");
+        let _ = writeln!(src, "  q := q - 1");
+        // Every result is observable: dead-code effects (which EM+CP's
+        // cleanup performs but the paper's algorithm deliberately never
+        // does) must not skew the comparison.
+        let outs: Vec<String> = (0..exprs).map(|e| format!("x{e}")).collect();
+        let _ = writeln!(
+            src,
+            "}}\nnode 2 {{ branch q > 0 }}\nnode 3 {{ out(acc,{}) }}",
+            outs.join(",")
+        );
+        src.push_str("edge 0 -> 1\nedge 1 -> 2\nedge 2 -> 1, 3\n");
+        let program = parse_with_mode(&src, Mode::Decompose).expect("family parses");
+
+        let full = optimize(&program).program;
+        let mut emcp = program.clone();
+        emcp.split_critical_edges();
+        for _ in 0..6 {
+            let before = emcp.clone();
+            lazy_expression_motion(&mut emcp);
+            am_core::copyprop::copy_propagation(&mut emcp, true);
+            if emcp == before {
+                break;
+            }
+        }
+        let cfg = Config {
+            oracle: Oracle::Deterministic,
+            inputs: vec![
+                ("q".into(), trip),
+                ("a0".into(), 2),
+                ("b0".into(), 3),
+                ("b1".into(), -1),
+                ("b2".into(), 4),
+                ("c0".into(), 5),
+                ("c1".into(), 1),
+                ("c2".into(), -2),
+            ],
+            ..Config::default()
+        };
+        let base = run(&program, &cfg);
+        let r_full = run(&full, &cfg);
+        let r_emcp = run(&emcp, &cfg);
+        prop_assert_eq!(base.stop, StopReason::ReachedEnd);
+        prop_assert_eq!(base.observable(), r_full.observable());
+        prop_assert_eq!(base.observable(), r_emcp.observable());
+        prop_assert!(
+            r_full.expr_evals <= r_emcp.expr_evals,
+            "uniform EM & AM must match or beat EM+CP on the Fig. 18 family: {} vs {}",
+            r_full.expr_evals,
+            r_emcp.expr_evals
+        );
+        // And with no more temporary traffic.
+        prop_assert!(r_full.temp_assign_execs <= r_emcp.temp_assign_execs);
+    }
+}
