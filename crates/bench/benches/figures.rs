@@ -1,102 +1,83 @@
-//! One Criterion benchmark group per reproduced figure: the cost of the
-//! transformation that regenerates it.
+//! One benchmark per reproduced figure: the cost of the transformation
+//! that regenerates it. Plain wall-clock harness (`am_bench::timer`);
+//! `BENCH_ITERS` overrides the iteration count.
 
 use am_bench::programs;
+use am_bench::timer::{bench, iters_from_env};
 use am_core::global::optimize;
 use am_core::lcm::lazy_expression_motion;
 use am_core::motion::assignment_motion;
 use am_core::restricted::restricted_assignment_motion;
 use am_ir::text::{parse, parse_with_mode, Mode};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
+fn main() {
+    let iters = iters_from_env(200);
+    println!("== figures ==");
 
     let fig1 = parse(programs::FIG1).unwrap();
-    group.bench_function("fig01_em", |b| {
-        b.iter(|| {
-            let mut g = fig1.clone();
-            g.split_critical_edges();
-            lazy_expression_motion(&mut g);
-            black_box(g)
-        })
+    bench("fig01_em", iters, || {
+        let mut g = fig1.clone();
+        g.split_critical_edges();
+        lazy_expression_motion(&mut g);
+        black_box(g);
     });
 
     let fig2 = parse(programs::FIG2).unwrap();
-    group.bench_function("fig02_am", |b| {
-        b.iter(|| {
-            let mut g = fig2.clone();
-            g.split_critical_edges();
-            assignment_motion(&mut g);
-            black_box(g)
-        })
+    bench("fig02_am", iters, || {
+        let mut g = fig2.clone();
+        g.split_critical_edges();
+        assignment_motion(&mut g);
+        black_box(g);
     });
 
     let fig4 = parse(programs::FIG4).unwrap();
-    group.bench_function("fig05_global", |b| {
-        b.iter(|| black_box(optimize(&fig4)))
+    bench("fig05_global", iters, || {
+        black_box(optimize(&fig4));
     });
-    group.bench_function("fig06a_em_only", |b| {
-        b.iter(|| {
-            let mut g = fig4.clone();
-            g.split_critical_edges();
-            lazy_expression_motion(&mut g);
-            black_box(g)
-        })
+    bench("fig06a_em_only", iters, || {
+        let mut g = fig4.clone();
+        g.split_critical_edges();
+        lazy_expression_motion(&mut g);
+        black_box(g);
     });
-    group.bench_function("fig06b_am_only", |b| {
-        b.iter(|| {
-            let mut g = fig4.clone();
-            g.split_critical_edges();
-            assignment_motion(&mut g);
-            black_box(g)
-        })
+    bench("fig06b_am_only", iters, || {
+        let mut g = fig4.clone();
+        g.split_critical_edges();
+        assignment_motion(&mut g);
+        black_box(g);
     });
 
     let fig7 = parse(programs::FIG7).unwrap();
-    group.bench_function("fig07_loops", |b| {
-        b.iter(|| {
-            let mut g = fig7.clone();
-            g.split_critical_edges();
-            assignment_motion(&mut g);
-            black_box(g)
-        })
+    bench("fig07_loops", iters, || {
+        let mut g = fig7.clone();
+        g.split_critical_edges();
+        assignment_motion(&mut g);
+        black_box(g);
     });
 
     let fig8 = parse(programs::FIG8).unwrap();
-    group.bench_function("fig08_restricted", |b| {
-        b.iter(|| {
-            let mut g = fig8.clone();
-            g.split_critical_edges();
-            restricted_assignment_motion(&mut g);
-            black_box(g)
-        })
+    bench("fig08_restricted", iters, || {
+        let mut g = fig8.clone();
+        g.split_critical_edges();
+        restricted_assignment_motion(&mut g);
+        black_box(g);
     });
-    group.bench_function("fig09_unrestricted", |b| {
-        b.iter(|| {
-            let mut g = fig8.clone();
-            g.split_critical_edges();
-            assignment_motion(&mut g);
-            black_box(g)
-        })
+    bench("fig09_unrestricted", iters, || {
+        let mut g = fig8.clone();
+        g.split_critical_edges();
+        assignment_motion(&mut g);
+        black_box(g);
     });
 
     let fig10 = parse(programs::FIG10).unwrap();
-    group.bench_function("fig10_critical_edges", |b| {
-        b.iter(|| {
-            let mut g = fig10.clone();
-            black_box(g.split_critical_edges())
-        })
+    bench("fig10_critical_edges", iters, || {
+        let mut g = fig10.clone();
+        black_box(g.split_critical_edges());
     });
 
     let fig18 = parse_with_mode(programs::FIG18, Mode::Decompose).unwrap();
-    group.bench_function("fig20_three_address", |b| {
-        b.iter(|| black_box(optimize(&fig18)))
+    bench("fig20_three_address", iters, || {
+        black_box(optimize(&fig18));
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -1,75 +1,65 @@
 //! Per-phase cost breakdown on a representative structured workload,
 //! including the Tables 1–3 analyses in isolation — the ablation the
-//! DESIGN.md inventory calls out.
+//! DESIGN.md inventory calls out. Plain wall-clock harness.
 
+use am_bench::timer::{bench, iters_from_env};
 use am_bench::workloads::loop_nest;
 use am_core::{flush, hoist, init, motion, rae};
 use am_dfa::{solve, solve_parallel, Confluence, Direction, PointGraph, Problem};
 use am_ir::PatternUniverse;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_phases(c: &mut Criterion) {
-    let mut group = c.benchmark_group("phases");
+fn main() {
+    let iters = iters_from_env(100);
+    println!("== phases ==");
     let base = loop_nest(3, 4);
     let mut prepared = base.clone();
     prepared.split_critical_edges();
     init::initialize(&mut prepared);
 
-    group.bench_function("initialization", |b| {
-        b.iter(|| {
-            let mut g = base.clone();
-            g.split_critical_edges();
-            black_box(init::initialize(&mut g))
-        })
+    bench("initialization", iters, || {
+        let mut g = base.clone();
+        g.split_critical_edges();
+        black_box(init::initialize(&mut g));
     });
-    group.bench_function("analysis_rae_table2", |b| {
-        b.iter(|| black_box(rae::redundant_locs(&prepared)))
+    bench("analysis_rae_table2", iters, || {
+        black_box(rae::redundant_locs(&prepared));
     });
-    group.bench_function("analysis_hoist_table1", |b| {
-        b.iter(|| black_box(hoist::analyze_hoisting(&prepared)))
+    bench("analysis_hoist_table1", iters, || {
+        black_box(hoist::analyze_hoisting(&prepared));
     });
-    group.bench_function("motion_fixpoint", |b| {
-        b.iter(|| {
-            let mut g = prepared.clone();
-            black_box(motion::assignment_motion(&mut g))
-        })
+    bench("motion_fixpoint", iters, || {
+        let mut g = prepared.clone();
+        black_box(motion::assignment_motion(&mut g));
     });
     // Flush on the stabilized program (Table 3).
     let mut stabilized = prepared.clone();
     motion::assignment_motion(&mut stabilized);
-    group.bench_function("analysis_flush_table3", |b| {
-        b.iter(|| {
-            let mut g = stabilized.clone();
-            black_box(flush::final_flush(&mut g))
-        })
+    bench("analysis_flush_table3", iters, || {
+        let mut g = stabilized.clone();
+        black_box(flush::final_flush(&mut g));
     });
-    group.finish();
 
     // Ablation: full pipeline vs pipeline without the flush phase.
-    let mut ablation = c.benchmark_group("ablation");
-    for (label, with_flush) in [("with_flush", true), ("without_flush", false)] {
-        ablation.bench_with_input(
-            BenchmarkId::new("pipeline", label),
-            &with_flush,
-            |b, &with_flush| {
-                b.iter(|| {
-                    let mut g = base.clone();
-                    g.split_critical_edges();
-                    init::initialize(&mut g);
-                    motion::assignment_motion(&mut g);
-                    if with_flush {
-                        flush::final_flush(&mut g);
-                    }
-                    black_box(g)
-                })
-            },
-        );
+    println!("== ablation ==");
+    for (label, with_flush) in [
+        ("pipeline/with_flush", true),
+        ("pipeline/without_flush", false),
+    ] {
+        bench(label, iters, || {
+            let mut g = base.clone();
+            g.split_critical_edges();
+            init::initialize(&mut g);
+            motion::assignment_motion(&mut g);
+            if with_flush {
+                flush::final_flush(&mut g);
+            }
+            black_box(g);
+        });
     }
-    ablation.finish();
 
     // Sequential vs bit-partitioned parallel solving on a wide universe.
-    let mut solver = c.benchmark_group("solver");
+    println!("== solver ==");
     let wide = loop_nest(6, 10);
     let mut wide_init = wide.clone();
     wide_init.split_critical_edges();
@@ -94,20 +84,12 @@ fn bench_phases(c: &mut Criterion) {
             }
         }
     }
-    solver.bench_function("sequential", |b| {
-        b.iter(|| black_box(solve(pg.succs(), pg.preds(), &problem)))
+    bench("sequential", iters, || {
+        black_box(solve(pg.succs(), pg.preds(), &problem));
     });
     for threads in [2usize, 4] {
-        solver.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| black_box(solve_parallel(pg.succs(), pg.preds(), &problem, threads)))
-            },
-        );
+        bench(&format!("parallel/{threads}"), iters, || {
+            black_box(solve_parallel(pg.succs(), pg.preds(), &problem, threads));
+        });
     }
-    solver.finish();
 }
-
-criterion_group!(benches, bench_phases);
-criterion_main!(benches);

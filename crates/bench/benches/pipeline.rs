@@ -1,0 +1,41 @@
+//! Batch-pipeline throughput: jobs/second over worker counts, with and
+//! without cache-friendly duplication in the corpus.
+
+use am_bench::timer::{bench, iters_from_env};
+use am_bench::workloads::{pipeline_corpus, pipeline_throughput};
+use am_pipeline::{Pipeline, PipelineConfig};
+use std::hint::black_box;
+
+fn main() {
+    let iters = iters_from_env(20);
+
+    println!("== pipeline_throughput (48 unique x 4 copies) ==");
+    for row in pipeline_throughput(48, 4, &[1, 2, 4, 8]) {
+        println!(
+            "workers={:<2} jobs={} hits={} wall={} us  ({:.0} jobs/s)",
+            row.workers, row.jobs, row.cache_hits, row.micros, row.jobs_per_sec
+        );
+    }
+
+    println!("== pipeline_batch (all-unique corpus, repeated batches) ==");
+    let jobs = pipeline_corpus(32, 1);
+    for workers in [1usize, 4] {
+        // A fresh pipeline per timed closure so each measurement starts
+        // with a cold cache.
+        bench(&format!("cold cache, workers={workers}"), iters, || {
+            let p = Pipeline::new(PipelineConfig {
+                workers: Some(workers),
+                ..Default::default()
+            });
+            black_box(p.run(&jobs));
+        });
+        let warm = Pipeline::new(PipelineConfig {
+            workers: Some(workers),
+            ..Default::default()
+        });
+        warm.run(&jobs);
+        bench(&format!("warm cache, workers={workers}"), iters, || {
+            black_box(warm.run(&jobs));
+        });
+    }
+}

@@ -1,13 +1,11 @@
-//! The Sec. 4.5 scaling study as Criterion benchmarks: full-pipeline cost
+//! The Sec. 4.5 scaling study as wall-clock benchmarks: full-pipeline cost
 //! over growing structured (loop nests, diamond chains) and unstructured
 //! (random graph) programs.
 
+use am_bench::timer::{bench, iters_from_env};
 use am_bench::workloads::{diamond_chain, loop_nest};
 use am_core::global::{optimize_with, GlobalConfig};
-use am_ir::random::{unstructured, UnstructuredConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use am_ir::random::{unstructured, SplitMix64, UnstructuredConfig};
 use std::hint::black_box;
 
 fn config() -> GlobalConfig {
@@ -17,32 +15,37 @@ fn config() -> GlobalConfig {
     }
 }
 
-fn bench_scaling(c: &mut Criterion) {
+fn main() {
+    let iters = iters_from_env(50);
     let cfg = config();
 
-    let mut nests = c.benchmark_group("scaling_loop_nests");
+    println!("== scaling_loop_nests ==");
     for depth in [1usize, 2, 4, 6] {
         let g = loop_nest(depth, 4);
-        nests.throughput(Throughput::Elements(g.instr_count() as u64));
-        nests.bench_with_input(BenchmarkId::from_parameter(depth), &g, |b, g| {
-            b.iter(|| black_box(optimize_with(g, &cfg)))
-        });
+        bench(
+            &format!("depth={depth} ({} instrs)", g.instr_count()),
+            iters,
+            || {
+                black_box(optimize_with(&g, &cfg));
+            },
+        );
     }
-    nests.finish();
 
-    let mut diamonds = c.benchmark_group("scaling_diamond_chains");
+    println!("== scaling_diamond_chains ==");
     for sections in [4usize, 8, 16, 32] {
         let g = diamond_chain(sections, 4);
-        diamonds.throughput(Throughput::Elements(g.instr_count() as u64));
-        diamonds.bench_with_input(BenchmarkId::from_parameter(sections), &g, |b, g| {
-            b.iter(|| black_box(optimize_with(g, &cfg)))
-        });
+        bench(
+            &format!("sections={sections} ({} instrs)", g.instr_count()),
+            iters,
+            || {
+                black_box(optimize_with(&g, &cfg));
+            },
+        );
     }
-    diamonds.finish();
 
-    let mut random = c.benchmark_group("scaling_unstructured");
+    println!("== scaling_unstructured ==");
     for nodes in [8usize, 16, 32, 64] {
-        let mut rng = StdRng::seed_from_u64(nodes as u64);
+        let mut rng = SplitMix64::new(nodes as u64);
         let g = unstructured(
             &mut rng,
             &UnstructuredConfig {
@@ -53,13 +56,12 @@ fn bench_scaling(c: &mut Criterion) {
                 allow_div: false,
             },
         );
-        random.throughput(Throughput::Elements(g.instr_count() as u64));
-        random.bench_with_input(BenchmarkId::from_parameter(nodes), &g, |b, g| {
-            b.iter(|| black_box(optimize_with(g, &cfg)))
-        });
+        bench(
+            &format!("nodes={nodes} ({} instrs)", g.instr_count()),
+            iters,
+            || {
+                black_box(optimize_with(&g, &cfg));
+            },
+        );
     }
-    random.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -34,7 +34,10 @@ fn print_table(title: &str, rows: &[ComplexityRow]) {
             .cloned()
             .collect();
         if subset.len() >= 2 {
-            println!("  {family}: fitted time ~ instrs^{:.2}", fit_exponent(&subset));
+            println!(
+                "  {family}: fitted time ~ instrs^{:.2}",
+                fit_exponent(&subset)
+            );
         }
     }
     println!();
@@ -42,7 +45,13 @@ fn print_table(title: &str, rows: &[ComplexityRow]) {
 
 fn main() {
     let structured = structured_sweep();
-    print_table("structured programs (paper: essentially quadratic)", &structured);
+    print_table(
+        "structured programs (paper: essentially quadratic)",
+        &structured,
+    );
     let unstructured = unstructured_sweep();
-    print_table("unstructured programs (paper: up to fourth order)", &unstructured);
+    print_table(
+        "unstructured programs (paper: up to fourth order)",
+        &unstructured,
+    );
 }

@@ -30,7 +30,10 @@ fn main() {
             // Emit Graphviz for the input and each transformed variant
             // (parse back the canonical text — it round-trips).
             println!("// {} — {} (input)", report.id, report.title);
-            println!("{}", am_ir::dot::to_dot(&parse(&report.before).expect("round trip")));
+            println!(
+                "{}",
+                am_ir::dot::to_dot(&parse(&report.before).expect("round trip"))
+            );
             for (label, text) in &report.after {
                 println!("// {} — {label}", report.id);
                 println!("{}", am_ir::dot::to_dot(&parse(text).expect("round trip")));

@@ -12,9 +12,8 @@ use am_core::lcm::lazy_expression_motion;
 use am_core::sink::{sink_assignments, SinkConfig};
 use am_core::verify::weakly_equivalent;
 use am_ir::interp::{run, Config, Oracle, StopReason};
+use am_ir::random::SplitMix64;
 use am_ir::random::{structured, unstructured, StructuredConfig, UnstructuredConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let count: u64 = std::env::args()
@@ -24,7 +23,7 @@ fn main() {
     let mut checked = 0u64;
     let mut runs = 0u64;
     for seed in 0..count {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let program = match seed % 3 {
             0 => structured(&mut rng, &StructuredConfig::default()),
             1 => structured(

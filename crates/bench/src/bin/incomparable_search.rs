@@ -7,10 +7,9 @@
 
 use am_bench::witness::find_witness;
 use am_ir::alpha::canonical_text;
+use am_ir::random::SplitMix64;
 use am_ir::random::{structured, StructuredConfig};
 use am_ir::text::to_text;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let count: u64 = std::env::args()
@@ -19,7 +18,7 @@ fn main() {
         .unwrap_or(200);
     let mut found = 0;
     for seed in 0..count {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let original = structured(
             &mut rng,
             &StructuredConfig {
@@ -33,9 +32,15 @@ fn main() {
             found += 1;
             println!("=== witness (source seed {seed}) ===");
             println!("--- original ---\n{}", to_text(&original));
-            println!("--- expression-optimal variant A ---\n{}", canonical_text(&w.a.0));
+            println!(
+                "--- expression-optimal variant A ---\n{}",
+                canonical_text(&w.a.0)
+            );
             println!("profile A (evals, assigns): {:?}", w.a.1);
-            println!("--- expression-optimal variant B ---\n{}", canonical_text(&w.b.0));
+            println!(
+                "--- expression-optimal variant B ---\n{}",
+                canonical_text(&w.b.0)
+            );
             println!("profile B (evals, assigns): {:?}", w.b.1);
             if found >= 2 {
                 return;

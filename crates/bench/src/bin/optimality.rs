@@ -26,8 +26,18 @@ fn evals(g: &FlowGraph, seed: u64, inputs: &[(String, i64)]) -> Option<u64> {
 
 fn main() {
     let inputs: Vec<(String, i64)> = [
-        ("a", 2), ("b", 3), ("c", 1), ("d", 2), ("p", 1),
-        ("x", 3), ("y", 4), ("z", 5), ("i", 0), ("u", 1), ("v", 2), ("w", 1),
+        ("a", 2),
+        ("b", 3),
+        ("c", 1),
+        ("d", 2),
+        ("p", 1),
+        ("x", 3),
+        ("y", 4),
+        ("z", 5),
+        ("i", 0),
+        ("u", 1),
+        ("v", 2),
+        ("w", 1),
     ]
     .into_iter()
     .map(|(n, v)| (n.to_owned(), v))
@@ -82,7 +92,10 @@ fn main() {
             runs,
             beaten
         );
-        assert_eq!(beaten, 0, "{name}: the output was beaten — Thm 5.2 violated");
+        assert_eq!(
+            beaten, 0,
+            "{name}: the output was beaten — Thm 5.2 violated"
+        );
     }
     println!("\nThm 5.2 holds on every explored universe member.");
 }

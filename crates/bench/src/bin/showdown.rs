@@ -54,13 +54,34 @@ fn variants(original: &FlowGraph) -> Vec<Variant> {
         },
     );
     vec![
-        Variant { label: "original", program: original.clone() },
-        Variant { label: "EM (LCM)", program: em },
-        Variant { label: "AM only", program: am },
-        Variant { label: "restricted AM", program: restricted },
-        Variant { label: "EM + CP", program: emcp },
-        Variant { label: "PDE (sink)", program: pde },
-        Variant { label: "uniform EM & AM", program: optimize(original).program },
+        Variant {
+            label: "original",
+            program: original.clone(),
+        },
+        Variant {
+            label: "EM (LCM)",
+            program: em,
+        },
+        Variant {
+            label: "AM only",
+            program: am,
+        },
+        Variant {
+            label: "restricted AM",
+            program: restricted,
+        },
+        Variant {
+            label: "EM + CP",
+            program: emcp,
+        },
+        Variant {
+            label: "PDE (sink)",
+            program: pde,
+        },
+        Variant {
+            label: "uniform EM & AM",
+            program: optimize(original).program,
+        },
     ]
 }
 

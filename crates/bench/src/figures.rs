@@ -87,8 +87,7 @@ pub fn fig01_expression_motion() -> FigureReport {
     let original = parse(programs::FIG1).unwrap();
     let mut em = split(programs::FIG1);
     busy_expression_motion(&mut em);
-    let inputs: Vec<(String, i64)> =
-        vec![("a".into(), 2), ("b".into(), 3), ("y".into(), 1)];
+    let inputs: Vec<(String, i64)> = vec![("a".into(), 2), ("b".into(), 3), ("y".into(), 1)];
     FigureReport {
         id: "fig01",
         title: "Expression motion (EM) shares a+b through a temporary",
@@ -110,8 +109,7 @@ pub fn fig02_assignment_motion() -> FigureReport {
     let original = parse(programs::FIG2).unwrap();
     let mut am = split(programs::FIG2);
     assignment_motion(&mut am);
-    let inputs: Vec<(String, i64)> =
-        vec![("a".into(), 2), ("b".into(), 3), ("y".into(), 1)];
+    let inputs: Vec<(String, i64)> = vec![("a".into(), 2), ("b".into(), 3), ("y".into(), 1)];
     FigureReport {
         id: "fig02",
         title: "Assignment motion (AM) hoists x := a+b out of the loop",
@@ -132,8 +130,7 @@ pub fn fig03_uniform() -> FigureReport {
     init::initialize(&mut g);
     let initialized = canonical_text(&g);
     assignment_motion(&mut g);
-    let inputs: Vec<(String, i64)> =
-        vec![("a".into(), 2), ("b".into(), 3), ("y".into(), 1)];
+    let inputs: Vec<(String, i64)> = vec![("a".into(), 2), ("b".into(), 3), ("y".into(), 1)];
     FigureReport {
         id: "fig03",
         title: "Initialization makes AM subsume EM (Fig. 3)",
@@ -169,14 +166,20 @@ pub fn fig05_global() -> FigureReport {
                 "after assignment motion (Fig. 14)".into(),
                 canonical_text(result.after_motion.as_ref().unwrap()),
             ),
-            ("final (Fig. 5 / 15)".into(), canonical_text(&result.program)),
+            (
+                "final (Fig. 5 / 15)".into(),
+                canonical_text(&result.program),
+            ),
         ],
         measurements: vec![
             measure("original", &original, &inputs),
             measure("GlobAlg", &result.program, &inputs),
         ],
         notes: vec![
-            format!("assignment motion stabilized after {} rounds", result.motion.rounds),
+            format!(
+                "assignment motion stabilized after {} rounds",
+                result.motion.rounds
+            ),
             "x := y+z left the loop; y := c+d eliminated; i := i+x and y+i untouched".into(),
         ],
     }
@@ -217,11 +220,18 @@ pub fn fig06_separate_effects() -> FigureReport {
 /// ever moving into a loop.
 pub fn fig07_loops() -> FigureReport {
     let original = parse(programs::FIG7).unwrap();
-    assert!(!am_ir::analysis::is_reducible(&original), "Fig. 7 is irreducible");
+    assert!(
+        !am_ir::analysis::is_reducible(&original),
+        "Fig. 7 is irreducible"
+    );
     let mut am = split(programs::FIG7);
     assignment_motion(&mut am);
-    let inputs: Vec<(String, i64)> =
-        vec![("u".into(), 1), ("v".into(), 2), ("y".into(), 3), ("z".into(), 4)];
+    let inputs: Vec<(String, i64)> = vec![
+        ("u".into(), 1),
+        ("v".into(), 2),
+        ("y".into(), 3),
+        ("z".into(), 4),
+    ];
     FigureReport {
         id: "fig07",
         title: "Loops: hoisting across an irreducible construct, never into a loop (Fig. 7)",
@@ -383,15 +393,23 @@ pub fn fig18_three_address() -> FigureReport {
     // Fig. 20(b): the uniform algorithm.
     let full = optimize(&decomposed).program;
 
-    let inputs: Vec<(String, i64)> =
-        vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 3), ("q".into(), 5)];
+    let inputs: Vec<(String, i64)> = vec![
+        ("a".into(), 1),
+        ("b".into(), 2),
+        ("c".into(), 3),
+        ("q".into(), 5),
+    ];
     FigureReport {
         id: "fig18",
-        title: "3-address decomposition: EM stuck, EM+CP partial, uniform EM & AM wins (Figs. 18-20)",
+        title:
+            "3-address decomposition: EM stuck, EM+CP partial, uniform EM & AM wins (Figs. 18-20)",
         before: canonical_text(&decomposed),
         after: vec![
             ("EM only (Fig. 19b)".into(), canonical_text(&em)),
-            ("EM + copy propagation (Fig. 20a)".into(), canonical_text(&emcp)),
+            (
+                "EM + copy propagation (Fig. 20a)".into(),
+                canonical_text(&emcp),
+            ),
             ("uniform EM & AM (Fig. 20b)".into(), canonical_text(&full)),
         ],
         measurements: vec![

@@ -3,7 +3,7 @@
 //!
 //! * [`figures`] — one reproduction function per paper figure, returning
 //!   before/after programs and dynamic cost measurements (used by the
-//!   `figures` binary, the integration tests and the Criterion benches);
+//!   `figures` binary, the integration tests and the wall-clock benches);
 //! * [`workloads`] — the synthetic program families and measurement
 //!   machinery of the complexity study (`complexity` binary);
 //! * [`programs`] — the figure input programs in textual IR.
@@ -12,5 +12,6 @@
 
 pub mod figures;
 pub mod programs;
+pub mod timer;
 pub mod witness;
 pub mod workloads;

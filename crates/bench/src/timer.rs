@@ -1,0 +1,64 @@
+//! A minimal wall-clock benchmark harness (the workspace builds offline,
+//! so the benches cannot use Criterion). Each measurement runs a warmup,
+//! then `iters` timed iterations, reporting mean and minimum.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark label, e.g. `figures/fig05_global`.
+    pub label: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Mean wall time per iteration.
+    pub mean: Duration,
+    /// Minimum wall time over all iterations.
+    pub min: Duration,
+}
+
+impl std::fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<44} {:>12} mean {:>12} min   ({} iters)",
+            self.label,
+            format!("{:.2?}", self.mean),
+            format!("{:.2?}", self.min),
+            self.iters
+        )
+    }
+}
+
+/// Times `f` over `iters` iterations (after `iters / 10 + 1` warmup runs)
+/// and prints the result. Returns the measurement for further aggregation.
+pub fn bench(label: &str, iters: u32, mut f: impl FnMut()) -> BenchResult {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        total += elapsed;
+        min = min.min(elapsed);
+    }
+    let result = BenchResult {
+        label: label.to_owned(),
+        iters,
+        mean: total / iters.max(1),
+        min,
+    };
+    println!("{result}");
+    result
+}
+
+/// Iteration count override from `BENCH_ITERS`, else `default`.
+pub fn iters_from_env(default: u32) -> u32 {
+    std::env::var("BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

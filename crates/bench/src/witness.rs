@@ -56,7 +56,10 @@ pub fn initialize_subset(g: &FlowGraph, mask: u32) -> FlowGraph {
     for n in g.nodes() {
         let mut fresh = Vec::new();
         for (idx, instr) in g.block(n).instrs.iter().enumerate() {
-            let loc = Loc { node: n, index: idx };
+            let loc = Loc {
+                node: n,
+                index: idx,
+            };
             let site = sites.iter().position(|&s| s == loc);
             let selected = site.map(|i| mask & (1 << i) != 0).unwrap_or(false);
             match instr {
@@ -149,9 +152,8 @@ pub fn find_witness(original: &FlowGraph, oracles: usize) -> Option<Witness> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use am_ir::random::SplitMix64;
     use am_ir::random::{structured, StructuredConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// The mechanically found Fig. 16/17 witness: two expression-optimal
     /// members of `G` that are incomparable in assignment executions —
@@ -159,7 +161,7 @@ mod tests {
     /// paper's Fig. 16/17 demonstrates.
     #[test]
     fn incomparable_expression_optimal_pair_exists() {
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = SplitMix64::new(10);
         let original = structured(
             &mut rng,
             &StructuredConfig {

@@ -10,11 +10,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use am_core::global::{optimize_with, GlobalConfig};
+use am_ir::random::SplitMix64;
 use am_ir::random::{unstructured, UnstructuredConfig};
 use am_ir::text::parse;
 use am_ir::FlowGraph;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A deterministic nest of `depth` do-while loops, each body carrying
 /// `width` assignment patterns: one loop-invariant chain (hoistable, with
@@ -92,7 +91,11 @@ pub fn diamond_chain(sections: usize, width: usize) -> FlowGraph {
         let _ = writeln!(src, "node l{k} {{ {left}skip }}");
         let _ = writeln!(src, "node r{k} {{ {right}skip }}");
         let _ = writeln!(src, "node j{k} {{ y{k} := x0 + b }}");
-        let prev = if k == 0 { "n0".to_owned() } else { format!("j{}", k - 1) };
+        let prev = if k == 0 {
+            "n0".to_owned()
+        } else {
+            format!("j{}", k - 1)
+        };
         let _ = writeln!(src, "edge {prev} -> l{k}, r{k}");
         let _ = writeln!(src, "edge l{k} -> j{k}");
         let _ = writeln!(src, "edge r{k} -> j{k}");
@@ -171,7 +174,16 @@ pub fn measure_complexity(label: &str, g: &FlowGraph) -> ComplexityRow {
 /// The structured sweep: loop nests of growing depth and width.
 pub fn structured_sweep() -> Vec<ComplexityRow> {
     let mut rows = Vec::new();
-    for (depth, width) in [(1, 2), (2, 2), (2, 4), (3, 4), (4, 4), (4, 8), (6, 8), (8, 8)] {
+    for (depth, width) in [
+        (1, 2),
+        (2, 2),
+        (2, 4),
+        (3, 4),
+        (4, 4),
+        (4, 8),
+        (6, 8),
+        (8, 8),
+    ] {
         let g = loop_nest(depth, width);
         rows.push(measure_complexity(&format!("nest d={depth} w={width}"), &g));
     }
@@ -181,7 +193,10 @@ pub fn structured_sweep() -> Vec<ComplexityRow> {
     }
     for (bodies, chain) in [(1, 3), (2, 3), (4, 3), (4, 6), (8, 6)] {
         let g = while_workload(bodies, chain);
-        rows.push(measure_complexity(&format!("whilelang b={bodies} c={chain}"), &g));
+        rows.push(measure_complexity(
+            &format!("whilelang b={bodies} c={chain}"),
+            &g,
+        ));
     }
     rows
 }
@@ -190,7 +205,7 @@ pub fn structured_sweep() -> Vec<ComplexityRow> {
 pub fn unstructured_sweep() -> Vec<ComplexityRow> {
     let mut rows = Vec::new();
     for nodes in [8, 16, 32, 64, 128] {
-        let mut rng = StdRng::seed_from_u64(nodes as u64);
+        let mut rng = SplitMix64::new(nodes as u64);
         let g = unstructured(
             &mut rng,
             &UnstructuredConfig {
@@ -204,6 +219,77 @@ pub fn unstructured_sweep() -> Vec<ComplexityRow> {
         rows.push(measure_complexity(&format!("random n={nodes}"), &g));
     }
     rows
+}
+
+/// A deterministic corpus of in-memory jobs for the batch pipeline:
+/// `unique` distinct random structured programs, each repeated `dups`
+/// times under different names, shuffled into an interleaved order. The
+/// duplicates make the content-addressed cache earn its keep.
+pub fn pipeline_corpus(unique: usize, dups: usize) -> Vec<am_pipeline::Job> {
+    use am_ir::random::{structured, StructuredConfig};
+    use am_ir::text::to_text;
+    let unique = unique.max(1);
+    let dups = dups.max(1);
+    let mut jobs = Vec::with_capacity(unique * dups);
+    for copy in 0..dups {
+        for idx in 0..unique {
+            let mut rng = SplitMix64::new(0xC0_6905 + idx as u64);
+            let g = structured(&mut rng, &StructuredConfig::default());
+            jobs.push(am_pipeline::Job::from_source(
+                format!("mem/{idx}_{copy}.ir"),
+                am_lang::SourceKind::Ir,
+                to_text(&g),
+            ));
+        }
+    }
+    jobs
+}
+
+/// One data point of the pipeline throughput study.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Jobs served from the result cache.
+    pub cache_hits: usize,
+    /// Batch wall time in microseconds.
+    pub micros: u128,
+    /// Jobs per second.
+    pub jobs_per_sec: f64,
+}
+
+/// Runs the corpus through `am_pipeline` once per worker count and
+/// reports throughput — the `pipeline_throughput` workload.
+pub fn pipeline_throughput(
+    unique: usize,
+    dups: usize,
+    worker_counts: &[usize],
+) -> Vec<ThroughputRow> {
+    let jobs = pipeline_corpus(unique, dups);
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let pipeline = am_pipeline::Pipeline::new(am_pipeline::PipelineConfig {
+                workers: Some(workers),
+                ..Default::default()
+            });
+            let report = pipeline.run(&jobs);
+            let secs = report.wall.as_secs_f64();
+            ThroughputRow {
+                workers,
+                jobs: report.jobs.len(),
+                cache_hits: report.cache_hits(),
+                micros: report.wall.as_micros(),
+                jobs_per_sec: if secs > 0.0 {
+                    jobs.len() as f64 / secs
+                } else {
+                    f64::INFINITY
+                },
+            }
+        })
+        .collect()
 }
 
 /// Least-squares slope of `ln(time)` over `ln(size)` — the empirical
@@ -285,6 +371,23 @@ mod tests {
             .collect();
         let k = fit_exponent(&rows);
         assert!((k - 2.0).abs() < 1e-9, "{k}");
+    }
+}
+
+#[cfg(test)]
+mod pipeline_workload_tests {
+    use super::*;
+
+    #[test]
+    fn corpus_duplicates_hit_the_cache() {
+        let rows = pipeline_throughput(4, 3, &[2]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].jobs, 12);
+        // A duplicate in flight while its original is still optimizing on
+        // the other worker misses (both then insert the same entry), so
+        // each unique program is optimized at most `workers` times:
+        // 12 jobs - 4 unique * 2 workers => at least 4 hits.
+        assert!(rows[0].cache_hits >= 4, "{rows:?}");
     }
 }
 

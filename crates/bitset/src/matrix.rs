@@ -155,7 +155,11 @@ impl BitMatrix {
         let (head, tail) = self.words.split_at_mut(hi.start);
         let lo_row = &mut head[lo];
         let hi_row = &mut tail[..lo_row.len()];
-        let (d, s): (&mut [u64], &[u64]) = if dst_first { (lo_row, hi_row) } else { (hi_row, lo_row) };
+        let (d, s): (&mut [u64], &[u64]) = if dst_first {
+            (lo_row, hi_row)
+        } else {
+            (hi_row, lo_row)
+        };
         for (a, b) in d.iter_mut().zip(s) {
             let new = f(*a, *b);
             changed |= new != *a;
@@ -167,12 +171,9 @@ impl BitMatrix {
     /// Iterates over the set columns of `row` in increasing order.
     pub fn iter_row(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
         let r = self.range(row);
-        self.words[r]
-            .iter()
-            .enumerate()
-            .flat_map(|(wi, &w)| {
-                (0..WORD_BITS).filter_map(move |b| (w & (1 << b) != 0).then_some(wi * WORD_BITS + b))
-            })
+        self.words[r].iter().enumerate().flat_map(|(wi, &w)| {
+            (0..WORD_BITS).filter_map(move |b| (w & (1 << b) != 0).then_some(wi * WORD_BITS + b))
+        })
     }
 }
 

@@ -178,7 +178,10 @@ impl BitSet {
     /// Tests `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         self.assert_same_universe(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Tests whether the sets share no element.

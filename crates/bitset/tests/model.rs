@@ -1,9 +1,33 @@
 //! Model-based property tests: `BitSet` against `std::collections::BTreeSet`.
+//!
+//! Randomized with an inline SplitMix64 stream (am-bitset is a leaf crate
+//! with no dependencies, so the generator lives here); every case derives
+//! from a fixed seed and reproduces deterministically.
 
 use std::collections::BTreeSet;
 
 use am_bitset::{BitMatrix, BitSet};
-use proptest::prelude::*;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    fn bits(&mut self, universe: usize, max_len: usize) -> Vec<usize> {
+        let n = self.below(max_len);
+        (0..n).map(|_| self.below(universe)).collect()
+    }
+}
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -16,18 +40,16 @@ enum Op {
     DifferenceWith(Vec<usize>),
 }
 
-fn op_strategy(universe: usize) -> impl Strategy<Value = Op> {
-    let bit = 0..universe;
-    let bits = proptest::collection::vec(0..universe, 0..8);
-    prop_oneof![
-        bit.clone().prop_map(Op::Insert),
-        bit.prop_map(Op::Remove),
-        Just(Op::Clear),
-        Just(Op::InsertAll),
-        bits.clone().prop_map(Op::UnionWith),
-        bits.clone().prop_map(Op::IntersectWith),
-        bits.prop_map(Op::DifferenceWith),
-    ]
+fn random_op(rng: &mut Rng, universe: usize) -> Op {
+    match rng.below(7) {
+        0 => Op::Insert(rng.below(universe)),
+        1 => Op::Remove(rng.below(universe)),
+        2 => Op::Clear,
+        3 => Op::InsertAll,
+        4 => Op::UnionWith(rng.bits(universe, 8)),
+        5 => Op::IntersectWith(rng.bits(universe, 8)),
+        _ => Op::DifferenceWith(rng.bits(universe, 8)),
+    }
 }
 
 fn other_set(universe: usize, bits: &[usize]) -> (BitSet, BTreeSet<usize>) {
@@ -40,25 +62,24 @@ fn other_set(universe: usize, bits: &[usize]) -> (BitSet, BTreeSet<usize>) {
     (s, m)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn operations_match_the_model(
-        ops in proptest::collection::vec(op_strategy(130), 1..40),
-    ) {
+#[test]
+fn operations_match_the_model() {
+    let mut rng = Rng(0xB17_5E7);
+    for case in 0..256 {
         let universe = 130;
         let mut set = BitSet::new(universe);
         let mut model: BTreeSet<usize> = BTreeSet::new();
-        for op in ops {
-            match op {
+        let steps = 1 + rng.below(39);
+        for _ in 0..steps {
+            let op = random_op(&mut rng, universe);
+            match op.clone() {
                 Op::Insert(b) => {
                     let changed = set.insert(b);
-                    prop_assert_eq!(changed, model.insert(b));
+                    assert_eq!(changed, model.insert(b), "case {case} {op:?}");
                 }
                 Op::Remove(b) => {
                     let changed = set.remove(b);
-                    prop_assert_eq!(changed, model.remove(&b));
+                    assert_eq!(changed, model.remove(&b), "case {case} {op:?}");
                 }
                 Op::Clear => {
                     set.clear();
@@ -85,51 +106,61 @@ proptest! {
                 }
             }
             // Invariants after every step.
-            prop_assert_eq!(set.count(), model.len());
-            prop_assert_eq!(set.is_empty(), model.is_empty());
+            assert_eq!(set.count(), model.len(), "case {case} {op:?}");
+            assert_eq!(set.is_empty(), model.is_empty(), "case {case} {op:?}");
             let elems: Vec<usize> = set.iter().collect();
             let expected: Vec<usize> = model.iter().copied().collect();
-            prop_assert_eq!(elems, expected);
+            assert_eq!(elems, expected, "case {case} {op:?}");
         }
     }
+}
 
-    #[test]
-    fn subset_and_disjoint_match_the_model(
-        a in proptest::collection::vec(0usize..90, 0..20),
-        b in proptest::collection::vec(0usize..90, 0..20),
-    ) {
+#[test]
+fn subset_and_disjoint_match_the_model() {
+    let mut rng = Rng(0x5B5E7);
+    for case in 0..256 {
+        let a = rng.bits(90, 20);
+        let b = rng.bits(90, 20);
         let (sa, ma) = other_set(90, &a);
         let (sb, mb) = other_set(90, &b);
-        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
-        prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
+        assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb), "case {case}");
+        assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb), "case {case}");
     }
+}
 
-    #[test]
-    fn matrix_rows_behave_like_independent_sets(
-        rows in 1usize..6,
-        cols in 1usize..100,
-        writes in proptest::collection::vec((0usize..6, 0usize..100), 0..40),
-    ) {
+#[test]
+fn matrix_rows_behave_like_independent_sets() {
+    let mut rng = Rng(0x3A721);
+    for case in 0..256 {
+        let rows = 1 + rng.below(5);
+        let cols = 1 + rng.below(99);
         let mut m = BitMatrix::new(rows, cols);
         let mut model: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); rows];
-        for (r, c) in writes {
-            let (r, c) = (r % rows, c % cols);
+        for _ in 0..rng.below(40) {
+            let (r, c) = (rng.below(rows), rng.below(cols));
             m.insert(r, c);
             model[r].insert(c);
         }
         for (r, row_model) in model.iter().enumerate() {
             let row: Vec<usize> = m.iter_row(r).collect();
             let expected: Vec<usize> = row_model.iter().copied().collect();
-            prop_assert_eq!(row, expected);
+            assert_eq!(row, expected, "case {case} row {r}");
         }
     }
+}
 
-    #[test]
-    fn copy_from_round_trips(bits in proptest::collection::vec(0usize..70, 0..30)) {
+#[test]
+fn copy_from_round_trips() {
+    let mut rng = Rng(0xC0B1E5);
+    for case in 0..256 {
+        let bits = rng.bits(70, 30);
         let (src, _) = other_set(70, &bits);
         let mut dst = BitSet::new(70);
         dst.copy_from(&src);
-        prop_assert_eq!(&dst, &src);
-        prop_assert!(!dst.copy_from(&src), "second copy reports no change");
+        assert_eq!(&dst, &src, "case {case}");
+        assert!(
+            !dst.copy_from(&src),
+            "second copy reports no change (case {case})"
+        );
     }
 }

@@ -92,7 +92,11 @@ fn propagate_once(g: &mut FlowGraph) -> usize {
                 Instr::Branch(c) => {
                     let (l, h1) = substitute_term(c.lhs, v, src);
                     let (r, h2) = substitute_term(c.rhs, v, src);
-                    *c = Cond { op: c.op, lhs: l, rhs: r };
+                    *c = Cond {
+                        op: c.op,
+                        lhs: l,
+                        rhs: r,
+                    };
                     rewritten += h1 + h2;
                 }
                 Instr::Skip => {}
@@ -119,7 +123,11 @@ pub fn remove_dead_copies(g: &mut FlowGraph) -> usize {
     for p in pg.points() {
         let Some(instr) = pg.instr(p) else { continue };
         let Some(loc) = pg.loc(p) else { continue };
-        if let Instr::Assign { lhs, rhs: Term::Operand(_) } = instr {
+        if let Instr::Assign {
+            lhs,
+            rhs: Term::Operand(_),
+        } = instr
+        {
             if !live.after[p.index()].contains(lhs.index()) {
                 doomed.push(loc);
             }
@@ -177,10 +185,9 @@ mod tests {
 
     #[test]
     fn straight_line_copy_is_propagated() {
-        let mut g = parse(
-            "start 1\nend 2\nnode 1 { t := a; x := t+c }\nnode 2 { out(x,t) }\nedge 1 -> 2",
-        )
-        .unwrap();
+        let mut g =
+            parse("start 1\nend 2\nnode 1 { t := a; x := t+c }\nnode 2 { out(x,t) }\nedge 1 -> 2")
+                .unwrap();
         let stats = copy_propagation(&mut g, false);
         assert!(stats.rewritten >= 2);
         let text = am_ir::text::to_text(&g);
@@ -190,10 +197,9 @@ mod tests {
 
     #[test]
     fn dead_copy_is_removed_after_propagation() {
-        let mut g = parse(
-            "start 1\nend 2\nnode 1 { t := a; x := t+c }\nnode 2 { out(x) }\nedge 1 -> 2",
-        )
-        .unwrap();
+        let mut g =
+            parse("start 1\nend 2\nnode 1 { t := a; x := t+c }\nnode 2 { out(x) }\nedge 1 -> 2")
+                .unwrap();
         let stats = copy_propagation(&mut g, true);
         assert_eq!(stats.removed, 1);
         assert!(!am_ir::text::to_text(&g).contains("t :="));
@@ -240,10 +246,9 @@ mod tests {
 
     #[test]
     fn constants_propagate_too() {
-        let mut g = parse(
-            "start 1\nend 2\nnode 1 { t := 5; x := t+c }\nnode 2 { out(x) }\nedge 1 -> 2",
-        )
-        .unwrap();
+        let mut g =
+            parse("start 1\nend 2\nnode 1 { t := 5; x := t+c }\nnode 2 { out(x) }\nedge 1 -> 2")
+                .unwrap();
         copy_propagation(&mut g, true);
         let text = am_ir::text::to_text(&g);
         assert!(text.contains("x := 5+c"), "{text}");

@@ -143,15 +143,27 @@ fn use_count(instr: &Instr, h: Var) -> usize {
 /// position admits a non-trivial term. Returns `None` when it does not.
 fn reconstruct_use(instr: &Instr, h: Var, eps: Term) -> Option<Instr> {
     match instr {
-        Instr::Assign { lhs, rhs: Term::Operand(Operand::Var(v)) } if *v == h => {
-            Some(Instr::Assign { lhs: *lhs, rhs: eps })
-        }
+        Instr::Assign {
+            lhs,
+            rhs: Term::Operand(Operand::Var(v)),
+        } if *v == h => Some(Instr::Assign {
+            lhs: *lhs,
+            rhs: eps,
+        }),
         Instr::Branch(c) => {
             let is_h = |t: &Term| matches!(t, Term::Operand(Operand::Var(v)) if *v == h);
             if is_h(&c.lhs) && !is_h(&c.rhs) {
-                Some(Instr::Branch(Cond { op: c.op, lhs: eps, rhs: c.rhs }))
+                Some(Instr::Branch(Cond {
+                    op: c.op,
+                    lhs: eps,
+                    rhs: c.rhs,
+                }))
             } else if is_h(&c.rhs) && !is_h(&c.lhs) {
-                Some(Instr::Branch(Cond { op: c.op, lhs: c.lhs, rhs: eps }))
+                Some(Instr::Branch(Cond {
+                    op: c.op,
+                    lhs: c.lhs,
+                    rhs: eps,
+                }))
             } else {
                 None
             }
@@ -206,8 +218,10 @@ pub fn final_flush(g: &mut FlowGraph) -> FlushStats {
             let x_delay = delay.after[idx].contains(i);
             let x_usable = usable.after[idx].contains(i);
             let n_latest = n_delay && (used[idx].contains(i) || blocked[idx].contains(i));
-            let x_latest =
-                x_delay && pg.succs()[idx].iter().any(|&q| !delay.before[q].contains(i));
+            let x_latest = x_delay
+                && pg.succs()[idx]
+                    .iter()
+                    .any(|&q| !delay.before[q].contains(i));
             if n_latest {
                 let instr = pg.instr(p);
                 let multi_use = instr
@@ -408,8 +422,7 @@ mod tests {
     #[test]
     fn flush_keeps_redundancy_eliminating_temporaries() {
         // a+b used twice: the temporary pays for itself.
-        let src =
-            "start 1\nend 2\nnode 1 { x := a+b; y := a+b }\nnode 2 { out(x,y) }\nedge 1 -> 2";
+        let src = "start 1\nend 2\nnode 1 { x := a+b; y := a+b }\nnode 2 { out(x,y) }\nedge 1 -> 2";
         let (_, g) = run_pipeline(src);
         let canon = canonical_text(&g);
         assert!(canon.contains("h1 := a+b"), "{canon}");

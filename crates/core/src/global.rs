@@ -3,6 +3,8 @@
 //! (Fig. 12), `G_AssMot` (Fig. 14) and `G_GlobAlg` (Fig. 15) exposed for
 //! inspection, testing and figure regeneration.
 
+use std::time::{Duration, Instant};
+
 use am_ir::FlowGraph;
 
 use crate::flush::{final_flush, FlushStats};
@@ -28,6 +30,38 @@ impl Default for GlobalConfig {
     }
 }
 
+/// Wall-clock time spent in each phase of one [`optimize_with`] call.
+///
+/// Plain data (`Copy + Send`), so callers can aggregate timings across
+/// worker threads — the batch pipeline sums these per phase to show where
+/// a whole corpus spends its time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Critical-edge splitting (Sec. 2.1).
+    pub split: Duration,
+    /// Initialization (Fig. 12).
+    pub init: Duration,
+    /// The assignment-motion fixed point (Fig. 14).
+    pub motion: Duration,
+    /// The final flush (Fig. 15).
+    pub flush: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across all four phases.
+    pub fn total(&self) -> Duration {
+        self.split + self.init + self.motion + self.flush
+    }
+
+    /// Component-wise sum, for aggregation over many runs.
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.split += other.split;
+        self.init += other.init;
+        self.motion += other.motion;
+        self.flush += other.flush;
+    }
+}
+
 /// The result of running the global algorithm.
 #[derive(Clone, Debug)]
 pub struct GlobalResult {
@@ -47,6 +81,8 @@ pub struct GlobalResult {
     pub flush: FlushStats,
     /// Critical edges split before the phases ran.
     pub edges_split: usize,
+    /// Wall-clock time per phase.
+    pub timings: PhaseTimings,
 }
 
 /// Runs the complete algorithm on a copy of `g` with default configuration.
@@ -75,16 +111,25 @@ pub fn optimize(g: &FlowGraph) -> GlobalResult {
 
 /// Runs the complete algorithm with explicit configuration.
 pub fn optimize_with(g: &FlowGraph, config: &GlobalConfig) -> GlobalResult {
+    let mut timings = PhaseTimings::default();
     let mut program = g.clone();
+    let t = Instant::now();
     let edges_split = program.split_critical_edges();
+    timings.split = t.elapsed();
+    let t = Instant::now();
     let init = initialize(&mut program);
+    timings.init = t.elapsed();
     let after_init = config.keep_snapshots.then(|| program.clone());
     let budget = config
         .max_motion_rounds
         .unwrap_or_else(|| default_round_budget(&program));
+    let t = Instant::now();
     let motion = assignment_motion_bounded(&mut program, budget);
+    timings.motion = t.elapsed();
     let after_motion = config.keep_snapshots.then(|| program.clone());
+    let t = Instant::now();
     let flush = final_flush(&mut program);
+    timings.flush = t.elapsed();
     GlobalResult {
         program,
         after_init,
@@ -93,6 +138,7 @@ pub fn optimize_with(g: &FlowGraph, config: &GlobalConfig) -> GlobalResult {
         motion,
         flush,
         edges_split,
+        timings,
     }
 }
 
@@ -126,13 +172,19 @@ mod tests {
         // Fig. 14 snapshot: everything hoisted to node 1, y := c+d of the
         // loop eliminated.
         let motion_text = canonical_text(result.after_motion.as_ref().unwrap());
-        let node1 = motion_text
-            .split("node 2 {")
-            .next()
-            .unwrap()
-            .to_owned();
-        for line in ["h1 := c+d", "y := h1", "h2 := x+z", "h3 := y+i", "h4 := y+z", "x := h4"] {
-            assert!(node1.contains(line), "missing {line} in node 1:\n{motion_text}");
+        let node1 = motion_text.split("node 2 {").next().unwrap().to_owned();
+        for line in [
+            "h1 := c+d",
+            "y := h1",
+            "h2 := x+z",
+            "h3 := y+i",
+            "h4 := y+z",
+            "x := h4",
+        ] {
+            assert!(
+                node1.contains(line),
+                "missing {line} in node 1:\n{motion_text}"
+            );
         }
         // Fig. 15: final program.
         let final_text = canonical_text(&result.program);
@@ -176,11 +228,10 @@ mod tests {
 
     #[test]
     fn global_preserves_semantics_on_random_programs() {
+        use am_ir::random::SplitMix64;
         use am_ir::random::{structured, unstructured, StructuredConfig, UnstructuredConfig};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
         for seed in 0..25 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::new(seed);
             let orig = if seed % 2 == 0 {
                 structured(&mut rng, &StructuredConfig::default())
             } else {

@@ -204,7 +204,11 @@ pub(crate) fn apply_insertion_step_filtered(
             });
             outcome.inserted += 1;
         }
-        if *g.block(n) != (am_ir::Block { instrs: fresh.clone() }) {
+        if *g.block(n)
+            != (am_ir::Block {
+                instrs: fresh.clone(),
+            })
+        {
             outcome.changed = true;
         }
         g.block_mut(n).instrs = fresh;
@@ -276,10 +280,9 @@ mod tests {
 
     #[test]
     fn blocked_occurrence_is_not_a_candidate() {
-        let g = parse(
-            "start 1\nend 2\nnode 1 { a := 1; x := a+b }\nnode 2 { out(x) }\nedge 1 -> 2",
-        )
-        .unwrap();
+        let g =
+            parse("start 1\nend 2\nnode 1 { a := 1; x := a+b }\nnode 2 { out(x) }\nedge 1 -> 2")
+                .unwrap();
         let analysis = analyze_hoisting(&g);
         let n1 = g.start();
         let x = g.pool().lookup("x").unwrap();
@@ -288,9 +291,7 @@ mod tests {
         let pat = am_ir::AssignPattern::new(x, am_ir::Term::binary(am_ir::BinOp::Add, a, b));
         let i = analysis.universe.assign_id(&pat).unwrap();
         assert!(!analysis.loc_hoistable[n1.index()].contains(i));
-        assert!(analysis.candidates[n1.index()]
-            .iter()
-            .all(|(p, _)| *p != i));
+        assert!(analysis.candidates[n1.index()].iter().all(|(p, _)| *p != i));
     }
 
     #[test]
@@ -301,7 +302,12 @@ mod tests {
         hoist_assignments(&mut g);
         let n1 = g.start();
         let text = to_text(&g);
-        let instrs: Vec<String> = g.block(n1).instrs.iter().map(|i| i.display(g.pool())).collect();
+        let instrs: Vec<String> = g
+            .block(n1)
+            .instrs
+            .iter()
+            .map(|i| i.display(g.pool()))
+            .collect();
         assert!(instrs.contains(&"x := a+b".to_owned()), "{text}");
     }
 
@@ -315,11 +321,7 @@ mod tests {
         for seed in 0..20 {
             let cfg = am_ir::interp::Config {
                 oracle: am_ir::interp::Oracle::random(seed, 5),
-                inputs: vec![
-                    ("a".into(), seed as i64),
-                    ("b".into(), 3),
-                    ("y".into(), 1),
-                ],
+                inputs: vec![("a".into(), seed as i64), ("b".into(), 3), ("y".into(), 1)],
                 ..Default::default()
             };
             let r0 = am_ir::interp::run(&orig, &cfg);
@@ -354,8 +356,18 @@ mod tests {
         // So the insertion point is the exit of node 1 (X-INSERT).
         assert!(analysis.x_insert[n1.index()].contains(i));
         hoist_assignments(&mut g);
-        let instrs: Vec<String> = g.block(n1).instrs.iter().map(|ins| ins.display(g.pool())).collect();
-        assert_eq!(instrs, vec!["branch x > 0", "x := a+b"], "from {before} to {}", to_text(&g));
+        let instrs: Vec<String> = g
+            .block(n1)
+            .instrs
+            .iter()
+            .map(|ins| ins.display(g.pool()))
+            .collect();
+        assert_eq!(
+            instrs,
+            vec!["branch x > 0", "x := a+b"],
+            "from {before} to {}",
+            to_text(&g)
+        );
     }
 
     #[test]
@@ -373,7 +385,12 @@ mod tests {
         .unwrap();
         hoist_assignments(&mut g);
         let n1 = g.start();
-        let instrs: Vec<String> = g.block(n1).instrs.iter().map(|i| i.display(g.pool())).collect();
+        let instrs: Vec<String> = g
+            .block(n1)
+            .instrs
+            .iter()
+            .map(|i| i.display(g.pool()))
+            .collect();
         assert_eq!(instrs, vec!["branch p > 0"]);
         let n2 = g.nodes().find(|&n| g.label(n) == "2").unwrap();
         assert_eq!(g.block(n2).instrs.len(), 1);

@@ -109,7 +109,10 @@ mod tests {
         // Node 1 (Fig. 12): h1 := c+d; y := h1.
         assert!(canon.contains("h1 := c+d\n  y := h1"), "{canon}");
         // Node 2 (Fig. 12): h2 := x+z; h3 := y+i; branch h2 > h3.
-        assert!(canon.contains("h2 := x+z\n  h3 := y+i\n  branch h2 > h3"), "{canon}");
+        assert!(
+            canon.contains("h2 := x+z\n  h3 := y+i\n  branch h2 > h3"),
+            "{canon}"
+        );
         // Node 3 (Fig. 12): h1 := c+d; y := h1; h4 := y+z; x := h4; h5 := i+x; i := h5.
         assert!(
             canon.contains("h1 := c+d\n  y := h1\n  h4 := y+z\n  x := h4\n  h5 := i+x\n  i := h5"),
@@ -157,7 +160,9 @@ mod tests {
 
     #[test]
     fn trivial_assignments_untouched() {
-        let mut g = parse("start s\nend e\nnode s { x := y; z := 5 }\nnode e { out(x,z) }\nedge s -> e").unwrap();
+        let mut g =
+            parse("start s\nend e\nnode s { x := y; z := 5 }\nnode e { out(x,z) }\nedge s -> e")
+                .unwrap();
         let before = to_text(&g);
         let stats = initialize(&mut g);
         assert_eq!(stats, InitStats::default());
@@ -176,7 +181,19 @@ mod tests {
         let h = g.temp_for(Term::binary(BinOp::Add, a, b));
         let instrs = &g.block(g.start()).instrs;
         assert_eq!(instrs.len(), 4);
-        assert_eq!(instrs[0], Instr::Assign { lhs: h, rhs: Term::binary(BinOp::Add, a, b) });
-        assert_eq!(instrs[2], Instr::Assign { lhs: h, rhs: Term::binary(BinOp::Add, a, b) });
+        assert_eq!(
+            instrs[0],
+            Instr::Assign {
+                lhs: h,
+                rhs: Term::binary(BinOp::Add, a, b)
+            }
+        );
+        assert_eq!(
+            instrs[2],
+            Instr::Assign {
+                lhs: h,
+                rhs: Term::binary(BinOp::Add, a, b)
+            }
+        );
     }
 }

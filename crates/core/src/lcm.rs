@@ -44,9 +44,7 @@ fn kills(instr: &Instr, eps: Term) -> bool {
 /// Returns the rewritten instruction and how many replacements were made.
 fn replace_evaluations(instr: &Instr, eps: Term, h: Var) -> (Instr, usize) {
     match instr {
-        Instr::Assign { lhs, rhs } if *rhs == eps && *lhs != h => {
-            (Instr::assign(*lhs, h), 1)
-        }
+        Instr::Assign { lhs, rhs } if *rhs == eps && *lhs != h => (Instr::assign(*lhs, h), 1),
         Instr::Branch(c) => {
             let mut count = 0;
             let mut sub = |t: Term| -> Term {
@@ -78,7 +76,10 @@ pub fn busy_expression_motion(g: &mut FlowGraph) -> EmStats {
     if ep == 0 {
         return stats;
     }
-    let temps: Vec<Var> = universe.expr_patterns().map(|(_, t)| g.temp_for(t)).collect();
+    let temps: Vec<Var> = universe
+        .expr_patterns()
+        .map(|(_, t)| g.temp_for(t))
+        .collect();
 
     let snapshot = g.clone();
     let pg = PointGraph::build(&snapshot);
@@ -256,10 +257,20 @@ mod tests {
         let (_, g) = em(FIG1);
         let canon = canonical_text(&g);
         let n2 = g.nodes().find(|&n| g.label(n) == "2").unwrap();
-        let body2: Vec<String> = g.block(n2).instrs.iter().map(|i| i.display(g.pool())).collect();
+        let body2: Vec<String> = g
+            .block(n2)
+            .instrs
+            .iter()
+            .map(|i| i.display(g.pool()))
+            .collect();
         assert!(body2[0].contains(":= a+b"), "{canon}");
         let n3 = g.nodes().find(|&n| g.label(n) == "3").unwrap();
-        let body3: Vec<String> = g.block(n3).instrs.iter().map(|i| i.display(g.pool())).collect();
+        let body3: Vec<String> = g
+            .block(n3)
+            .instrs
+            .iter()
+            .map(|i| i.display(g.pool()))
+            .collect();
         assert_eq!(body3[0], "x := a+b", "isolated use reconstructed: {canon}");
     }
 
@@ -285,16 +296,19 @@ mod tests {
     fn em_cannot_remove_assignments() {
         // Fig. 6(a): EM alone leaves the loop-invariant *assignment* in the
         // loop; it only shares the expression computation.
-        let (_, g) = em(
-            "start 1\nend 4\n\
+        let (_, g) = em("start 1\nend 4\n\
              node 1 { y := c+d }\n\
              node 2 { branch x+z > y+i }\n\
              node 3 { y := c+d; x := y+z; i := i+x }\n\
              node 4 { x := y+z; x := c+d; out(i,x,y) }\n\
-             edge 1 -> 2\nedge 2 -> 3, 4\nedge 3 -> 2",
-        );
+             edge 1 -> 2\nedge 2 -> 3, 4\nedge 3 -> 2");
         let n3 = g.nodes().find(|&n| g.label(n) == "3").unwrap();
-        let body: Vec<String> = g.block(n3).instrs.iter().map(|i| i.display(g.pool())).collect();
+        let body: Vec<String> = g
+            .block(n3)
+            .instrs
+            .iter()
+            .map(|i| i.display(g.pool()))
+            .collect();
         // The y := ... assignment is still in the loop (via the temporary).
         assert!(
             body.iter().any(|s| s.starts_with("y := ")),
@@ -338,7 +352,13 @@ mod tests {
             let cfg = interp::Config::with_inputs(vec![("a", val.0), ("b", val.1)]);
             let r0 = interp::run(&orig, &cfg);
             let r1 = interp::run(&g, &cfg);
-            assert_eq!(r0.observable(), r1.observable(), "{:?}\n{}", val, canonical_text(&g));
+            assert_eq!(
+                r0.observable(),
+                r1.observable(),
+                "{:?}\n{}",
+                val,
+                canonical_text(&g)
+            );
         }
     }
 
@@ -353,7 +373,12 @@ mod tests {
         assert_eq!(stats.replaced, 4);
         // The eager insertion sits in node 1 (earliest safe point).
         let n1 = g.start();
-        let body: Vec<String> = g.block(n1).instrs.iter().map(|i| i.display(g.pool())).collect();
+        let body: Vec<String> = g
+            .block(n1)
+            .instrs
+            .iter()
+            .map(|i| i.display(g.pool()))
+            .collect();
         assert!(body.iter().any(|s| s.contains(":= a+b")), "{body:?}");
     }
 }

@@ -176,7 +176,11 @@ mod tests {
         let occurrences = text.matches("x := a+b").count();
         assert_eq!(occurrences, 1, "{text}");
         let n1 = g.start();
-        assert!(g.block(n1).instrs.iter().any(|i| i.display(g.pool()) == "x := a+b"));
+        assert!(g
+            .block(n1)
+            .instrs
+            .iter()
+            .any(|i| i.display(g.pool()) == "x := a+b"));
         check_semantics(&orig, &g, &[("a", 2), ("b", 3), ("y", 10)]);
     }
 
@@ -200,8 +204,12 @@ mod tests {
         assert!(stats.rounds >= 2, "needs a second round for the effect");
         for label in ["3", "4"] {
             let n = g.nodes().find(|&n| g.label(n) == label).unwrap();
-            let body: Vec<String> =
-                g.block(n).instrs.iter().map(|i| i.display(g.pool())).collect();
+            let body: Vec<String> = g
+                .block(n)
+                .instrs
+                .iter()
+                .map(|i| i.display(g.pool()))
+                .collect();
             assert!(
                 !body.contains(&"x := y+z".to_owned()),
                 "x := y+z should have left node {label}: {body:?}"
@@ -209,8 +217,12 @@ mod tests {
         }
         // y := c+d blocks it in node 1, so it lands at node 1's exit.
         let n1 = g.start();
-        let body1: Vec<String> =
-            g.block(n1).instrs.iter().map(|i| i.display(g.pool())).collect();
+        let body1: Vec<String> = g
+            .block(n1)
+            .instrs
+            .iter()
+            .map(|i| i.display(g.pool()))
+            .collect();
         assert_eq!(body1, vec!["y := c+d", "x := y+z"]);
         check_semantics(&orig, &g, &[("c", 1), ("d", 2), ("z", 3), ("q", 2)]);
     }
@@ -233,7 +245,12 @@ mod tests {
         assert!(stats.converged);
         // Fig. 9(b): node 4 keeps no x := y+z.
         let n4 = g.nodes().find(|&n| g.label(n) == "4").unwrap();
-        let body: Vec<String> = g.block(n4).instrs.iter().map(|i| i.display(g.pool())).collect();
+        let body: Vec<String> = g
+            .block(n4)
+            .instrs
+            .iter()
+            .map(|i| i.display(g.pool()))
+            .collect();
         assert!(
             !body.contains(&"x := y+z".to_owned()),
             "partially redundant assignment should be gone: {body:?}"
@@ -254,11 +271,10 @@ mod tests {
 
     #[test]
     fn motion_on_random_programs_preserves_semantics() {
+        use am_ir::random::SplitMix64;
         use am_ir::random::{structured, StructuredConfig};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
         for seed in 0..30 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::new(seed);
             let orig = structured(&mut rng, &StructuredConfig::default());
             let mut g = orig.clone();
             g.split_critical_edges();

@@ -244,10 +244,7 @@ mod tests {
         crate::motion::assignment_motion(&mut am);
         for (label, base) in [("em", &em), ("am", &am)] {
             let report = evaluate(&full, base, &config());
-            assert!(
-                report.left_expression_optimal(),
-                "{label}: {report:?}"
-            );
+            assert!(report.left_expression_optimal(), "{label}: {report:?}");
             assert_ne!(report.expr, Dominance::Equal, "{label} strictly beaten");
         }
     }

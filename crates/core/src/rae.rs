@@ -39,9 +39,16 @@ pub struct RaeOutcome {
 /// patterns never appear in any set.
 pub fn redundancy(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
     let n = pg.len();
-    let mut p = Problem::new(Direction::Forward, Confluence::Must, n, universe.assign_count());
+    let mut p = Problem::new(
+        Direction::Forward,
+        Confluence::Must,
+        n,
+        universe.assign_count(),
+    );
     for point in pg.points() {
-        let Some(instr) = pg.instr(point) else { continue };
+        let Some(instr) = pg.instr(point) else {
+            continue;
+        };
         let idx = point.index();
         for (i, pat) in universe.assign_patterns() {
             if pat.is_self_referential() {
@@ -67,7 +74,9 @@ pub fn redundant_locs(g: &FlowGraph) -> (Vec<Loc>, u64) {
     let sol = redundancy(&pg, &universe);
     let mut locs = Vec::new();
     for point in pg.points() {
-        let Some(instr) = pg.instr(point) else { continue };
+        let Some(instr) = pg.instr(point) else {
+            continue;
+        };
         let Some(loc) = pg.loc(point) else { continue };
         if let am_ir::Instr::Assign { lhs, rhs } = instr {
             let pat = am_ir::AssignPattern::new(*lhs, *rhs);
@@ -123,7 +132,12 @@ pub(crate) fn remove_locs(g: &mut FlowGraph, locs: &[Loc]) {
         g.block_mut(n).instrs = old
             .into_iter()
             .enumerate()
-            .filter(|(index, _)| !doomed.contains(&Loc { node: n, index: *index }))
+            .filter(|(index, _)| {
+                !doomed.contains(&Loc {
+                    node: n,
+                    index: *index,
+                })
+            })
             .map(|(_, instr)| instr)
             .collect();
     }
@@ -143,7 +157,10 @@ mod tests {
         let out = eliminate_redundant_assignments(&mut g);
         assert_eq!(out.eliminated, 1);
         assert_eq!(
-            to_text(&g).lines().filter(|l| l.contains("x := a+b")).count(),
+            to_text(&g)
+                .lines()
+                .filter(|l| l.contains("x := a+b"))
+                .count(),
             1
         );
     }
@@ -224,10 +241,9 @@ mod tests {
 
     #[test]
     fn self_referential_patterns_are_never_redundant() {
-        let mut g = parse(
-            "start 1\nend 2\nnode 1 { i := i+1; i := i+1 }\nnode 2 { out(i) }\nedge 1 -> 2",
-        )
-        .unwrap();
+        let mut g =
+            parse("start 1\nend 2\nnode 1 { i := i+1; i := i+1 }\nnode 2 { out(i) }\nedge 1 -> 2")
+                .unwrap();
         let out = eliminate_redundant_assignments(&mut g);
         assert_eq!(out.eliminated, 0);
     }

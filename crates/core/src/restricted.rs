@@ -32,9 +32,7 @@ pub struct RestrictedStats {
 }
 
 fn occurrence_count(g: &FlowGraph, pat: &am_ir::AssignPattern) -> usize {
-    g.locs()
-        .filter(|(_, instr)| pat.executed_by(instr))
-        .count()
+    g.locs().filter(|(_, instr)| pat.executed_by(instr)).count()
 }
 
 /// Runs the restricted (immediately-profitable-only) assignment motion.
@@ -122,7 +120,11 @@ mod tests {
         let before = am_ir::text::to_text(&g);
         let stats = restricted_assignment_motion(&mut g);
         assert_eq!(stats.accepted, 0, "no hoisting is immediately profitable");
-        assert_eq!(am_ir::text::to_text(&g), before, "program unchanged (Fig. 8)");
+        assert_eq!(
+            am_ir::text::to_text(&g),
+            before,
+            "program unchanged (Fig. 8)"
+        );
         // The partially redundant assignment remains in node 4.
         let n4 = g.nodes().find(|&n| g.label(n) == "4").unwrap();
         assert!(g
@@ -141,13 +143,28 @@ mod tests {
         // Fig. 9(b): node 4 holds only the out; x := y+z moved to node 1's
         // exit and node 3 (after the hoisted a := x+y).
         let n4 = g.nodes().find(|&n| g.label(n) == "4").unwrap();
-        let body4: Vec<String> = g.block(n4).instrs.iter().map(|i| i.display(g.pool())).collect();
+        let body4: Vec<String> = g
+            .block(n4)
+            .instrs
+            .iter()
+            .map(|i| i.display(g.pool()))
+            .collect();
         assert_eq!(body4, vec!["out(a,x)"]);
         let n1 = g.nodes().find(|&n| g.label(n) == "1").unwrap();
-        let body1: Vec<String> = g.block(n1).instrs.iter().map(|i| i.display(g.pool())).collect();
+        let body1: Vec<String> = g
+            .block(n1)
+            .instrs
+            .iter()
+            .map(|i| i.display(g.pool()))
+            .collect();
         assert_eq!(body1, vec!["x := y+z", "a := x+y"]);
         let n3 = g.nodes().find(|&n| g.label(n) == "3").unwrap();
-        let body3: Vec<String> = g.block(n3).instrs.iter().map(|i| i.display(g.pool())).collect();
+        let body3: Vec<String> = g
+            .block(n3)
+            .instrs
+            .iter()
+            .map(|i| i.display(g.pool()))
+            .collect();
         assert_eq!(body3, vec!["a := x+y", "skip", "x := y+z"]);
     }
 

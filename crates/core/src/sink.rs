@@ -168,17 +168,16 @@ pub fn sink_assignments(g: &mut FlowGraph, config: &SinkConfig) -> SinkStats {
         let last = pg.last_of(n).index();
         let mut fresh: Vec<Instr> = Vec::new();
         for pi in first..=last {
-            let emit_inserts =
-                |set: &BitSet, fresh: &mut Vec<Instr>, stats: &mut SinkStats| {
-                    for i in set.iter() {
-                        let pat = universe.assign(i);
-                        fresh.push(Instr::Assign {
-                            lhs: pat.lhs,
-                            rhs: pat.rhs,
-                        });
-                        stats.inserted += 1;
-                    }
-                };
+            let emit_inserts = |set: &BitSet, fresh: &mut Vec<Instr>, stats: &mut SinkStats| {
+                for i in set.iter() {
+                    let pat = universe.assign(i);
+                    fresh.push(Instr::Assign {
+                        lhs: pat.lhs,
+                        rhs: pat.rhs,
+                    });
+                    stats.inserted += 1;
+                }
+            };
             emit_inserts(&insert_before[pi], &mut fresh, &mut stats);
             if let Some(instr) = pg.instr(am_dfa::PointId(pi as u32)) {
                 if occurrence[pi].is_empty() {
@@ -211,9 +210,8 @@ mod tests {
 
     #[test]
     fn fully_dead_assignment_is_removed() {
-        let (_, g, stats) = sink(
-            "start 1\nend 2\nnode 1 { x := a+b; x := 1 }\nnode 2 { out(x) }\nedge 1 -> 2",
-        );
+        let (_, g, stats) =
+            sink("start 1\nend 2\nnode 1 { x := a+b; x := 1 }\nnode 2 { out(x) }\nedge 1 -> 2");
         assert_eq!(stats.dropped_dead, 1);
         assert!(!am_ir::text::to_text(&g).contains("a+b"));
     }
@@ -255,9 +253,8 @@ mod tests {
 
     #[test]
     fn used_assignment_stays_before_its_use() {
-        let (orig, g, _) = sink(
-            "start 1\nend 2\nnode 1 { x := a+b; y := x+1 }\nnode 2 { out(x,y) }\nedge 1 -> 2",
-        );
+        let (orig, g, _) =
+            sink("start 1\nend 2\nnode 1 { x := a+b; y := x+1 }\nnode 2 { out(x,y) }\nedge 1 -> 2");
         let cfg = interp::Config::with_inputs(vec![("a", 1), ("b", 2)]);
         assert_eq!(
             interp::run(&orig, &cfg).observable(),
@@ -267,10 +264,9 @@ mod tests {
 
     #[test]
     fn trap_preserving_mode_keeps_dead_nontrivial_assignments() {
-        let orig = parse(
-            "start 1\nend 2\nnode 1 { x := a/b; x := 1 }\nnode 2 { out(x) }\nedge 1 -> 2",
-        )
-        .unwrap();
+        let orig =
+            parse("start 1\nend 2\nnode 1 { x := a/b; x := 1 }\nnode 2 { out(x) }\nedge 1 -> 2")
+                .unwrap();
         let mut g = orig.clone();
         let stats = sink_assignments(
             &mut g,
@@ -281,18 +277,14 @@ mod tests {
         assert_eq!(stats.dropped_dead, 0);
         // The division still traps on b = 0.
         let cfg = interp::Config::with_inputs(vec![("a", 1), ("b", 0)]);
-        assert_eq!(
-            interp::run(&g, &cfg).trap,
-            Some(interp::Trap::DivByZero)
-        );
+        assert_eq!(interp::run(&g, &cfg).trap, Some(interp::Trap::DivByZero));
     }
 
     #[test]
     fn dead_trivial_copy_is_always_dropped() {
-        let orig = parse(
-            "start 1\nend 2\nnode 1 { t := a; x := 1 }\nnode 2 { out(x) }\nedge 1 -> 2",
-        )
-        .unwrap();
+        let orig =
+            parse("start 1\nend 2\nnode 1 { t := a; x := 1 }\nnode 2 { out(x) }\nedge 1 -> 2")
+                .unwrap();
         let mut g = orig.clone();
         let stats = sink_assignments(
             &mut g,
@@ -326,11 +318,10 @@ mod tests {
 
     #[test]
     fn sinking_preserves_semantics_on_random_programs() {
+        use am_ir::random::SplitMix64;
         use am_ir::random::{structured, StructuredConfig};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
         for seed in 0..20 {
-            let mut rng = StdRng::seed_from_u64(seed + 400);
+            let mut rng = SplitMix64::new(seed + 400);
             let orig = structured(&mut rng, &StructuredConfig::default());
             let mut g = orig.clone();
             g.split_critical_edges();
@@ -344,7 +335,11 @@ mod tests {
                 };
                 let a = interp::run(&orig, &cfg);
                 let b = interp::run(&g, &cfg);
-                assert_eq!(a.observable(), b.observable(), "seed {seed}/{run_seed}\n{orig:?}\n{g:?}");
+                assert_eq!(
+                    a.observable(),
+                    b.observable(),
+                    "seed {seed}/{run_seed}\n{orig:?}\n{g:?}"
+                );
             }
         }
     }
@@ -429,24 +424,29 @@ mod pde_tests {
         assert!(stats.converged);
         // On the right path, neither a+b nor x*2 is evaluated any more.
         let right = run(&g, &Config::with_oracle(vec![1], vec![("a", 1), ("b", 2)]));
-        let right_orig = run(&orig, &Config::with_oracle(vec![1], vec![("a", 1), ("b", 2)]));
+        let right_orig = run(
+            &orig,
+            &Config::with_oracle(vec![1], vec![("a", 1), ("b", 2)]),
+        );
         assert_eq!(right.observable(), right_orig.observable());
         assert_eq!(right.expr_evals, 0, "{}", am_ir::text::to_text(&g));
         assert_eq!(right_orig.expr_evals, 2);
         // The left path still computes both.
         let left = run(&g, &Config::with_oracle(vec![0], vec![("a", 1), ("b", 2)]));
-        let left_orig = run(&orig, &Config::with_oracle(vec![0], vec![("a", 1), ("b", 2)]));
+        let left_orig = run(
+            &orig,
+            &Config::with_oracle(vec![0], vec![("a", 1), ("b", 2)]),
+        );
         assert_eq!(left.observable(), left_orig.observable());
         assert_eq!(left.expr_evals, 2);
     }
 
     #[test]
     fn pde_converges_on_random_programs() {
+        use am_ir::random::SplitMix64;
         use am_ir::random::{structured, StructuredConfig};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
         for seed in 0..15 {
-            let mut rng = StdRng::seed_from_u64(seed + 77_000);
+            let mut rng = SplitMix64::new(seed + 77_000);
             let orig = structured(&mut rng, &StructuredConfig::default());
             let mut g = orig.clone();
             g.split_critical_edges();

@@ -176,7 +176,10 @@ mod tests {
         g.split_critical_edges();
         let universe = explore(&g, &UniverseConfig::default());
         assert!(!universe.truncated, "Fig. 8's universe fits the budget");
-        assert!(universe.programs.len() >= 3, "hoists and eliminations exist");
+        assert!(
+            universe.programs.len() >= 3,
+            "hoists and eliminations exist"
+        );
         assert!(!universe.terminal.is_empty());
     }
 
@@ -271,8 +274,8 @@ mod tests {
     #[test]
     fn successors_of_a_stable_program_are_few() {
         // A fully optimized program's successors only reorder candidates.
-        let g = parse("start 1\nend 2\nnode 1 { x := a+b }\nnode 2 { out(x) }\nedge 1 -> 2")
-            .unwrap();
+        let g =
+            parse("start 1\nend 2\nnode 1 { x := a+b }\nnode 2 { out(x) }\nedge 1 -> 2").unwrap();
         let succs = successors(&g);
         // Hoisting x := a+b within node 1 is a no-op (already at entry).
         assert!(succs.is_empty());

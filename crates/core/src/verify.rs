@@ -153,7 +153,8 @@ mod tests {
 
     #[test]
     fn comparison_accepts_identical_programs() {
-        let a = parse("start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e").unwrap();
+        let a =
+            parse("start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e").unwrap();
         let cmp = compare(&a, &a, &CompareConfig::default());
         assert!(cmp.semantically_equal());
         assert!(cmp.expression_dominates());
@@ -358,11 +359,10 @@ mod lifetime_tests {
 
     #[test]
     fn lazy_motion_beats_busy_motion_on_lifetimes() {
+        use am_ir::random::SplitMix64;
         use am_ir::random::{structured, StructuredConfig};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
         for seed in 0..20 {
-            let mut rng = StdRng::seed_from_u64(seed + 31_000);
+            let mut rng = SplitMix64::new(seed + 31_000);
             let orig = structured(&mut rng, &StructuredConfig::default());
             let mut bcm = orig.clone();
             bcm.split_critical_edges();
@@ -397,16 +397,20 @@ mod lifetime_tests {
             let a = run(&g, &cfg);
             let b = run(&opt, &cfg);
             if a.stop == StopReason::ReachedEnd && b.stop == StopReason::ReachedEnd {
-                assert!(pattern_dominates(&a, &b), "seed {seed}: {:?} vs {:?}",
-                    a.expr_evals_by_pattern, b.expr_evals_by_pattern);
+                assert!(
+                    pattern_dominates(&a, &b),
+                    "seed {seed}: {:?} vs {:?}",
+                    a.expr_evals_by_pattern,
+                    b.expr_evals_by_pattern
+                );
             }
         }
     }
 
     #[test]
     fn lifetime_of_temp_free_program_is_zero() {
-        let g = parse("start 1\nend 2\nnode 1 { x := a+b }\nnode 2 { out(x) }\nedge 1 -> 2")
-            .unwrap();
+        let g =
+            parse("start 1\nend 2\nnode 1 { x := a+b }\nnode 2 { out(x) }\nedge 1 -> 2").unwrap();
         assert_eq!(temp_lifetime_points(&g), 0);
     }
 }
@@ -478,7 +482,8 @@ mod divergence_tests {
 
     #[test]
     fn equivalent_programs_have_no_divergence() {
-        let a = parse("start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e").unwrap();
+        let a =
+            parse("start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e").unwrap();
         let b = crate::global::optimize(&a).program;
         let cfg = Config::with_inputs(vec![("a", 3), ("b", 4)]);
         assert_eq!(first_divergence(&a, &b, &cfg), None);
@@ -486,8 +491,10 @@ mod divergence_tests {
 
     #[test]
     fn value_divergence_is_located() {
-        let a = parse("start s\nend e\nnode s { x := 1 }\nnode e { out(7); out(x) }\nedge s -> e").unwrap();
-        let b = parse("start s\nend e\nnode s { x := 2 }\nnode e { out(7); out(x) }\nedge s -> e").unwrap();
+        let a = parse("start s\nend e\nnode s { x := 1 }\nnode e { out(7); out(x) }\nedge s -> e")
+            .unwrap();
+        let b = parse("start s\nend e\nnode s { x := 2 }\nnode e { out(7); out(x) }\nedge s -> e")
+            .unwrap();
         let d = first_divergence(&a, &b, &Config::with_inputs(vec![]));
         assert_eq!(
             d,
@@ -501,7 +508,8 @@ mod divergence_tests {
 
     #[test]
     fn missing_output_is_reported() {
-        let a = parse("start s\nend e\nnode s { skip }\nnode e { out(1); out(2) }\nedge s -> e").unwrap();
+        let a = parse("start s\nend e\nnode s { skip }\nnode e { out(1); out(2) }\nedge s -> e")
+            .unwrap();
         let b = parse("start s\nend e\nnode s { skip }\nnode e { out(1) }\nedge s -> e").unwrap();
         let d = first_divergence(&a, &b, &Config::with_inputs(vec![]));
         assert_eq!(d, Some(Divergence::OutputLength { left: 2, right: 1 }));
@@ -509,7 +517,8 @@ mod divergence_tests {
 
     #[test]
     fn trap_divergence_is_reported() {
-        let a = parse("start s\nend e\nnode s { x := 1/q }\nnode e { out(x) }\nedge s -> e").unwrap();
+        let a =
+            parse("start s\nend e\nnode s { x := 1/q }\nnode e { out(x) }\nedge s -> e").unwrap();
         let b = parse("start s\nend e\nnode s { x := 0 }\nnode e { out(x) }\nedge s -> e").unwrap();
         let d = first_divergence(&a, &b, &Config::with_inputs(vec![("q", 0)]));
         assert!(matches!(d, Some(Divergence::Trap { .. })), "{d:?}");

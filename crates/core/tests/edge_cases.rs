@@ -27,13 +27,25 @@ fn flush_inserts_on_split_edges_for_one_sided_uses() {
     g.split_critical_edges();
     lazy_expression_motion(&mut g);
     // On the right path, a+b is evaluated exactly once (for x).
-    let right = run(&g, &Config::with_oracle(vec![1], vec![("a", 1), ("b", 2), ("p", 0)]));
-    let right_orig = run(&orig, &Config::with_oracle(vec![1], vec![("a", 1), ("b", 2), ("p", 0)]));
+    let right = run(
+        &g,
+        &Config::with_oracle(vec![1], vec![("a", 1), ("b", 2), ("p", 0)]),
+    );
+    let right_orig = run(
+        &orig,
+        &Config::with_oracle(vec![1], vec![("a", 1), ("b", 2), ("p", 0)]),
+    );
     assert_eq!(right.observable(), right_orig.observable());
     assert_eq!(right.expr_evals, 1, "{}", canonical_text(&g));
     // On the left path, one evaluation serves x, y and z.
-    let left = run(&g, &Config::with_oracle(vec![0], vec![("a", 1), ("b", 2), ("p", 1)]));
-    let left_orig = run(&orig, &Config::with_oracle(vec![0], vec![("a", 1), ("b", 2), ("p", 1)]));
+    let left = run(
+        &g,
+        &Config::with_oracle(vec![0], vec![("a", 1), ("b", 2), ("p", 1)]),
+    );
+    let left_orig = run(
+        &orig,
+        &Config::with_oracle(vec![0], vec![("a", 1), ("b", 2), ("p", 1)]),
+    );
     assert_eq!(left.observable(), left_orig.observable());
     assert_eq!(left.expr_evals, 1, "{}", canonical_text(&g));
 }
@@ -58,7 +70,12 @@ fn multiple_patterns_insert_at_one_point_in_stable_order() {
     // The branch reads only p, so both hoist through it to the entry of
     // node s, in pattern-index order.
     let s_node = g.start();
-    let body: Vec<String> = g.block(s_node).instrs.iter().map(|i| i.display(g.pool())).collect();
+    let body: Vec<String> = g
+        .block(s_node)
+        .instrs
+        .iter()
+        .map(|i| i.display(g.pool()))
+        .collect();
     assert_eq!(body, vec!["x := a+b", "y := c+d", "branch p > 0"]);
 }
 
@@ -133,7 +150,10 @@ fn motion_converges_on_long_dependency_chains() {
     g.split_critical_edges();
     let stats = assignment_motion(&mut g);
     assert!(stats.converged);
-    assert!(stats.rounds >= 8, "chain needs one round per link: {stats:?}");
+    assert!(
+        stats.rounds >= 8,
+        "chain needs one round per link: {stats:?}"
+    );
     for i in [1, 4] {
         let cfg = Config {
             oracle: Oracle::Deterministic,

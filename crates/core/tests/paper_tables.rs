@@ -178,7 +178,12 @@ fn fig14_snapshot_matches_the_paper() {
         lines
     };
     let mut expect1 = vec![
-        "h1 := c+d", "y := h1", "h2 := x+z", "h3 := y+i", "h4 := y+z", "x := h4",
+        "h1 := c+d",
+        "y := h1",
+        "h2 := x+z",
+        "h3 := y+i",
+        "h4 := y+z",
+        "x := h4",
     ];
     expect1.sort_unstable();
     assert_eq!(node_lines("1"), expect1, "{text}");

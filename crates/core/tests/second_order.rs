@@ -44,8 +44,16 @@ fn hoisting_enables_hoisting() {
     // One hoisting pass moves w1 but w2 is still blocked inside the body.
     let mut one_pass = g.clone();
     hoist_assignments(&mut one_pass);
-    let b1 = one_pass.nodes().find(|&n| one_pass.label(n) == "b").unwrap();
-    let body1: Vec<String> = one_pass.block(b1).instrs.iter().map(|i| i.display(one_pass.pool())).collect();
+    let b1 = one_pass
+        .nodes()
+        .find(|&n| one_pass.label(n) == "b")
+        .unwrap();
+    let body1: Vec<String> = one_pass
+        .block(b1)
+        .instrs
+        .iter()
+        .map(|i| i.display(one_pass.pool()))
+        .collect();
     assert!(
         !body1.iter().any(|s| s == "w1 := a+1"),
         "first pass hoists w1: {body1:?}"
@@ -59,7 +67,12 @@ fn hoisting_enables_hoisting() {
     assert!(stats.converged);
     assert!(stats.rounds >= 2);
     let b = g.nodes().find(|&n| g.label(n) == "b").unwrap();
-    let body: Vec<String> = g.block(b).instrs.iter().map(|i| i.display(g.pool())).collect();
+    let body: Vec<String> = g
+        .block(b)
+        .instrs
+        .iter()
+        .map(|i| i.display(g.pool()))
+        .collect();
     assert!(!body.iter().any(|s| s.contains("w1 := a+1")), "{body:?}");
     assert!(!body.iter().any(|s| s.contains("w2 := w1+1")), "{body:?}");
 }
@@ -79,7 +92,10 @@ fn elimination_enables_hoisting() {
     // preceding y := c+d).
     let mut hoist_only = g.clone();
     hoist_assignments(&mut hoist_only);
-    let n3 = hoist_only.nodes().find(|&n| hoist_only.label(n) == "3").unwrap();
+    let n3 = hoist_only
+        .nodes()
+        .find(|&n| hoist_only.label(n) == "3")
+        .unwrap();
     assert!(hoist_only
         .block(n3)
         .instrs
@@ -112,6 +128,11 @@ fn elimination_enables_elimination() {
     let second = eliminate_redundant_assignments(&mut g);
     assert_eq!(second.eliminated, 1, "now y := h0 falls too");
     let n3 = g.nodes().find(|&n| g.label(n) == "3").unwrap();
-    let body: Vec<String> = g.block(n3).instrs.iter().map(|i| i.display(g.pool())).collect();
+    let body: Vec<String> = g
+        .block(n3)
+        .instrs
+        .iter()
+        .map(|i| i.display(g.pool()))
+        .collect();
     assert_eq!(body, vec!["q := q-1"]);
 }

@@ -32,7 +32,12 @@ pub fn expr_computed(instr: &Instr, t: Term) -> bool {
 /// greatest solution.
 pub fn available_expressions(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
     let n = pg.len();
-    let mut p = Problem::new(Direction::Forward, Confluence::Must, n, universe.expr_count());
+    let mut p = Problem::new(
+        Direction::Forward,
+        Confluence::Must,
+        n,
+        universe.expr_count(),
+    );
     for point in pg.points() {
         if let Some(instr) = pg.instr(point) {
             for (i, t) in universe.expr_patterns() {
@@ -58,7 +63,12 @@ pub fn available_expressions(pg: &PointGraph<'_>, universe: &PatternUniverse) ->
 /// Backward, must, greatest solution.
 pub fn anticipated_expressions(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
     let n = pg.len();
-    let mut p = Problem::new(Direction::Backward, Confluence::Must, n, universe.expr_count());
+    let mut p = Problem::new(
+        Direction::Backward,
+        Confluence::Must,
+        n,
+        universe.expr_count(),
+    );
     for point in pg.points() {
         if let Some(instr) = pg.instr(point) {
             for (i, t) in universe.expr_patterns() {
@@ -104,7 +114,12 @@ pub fn live_variables(pg: &PointGraph<'_>) -> Solution {
 /// assignment-pattern index).
 pub fn reaching_copies(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
     let n = pg.len();
-    let mut p = Problem::new(Direction::Forward, Confluence::Must, n, universe.assign_count());
+    let mut p = Problem::new(
+        Direction::Forward,
+        Confluence::Must,
+        n,
+        universe.assign_count(),
+    );
     for point in pg.points() {
         if let Some(instr) = pg.instr(point) {
             for (i, pat) in universe.assign_patterns() {
@@ -127,7 +142,10 @@ pub fn reaching_copies(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solut
 /// Convenience: the set of variables live before point `p`.
 pub fn live_before(sol: &Solution, p: PointId, g: &FlowGraph) -> Vec<Var> {
     let set: &BitSet = &sol.before[p.index()];
-    g.pool().iter().filter(|v| set.contains(v.index())).collect()
+    g.pool()
+        .iter()
+        .filter(|v| set.contains(v.index()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -226,10 +244,8 @@ mod tests {
 
     #[test]
     fn self_increment_keeps_variable_live() {
-        let g = parse(
-            "start 1\nend 2\nnode 1 { i := i+1 }\nnode 2 { out(i) }\nedge 1 -> 2",
-        )
-        .unwrap();
+        let g =
+            parse("start 1\nend 2\nnode 1 { i := i+1 }\nnode 2 { out(i) }\nedge 1 -> 2").unwrap();
         let pg = PointGraph::build(&g);
         let sol = live_variables(&pg);
         let i = g.pool().lookup("i").unwrap();
@@ -251,9 +267,7 @@ mod tests {
         let sol = reaching_copies(&pg, &u);
         let x = g.pool().lookup("x").unwrap();
         let y = g.pool().lookup("y").unwrap();
-        let copy = u
-            .assign_id(&am_ir::AssignPattern::new(x, y))
-            .unwrap();
+        let copy = u.assign_id(&am_ir::AssignPattern::new(x, y)).unwrap();
         let n2 = g.nodes().find(|&n| g.label(n) == "2").unwrap();
         assert!(sol.before[pg.first_of(n2).index()].contains(copy));
         assert!(!sol.after[pg.last_of(n2).index()].contains(copy));

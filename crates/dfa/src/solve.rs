@@ -56,7 +56,12 @@ pub struct Problem {
 
 impl Problem {
     /// Creates a problem with empty gen/kill sets and a `false` boundary.
-    pub fn new(direction: Direction, confluence: Confluence, points: usize, universe: usize) -> Self {
+    pub fn new(
+        direction: Direction,
+        confluence: Confluence,
+        points: usize,
+        universe: usize,
+    ) -> Self {
         Problem {
             direction,
             confluence,
@@ -344,7 +349,10 @@ pub fn solve_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("solver thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("solver thread"))
+            .collect()
     });
     // Merge.
     let points = succs.len();
@@ -373,7 +381,11 @@ pub fn solve_parallel(
 mod parallel_tests {
     use super::*;
 
-    fn random_setup(seed: u64, points: usize, universe: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>, Problem) {
+    fn random_setup(
+        seed: u64,
+        points: usize,
+        universe: usize,
+    ) -> (Vec<Vec<usize>>, Vec<Vec<usize>>, Problem) {
         // Deterministic pseudo-random structure without external deps.
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut next = move || {
@@ -412,8 +424,14 @@ mod parallel_tests {
             for threads in [1, 2, 4, 7] {
                 let par = solve_parallel(&succs, &preds, &p, threads);
                 for point in 0..succs.len() {
-                    assert_eq!(par.before[point], seq.before[point], "seed {seed} t {threads}");
-                    assert_eq!(par.after[point], seq.after[point], "seed {seed} t {threads}");
+                    assert_eq!(
+                        par.before[point], seq.before[point],
+                        "seed {seed} t {threads}"
+                    );
+                    assert_eq!(
+                        par.after[point], seq.after[point],
+                        "seed {seed} t {threads}"
+                    );
                 }
             }
         }

@@ -4,10 +4,13 @@
 //! * it is extremal (greatest for must, least for may), checked against a
 //!   naive round-robin reference solver;
 //! * per-point facts are consistent with path semantics on acyclic graphs.
+//!
+//! Randomized via `am_ir::rng::SplitMix64`; every case is reproducible
+//! from its printed case number.
 
 use am_bitset::BitSet;
 use am_dfa::{solve, Confluence, Direction, Problem};
-use proptest::prelude::*;
+use am_ir::rng::SplitMix64;
 
 /// A random DAG plus optional back edges over `n` points.
 #[derive(Clone, Debug)]
@@ -55,6 +58,13 @@ fn random_problem(
         p.kill[point % n].insert(bit % universe);
     }
     p
+}
+
+fn pairs(rng: &mut SplitMix64, max_len: usize, a: usize, b: usize) -> Vec<(usize, usize)> {
+    let n = rng.gen_range(0..max_len);
+    (0..n)
+        .map(|_| (rng.gen_range(0..a), rng.gen_range(0..b)))
+        .collect()
 }
 
 /// Naive reference: iterate all points round-robin until nothing changes.
@@ -108,44 +118,68 @@ fn reference_solve(flow: &RandomFlow, p: &Problem) -> (Vec<BitSet>, Vec<BitSet>)
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn worklist_matches_round_robin_reference(
-        n in 2usize..14,
-        universe in 1usize..20,
-        edges in proptest::collection::vec((0usize..14, 0usize..14), 0..16),
-        back in proptest::bool::ANY,
-        gen_bits in proptest::collection::vec((0usize..14, 0usize..20), 0..20),
-        kill_bits in proptest::collection::vec((0usize..14, 0usize..20), 0..20),
-        fwd in proptest::bool::ANY,
-        must in proptest::bool::ANY,
-    ) {
+#[test]
+fn worklist_matches_round_robin_reference() {
+    let mut rng = SplitMix64::new(0xDFA_001);
+    for case in 0..128 {
+        let n = rng.gen_range(2..14usize);
+        let universe = rng.gen_range(1..20usize);
+        let edges = pairs(&mut rng, 16, 14, 14);
+        let back = rng.gen_bool(0.5);
+        let gen_bits = pairs(&mut rng, 20, 14, 20);
+        let kill_bits = pairs(&mut rng, 20, 14, 20);
+        let direction = if rng.gen_bool(0.5) {
+            Direction::Forward
+        } else {
+            Direction::Backward
+        };
+        let confluence = if rng.gen_bool(0.5) {
+            Confluence::Must
+        } else {
+            Confluence::May
+        };
         let flow = random_flow(n, &edges, back);
-        let direction = if fwd { Direction::Forward } else { Direction::Backward };
-        let confluence = if must { Confluence::Must } else { Confluence::May };
-        let p = random_problem(&flow, universe, direction, confluence, &gen_bits, &kill_bits);
+        let p = random_problem(
+            &flow, universe, direction, confluence, &gen_bits, &kill_bits,
+        );
         let sol = solve(&flow.succs, &flow.preds, &p);
         let (ref_before, ref_after) = reference_solve(&flow, &p);
         for point in 0..n {
-            prop_assert_eq!(&sol.before[point], &ref_before[point], "before at {}", point);
-            prop_assert_eq!(&sol.after[point], &ref_after[point], "after at {}", point);
+            assert_eq!(
+                &sol.before[point], &ref_before[point],
+                "case {case} before at {point}"
+            );
+            assert_eq!(
+                &sol.after[point], &ref_after[point],
+                "case {case} after at {point}"
+            );
         }
     }
+}
 
-    #[test]
-    fn solution_is_a_fixed_point(
-        n in 2usize..14,
-        universe in 1usize..20,
-        edges in proptest::collection::vec((0usize..14, 0usize..14), 0..16),
-        gen_bits in proptest::collection::vec((0usize..14, 0usize..20), 0..20),
-        kill_bits in proptest::collection::vec((0usize..14, 0usize..20), 0..20),
-        must in proptest::bool::ANY,
-    ) {
+#[test]
+fn solution_is_a_fixed_point() {
+    let mut rng = SplitMix64::new(0xDFA_002);
+    for case in 0..128 {
+        let n = rng.gen_range(2..14usize);
+        let universe = rng.gen_range(1..20usize);
+        let edges = pairs(&mut rng, 16, 14, 14);
+        let gen_bits = pairs(&mut rng, 20, 14, 20);
+        let kill_bits = pairs(&mut rng, 20, 14, 20);
+        let confluence = if rng.gen_bool(0.5) {
+            Confluence::Must
+        } else {
+            Confluence::May
+        };
         let flow = random_flow(n, &edges, true);
-        let confluence = if must { Confluence::Must } else { Confluence::May };
-        let p = random_problem(&flow, universe, Direction::Forward, confluence, &gen_bits, &kill_bits);
+        let p = random_problem(
+            &flow,
+            universe,
+            Direction::Forward,
+            confluence,
+            &gen_bits,
+            &kill_bits,
+        );
         let sol = solve(&flow.succs, &flow.preds, &p);
         for point in 0..n {
             // before = merge over preds (or boundary).
@@ -169,26 +203,46 @@ proptest! {
                     }
                 }
             };
-            prop_assert_eq!(&sol.before[point], &expected_before);
+            assert_eq!(
+                &sol.before[point], &expected_before,
+                "case {case} point {point}"
+            );
             // after = gen ∪ (before ∖ kill).
             let mut expected_after = sol.before[point].clone();
             expected_after.difference_with(&p.kill[point]);
             expected_after.union_with(&p.gen[point]);
-            prop_assert_eq!(&sol.after[point], &expected_after);
+            assert_eq!(
+                &sol.after[point], &expected_after,
+                "case {case} point {point}"
+            );
         }
     }
+}
 
-    #[test]
-    fn acyclic_forward_may_equals_reachability(
-        n in 2usize..12,
-        universe in 1usize..8,
-        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..12),
-        gen_bits in proptest::collection::vec((0usize..12, 0usize..8), 1..8),
-    ) {
+#[test]
+fn acyclic_forward_may_equals_reachability() {
+    let mut rng = SplitMix64::new(0xDFA_003);
+    for case in 0..128 {
+        let n = rng.gen_range(2..12usize);
+        let universe = rng.gen_range(1..8usize);
+        let edges = pairs(&mut rng, 12, 12, 12);
+        let gen_bits = {
+            let len = rng.gen_range(1..8usize);
+            (0..len)
+                .map(|_| (rng.gen_range(0..12usize), rng.gen_range(0..8usize)))
+                .collect::<Vec<_>>()
+        };
         // On a DAG with no kills, a forward-may fact holds after p iff some
         // point generating it reaches p (reflexively).
         let flow = random_flow(n, &edges, false);
-        let p = random_problem(&flow, universe, Direction::Forward, Confluence::May, &gen_bits, &[]);
+        let p = random_problem(
+            &flow,
+            universe,
+            Direction::Forward,
+            Confluence::May,
+            &gen_bits,
+            &[],
+        );
         let sol = solve(&flow.succs, &flow.preds, &p);
         // Reachability closure per bit.
         for bit in 0..universe {
@@ -198,34 +252,44 @@ proptest! {
                 // for the forward direction (all extra edges go forward).
                 let incoming = flow.preds[point].iter().any(|&q| holds_after[q]);
                 holds_after[point] = p.gen[point].contains(bit) || incoming;
-                prop_assert_eq!(sol.after[point].contains(bit), holds_after[point]);
+                assert_eq!(
+                    sol.after[point].contains(bit),
+                    holds_after[point],
+                    "case {case} bit {bit} point {point}"
+                );
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn worklist_iteration_count_is_bounded(
-        n in 2usize..14,
-        universe in 1usize..20,
-        edges in proptest::collection::vec((0usize..14, 0usize..14), 0..16),
-        back in proptest::bool::ANY,
-        gen_bits in proptest::collection::vec((0usize..14, 0usize..20), 0..20),
-        kill_bits in proptest::collection::vec((0usize..14, 0usize..20), 0..20),
-        fwd in proptest::bool::ANY,
-        must in proptest::bool::ANY,
-    ) {
+#[test]
+fn worklist_iteration_count_is_bounded() {
+    let mut rng = SplitMix64::new(0xDFA_004);
+    for case in 0..128 {
+        let n = rng.gen_range(2..14usize);
+        let universe = rng.gen_range(1..20usize);
+        let edges = pairs(&mut rng, 16, 14, 14);
+        let back = rng.gen_bool(0.5);
+        let gen_bits = pairs(&mut rng, 20, 14, 20);
+        let kill_bits = pairs(&mut rng, 20, 14, 20);
+        let direction = if rng.gen_bool(0.5) {
+            Direction::Forward
+        } else {
+            Direction::Backward
+        };
+        let confluence = if rng.gen_bool(0.5) {
+            Confluence::Must
+        } else {
+            Confluence::May
+        };
         // Monotone gen/kill systems: every point's output changes at most
         // `universe` times after its first computation, and each change
         // requeues at most `max_degree` neighbours. The worklist must stay
         // within n + n·universe·max_degree point updates.
         let flow = random_flow(n, &edges, back);
-        let direction = if fwd { Direction::Forward } else { Direction::Backward };
-        let confluence = if must { Confluence::Must } else { Confluence::May };
-        let p = random_problem(&flow, universe, direction, confluence, &gen_bits, &kill_bits);
+        let p = random_problem(
+            &flow, universe, direction, confluence, &gen_bits, &kill_bits,
+        );
         let sol = solve(&flow.succs, &flow.preds, &p);
         let max_degree = flow
             .succs
@@ -236,9 +300,9 @@ proptest! {
             .unwrap_or(0)
             .max(1);
         let bound = (n + n * universe * max_degree) as u64;
-        prop_assert!(
+        assert!(
             sol.iterations <= bound,
-            "{} iterations exceeds bound {}",
+            "case {case}: {} iterations exceeds bound {}",
             sol.iterations,
             bound
         );

@@ -23,12 +23,13 @@ pub fn rename_temps_canonically(g: &FlowGraph) -> FlowGraph {
     // Order temporaries by first occurrence.
     let mut order: Vec<Var> = Vec::new();
     let mut seen: HashMap<Var, ()> = HashMap::new();
-    let note = |v: Var, pool: &crate::var::VarPool, order: &mut Vec<Var>, seen: &mut HashMap<Var, ()>| {
-        if pool.is_temp(v) && !seen.contains_key(&v) {
-            seen.insert(v, ());
-            order.push(v);
-        }
-    };
+    let note =
+        |v: Var, pool: &crate::var::VarPool, order: &mut Vec<Var>, seen: &mut HashMap<Var, ()>| {
+            if pool.is_temp(v) && !seen.contains_key(&v) {
+                seen.insert(v, ());
+                order.push(v);
+            }
+        };
     for (_, instr) in g.locs() {
         if let Some(d) = instr.def() {
             note(d, g.pool(), &mut order, &mut seen);
@@ -99,6 +100,28 @@ pub fn alpha_eq(a: &FlowGraph, b: &FlowGraph) -> bool {
     canonical_text(a) == canonical_text(b)
 }
 
+/// A stable 64-bit content hash of `g`, insensitive to temporary naming:
+/// alpha-equivalent programs hash equal on every platform and in every
+/// process (the hash is FNV-1a over [`canonical_text`], with no per-process
+/// randomization — unlike `DefaultHasher`). Suitable as a
+/// content-addressed cache key.
+pub fn stable_hash(g: &FlowGraph) -> u64 {
+    stable_hash_text(&canonical_text(g))
+}
+
+/// The raw FNV-1a hash used by [`stable_hash`], exposed so callers that
+/// already hold a canonical text can avoid recomputing it.
+pub fn stable_hash_text(canonical: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in canonical.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// Helper for terms in tests: maps a term's variables.
 pub fn map_term(t: Term, f: &impl Fn(Var) -> Var) -> Term {
     t.map_vars(f)
@@ -111,10 +134,8 @@ mod tests {
     use crate::text::parse;
 
     fn with_temp(name_suffix: &str) -> FlowGraph {
-        let mut g = parse(
-            "start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e",
-        )
-        .unwrap();
+        let mut g =
+            parse("start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e").unwrap();
         let a = g.pool().lookup("a").unwrap();
         let b = g.pool().lookup("b").unwrap();
         let h = g.pool_mut().intern_temp(&format!("h<{name_suffix}>"));
@@ -147,16 +168,32 @@ mod tests {
     #[test]
     fn alpha_eq_distinguishes_real_differences() {
         let g1 = with_temp("a+b");
-        let g2 = parse("start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e")
-            .unwrap();
+        let g2 =
+            parse("start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e").unwrap();
         assert!(!alpha_eq(&g1, &g2));
     }
 
     #[test]
     fn non_temp_names_are_preserved() {
-        let g = parse("start s\nend e\nnode s { hello := a+b }\nnode e { out(hello) }\nedge s -> e").unwrap();
+        let g =
+            parse("start s\nend e\nnode s { hello := a+b }\nnode e { out(hello) }\nedge s -> e")
+                .unwrap();
         let text = canonical_text(&g);
         assert!(text.contains("hello := a+b"));
+    }
+
+    #[test]
+    fn stable_hash_is_alpha_insensitive_and_content_sensitive() {
+        let g1 = with_temp("a+b");
+        let g2 = with_temp("completely_different_temp_name");
+        assert_eq!(stable_hash(&g1), stable_hash(&g2));
+        let g3 =
+            parse("start s\nend e\nnode s { x := a+c }\nnode e { out(x) }\nedge s -> e").unwrap();
+        assert_ne!(stable_hash(&g1), stable_hash(&g3));
+        // Pinned value: the hash must never drift across versions or
+        // platforms, or cache keys silently change meaning.
+        assert_eq!(stable_hash_text(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_hash_text("a"), 0xaf63_dc4c_8601_ec8c);
     }
 
     #[test]

@@ -108,12 +108,7 @@ impl Dominators {
     }
 }
 
-fn intersect(
-    idom: &[Option<NodeId>],
-    rpo_index: &[usize],
-    mut a: NodeId,
-    mut b: NodeId,
-) -> NodeId {
+fn intersect(idom: &[Option<NodeId>], rpo_index: &[usize], mut a: NodeId, mut b: NodeId) -> NodeId {
     while a != b {
         while rpo_index[a.index()] > rpo_index[b.index()] {
             a = idom[a.index()].expect("intersect on unprocessed node");
@@ -144,8 +139,7 @@ pub fn back_edges(g: &FlowGraph) -> Vec<(NodeId, NodeId)> {
 /// graph acyclic. Fig. 7's second loop is a standard irreducible construct
 /// and fails this test.
 pub fn is_reducible(g: &FlowGraph) -> bool {
-    let back: std::collections::HashSet<(NodeId, NodeId)> =
-        back_edges(g).into_iter().collect();
+    let back: std::collections::HashSet<(NodeId, NodeId)> = back_edges(g).into_iter().collect();
     // Kahn-style cycle check on the remaining edges.
     let n = g.node_count();
     let mut indeg = vec![0usize; n];

@@ -171,9 +171,10 @@ impl NodeBuilder<'_> {
     /// Appends `lhs := rhs`; `rhs` is 3-address expression syntax
     /// (`"a+b"`, `"x"`, `"5"`).
     pub fn assign(&mut self, lhs: &str, rhs: &str) -> &mut Self {
-        self.builder
-            .pending
-            .push((self.label.clone(), PendingInstr::Assign(lhs.into(), rhs.into())));
+        self.builder.pending.push((
+            self.label.clone(),
+            PendingInstr::Assign(lhs.into(), rhs.into()),
+        ));
         self
     }
 
@@ -282,10 +283,7 @@ mod tests {
         b.node("s").assign("x", "a+b+c");
         b.node("e").skip();
         b.edge("s", "e");
-        assert!(matches!(
-            b.build("s", "e"),
-            Err(BuildError::Expr(_, _))
-        ));
+        assert!(matches!(b.build("s", "e"), Err(BuildError::Expr(_, _))));
     }
 
     #[test]

@@ -262,7 +262,10 @@ impl FlowGraph {
     ///
     /// Panics if `term` is trivial.
     pub fn temp_for(&mut self, term: Term) -> Var {
-        assert!(term.is_nontrivial(), "only non-trivial terms own temporaries");
+        assert!(
+            term.is_nontrivial(),
+            "only non-trivial terms own temporaries"
+        );
         let name = format!("h<{}>", term.display(&self.pool));
         self.pool.intern_temp(&name)
     }
@@ -366,7 +369,11 @@ impl FlowGraph {
         let mut stack = vec![origin];
         seen[origin.index()] = true;
         while let Some(n) = stack.pop() {
-            let nexts = if backward { self.preds(n) } else { self.succs(n) };
+            let nexts = if backward {
+                self.preds(n)
+            } else {
+                self.succs(n)
+            };
             for &m in nexts {
                 if !seen[m.index()] {
                     seen[m.index()] = true;
@@ -556,10 +563,7 @@ mod tests {
         let locs: Vec<_> = g.locs().map(|(l, _)| l).collect();
         assert_eq!(
             locs,
-            vec![
-                Loc { node: s, index: 0 },
-                Loc { node: l, index: 0 }
-            ]
+            vec![Loc { node: s, index: 0 }, Loc { node: l, index: 0 }]
         );
         assert_eq!(g.instr_count(), 2);
     }
@@ -614,10 +618,7 @@ impl FlowGraph {
         let keep: Vec<NodeId> = g
             .nodes()
             .filter(|&n| {
-                n == g.start()
-                    || n == g.end()
-                    || !g.preds(n).is_empty()
-                    || !g.succs(n).is_empty()
+                n == g.start() || n == g.end() || !g.preds(n).is_empty() || !g.succs(n).is_empty()
             })
             .collect();
         let mut out = FlowGraph::new();
@@ -708,7 +709,11 @@ mod simplify_tests {
         let x = g.pool().lookup("x").unwrap();
         g.block_mut(synth).instrs.push(Instr::assign(x, 7));
         let simplified = g.simplified();
-        assert_eq!(simplified.node_count(), g.node_count(), "nothing contracted");
+        assert_eq!(
+            simplified.node_count(),
+            g.node_count(),
+            "nothing contracted"
+        );
         assert_eq!(simplified.validate(), Ok(()));
     }
 

@@ -233,10 +233,7 @@ mod tests {
             Instr::assign(x, Term::binary(BinOp::Add, y, z)).display(&p),
             "x := y+z"
         );
-        assert_eq!(
-            Instr::Out(vec![x.into(), y.into()]).display(&p),
-            "out(x,y)"
-        );
+        assert_eq!(Instr::Out(vec![x.into(), y.into()]).display(&p), "out(x,y)");
         let c = Cond::new(BinOp::Gt, Term::binary(BinOp::Add, x, z), Term::operand(y));
         assert_eq!(Instr::Branch(c).display(&p), "branch x+z > y");
     }

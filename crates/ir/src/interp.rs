@@ -103,10 +103,7 @@ impl Config {
     pub fn with_inputs(inputs: Vec<(&str, i64)>) -> Config {
         Config {
             oracle: Oracle::Deterministic,
-            inputs: inputs
-                .into_iter()
-                .map(|(n, v)| (n.to_owned(), v))
-                .collect(),
+            inputs: inputs.into_iter().map(|(n, v)| (n.to_owned(), v)).collect(),
             ..Config::default()
         }
     }
@@ -115,10 +112,7 @@ impl Config {
     pub fn with_oracle(decisions: Vec<usize>, inputs: Vec<(&str, i64)>) -> Config {
         Config {
             oracle: Oracle::Fixed(decisions),
-            inputs: inputs
-                .into_iter()
-                .map(|(n, v)| (n.to_owned(), v))
-                .collect(),
+            inputs: inputs.into_iter().map(|(n, v)| (n.to_owned(), v)).collect(),
             ..Config::default()
         }
     }
@@ -288,11 +282,7 @@ pub fn run_traced(g: &FlowGraph, config: &Config) -> (RunResult, Vec<TraceEvent>
     (result, events)
 }
 
-fn run_impl(
-    g: &FlowGraph,
-    config: &Config,
-    sink: &mut dyn FnMut(TraceEvent),
-) -> RunResult {
+fn run_impl(g: &FlowGraph, config: &Config, sink: &mut dyn FnMut(TraceEvent)) -> RunResult {
     let mut machine = Machine {
         env: HashMap::new(),
         result: RunResult {
@@ -323,24 +313,25 @@ fn run_impl(
     }
 
     // Picks the next-successor index at a decision point.
-    let decide = |machine: &mut Machine, truth: Option<bool>, fanout: usize| -> Result<usize, Halt> {
-        let choice = match &config.oracle {
-            Oracle::Deterministic => match truth {
-                Some(true) => 0,
-                Some(false) => 1.min(fanout - 1),
-                None => 0,
-            },
-            Oracle::Fixed(decisions) => {
-                let i = machine.result.decisions as usize;
-                match decisions.get(i) {
-                    Some(&d) => d % fanout,
-                    None => return Err(Halt::OracleExhausted),
+    let decide =
+        |machine: &mut Machine, truth: Option<bool>, fanout: usize| -> Result<usize, Halt> {
+            let choice = match &config.oracle {
+                Oracle::Deterministic => match truth {
+                    Some(true) => 0,
+                    Some(false) => 1.min(fanout - 1),
+                    None => 0,
+                },
+                Oracle::Fixed(decisions) => {
+                    let i = machine.result.decisions as usize;
+                    match decisions.get(i) {
+                        Some(&d) => d % fanout,
+                        None => return Err(Halt::OracleExhausted),
+                    }
                 }
-            }
+            };
+            machine.result.decisions += 1;
+            Ok(choice)
         };
-        machine.result.decisions += 1;
-        Ok(choice)
-    };
 
     let mut node = g.start();
     let halt: Option<Halt> = 'outer: loop {
@@ -449,7 +440,10 @@ mod tests {
 
     #[test]
     fn straight_line_arithmetic() {
-        let g = parse("start s\nend e\nnode s { x := a*b; y := x-1 }\nnode e { out(x,y) }\nedge s -> e").unwrap();
+        let g = parse(
+            "start s\nend e\nnode s { x := a*b; y := x-1 }\nnode e { out(x,y) }\nedge s -> e",
+        )
+        .unwrap();
         let r = run(&g, &Config::with_inputs(vec![("a", 4), ("b", 5)]));
         assert_eq!(r.stop, StopReason::ReachedEnd);
         assert_eq!(r.outputs, vec![vec![20, 19]]);
@@ -464,8 +458,8 @@ mod tests {
         let r = run(&g, &Config::with_inputs(vec![("n", 5)]));
         assert_eq!(r.stop, StopReason::ReachedEnd);
         assert_eq!(r.outputs, vec![vec![10]]); // 0+1+2+3+4
-        // The condition's sides are trivial operands, so only the two
-        // body assignments evaluate non-trivial terms: 2 per iteration.
+                                               // The condition's sides are trivial operands, so only the two
+                                               // body assignments evaluate non-trivial terms: 2 per iteration.
         assert_eq!(r.expr_evals, 10);
         assert_eq!(r.decisions, 6);
     }
@@ -493,7 +487,8 @@ mod tests {
 
     #[test]
     fn division_by_zero_traps() {
-        let g = parse("start s\nend e\nnode s { x := a/b }\nnode e { out(x) }\nedge s -> e").unwrap();
+        let g =
+            parse("start s\nend e\nnode s { x := a/b }\nnode e { out(x) }\nedge s -> e").unwrap();
         let r = run(&g, &Config::with_inputs(vec![("a", 1), ("b", 0)]));
         assert_eq!(r.stop, StopReason::Trapped);
         assert_eq!(r.trap, Some(Trap::DivByZero));
@@ -524,7 +519,8 @@ mod tests {
 
     #[test]
     fn temp_assignments_are_counted_separately() {
-        let mut g = parse("start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e").unwrap();
+        let mut g =
+            parse("start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e").unwrap();
         let a = g.pool().lookup("a").unwrap();
         let b = g.pool().lookup("b").unwrap();
         let t = Term::binary(BinOp::Add, a, b);
@@ -543,7 +539,8 @@ mod tests {
 
     #[test]
     fn uninitialized_variables_read_zero() {
-        let g = parse("start s\nend e\nnode s { x := q+1 }\nnode e { out(x,q) }\nedge s -> e").unwrap();
+        let g =
+            parse("start s\nend e\nnode s { x := q+1 }\nnode e { out(x,q) }\nedge s -> e").unwrap();
         let r = run(&g, &Config::with_inputs(vec![]));
         assert_eq!(r.outputs, vec![vec![1, 0]]);
     }
@@ -562,16 +559,24 @@ mod tests {
 
     #[test]
     fn random_oracle_is_reproducible() {
-        let Oracle::Fixed(a) = Oracle::random(42, 16) else { panic!() };
-        let Oracle::Fixed(b) = Oracle::random(42, 16) else { panic!() };
-        let Oracle::Fixed(c) = Oracle::random(43, 16) else { panic!() };
+        let Oracle::Fixed(a) = Oracle::random(42, 16) else {
+            panic!()
+        };
+        let Oracle::Fixed(b) = Oracle::random(42, 16) else {
+            panic!()
+        };
+        let Oracle::Fixed(c) = Oracle::random(43, 16) else {
+            panic!()
+        };
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
 
     #[test]
     fn wrapping_arithmetic_does_not_panic() {
-        let g = parse("start s\nend e\nnode s { x := a*a; y := x+a }\nnode e { out(y) }\nedge s -> e").unwrap();
+        let g =
+            parse("start s\nend e\nnode s { x := a*a; y := x+a }\nnode e { out(y) }\nedge s -> e")
+                .unwrap();
         let r = run(&g, &Config::with_inputs(vec![("a", i64::MAX)]));
         assert_eq!(r.stop, StopReason::ReachedEnd);
     }

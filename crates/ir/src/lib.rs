@@ -52,6 +52,7 @@ mod instr;
 pub mod interp;
 pub mod patterns;
 pub mod random;
+pub mod rng;
 mod term;
 pub mod text;
 mod var;

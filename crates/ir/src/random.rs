@@ -9,10 +9,9 @@
 //! * [`unstructured`] wires random edges (possibly irreducible), probing the
 //!   unrestricted worst case.
 
-use rand::Rng;
-
 use crate::graph::{FlowGraph, NodeId};
 use crate::instr::{Cond, Instr};
+pub use crate::rng::SplitMix64;
 use crate::term::{BinOp, Operand, Term};
 use crate::var::Var;
 
@@ -67,20 +66,20 @@ impl Default for UnstructuredConfig {
     }
 }
 
-struct Ctx<'a, R: Rng> {
-    rng: &'a mut R,
+struct Ctx<'a> {
+    rng: &'a mut SplitMix64,
     vars: Vec<Var>,
     allow_div: bool,
 }
 
-impl<R: Rng> Ctx<'_, R> {
+impl Ctx<'_> {
     fn var(&mut self) -> Var {
         self.vars[self.rng.gen_range(0..self.vars.len())]
     }
 
     fn operand(&mut self) -> Operand {
         if self.rng.gen_bool(0.25) {
-            Operand::Const(self.rng.gen_range(-4..=9))
+            Operand::Const(self.rng.gen_range(-4i64..=9))
         } else {
             Operand::Var(self.var())
         }
@@ -96,7 +95,14 @@ impl<R: Rng> Ctx<'_, R> {
     }
 
     fn rel_op(&mut self) -> BinOp {
-        let ops = [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::EqOp, BinOp::Ne];
+        let ops = [
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::EqOp,
+            BinOp::Ne,
+        ];
         ops[self.rng.gen_range(0..ops.len())]
     }
 
@@ -144,11 +150,11 @@ enum Stmt {
     While(Vec<Stmt>),
 }
 
-fn gen_seq<R: Rng>(rng: &mut R, cfg: &StructuredConfig, depth: usize) -> Vec<Stmt> {
+fn gen_seq(rng: &mut SplitMix64, cfg: &StructuredConfig, depth: usize) -> Vec<Stmt> {
     let n = rng.gen_range(1..=cfg.max_stmts);
     (0..n)
         .map(|_| {
-            let roll: f64 = rng.gen();
+            let roll: f64 = rng.gen_f64();
             if depth < cfg.max_depth && roll < 0.18 {
                 Stmt::If(gen_seq(rng, cfg, depth + 1), gen_seq(rng, cfg, depth + 1))
             } else if depth < cfg.max_depth && roll < 0.32 {
@@ -169,7 +175,7 @@ fn gen_seq<R: Rng>(rng: &mut R, cfg: &StructuredConfig, depth: usize) -> Vec<Stm
 /// be present and should be split before applying code motion. The end node
 /// outputs every variable, so any semantic difference between the program
 /// and a transformed version is observable.
-pub fn structured<R: Rng>(rng: &mut R, cfg: &StructuredConfig) -> FlowGraph {
+pub fn structured(rng: &mut SplitMix64, cfg: &StructuredConfig) -> FlowGraph {
     let mut g = FlowGraph::new();
     let vars: Vec<Var> = (0..cfg.num_vars.max(2))
         .map(|i| g.pool_mut().intern(&format!("v{i}")))
@@ -200,9 +206,9 @@ fn fresh_node(g: &mut FlowGraph, counter: &mut usize) -> NodeId {
 
 /// Lowers a statement sequence starting in `cur`; returns the node where
 /// control continues.
-fn lower_seq<R: Rng>(
+fn lower_seq(
     g: &mut FlowGraph,
-    ctx: &mut Ctx<'_, R>,
+    ctx: &mut Ctx<'_>,
     seq: &[Stmt],
     mut cur: NodeId,
     counter: &mut usize,
@@ -217,7 +223,9 @@ fn lower_seq<R: Rng>(
             Stmt::If(then_seq, else_seq) => {
                 let cond_node = fresh_node(g, counter);
                 g.add_edge(cur, cond_node);
-                g.block_mut(cond_node).instrs.push(Instr::Branch(ctx.cond()));
+                g.block_mut(cond_node)
+                    .instrs
+                    .push(Instr::Branch(ctx.cond()));
                 let then_entry = fresh_node(g, counter);
                 let else_entry = fresh_node(g, counter);
                 g.add_edge(cond_node, then_entry);
@@ -249,7 +257,7 @@ fn lower_seq<R: Rng>(
 /// Generates a random *unstructured* program: a forward skeleton keeps every
 /// node on a start–end path, and `extra_edges` random edges (including
 /// backward ones) add loops, joins and — frequently — irreducible regions.
-pub fn unstructured<R: Rng>(rng: &mut R, cfg: &UnstructuredConfig) -> FlowGraph {
+pub fn unstructured(rng: &mut SplitMix64, cfg: &UnstructuredConfig) -> FlowGraph {
     let n = cfg.nodes.max(2);
     let mut g = FlowGraph::new();
     let vars: Vec<Var> = (0..cfg.num_vars.max(2))
@@ -341,13 +349,11 @@ mod tests {
     use super::*;
     use crate::analysis::is_reducible;
     use crate::interp::{run, Config, Oracle};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn structured_programs_are_valid_and_reducible() {
         for seed in 0..40 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::new(seed);
             let g = structured(&mut rng, &StructuredConfig::default());
             assert_eq!(g.validate(), Ok(()), "seed {seed}");
             assert!(is_reducible(&g), "seed {seed} produced irreducible graph");
@@ -357,7 +363,7 @@ mod tests {
     #[test]
     fn unstructured_programs_are_valid() {
         for seed in 0..40 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::new(seed);
             let g = unstructured(&mut rng, &UnstructuredConfig::default());
             assert_eq!(g.validate(), Ok(()), "seed {seed}");
         }
@@ -367,7 +373,7 @@ mod tests {
     fn some_unstructured_programs_are_irreducible() {
         let mut found = false;
         for seed in 0..60 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::new(seed);
             let g = unstructured(&mut rng, &UnstructuredConfig::default());
             if !is_reducible(&g) {
                 found = true;
@@ -380,7 +386,7 @@ mod tests {
     #[test]
     fn generated_programs_run() {
         for seed in 0..20 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::new(seed);
             let g = structured(&mut rng, &StructuredConfig::default());
             let cfg = Config {
                 oracle: Oracle::random(seed, 32),
@@ -396,7 +402,7 @@ mod tests {
     #[test]
     fn splitting_generated_graphs_keeps_them_valid() {
         for seed in 0..20 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::new(seed);
             let mut g = unstructured(&mut rng, &UnstructuredConfig::default());
             g.split_critical_edges();
             assert_eq!(g.validate(), Ok(()), "seed {seed}");
@@ -410,7 +416,7 @@ mod tests {
 
     #[test]
     fn size_scales_with_config() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let big = structured(
             &mut rng,
             &StructuredConfig {
@@ -419,7 +425,7 @@ mod tests {
                 ..StructuredConfig::default()
             },
         );
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let small = structured(
             &mut rng,
             &StructuredConfig {

@@ -131,7 +131,11 @@ mod tests {
         assert_eq!(v1, t1);
         assert_eq!(
             term1,
-            Term::binary(BinOp::Add, pool.lookup("a").unwrap(), pool.lookup("b").unwrap())
+            Term::binary(
+                BinOp::Add,
+                pool.lookup("a").unwrap(),
+                pool.lookup("b").unwrap()
+            )
         );
         let (v2, term2) = emitted[1];
         assert_eq!(v2, t2);

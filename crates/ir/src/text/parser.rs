@@ -99,7 +99,9 @@ impl Parser {
     fn run(mut self) -> Result<FlowGraph, ParseError> {
         while self.peek().is_some() {
             self.skip_seps();
-            let Some(tok) = self.peek().cloned() else { break };
+            let Some(tok) = self.peek().cloned() else {
+                break;
+            };
             match tok {
                 Token::Ident(kw) if kw == "start" => {
                     self.advance();
@@ -449,7 +451,11 @@ impl Parser {
             Expr::Binary { op, lhs, rhs } if op.is_relational() => {
                 let l = self.lower_cond_side(lhs, &mut instrs)?;
                 let r = self.lower_cond_side(rhs, &mut instrs)?;
-                Cond { op: *op, lhs: l, rhs: r }
+                Cond {
+                    op: *op,
+                    lhs: l,
+                    rhs: r,
+                }
             }
             other => {
                 // `branch x` means `branch x != 0`.
@@ -586,16 +592,18 @@ mod tests {
     #[test]
     fn structural_errors_are_reported() {
         // Undefined node referenced in an edge.
-        let src = "start s\nend e\nnode s { skip }\nnode e { out() }\nedge s -> ghost\nedge ghost -> e";
+        let src =
+            "start s\nend e\nnode s { skip }\nnode e { out() }\nedge s -> ghost\nedge ghost -> e";
         let err = parse(src).unwrap_err();
         assert!(err.message.contains("ghost"));
         // Missing start.
         let err = parse("end e\nnode e { out() }").unwrap_err();
         assert!(err.message.contains("start"));
         // Duplicate node.
-        let err =
-            parse("start s\nend e\nnode s { skip }\nnode s { skip }\nnode e { out() }\nedge s -> e")
-                .unwrap_err();
+        let err = parse(
+            "start s\nend e\nnode s { skip }\nnode s { skip }\nnode e { out() }\nedge s -> e",
+        )
+        .unwrap_err();
         assert!(err.message.contains("twice"));
         // Invalid graph: unreachable node is caught by validation.
         let err = parse("start s\nend e\nnode s { skip }\nnode x { skip }\nnode e { out() }\nedge s -> e\nedge x -> e").unwrap_err();
@@ -604,7 +612,8 @@ mod tests {
 
     #[test]
     fn negative_constants() {
-        let src = "start s\nend e\nnode s { x := -3; y := x + -2 }\nnode e { out(x,y) }\nedge s -> e";
+        let src =
+            "start s\nend e\nnode s { x := -3; y := x + -2 }\nnode e { out(x,y) }\nedge s -> e";
         let g = parse(src).unwrap();
         let instrs = &g.block(g.start()).instrs;
         assert_eq!(instrs.len(), 2);
@@ -703,10 +712,7 @@ impl ExprCursor<'_> {
     }
 }
 
-fn cursor<'p>(
-    src: &str,
-    pool: &'p mut crate::var::VarPool,
-) -> Result<ExprCursor<'p>, ParseError> {
+fn cursor<'p>(src: &str, pool: &'p mut crate::var::VarPool) -> Result<ExprCursor<'p>, ParseError> {
     let tokens = lex(src).map_err(|e| ParseError {
         line: e.line,
         message: e.message,
@@ -724,10 +730,7 @@ fn cursor<'p>(
 /// # Errors
 ///
 /// Rejects nested expressions (`"a+b+c"`) and syntax errors.
-pub fn parse_expr_str(
-    src: &str,
-    pool: &mut crate::var::VarPool,
-) -> Result<Term, ParseError> {
+pub fn parse_expr_str(src: &str, pool: &mut crate::var::VarPool) -> Result<Term, ParseError> {
     let mut c = cursor(src, pool)?;
     let expr = c.expr(0)?;
     c.finish()?;
@@ -743,10 +746,7 @@ pub fn parse_expr_str(
 /// # Errors
 ///
 /// Rejects sides deeper than one operator and syntax errors.
-pub fn parse_cond_str(
-    src: &str,
-    pool: &mut crate::var::VarPool,
-) -> Result<Cond, ParseError> {
+pub fn parse_cond_str(src: &str, pool: &mut crate::var::VarPool) -> Result<Cond, ParseError> {
     let mut c = cursor(src, pool)?;
     let expr = c.expr(0)?;
     c.finish()?;

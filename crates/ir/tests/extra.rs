@@ -4,7 +4,9 @@
 
 use am_ir::interp::{run, Config, Oracle, StopReason, Trap};
 use am_ir::text::parse;
-use am_ir::{analysis, AssignPattern, BinOp, Cond, FlowGraph, Instr, Operand, PatternUniverse, Term};
+use am_ir::{
+    analysis, AssignPattern, BinOp, Cond, FlowGraph, Instr, Operand, PatternUniverse, Term,
+};
 
 #[test]
 fn mod_by_zero_traps() {
@@ -26,14 +28,18 @@ fn min_div_minus_one_wraps_instead_of_panicking() {
 
 #[test]
 fn out_with_constants_and_negatives() {
-    let g = parse("start s\nend e\nnode s { skip }\nnode e { out(x, -3, 42) }\nedge s -> e").unwrap();
+    let g =
+        parse("start s\nend e\nnode s { skip }\nnode e { out(x, -3, 42) }\nedge s -> e").unwrap();
     let r = run(&g, &Config::with_inputs(vec![("x", -7)]));
     assert_eq!(r.outputs, vec![vec![-7, -3, 42]]);
 }
 
 #[test]
 fn relational_terms_in_assignments() {
-    let g = parse("start s\nend e\nnode s { t := a < b; u := a == a }\nnode e { out(t,u) }\nedge s -> e").unwrap();
+    let g = parse(
+        "start s\nend e\nnode s { t := a < b; u := a == a }\nnode e { out(t,u) }\nedge s -> e",
+    )
+    .unwrap();
     let r = run(&g, &Config::with_inputs(vec![("a", 1), ("b", 2)]));
     assert_eq!(r.outputs, vec![vec![1, 1]]);
     let r2 = run(&g, &Config::with_inputs(vec![("a", 3), ("b", 2)]));
@@ -61,11 +67,19 @@ fn nested_natural_loops() {
     headers.sort();
     assert_eq!(headers, vec!["2", "3"]);
     // The outer loop contains the inner one.
-    let (outer_tail, outer_header) = back.iter().find(|&&(_, h)| label(h) == "2").copied().unwrap();
+    let (outer_tail, outer_header) = back
+        .iter()
+        .find(|&&(_, h)| label(h) == "2")
+        .copied()
+        .unwrap();
     let outer = analysis::natural_loop(&g, outer_tail, outer_header);
     let outer_labels: Vec<String> = outer.iter().map(|&n| label(n)).collect();
     assert_eq!(outer_labels, vec!["2", "3", "4", "5"]);
-    let (inner_tail, inner_header) = back.iter().find(|&&(_, h)| label(h) == "3").copied().unwrap();
+    let (inner_tail, inner_header) = back
+        .iter()
+        .find(|&&(_, h)| label(h) == "3")
+        .copied()
+        .unwrap();
     let inner = analysis::natural_loop(&g, inner_tail, inner_header);
     let inner_labels: Vec<String> = inner.iter().map(|&n| label(n)).collect();
     assert_eq!(inner_labels, vec!["3", "4"]);
@@ -109,9 +123,13 @@ fn instructions_after_a_branch_execute_before_transfer() {
     g.add_edge(r, e);
     let p = g.pool_mut().intern("p");
     let x = g.pool_mut().intern("x");
-    g.block_mut(s).instrs.push(Instr::Branch(Cond::new(BinOp::Gt, p, 0)));
+    g.block_mut(s)
+        .instrs
+        .push(Instr::Branch(Cond::new(BinOp::Gt, p, 0)));
     g.block_mut(s).instrs.push(Instr::assign(x, 9)); // after the branch
-    g.block_mut(e).instrs.push(Instr::Out(vec![Operand::Var(x)]));
+    g.block_mut(e)
+        .instrs
+        .push(Instr::Out(vec![Operand::Var(x)]));
     assert_eq!(g.validate(), Ok(()));
     for p_val in [1, -1] {
         let res = run(&g, &Config::with_inputs(vec![("p", p_val)]));
@@ -137,7 +155,13 @@ fn oracle_decisions_count_only_at_branches() {
         "start s\nend e\nnode s { x := 1 }\nnode m { x := x + 1 }\nnode e { out(x) }\nedge s -> m\nedge m -> e",
     )
     .unwrap();
-    let r = run(&g, &Config { oracle: Oracle::Fixed(vec![]), ..Config::default() });
+    let r = run(
+        &g,
+        &Config {
+            oracle: Oracle::Fixed(vec![]),
+            ..Config::default()
+        },
+    );
     assert_eq!(r.stop, StopReason::ReachedEnd, "no decisions needed");
     assert_eq!(r.decisions, 0);
 }
@@ -159,10 +183,22 @@ fn traced_runs_mirror_untraced_results() {
     assert_eq!(result, run(&g, &cfg), "tracing must not change behaviour");
     // One Enter per visited node, one Decided per decision, one Emitted
     // per output, writes match assignment executions.
-    let enters = trace.iter().filter(|e| matches!(e, TraceEvent::Enter(_))).count();
-    let decides = trace.iter().filter(|e| matches!(e, TraceEvent::Decided(_))).count();
-    let emits = trace.iter().filter(|e| matches!(e, TraceEvent::Emitted(_))).count();
-    let writes = trace.iter().filter(|e| matches!(e, TraceEvent::Wrote { .. })).count();
+    let enters = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Enter(_)))
+        .count();
+    let decides = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Decided(_)))
+        .count();
+    let emits = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Emitted(_)))
+        .count();
+    let writes = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Wrote { .. }))
+        .count();
     assert_eq!(enters as u64, result.nodes_visited);
     assert_eq!(decides as u64, result.decisions);
     assert_eq!(emits, result.outputs.len());

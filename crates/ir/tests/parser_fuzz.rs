@@ -1,66 +1,79 @@
 //! Fuzz-style robustness tests: the lexer and parser must never panic, on
-//! any input; valid programs survive mutation without UB.
+//! any input; valid programs survive mutation without UB. Inputs are
+//! generated with the crate's own deterministic PRNG, so failures
+//! reproduce from the printed seed.
 
+use am_ir::rng::SplitMix64;
 use am_ir::text::{lex, parse, parse_with_mode, Mode};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn lexer_never_panics(src in "\\PC*") {
-        let _ = lex(&src);
+/// A printable-ish random string: ASCII, punctuation the grammar uses, and
+/// some multi-byte unicode to exercise char-boundary handling.
+fn random_string(rng: &mut SplitMix64, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    let mut s = String::with_capacity(len);
+    for _ in 0..len {
+        let c = match rng.gen_range(0..10usize) {
+            0..=4 => rng.gen_range(0x20i64..0x7F) as u8 as char,
+            5 => *rng.choose(&['\n', '\t', ' ', ';', ',']),
+            6 => *rng.choose(&[':', '=', '-', '>', '{', '}', '(', ')', '+', '*', '%']),
+            7 => *rng.choose(&['α', 'β', '漢', '🦀', 'Ж']),
+            _ => rng.gen_range(0x30i64..0x7B) as u8 as char,
+        };
+        s.push(c);
     }
+    s
+}
 
-    #[test]
-    fn parser_never_panics(src in "\\PC*") {
+#[test]
+fn lexer_never_panics() {
+    let mut rng = SplitMix64::new(0xFACE);
+    for case in 0..512 {
+        let src = random_string(&mut rng, 80);
+        let _ = lex(&src);
+        let _ = case;
+    }
+}
+
+#[test]
+fn parser_never_panics() {
+    let mut rng = SplitMix64::new(0xBEEF);
+    for _ in 0..512 {
+        let src = random_string(&mut rng, 80);
         let _ = parse(&src);
         let _ = parse_with_mode(&src, Mode::Decompose);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_grammar_like_soup(
-        tokens in proptest::collection::vec(
-            prop_oneof![
-                Just("start".to_owned()),
-                Just("end".to_owned()),
-                Just("node".to_owned()),
-                Just("edge".to_owned()),
-                Just("{".to_owned()),
-                Just("}".to_owned()),
-                Just("(".to_owned()),
-                Just(")".to_owned()),
-                Just(":=".to_owned()),
-                Just("->".to_owned()),
-                Just(";".to_owned()),
-                Just(",".to_owned()),
-                Just("+".to_owned()),
-                Just(">".to_owned()),
-                Just("out".to_owned()),
-                Just("branch".to_owned()),
-                Just("skip".to_owned()),
-                Just("x".to_owned()),
-                Just("1".to_owned()),
-            ],
-            0..40,
-        )
-    ) {
-        let src = tokens.join(" ");
-        let _ = parse(&src);
+#[test]
+fn parser_never_panics_on_grammar_like_soup() {
+    const TOKENS: &[&str] = &[
+        "start", "end", "node", "edge", "{", "}", "(", ")", ":=", "->", ";", ",", "+", ">", "out",
+        "branch", "skip", "x", "1",
+    ];
+    let mut rng = SplitMix64::new(0x5009);
+    for _ in 0..512 {
+        let n = rng.gen_range(0..40usize);
+        let src: Vec<&str> = (0..n).map(|_| *rng.choose(TOKENS)).collect();
+        let _ = parse(&src.join(" "));
     }
+}
 
-    #[test]
-    fn valid_programs_with_injected_noise_do_not_panic(
-        pos in 0usize..200,
-        noise in "\\PC{0,3}",
-    ) {
-        let base = "start 1\nend 4\nnode 1 { y := c+d }\nnode 2 { branch x+z > y+i }\n\
-                    node 3 { y := c+d; x := y+z }\nnode 4 { out(y,x) }\n\
-                    edge 1 -> 2\nedge 2 -> 3, 4\nedge 3 -> 2";
+#[test]
+fn valid_programs_with_injected_noise_do_not_panic() {
+    let base = "start 1\nend 4\nnode 1 { y := c+d }\nnode 2 { branch x+z > y+i }\n\
+                node 3 { y := c+d; x := y+z }\nnode 4 { out(y,x) }\n\
+                edge 1 -> 2\nedge 2 -> 3, 4\nedge 3 -> 2";
+    let mut rng = SplitMix64::new(0xD15EA5E);
+    for _ in 0..512 {
+        let pos = rng.gen_range(0..200usize);
+        let noise = random_string(&mut rng, 3);
         let mut src = base.to_owned();
         let at = pos.min(src.len());
         // Keep the insertion point on a char boundary.
-        let at = (0..=at).rev().find(|&i| src.is_char_boundary(i)).unwrap_or(0);
+        let at = (0..=at)
+            .rev()
+            .find(|&i| src.is_char_boundary(i))
+            .unwrap_or(0);
         src.insert_str(at, &noise);
         let _ = parse(&src);
     }

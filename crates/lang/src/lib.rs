@@ -44,11 +44,13 @@ pub mod ast;
 mod lower;
 mod parse;
 mod print;
+pub mod source;
 
 pub use ast::{LExpr, Program, Stmt};
 pub use lower::{compile, lower};
 pub use parse::{parse_program, LangError};
 pub use print::{expr_to_source, to_source};
+pub use source::{compile_source, SourceError, SourceKind};
 
 #[cfg(test)]
 mod tests {
@@ -81,10 +83,8 @@ mod tests {
 
     #[test]
     fn while_loop_semantics() {
-        let g = compile(
-            "i := 0; s := 0; while (i < n) { s := s + i; i := i + 1; } print(s);",
-        )
-        .unwrap();
+        let g =
+            compile("i := 0; s := 0; while (i < n) { s := s + i; i := i + 1; } print(s);").unwrap();
         for n in [0, 1, 5] {
             let r = run(&g, &Config::with_inputs(vec![("n", n)]));
             let expected: i64 = (0..n).sum();
@@ -103,10 +103,9 @@ mod tests {
 
     #[test]
     fn if_else_and_if_without_else() {
-        let g = compile(
-            "if (a > b) { m := a; } else { m := b; } if (m > 100) { m := 100; } print(m);",
-        )
-        .unwrap();
+        let g =
+            compile("if (a > b) { m := a; } else { m := b; } if (m > 100) { m := 100; } print(m);")
+                .unwrap();
         assert_eq!(
             run(&g, &Config::with_inputs(vec![("a", 3), ("b", 7)])).outputs,
             vec![vec![7]]
@@ -127,10 +126,7 @@ mod tests {
     #[test]
     fn fresh_variables_avoid_source_names() {
         let g = compile("_t1 := 9; x := a + b * c; print(x, _t1);").unwrap();
-        let r = run(
-            &g,
-            &Config::with_inputs(vec![("a", 1), ("b", 2), ("c", 3)]),
-        );
+        let r = run(&g, &Config::with_inputs(vec![("a", 1), ("b", 2), ("c", 3)]));
         assert_eq!(r.outputs, vec![vec![7, 9]]);
     }
 
@@ -174,12 +170,7 @@ mod tests {
         let g = compile(src).unwrap();
         let optimized = am_core::global::optimize(&g).program;
         for n in [1, 3, 8] {
-            let cfg = Config::with_inputs(vec![
-                ("base", 100),
-                ("k", 2),
-                ("cols", 10),
-                ("n", n),
-            ]);
+            let cfg = Config::with_inputs(vec![("base", 100), ("k", 2), ("cols", 10), ("n", n)]);
             let a = run(&g, &cfg);
             let b = run(&optimized, &cfg);
             assert_eq!(a.observable(), b.observable(), "n={n}");
@@ -192,8 +183,8 @@ mod tests {
 
     #[test]
     fn for_loop_desugars_to_init_plus_while() {
-        let g = compile("s := 0; for (i := 0; i < n; i := i + 1) { s := s + i; } print(s);")
-            .unwrap();
+        let g =
+            compile("s := 0; for (i := 0; i < n; i := i + 1) { s := s + i; } print(s);").unwrap();
         for n in [0, 1, 6] {
             let r = run(&g, &Config::with_inputs(vec![("n", n)]));
             let expected: i64 = (0..n).sum();

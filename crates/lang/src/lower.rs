@@ -57,7 +57,11 @@ impl Lowerer {
             LExpr::Binary { op, lhs, rhs } => {
                 let l = self.operand(lhs, instrs);
                 let r = self.operand(rhs, instrs);
-                Term::Binary { op: *op, lhs: l, rhs: r }
+                Term::Binary {
+                    op: *op,
+                    lhs: l,
+                    rhs: r,
+                }
             }
         }
     }
@@ -69,7 +73,11 @@ impl Lowerer {
             LExpr::Binary { op, lhs, rhs } if op.is_relational() => {
                 let l = self.term(lhs, instrs);
                 let r = self.term(rhs, instrs);
-                Cond { op: *op, lhs: l, rhs: r }
+                Cond {
+                    op: *op,
+                    lhs: l,
+                    rhs: r,
+                }
             }
             other => {
                 let t = self.term(other, instrs);
@@ -107,10 +115,7 @@ impl Lowerer {
             }
             Stmt::Print(args) => {
                 let mut instrs = Vec::new();
-                let ops: Vec<Operand> = args
-                    .iter()
-                    .map(|a| self.operand(a, &mut instrs))
-                    .collect();
+                let ops: Vec<Operand> = args.iter().map(|a| self.operand(a, &mut instrs)).collect();
                 instrs.push(Instr::Out(ops));
                 self.g.block_mut(cur).instrs.extend(instrs);
                 cur

@@ -437,7 +437,9 @@ impl Parser {
             Some(Tok::Int(i)) => Ok(LExpr::Const(i)),
             Some(Tok::Op(BinOp::Sub)) => match self.peek() {
                 Some(Tok::Int(_)) => {
-                    let Some(Tok::Int(i)) = self.advance() else { unreachable!() };
+                    let Some(Tok::Int(i)) = self.advance() else {
+                        unreachable!()
+                    };
                     Ok(LExpr::Const(-i))
                 }
                 // General unary minus: -e is 0 - e.

@@ -1,75 +1,95 @@
 //! Property tests: randomly generated ASTs round-trip through the printer
 //! and parser, and their lowered graphs execute deterministically.
+//! Randomized via `am_ir::rng::SplitMix64` for offline reproducibility.
 
-use am_lang::{lower, parse_program, to_source, LExpr, Program, Stmt};
+use am_ir::rng::SplitMix64;
 use am_ir::BinOp;
-use proptest::prelude::*;
+use am_lang::{lower, parse_program, to_source, LExpr, Program, Stmt};
 
-fn arb_expr() -> impl Strategy<Value = LExpr> {
-    let leaf = prop_oneof![
-        prop_oneof![Just("a"), Just("b"), Just("c"), Just("x"), Just("y")]
-            .prop_map(|n: &str| LExpr::Var(n.to_owned())),
-        (-9i64..10).prop_map(LExpr::Const),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        (
-            prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::Lt),
-                Just(BinOp::EqOp),
-            ],
-            inner.clone(),
-            inner,
-        )
-            .prop_map(|(op, l, r)| LExpr::binary(op, l, r))
-    })
-}
-
-fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
-    let assign = ("[a-e]", arb_expr()).prop_map(|(lhs, rhs)| Stmt::Assign { lhs, rhs });
-    let print = proptest::collection::vec(arb_expr(), 0..3).prop_map(Stmt::Print);
-    if depth == 0 {
-        prop_oneof![assign, Just(Stmt::Skip), print].boxed()
+fn random_expr(rng: &mut SplitMix64, depth: usize) -> LExpr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        if rng.gen_bool(0.5) {
+            let name = *rng.choose(&["a", "b", "c", "x", "y"]);
+            LExpr::Var(name.to_owned())
+        } else {
+            LExpr::Const(rng.gen_range(-9i64..10))
+        }
     } else {
-        let body = proptest::collection::vec(arb_stmt(depth - 1), 0..3);
-        prop_oneof![
-            assign,
-            Just(Stmt::Skip),
-            print,
-            (arb_expr(), body.clone(), body.clone()).prop_map(|(cond, t, e)| Stmt::If {
-                cond,
-                then_body: t,
-                else_body: e,
-            }),
-            (arb_expr(), body.clone()).prop_map(|(cond, body)| Stmt::While { cond, body }),
-            (body, arb_expr()).prop_map(|(body, cond)| Stmt::DoWhile { body, cond }),
-        ]
-        .boxed()
+        let op = *rng.choose(&[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Lt, BinOp::EqOp]);
+        let l = random_expr(rng, depth - 1);
+        let r = random_expr(rng, depth - 1);
+        LExpr::binary(op, l, r)
     }
 }
 
-fn arb_program() -> impl Strategy<Value = Program> {
-    proptest::collection::vec(arb_stmt(2), 1..6).prop_map(|body| Program { body })
+fn random_body(rng: &mut SplitMix64, depth: usize) -> Vec<Stmt> {
+    let n = rng.gen_range(0..3usize);
+    (0..n).map(|_| random_stmt(rng, depth)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_stmt(rng: &mut SplitMix64, depth: usize) -> Stmt {
+    let structural = depth > 0 && rng.gen_bool(0.45);
+    if structural {
+        match rng.gen_range(0..3usize) {
+            0 => Stmt::If {
+                cond: random_expr(rng, 2),
+                then_body: random_body(rng, depth - 1),
+                else_body: random_body(rng, depth - 1),
+            },
+            1 => Stmt::While {
+                cond: random_expr(rng, 2),
+                body: random_body(rng, depth - 1),
+            },
+            _ => Stmt::DoWhile {
+                body: random_body(rng, depth - 1),
+                cond: random_expr(rng, 2),
+            },
+        }
+    } else {
+        match rng.gen_range(0..3usize) {
+            0 => Stmt::Skip,
+            1 => {
+                let n = rng.gen_range(0..3usize);
+                Stmt::Print((0..n).map(|_| random_expr(rng, 2)).collect())
+            }
+            _ => {
+                let lhs = *rng.choose(&["a", "b", "c", "d", "e"]);
+                Stmt::Assign {
+                    lhs: lhs.to_owned(),
+                    rhs: random_expr(rng, 3),
+                }
+            }
+        }
+    }
+}
 
-    #[test]
-    fn source_round_trips(p in arb_program()) {
+fn random_program(rng: &mut SplitMix64) -> Program {
+    let n = rng.gen_range(1..6usize);
+    Program {
+        body: (0..n).map(|_| random_stmt(rng, 2)).collect(),
+    }
+}
+
+#[test]
+fn source_round_trips() {
+    let mut rng = SplitMix64::new(0x1A46_0001);
+    for case in 0..128 {
+        let p = random_program(&mut rng);
         let rendered = to_source(&p);
         let reparsed = parse_program(&rendered)
-            .unwrap_or_else(|e| panic!("{e}\n--- source ---\n{rendered}"));
-        prop_assert_eq!(reparsed, p);
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n--- source ---\n{rendered}"));
+        assert_eq!(reparsed, p, "case {case}\n--- source ---\n{rendered}");
     }
+}
 
-    #[test]
-    fn lowered_graphs_are_valid_and_runnable(p in arb_program()) {
+#[test]
+fn lowered_graphs_are_valid_and_runnable() {
+    let mut rng = SplitMix64::new(0x1A46_0002);
+    for case in 0..128 {
+        let p = random_program(&mut rng);
         let g = lower(&p);
-        prop_assert_eq!(g.validate(), Ok(()));
-        prop_assert!(am_ir::analysis::is_reducible(&g));
+        assert_eq!(g.validate(), Ok(()), "case {case}");
+        assert!(am_ir::analysis::is_reducible(&g), "case {case}");
         let cfg = am_ir::interp::Config {
             oracle: am_ir::interp::Oracle::random(7, 16),
             inputs: vec![("a".into(), 1), ("b".into(), -2), ("c".into(), 3)],
@@ -78,9 +98,13 @@ proptest! {
         // Must terminate for one of the sanctioned reasons, never panic.
         let _ = am_ir::interp::run(&g, &cfg);
     }
+}
 
-    #[test]
-    fn lowering_then_optimizing_preserves_semantics(p in arb_program()) {
+#[test]
+fn lowering_then_optimizing_preserves_semantics() {
+    let mut rng = SplitMix64::new(0x1A46_0003);
+    for case in 0..128 {
+        let p = random_program(&mut rng);
         let g = lower(&p);
         let optimized = am_core::global::optimize(&g).program;
         for seed in 0..3u64 {
@@ -91,7 +115,7 @@ proptest! {
             };
             let r0 = am_ir::interp::run(&g, &cfg);
             let r1 = am_ir::interp::run(&optimized, &cfg);
-            prop_assert_eq!(r0.observable(), r1.observable());
+            assert_eq!(r0.observable(), r1.observable(), "case {case} seed {seed}");
         }
     }
 }

@@ -1,0 +1,189 @@
+//! `amopt` — batch-optimize program files in parallel.
+//!
+//! ```sh
+//! # Optimize everything under programs/ (the default corpus):
+//! cargo run --release -p am-pipeline --bin amopt
+//!
+//! # Specific files and directories, 4 workers, two passes over the batch
+//! # (the second pass is served entirely from the cache):
+//! cargo run --release -p am-pipeline --bin amopt -- --workers 4 --repeat 2 programs demo.wl
+//!
+//! # Print each optimized program:
+//! cargo run --release -p am-pipeline --bin amopt -- --emit programs/matrix_sum.wl
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use am_lang::SourceKind;
+use am_pipeline::{Job, JobOutcome, Pipeline, PipelineConfig};
+
+struct Options {
+    workers: Option<usize>,
+    cache_capacity: usize,
+    max_motion_rounds: Option<usize>,
+    repeat: usize,
+    emit: bool,
+    quiet: bool,
+    inputs: Vec<PathBuf>,
+}
+
+const USAGE: &str = "usage: amopt [options] [file|dir ...]
+
+Optimizes every .wl and .ir file given (directories are scanned,
+non-recursively). With no inputs, uses ./programs.
+
+options:
+  --workers N      worker threads (default: available parallelism)
+  --cache-size N   result-cache capacity in entries (default 256)
+  --rounds N       motion-round budget per job (default: paper's bound)
+  --repeat N       run the batch N times; repeats hit the cache (default 1)
+  --emit           print each optimized program (canonical text)
+  --quiet          suppress the per-job report, print only the summary
+  --help           this text";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        workers: None,
+        cache_capacity: 256,
+        max_motion_rounds: None,
+        repeat: 1,
+        emit: false,
+        quiet: false,
+        inputs: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                opts.workers = Some(
+                    value(&mut args, "--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                );
+            }
+            "--cache-size" => {
+                opts.cache_capacity = value(&mut args, "--cache-size")?
+                    .parse()
+                    .map_err(|e| format!("--cache-size: {e}"))?;
+            }
+            "--rounds" => {
+                opts.max_motion_rounds = Some(
+                    value(&mut args, "--rounds")?
+                        .parse()
+                        .map_err(|e| format!("--rounds: {e}"))?,
+                );
+            }
+            "--repeat" => {
+                opts.repeat = value(&mut args, "--repeat")?
+                    .parse()
+                    .map_err(|e| format!("--repeat: {e}"))?;
+                if opts.repeat == 0 {
+                    return Err("--repeat must be at least 1".to_owned());
+                }
+            }
+            "--emit" => opts.emit = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}'; --help for usage"));
+            }
+            path => opts.inputs.push(PathBuf::from(path)),
+        }
+    }
+    if opts.inputs.is_empty() {
+        opts.inputs.push(PathBuf::from("programs"));
+    }
+    Ok(opts)
+}
+
+/// Expands files and directories into jobs, sorted by name so the batch
+/// is deterministic regardless of directory iteration order.
+fn collect_jobs(inputs: &[PathBuf]) -> Result<Vec<Job>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            let entries =
+                std::fs::read_dir(input).map_err(|e| format!("{}: {e}", input.display()))?;
+            for entry in entries {
+                let path = entry
+                    .map_err(|e| format!("{}: {e}", input.display()))?
+                    .path();
+                if path.is_file() && SourceKind::from_path(&path).is_some() {
+                    files.push(path);
+                }
+            }
+        } else {
+            files.push(input.clone());
+        }
+    }
+    files.sort();
+    files.dedup();
+    if files.is_empty() {
+        return Err(format!(
+            "no .wl or .ir files found under: {}",
+            inputs
+                .iter()
+                .map(|p| p.display().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    Ok(files.into_iter().map(Job::from_path).collect())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let jobs = match collect_jobs(&opts.inputs) {
+        Ok(j) => j,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let pipeline = Pipeline::new(PipelineConfig {
+        workers: opts.workers,
+        cache_capacity: opts.cache_capacity,
+        max_motion_rounds: opts.max_motion_rounds,
+    });
+    let mut any_failed = false;
+    for pass in 1..=opts.repeat {
+        let report = pipeline.run(&jobs);
+        if opts.repeat > 1 && !opts.quiet {
+            println!("== pass {pass}/{} ==", opts.repeat);
+        }
+        if opts.quiet {
+            println!(
+                "pass {pass}: {}/{} ok, {} cache hits, {:.2} ms",
+                report.succeeded(),
+                report.jobs.len(),
+                report.cache_hits(),
+                report.wall.as_secs_f64() * 1e3
+            );
+        } else {
+            println!("{report}");
+        }
+        if opts.emit && pass == 1 {
+            for job in &report.jobs {
+                if let JobOutcome::Optimized(o) = &job.outcome {
+                    println!("== {} ==\n{}", job.name, o.result.canonical);
+                }
+            }
+        }
+        any_failed |= report.failed() + report.panicked() > 0;
+    }
+    if any_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

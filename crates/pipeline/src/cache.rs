@@ -1,0 +1,186 @@
+//! Content-addressed result cache.
+//!
+//! Keys are [`am_ir::alpha::stable_hash`] values of the *input* program, so
+//! alpha-equivalent inputs (same program up to temporary naming) share one
+//! entry. Values hold everything a job needs to report a result without
+//! re-running the optimizer. Bounded LRU: when the cache is full, the least
+//! recently touched entry is evicted.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use am_core::flush::FlushStats;
+use am_core::init::InitStats;
+use am_core::motion::MotionStats;
+
+/// The cached outcome of optimizing one program.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// Canonical text of the optimized program ([`am_ir::alpha::canonical_text`]).
+    pub canonical: String,
+    /// Initialization statistics.
+    pub init: InitStats,
+    /// Assignment-motion statistics.
+    pub motion: MotionStats,
+    /// Final-flush statistics.
+    pub flush: FlushStats,
+    /// Critical edges split before the phases ran.
+    pub edges_split: usize,
+}
+
+/// Counters describing the cache's behaviour so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Inner {
+    map: HashMap<u64, Slot>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+struct Slot {
+    value: Arc<CachedResult>,
+    last_used: u64,
+}
+
+/// A thread-safe bounded LRU cache keyed by stable program hash.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up `key`, counting a hit or miss and refreshing recency.
+    pub fn get(&self, key: u64) -> Option<Arc<CachedResult>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(slot) => {
+                slot.last_used = tick;
+                let value = Arc::clone(&slot.value);
+                inner.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, evicting the least recently used entry
+    /// if the cache is full. Returns the stored handle.
+    pub fn insert(&self, key: u64, value: CachedResult) -> Arc<CachedResult> {
+        let value = Arc::new(value);
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            // O(n) scan: the cache is small (hundreds of entries) and
+            // eviction is rare next to hashing whole programs.
+            if let Some(&oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&oldest);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Slot {
+                value: Arc::clone(&value),
+                last_used: tick,
+            },
+        );
+        value
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tag: &str) -> CachedResult {
+        CachedResult {
+            canonical: tag.to_owned(),
+            init: InitStats::default(),
+            motion: MotionStats::default(),
+            flush: FlushStats::default(),
+            edges_split: 0,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_entry_counters() {
+        let cache = ResultCache::new(8);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, entry("one"));
+        assert_eq!(cache.get(1).unwrap().canonical, "one");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, entry("one"));
+        cache.insert(2, entry("two"));
+        assert!(cache.get(1).is_some()); // warm 1; 2 is now coldest
+        cache.insert(3, entry("three"));
+        assert!(cache.get(2).is_none(), "cold entry evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, entry("one"));
+        cache.insert(2, entry("two"));
+        cache.insert(1, entry("one'"));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(1).unwrap().canonical, "one'");
+        assert!(cache.get(2).is_some());
+    }
+}

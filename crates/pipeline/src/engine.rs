@@ -1,0 +1,195 @@
+//! The worker-pool engine.
+//!
+//! Jobs are drained from a shared queue (an atomic index into the job
+//! slice) by scoped worker threads. Each job runs under `catch_unwind`, so
+//! a panicking job is reported as [`JobOutcome::Panicked`] while its worker
+//! carries on with the rest of the queue. Results land in per-job slots, so
+//! the report order is submission order no matter which worker finished
+//! when — with a deterministic optimizer this makes batch output
+//! byte-identical across worker counts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use am_core::global::{optimize_with, GlobalConfig, PhaseTimings};
+use am_ir::alpha::{canonical_text, stable_hash};
+use am_lang::{compile_source, SourceKind};
+
+use crate::cache::{CachedResult, ResultCache};
+use crate::job::{Job, JobInput, JobOutcome, JobReport, OptimizedJob};
+use crate::report::PipelineReport;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Worker threads; `None` uses [`std::thread::available_parallelism`].
+    pub workers: Option<usize>,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Motion-round budget per job; `None` uses the paper's quadratic
+    /// bound. A job that exhausts the budget still terminates and reports
+    /// `converged: false`.
+    pub max_motion_rounds: Option<usize>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workers: None,
+            cache_capacity: 256,
+            max_motion_rounds: None,
+        }
+    }
+}
+
+/// A batch optimizer: worker pool plus a result cache that persists across
+/// [`Pipeline::run`] calls on the same instance.
+pub struct Pipeline {
+    config: PipelineConfig,
+    cache: ResultCache,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new(PipelineConfig::default())
+    }
+}
+
+impl Pipeline {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: PipelineConfig) -> Pipeline {
+        let cache = ResultCache::new(config.cache_capacity);
+        Pipeline { config, cache }
+    }
+
+    /// The shared result cache (its counters survive across batches).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// The number of worker threads a run will use.
+    pub fn workers(&self) -> usize {
+        self.config
+            .workers
+            .unwrap_or_else(|| {
+                thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
+
+    /// Optimizes every job, in parallel, and returns per-job reports in
+    /// submission order plus batch aggregates.
+    pub fn run(&self, jobs: &[Job]) -> PipelineReport {
+        let started = Instant::now();
+        let workers = self.workers().min(jobs.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let report = self.run_job(job);
+                    *slots[i].lock().unwrap() = Some(report);
+                });
+            }
+        });
+
+        let jobs: Vec<JobReport> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("every slot filled"))
+            .collect();
+        let mut phase_totals = PhaseTimings::default();
+        for job in &jobs {
+            if let Some(o) = job.optimized() {
+                phase_totals.accumulate(&o.timings);
+            }
+        }
+        PipelineReport {
+            workers,
+            wall: started.elapsed(),
+            cache: self.cache.stats(),
+            phase_totals,
+            jobs,
+        }
+    }
+
+    fn run_job(&self, job: &Job) -> JobReport {
+        let started = Instant::now();
+        let outcome = match catch_unwind(AssertUnwindSafe(|| self.process(job))) {
+            Ok(Ok(optimized)) => JobOutcome::Optimized(optimized),
+            Ok(Err(message)) => JobOutcome::Failed(message),
+            Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
+        };
+        JobReport {
+            name: job.name.clone(),
+            outcome,
+            wall: started.elapsed(),
+        }
+    }
+
+    fn process(&self, job: &Job) -> Result<OptimizedJob, String> {
+        let (kind, text) = match &job.input {
+            JobInput::Memory { kind, text } => (*kind, text.clone()),
+            JobInput::Path(path) => {
+                let kind = SourceKind::from_path(path).ok_or_else(|| {
+                    format!(
+                        "{}: unknown file type (expected .wl or .ir)",
+                        path.display()
+                    )
+                })?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                (kind, text)
+            }
+            JobInput::Poison => panic!("poison job '{}'", job.name),
+        };
+        let graph = compile_source(kind, &text).map_err(|e| format!("{}: {e}", job.name))?;
+        let input_hash = stable_hash(&graph);
+        if let Some(result) = self.cache.get(input_hash) {
+            return Ok(OptimizedJob {
+                input_hash,
+                cache_hit: true,
+                result,
+                timings: PhaseTimings::default(),
+            });
+        }
+        let config = GlobalConfig {
+            max_motion_rounds: self.config.max_motion_rounds,
+            keep_snapshots: false,
+        };
+        let out = optimize_with(&graph, &config);
+        let result = self.cache.insert(
+            input_hash,
+            CachedResult {
+                canonical: canonical_text(&out.program),
+                init: out.init,
+                motion: out.motion,
+                flush: out.flush,
+                edges_split: out.edges_split,
+            },
+        );
+        Ok(OptimizedJob {
+            input_hash,
+            cache_hit: false,
+            result,
+            timings: out.timings,
+        })
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

@@ -1,0 +1,115 @@
+//! Units of work and their outcomes.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use am_core::global::PhaseTimings;
+use am_lang::SourceKind;
+
+use crate::cache::CachedResult;
+
+/// Where a job's program text comes from.
+#[derive(Clone, Debug)]
+pub enum JobInput {
+    /// Read the file at run time; the kind is derived from the extension
+    /// (`.wl` while-language, `.ir` flow-graph text).
+    Path(PathBuf),
+    /// In-memory source of a known kind.
+    Memory {
+        /// Which frontend parses `text`.
+        kind: SourceKind,
+        /// The program text.
+        text: String,
+    },
+    /// Panics when processed. Exists so tests (and operators diagnosing a
+    /// deployment) can verify that one crashing job fails alone without
+    /// taking down its worker's remaining queue.
+    Poison,
+}
+
+/// A named unit of work for the pipeline.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Display name (file path or caller-chosen label).
+    pub name: String,
+    /// The program source.
+    pub input: JobInput,
+}
+
+impl Job {
+    /// A job that reads and optimizes the file at `path`.
+    pub fn from_path(path: impl Into<PathBuf>) -> Job {
+        let path = path.into();
+        Job {
+            name: path.display().to_string(),
+            input: JobInput::Path(path),
+        }
+    }
+
+    /// A job over in-memory source text.
+    pub fn from_source(name: impl Into<String>, kind: SourceKind, text: impl Into<String>) -> Job {
+        Job {
+            name: name.into(),
+            input: JobInput::Memory {
+                kind,
+                text: text.into(),
+            },
+        }
+    }
+
+    /// A job that panics when processed (worker-isolation probe).
+    pub fn poison(name: impl Into<String>) -> Job {
+        Job {
+            name: name.into(),
+            input: JobInput::Poison,
+        }
+    }
+}
+
+/// What happened to one job.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// The program was optimized (or served from cache).
+    Optimized(OptimizedJob),
+    /// The job failed cleanly: I/O error, unknown extension, parse error.
+    Failed(String),
+    /// The job panicked; the payload is the panic message. Other jobs are
+    /// unaffected.
+    Panicked(String),
+}
+
+/// A successful optimization, possibly served from the cache.
+#[derive(Clone, Debug)]
+pub struct OptimizedJob {
+    /// Stable content hash of the *input* program (the cache key).
+    pub input_hash: u64,
+    /// Whether the result came from the cache.
+    pub cache_hit: bool,
+    /// The optimized program and its per-phase statistics.
+    pub result: Arc<CachedResult>,
+    /// Per-phase wall times of this job's own optimizer run; zero on a
+    /// cache hit (nothing ran).
+    pub timings: PhaseTimings,
+}
+
+/// One job's outcome plus its end-to-end wall time (I/O + parse + optimize).
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The job's display name.
+    pub name: String,
+    /// What happened.
+    pub outcome: JobOutcome,
+    /// End-to-end wall time for this job on its worker.
+    pub wall: Duration,
+}
+
+impl JobReport {
+    /// The optimized payload, if the job succeeded.
+    pub fn optimized(&self) -> Option<&OptimizedJob> {
+        match &self.outcome {
+            JobOutcome::Optimized(o) => Some(o),
+            _ => None,
+        }
+    }
+}

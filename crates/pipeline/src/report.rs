@@ -1,0 +1,116 @@
+//! Aggregated batch results.
+
+use std::fmt;
+use std::time::Duration;
+
+use am_core::global::PhaseTimings;
+
+use crate::cache::CacheStats;
+use crate::job::{JobOutcome, JobReport};
+
+/// The result of one [`Pipeline::run`](crate::Pipeline::run): per-job
+/// reports in submission order plus batch-wide aggregates.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// One entry per submitted job, in submission order (independent of
+    /// which worker ran it when).
+    pub jobs: Vec<JobReport>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// End-to-end wall time of the whole batch.
+    pub wall: Duration,
+    /// Cache counters at the end of the batch.
+    pub cache: CacheStats,
+    /// Sum of per-phase optimizer times across all non-cached jobs. With
+    /// several workers this exceeds `wall` — it is total CPU time spent in
+    /// the optimizer, not elapsed time.
+    pub phase_totals: PhaseTimings,
+}
+
+impl PipelineReport {
+    /// Jobs that produced an optimized program (freshly or from cache).
+    pub fn succeeded(&self) -> usize {
+        self.jobs.iter().filter(|j| j.optimized().is_some()).count()
+    }
+
+    /// Jobs that failed cleanly (I/O, unknown kind, parse error).
+    pub fn failed(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Failed(_)))
+            .count()
+    }
+
+    /// Jobs that panicked in the optimizer.
+    pub fn panicked(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Panicked(_)))
+            .count()
+    }
+
+    /// Jobs served from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.optimized().is_some_and(|o| o.cache_hit))
+            .count()
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline: {} jobs on {} workers in {:.2} ms",
+            self.jobs.len(),
+            self.workers,
+            ms(self.wall)
+        )?;
+        for job in &self.jobs {
+            match &job.outcome {
+                JobOutcome::Optimized(o) => {
+                    let src = if o.cache_hit { "cache" } else { "fresh" };
+                    writeln!(
+                        f,
+                        "  ok    {:<32} {:>8.2} ms  {}  hash {:016x}  rounds {}  eliminated {}  flush -{}+{}",
+                        job.name,
+                        ms(job.wall),
+                        src,
+                        o.input_hash,
+                        o.result.motion.rounds,
+                        o.result.motion.eliminated,
+                        o.result.flush.instances_removed,
+                        o.result.flush.inserted,
+                    )?;
+                    if !o.result.motion.converged {
+                        writeln!(f, "        {:<32} motion budget exhausted", "")?;
+                    }
+                }
+                JobOutcome::Failed(e) => {
+                    writeln!(f, "  fail  {:<32} {}", job.name, e)?;
+                }
+                JobOutcome::Panicked(e) => {
+                    writeln!(f, "  panic {:<32} {}", job.name, e)?;
+                }
+            }
+        }
+        writeln!(
+            f,
+            "  cache: {} hits, {} misses, {} evictions, {} resident",
+            self.cache.hits, self.cache.misses, self.cache.evictions, self.cache.entries
+        )?;
+        write!(
+            f,
+            "  phases (cpu): split {:.2} ms, init {:.2} ms, motion {:.2} ms, flush {:.2} ms",
+            ms(self.phase_totals.split),
+            ms(self.phase_totals.init),
+            ms(self.phase_totals.motion),
+            ms(self.phase_totals.flush),
+        )
+    }
+}

@@ -1,153 +1,78 @@
-//! A small command-line optimizer driver over the textual IR.
+//! Batch optimization through `am-pipeline`: optimize every `.wl` and
+//! `.ir` file in a directory, in parallel, with content-addressed result
+//! caching, and print the engine's report.
 //!
 //! ```sh
-//! # Full pipeline on a file (see the grammar in `am_ir::text`):
-//! cargo run --example optimize_file -- program.ir
+//! # The bundled corpus (programs/), all cores:
+//! cargo run --example optimize_file
 //!
-//! # Read from stdin, decompose nested expressions, show phase snapshots:
-//! cargo run --example optimize_file -- --decompose --phases - < program.ir
-//!
-//! # Baselines:
-//! cargo run --example optimize_file -- --pass em program.ir
-//! cargo run --example optimize_file -- --pass restricted program.ir
-//! cargo run --example optimize_file -- --pass sink program.ir
+//! # Explicit files/dirs, two workers, print the optimized programs:
+//! cargo run --example optimize_file -- --workers 2 --emit programs demo.wl
 //! ```
+//!
+//! For single-program work (baseline passes, phase snapshots, dot output)
+//! see `examples/optimize_single.rs`; for the full batch CLI see the
+//! `amopt` binary in `crates/pipeline`.
 
-use std::io::Read;
+use std::path::PathBuf;
 
 use assignment_motion::prelude::*;
 
-struct Options {
-    pass: String,
-    decompose: bool,
-    phases: bool,
-    simplify: bool,
-    dot: bool,
-    lang: bool,
-    input: String,
-}
-
-fn parse_args() -> Result<Options, String> {
-    let mut opts = Options {
-        pass: "full".to_owned(),
-        decompose: false,
-        phases: false,
-        simplify: false,
-        dot: false,
-        lang: false,
-        input: String::new(),
-    };
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut workers = None;
+    let mut emit = false;
+    let mut inputs: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--pass" => {
-                opts.pass = args.next().ok_or("--pass needs a value")?;
-            }
-            "--decompose" => opts.decompose = true,
-            "--phases" => opts.phases = true,
-            "--simplify" => opts.simplify = true,
-            "--dot" => opts.dot = true,
-            "--lang" => opts.lang = true,
+            "--workers" => workers = Some(args.next().ok_or("--workers needs a value")?.parse()?),
+            "--emit" => emit = true,
             "--help" | "-h" => {
-                return Err("usage: optimize_file [--pass full|em|bcm|am|restricted|sink|cp] \
-                            [--decompose] [--phases] [--simplify] [--dot] [--lang] <file|->\n\
-                            --lang parses the input as a while-language program"
-                    .to_owned());
+                eprintln!("usage: optimize_file [--workers N] [--emit] [file|dir ...]");
+                return Ok(());
             }
-            path => opts.input = path.to_owned(),
+            path => inputs.push(PathBuf::from(path)),
         }
     }
-    if opts.input.is_empty() {
-        return Err("missing input file (use '-' for stdin); --help for usage".to_owned());
+    if inputs.is_empty() {
+        inputs.push(PathBuf::from("programs"));
     }
-    Ok(opts)
-}
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let opts = match parse_args() {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let source = if opts.input == "-" {
-        let mut buf = String::new();
-        std::io::stdin().read_to_string(&mut buf)?;
-        buf
-    } else {
-        std::fs::read_to_string(&opts.input)?
-    };
-    let program = if opts.lang {
-        assignment_motion::lang::compile(&source)?
-    } else {
-        let mode = if opts.decompose { Mode::Decompose } else { Mode::Strict };
-        parse_with_mode(&source, mode)?
-    };
-
-    let emit = |g: &FlowGraph| {
-        let g = if opts.simplify { g.simplified() } else { g.clone() };
-        if opts.dot {
-            println!("{}", assignment_motion::ir::dot::to_dot(&g));
+    // Expand directories into .wl/.ir jobs, sorted for a deterministic batch.
+    let mut files: Vec<PathBuf> = Vec::new();
+    for input in &inputs {
+        if input.is_dir() {
+            for entry in std::fs::read_dir(input)? {
+                let path = entry?.path();
+                if path.is_file() && SourceKind::from_path(&path).is_some() {
+                    files.push(path);
+                }
+            }
         } else {
-            println!("{}", canonical_text(&g));
+            files.push(input.clone());
         }
-    };
-    match opts.pass.as_str() {
-        "full" => {
-            let result = optimize(&program);
-            if opts.phases {
-                println!(
-                    "== after initialization ==\n{}",
-                    canonical_text(result.after_init.as_ref().unwrap())
-                );
-                println!(
-                    "== after assignment motion ({} rounds) ==\n{}",
-                    result.motion.rounds,
-                    canonical_text(result.after_motion.as_ref().unwrap())
-                );
+    }
+    files.sort();
+    let jobs: Vec<Job> = files.into_iter().map(Job::from_path).collect();
+    if jobs.is_empty() {
+        return Err("no .wl or .ir files found".into());
+    }
+
+    let pipeline = Pipeline::new(PipelineConfig {
+        workers,
+        ..Default::default()
+    });
+    let report = pipeline.run(&jobs);
+    println!("{report}");
+    if emit {
+        for job in &report.jobs {
+            if let Some(o) = job.optimized() {
+                println!("== {} ==\n{}", job.name, o.result.canonical);
             }
-            emit(&result.program);
         }
-        "em" => {
-            let mut g = program.clone();
-            g.split_critical_edges();
-            lazy_expression_motion(&mut g);
-            emit(&g);
-        }
-        "bcm" => {
-            let mut g = program.clone();
-            g.split_critical_edges();
-            busy_expression_motion(&mut g);
-            emit(&g);
-        }
-        "am" => {
-            let mut g = program.clone();
-            g.split_critical_edges();
-            assignment_motion(&mut g);
-            emit(&g);
-        }
-        "restricted" => {
-            let mut g = program.clone();
-            g.split_critical_edges();
-            restricted_assignment_motion(&mut g);
-            emit(&g);
-        }
-        "sink" => {
-            let mut g = program.clone();
-            g.split_critical_edges();
-            sink_assignments(&mut g, &SinkConfig::default());
-            emit(&g);
-        }
-        "cp" => {
-            let mut g = program.clone();
-            assignment_motion::alg::copyprop::copy_propagation(&mut g, true);
-            emit(&g);
-        }
-        other => {
-            eprintln!("unknown pass '{other}'");
-            std::process::exit(2);
-        }
+    }
+    if report.failed() + report.panicked() > 0 {
+        std::process::exit(1);
     }
     Ok(())
 }

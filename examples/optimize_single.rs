@@ -1,0 +1,163 @@
+//! A small command-line optimizer driver over the textual IR.
+//!
+//! ```sh
+//! # Full pipeline on a file (see the grammar in `am_ir::text`):
+//! cargo run --example optimize_single -- program.ir
+//!
+//! # Read from stdin, decompose nested expressions, show phase snapshots:
+//! cargo run --example optimize_single -- --decompose --phases - < program.ir
+//!
+//! # Baselines:
+//! cargo run --example optimize_single -- --pass em program.ir
+//! cargo run --example optimize_single -- --pass restricted program.ir
+//! cargo run --example optimize_single -- --pass sink program.ir
+//! ```
+
+use std::io::Read;
+
+use assignment_motion::prelude::*;
+
+struct Options {
+    pass: String,
+    decompose: bool,
+    phases: bool,
+    simplify: bool,
+    dot: bool,
+    lang: bool,
+    input: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        pass: "full".to_owned(),
+        decompose: false,
+        phases: false,
+        simplify: false,
+        dot: false,
+        lang: false,
+        input: String::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pass" => {
+                opts.pass = args.next().ok_or("--pass needs a value")?;
+            }
+            "--decompose" => opts.decompose = true,
+            "--phases" => opts.phases = true,
+            "--simplify" => opts.simplify = true,
+            "--dot" => opts.dot = true,
+            "--lang" => opts.lang = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: optimize_file [--pass full|em|bcm|am|restricted|sink|cp] \
+                            [--decompose] [--phases] [--simplify] [--dot] [--lang] <file|->\n\
+                            --lang parses the input as a while-language program"
+                        .to_owned(),
+                );
+            }
+            path => opts.input = path.to_owned(),
+        }
+    }
+    if opts.input.is_empty() {
+        return Err("missing input file (use '-' for stdin); --help for usage".to_owned());
+    }
+    Ok(opts)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let source = if opts.input == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        buf
+    } else {
+        std::fs::read_to_string(&opts.input)?
+    };
+    let program = if opts.lang {
+        assignment_motion::lang::compile(&source)?
+    } else {
+        let mode = if opts.decompose {
+            Mode::Decompose
+        } else {
+            Mode::Strict
+        };
+        parse_with_mode(&source, mode)?
+    };
+
+    let emit = |g: &FlowGraph| {
+        let g = if opts.simplify {
+            g.simplified()
+        } else {
+            g.clone()
+        };
+        if opts.dot {
+            println!("{}", assignment_motion::ir::dot::to_dot(&g));
+        } else {
+            println!("{}", canonical_text(&g));
+        }
+    };
+    match opts.pass.as_str() {
+        "full" => {
+            let result = optimize(&program);
+            if opts.phases {
+                println!(
+                    "== after initialization ==\n{}",
+                    canonical_text(result.after_init.as_ref().unwrap())
+                );
+                println!(
+                    "== after assignment motion ({} rounds) ==\n{}",
+                    result.motion.rounds,
+                    canonical_text(result.after_motion.as_ref().unwrap())
+                );
+            }
+            emit(&result.program);
+        }
+        "em" => {
+            let mut g = program.clone();
+            g.split_critical_edges();
+            lazy_expression_motion(&mut g);
+            emit(&g);
+        }
+        "bcm" => {
+            let mut g = program.clone();
+            g.split_critical_edges();
+            busy_expression_motion(&mut g);
+            emit(&g);
+        }
+        "am" => {
+            let mut g = program.clone();
+            g.split_critical_edges();
+            assignment_motion(&mut g);
+            emit(&g);
+        }
+        "restricted" => {
+            let mut g = program.clone();
+            g.split_critical_edges();
+            restricted_assignment_motion(&mut g);
+            emit(&g);
+        }
+        "sink" => {
+            let mut g = program.clone();
+            g.split_critical_edges();
+            sink_assignments(&mut g, &SinkConfig::default());
+            emit(&g);
+        }
+        "cp" => {
+            let mut g = program.clone();
+            assignment_motion::alg::copyprop::copy_propagation(&mut g, true);
+            emit(&g);
+        }
+        other => {
+            eprintln!("unknown pass '{other}'");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}

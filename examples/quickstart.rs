@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "== After assignment motion (Fig. 14) ==\n{}",
         canonical_text(result.after_motion.as_ref().expect("snapshots on"))
     );
-    println!("== Final program (Fig. 5 / 15) ==\n{}", canonical_text(&result.program));
+    println!(
+        "== Final program (Fig. 5 / 15) ==\n{}",
+        canonical_text(&result.program)
+    );
 
     println!(
         "phases: {} motion rounds, {} eliminations, {} reconstructions",

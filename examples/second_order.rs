@@ -14,7 +14,11 @@ use assignment_motion::alg::restricted::fig8_example;
 use assignment_motion::prelude::*;
 
 fn dynamic_cost(g: &FlowGraph, p: i64) -> u64 {
-    run(g, &RunConfig::with_inputs(vec![("y", 3), ("z", 4), ("p", p)])).expr_evals
+    run(
+        g,
+        &RunConfig::with_inputs(vec![("y", 3), ("z", 4), ("p", p)]),
+    )
+    .expr_evals
 }
 
 fn main() {

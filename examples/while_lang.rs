@@ -6,8 +6,8 @@
 //! cargo run --example while_lang -- path/to/program.wl n=10 base=100
 //! ```
 
-use assignment_motion::prelude::*;
 use am_lang::compile;
+use assignment_motion::prelude::*;
 
 const DEFAULT_PROGRAM: &str = "
 // Polynomial evaluation with a manually unrolled-ish inner loop:
@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(path) => (std::fs::read_to_string(path)?, Vec::new()),
         None => (
             DEFAULT_PROGRAM.to_owned(),
-            vec![("scale".to_owned(), 7i64), ("base".to_owned(), 100), ("n".to_owned(), 50)],
+            vec![
+                ("scale".to_owned(), 7i64),
+                ("base".to_owned(), 100),
+                ("n".to_owned(), 50),
+            ],
         ),
     };
     for arg in args {

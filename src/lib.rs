@@ -15,7 +15,10 @@
 //! * [`alg`] ([`am_core`]) — the paper's three-phase algorithm
 //!   ([`alg::global::optimize`]) and every baseline it is compared against
 //!   (lazy code motion, restricted assignment motion, copy propagation,
-//!   assignment sinking).
+//!   assignment sinking);
+//! * [`pipeline`] ([`am_pipeline`]) — parallel batch optimization over
+//!   whole corpora with a content-addressed result cache (ships the
+//!   `amopt` binary).
 //!
 //! # Quickstart
 //!
@@ -49,10 +52,10 @@ pub use am_core as alg;
 pub use am_dfa as dfa;
 pub use am_ir as ir;
 pub use am_lang as lang;
+pub use am_pipeline as pipeline;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use am_lang::compile as compile_while;
     pub use am_core::global::{optimize, optimize_with, GlobalConfig, GlobalResult};
     pub use am_core::lcm::{busy_expression_motion, lazy_expression_motion};
     pub use am_core::motion::assignment_motion;
@@ -63,4 +66,7 @@ pub mod prelude {
     pub use am_ir::interp::{run, Config as RunConfig, Oracle};
     pub use am_ir::text::{parse, parse_with_mode, to_text, Mode};
     pub use am_ir::FlowGraph;
+    pub use am_lang::compile as compile_while;
+    pub use am_lang::{compile_source, SourceKind};
+    pub use am_pipeline::{Job, Pipeline, PipelineConfig, PipelineReport};
 }

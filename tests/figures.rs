@@ -32,7 +32,10 @@ fn fig02_am_eliminates_whole_assignments() {
     let orig = measurement(&r, "original");
     let am = measurement(&r, "AM");
     assert!(am.expr_evals < orig.expr_evals);
-    assert!(am.assign_execs < orig.assign_execs, "AM removes assignments");
+    assert!(
+        am.assign_execs < orig.assign_execs,
+        "AM removes assignments"
+    );
     assert_eq!(am.temp_assigns, 0, "AM alone introduces no temporaries");
 }
 
@@ -51,10 +54,22 @@ fn fig03_initialized_am_subsumes_em() {
 fn fig05_global_matches_paper_output() {
     let r = figures::fig05_global();
     let (_, final_text) = r.after.last().unwrap();
-    assert!(final_text.contains("node 1 {\n  h1 := c+d\n  y := h1\n  h2 := x+z\n  x := y+z\n}"), "{final_text}");
-    assert!(final_text.contains("node 2 {\n  branch h2 > y+i\n}"), "{final_text}");
-    assert!(final_text.contains("node 3 {\n  i := i+x\n  h2 := x+z\n}"), "{final_text}");
-    assert!(final_text.contains("node 4 {\n  x := h1\n  out(i,x,y)\n}"), "{final_text}");
+    assert!(
+        final_text.contains("node 1 {\n  h1 := c+d\n  y := h1\n  h2 := x+z\n  x := y+z\n}"),
+        "{final_text}"
+    );
+    assert!(
+        final_text.contains("node 2 {\n  branch h2 > y+i\n}"),
+        "{final_text}"
+    );
+    assert!(
+        final_text.contains("node 3 {\n  i := i+x\n  h2 := x+z\n}"),
+        "{final_text}"
+    );
+    assert!(
+        final_text.contains("node 4 {\n  x := h1\n  out(i,x,y)\n}"),
+        "{final_text}"
+    );
     let orig = measurement(&r, "original");
     let opt = measurement(&r, "GlobAlg");
     assert!(opt.expr_evals < orig.expr_evals);
@@ -89,10 +104,11 @@ fn fig07_motion_across_irreducible_loop() {
         assert!(after.contains(node), "{after}");
     }
     // …and the first loop's blocked occurrence untouched.
-    assert!(after.contains("node 3 {\n  y := w\n  x := y+z\n}"), "{after}");
     assert!(
-        measurement(&r, "AM").expr_evals < measurement(&r, "original").expr_evals
+        after.contains("node 3 {\n  y := w\n  x := y+z\n}"),
+        "{after}"
     );
+    assert!(measurement(&r, "AM").expr_evals < measurement(&r, "original").expr_evals);
 }
 
 #[test]
@@ -100,18 +116,21 @@ fn fig08_restricted_vs_unrestricted() {
     let r = figures::fig08_restricted();
     let (label, restricted_text) = &r.after[0];
     assert!(label.contains("unchanged"));
-    assert!(restricted_text.contains("x := y+z\n  out(a,x)"), "{restricted_text}");
+    assert!(
+        restricted_text.contains("x := y+z\n  out(a,x)"),
+        "{restricted_text}"
+    );
     let (_, unrestricted_text) = &r.after[1];
-    assert!(!unrestricted_text.contains("x := y+z\n  out(a,x)"), "{unrestricted_text}");
+    assert!(
+        !unrestricted_text.contains("x := y+z\n  out(a,x)"),
+        "{unrestricted_text}"
+    );
     assert_eq!(
         measurement(&r, "restricted").expr_evals,
         measurement(&r, "original").expr_evals,
         "restricted motion achieves nothing on Fig. 8"
     );
-    assert!(
-        measurement(&r, "unrestricted").expr_evals
-            < measurement(&r, "original").expr_evals
-    );
+    assert!(measurement(&r, "unrestricted").expr_evals < measurement(&r, "original").expr_evals);
 }
 
 #[test]
@@ -119,8 +138,7 @@ fn fig10_splitting_unblocks_elimination() {
     let r = figures::fig10_critical_edges();
     assert!(r.after[0].0.contains("2 edge(s) split") || r.after[0].0.contains("1 edge(s) split"));
     assert!(
-        measurement(&r, "AM after splitting").expr_evals
-            < measurement(&r, "original").expr_evals
+        measurement(&r, "AM after splitting").expr_evals < measurement(&r, "original").expr_evals
     );
 }
 
@@ -128,15 +146,29 @@ fn fig10_splitting_unblocks_elimination() {
 fn fig13_candidate_identification() {
     let r = figures::fig13_candidates();
     // Fig. 13: the first y := a+b is a candidate, the second is not.
-    assert!(r.notes.iter().any(|n| n.contains("'y := a+b' at instruction 1")), "{:?}", r.notes);
-    assert!(!r.notes.iter().any(|n| n.contains("'y := a+b' at instruction 4")), "{:?}", r.notes);
+    assert!(
+        r.notes
+            .iter()
+            .any(|n| n.contains("'y := a+b' at instruction 1")),
+        "{:?}",
+        r.notes
+    );
+    assert!(
+        !r.notes
+            .iter()
+            .any(|n| n.contains("'y := a+b' at instruction 4")),
+        "{:?}",
+        r.notes
+    );
 }
 
 #[test]
 fn fig16_relative_optimality_is_a_fixpoint() {
     let r = figures::fig16_incomparable();
     assert!(
-        r.notes.iter().any(|n| n.contains("identity (relative optimality): true")),
+        r.notes
+            .iter()
+            .any(|n| n.contains("identity (relative optimality): true")),
         "{:?}",
         r.notes
     );
