@@ -1,108 +1,91 @@
-//! Extended randomized soundness sweep: thousands of random programs
-//! through the full pipeline and baselines, checking observables and
-//! expression optimality on corresponding runs. Not part of the test
-//! suite (slow); run before releases:
+//! Extended randomized soundness sweep — now a thin wrapper around the
+//! `am-check` campaign runner, so every seed gets the full per-phase
+//! differential validation (split, init, each motion round, flush, the
+//! end-to-end comparison and the LCM/sink baselines) instead of the old
+//! end-to-end-only checks. Failures are shrunk and written as reproduction
+//! bundles under `target/am-check/`, and the process exits nonzero on any
+//! semantic mismatch or optimality regression.
+//!
+//! Not part of the test suite (slow); run before releases:
 //!
 //! ```sh
 //! cargo run --release -p am-bench --bin fuzz_blitz -- 2000
+//! cargo run --release -p am-bench --bin fuzz_blitz -- 500 --seed-start 2000 --fail-fast
 //! ```
 
-use am_core::global::optimize;
-use am_core::lcm::lazy_expression_motion;
-use am_core::sink::{sink_assignments, SinkConfig};
-use am_core::verify::weakly_equivalent;
-use am_ir::interp::{run, Config, Oracle, StopReason};
-use am_ir::random::SplitMix64;
-use am_ir::random::{structured, unstructured, StructuredConfig, UnstructuredConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
-    let count: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500);
-    let mut checked = 0u64;
-    let mut runs = 0u64;
-    for seed in 0..count {
-        let mut rng = SplitMix64::new(seed);
-        let program = match seed % 3 {
-            0 => structured(&mut rng, &StructuredConfig::default()),
-            1 => structured(
-                &mut rng,
-                &StructuredConfig {
-                    allow_div: true,
-                    max_depth: 4,
-                    ..Default::default()
-                },
-            ),
-            _ => unstructured(
-                &mut rng,
-                &UnstructuredConfig {
-                    nodes: 8 + (seed as usize % 12),
-                    extra_edges: 4 + (seed as usize % 8),
-                    max_instrs: 4,
-                    num_vars: 6,
-                    allow_div: seed % 6 == 5,
-                },
-            ),
-        };
-        let result = optimize(&program);
-        assert!(result.motion.converged, "seed {seed} did not converge");
-        assert_eq!(result.program.validate(), Ok(()), "seed {seed}");
+use am_check::campaign::{default_bundle_dir, run_campaign, CampaignConfig};
 
-        let mut em = program.clone();
-        em.split_critical_edges();
-        lazy_expression_motion(&mut em);
+const USAGE: &str = "usage: fuzz_blitz [COUNT] [--seed-start N] [--fail-fast]";
 
-        let mut sunk = program.clone();
-        sunk.split_critical_edges();
-        sink_assignments(
-            &mut sunk,
-            &SinkConfig {
-                eliminate_nontrivial_dead: false, // keep trap potential
-            },
-        );
-
-        for run_seed in 0..10u64 {
-            let cfg = Config {
-                oracle: Oracle::random(seed.wrapping_mul(1_000_003) + run_seed, 14),
-                inputs: vec![
-                    ("v0".into(), (seed as i64 % 7) - 3),
-                    ("v1".into(), 2),
-                    ("v2".into(), -5),
-                    ("v3".into(), 1),
-                ],
-                ..Config::default()
-            };
-            let base = run(&program, &cfg);
-            for (label, g) in [("full", &result.program), ("em", &em), ("sink", &sunk)] {
-                let r = run(g, &cfg);
-                assert!(
-                    weakly_equivalent(&base, &r),
-                    "seed {seed}/{run_seed} {label}: {:?} vs {:?}\n{program:?}\n{g:?}",
-                    base.observable(),
-                    r.observable()
-                );
-                assert_eq!(
-                    base.trap.is_some(),
-                    r.trap.is_some(),
-                    "seed {seed}/{run_seed} {label}: trap potential changed"
-                );
-                if base.stop == StopReason::ReachedEnd
-                    && r.stop == StopReason::ReachedEnd
-                    && label == "full"
-                {
-                    assert!(
-                        r.expr_evals <= base.expr_evals,
-                        "seed {seed}/{run_seed}: optimality violated"
-                    );
+fn main() -> ExitCode {
+    let mut count: u64 = 500;
+    let mut seed_start: u64 = 0;
+    let mut fail_fast = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed-start" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed_start = n,
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
                 }
-                runs += 1;
+            },
+            "--fail-fast" => fail_fast = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
             }
-        }
-        checked += 1;
-        if checked.is_multiple_of(250) {
-            eprintln!("... {checked}/{count} programs");
+            other => match other.parse() {
+                Ok(n) => count = n,
+                Err(_) => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
         }
     }
-    println!("fuzz blitz: {checked} programs, {runs} corresponding runs, all equivalent");
+
+    let cfg = CampaignConfig {
+        seed_start,
+        seed_end: seed_start + count,
+        runs: 10,
+        decisions: 14,
+        fail_fast,
+        fault: None,
+        bundle_dir: Some(default_bundle_dir(&PathBuf::from("."))),
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&cfg, &mut |seed, fails| {
+        let done = seed + 1 - seed_start;
+        if done.is_multiple_of(250) {
+            eprintln!("... {done}/{count} programs, {fails} failures");
+        }
+    });
+
+    for f in &report.failures {
+        let bundle = f
+            .bundle
+            .as_ref()
+            .map(|p| format!(" -> {}", p.display()))
+            .unwrap_or_default();
+        eprintln!(
+            "seed {}: FAILED at {} ({:?}){bundle}",
+            f.seed, f.failure.stage, f.failure.kind
+        );
+    }
+    println!(
+        "fuzz blitz: {} programs, {} stage pairs checked, {} failures",
+        report.seeds_checked,
+        report.stages_checked,
+        report.failures.len()
+    );
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

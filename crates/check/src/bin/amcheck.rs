@@ -1,0 +1,190 @@
+//! Seeded translation-validation campaigns from the command line.
+//!
+//! ```sh
+//! amcheck --seeds 0..500                     # clean sweep
+//! amcheck --seeds 0..50 --inject flush --fault drop-instr
+//! amcheck program.ir other.wl                # validate specific files
+//! ```
+//!
+//! Exit status: 0 all seeds/files pass, 1 at least one failure (bundles
+//! under `--out`, default `target/am-check`), 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use am_check::campaign::{
+    check_file, default_bundle_dir, parse_seed_range, run_campaign, CampaignConfig,
+};
+use am_check::fault::{FaultKind, FaultSpec, InjectAt};
+use am_ir::text::parse;
+
+const USAGE: &str = "\
+usage: amcheck [OPTIONS] [FILE...]
+
+Validates every optimizer phase differentially on random programs (or the
+given .ir/.wl files), shrinking failures and writing reproduction bundles.
+
+options:
+  --seeds A..B      seed range, end-exclusive (default 0..200); N means N..N+1
+  --runs N          corresponding runs per phase pair (default 10)
+  --decisions N     oracle decisions per run (default 14)
+  --fail-fast       stop at the first failing seed
+  --inject WHERE    inject a fault: init, round:N, flush (harness self-test)
+  --fault KIND      fault kind: tweak-const, drop-instr, duplicate-eval
+                    (default tweak-const; only with --inject)
+  --out DIR         bundle directory (default target/am-check)
+  --no-bundles      do not shrink or write bundles
+  -h, --help        show this help
+";
+
+fn fail_usage(msg: &str) -> ExitCode {
+    eprintln!("amcheck: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = CampaignConfig {
+        bundle_dir: Some(default_bundle_dir(&PathBuf::from("."))),
+        ..CampaignConfig::default()
+    };
+    let mut inject: Option<InjectAt> = None;
+    let mut fault_kind = FaultKind::TweakConst;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--seeds" => match value("--seeds").map(|v| parse_seed_range(&v)) {
+                Ok(Some((a, b))) => (cfg.seed_start, cfg.seed_end) = (a, b),
+                Ok(None) => return fail_usage("--seeds wants A..B or N"),
+                Err(e) => return fail_usage(&e),
+            },
+            "--runs" => match value("--runs").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.runs = n,
+                _ => return fail_usage("--runs wants a number"),
+            },
+            "--decisions" => match value("--decisions").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.decisions = n,
+                _ => return fail_usage("--decisions wants a number"),
+            },
+            "--fail-fast" => cfg.fail_fast = true,
+            "--inject" => match value("--inject") {
+                Ok(v) => {
+                    inject = Some(match v.as_str() {
+                        "init" => InjectAt::Init,
+                        "flush" => InjectAt::Flush,
+                        other => match other.strip_prefix("round:").and_then(|r| r.parse().ok()) {
+                            Some(r) => InjectAt::MotionRound(r),
+                            None => return fail_usage("--inject wants init, round:N or flush"),
+                        },
+                    })
+                }
+                Err(e) => return fail_usage(&e),
+            },
+            "--fault" => match value("--fault").as_deref() {
+                Ok("tweak-const") => fault_kind = FaultKind::TweakConst,
+                Ok("drop-instr") => fault_kind = FaultKind::DropInstr,
+                Ok("duplicate-eval") => fault_kind = FaultKind::DuplicateEval,
+                Ok(_) => {
+                    return fail_usage("--fault wants tweak-const, drop-instr or duplicate-eval")
+                }
+                Err(e) => return fail_usage(e),
+            },
+            "--out" => match value("--out") {
+                Ok(v) => cfg.bundle_dir = Some(PathBuf::from(v)),
+                Err(e) => return fail_usage(&e),
+            },
+            "--no-bundles" => cfg.bundle_dir = None,
+            other if other.starts_with('-') => {
+                return fail_usage(&format!("unknown option {other}"))
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    cfg.fault = inject.map(|at| FaultSpec {
+        at,
+        kind: fault_kind,
+    });
+
+    let mut failed = 0usize;
+    if files.is_empty() {
+        let total = cfg.seed_end - cfg.seed_start;
+        eprintln!(
+            "amcheck: validating seeds {}..{} ({} programs, {} runs each)",
+            cfg.seed_start, cfg.seed_end, total, cfg.runs
+        );
+        let report = run_campaign(&cfg, &mut |seed, fails| {
+            let done = seed + 1 - cfg.seed_start;
+            if done.is_multiple_of(100) {
+                eprintln!("... {done}/{total} seeds, {fails} failures");
+            }
+        });
+        for f in &report.failures {
+            let shrunk = f
+                .minimized_nodes
+                .map(|n| format!(", shrunk to {n} nodes"))
+                .unwrap_or_default();
+            let bundle = f
+                .bundle
+                .as_ref()
+                .map(|p| format!(" -> {}", p.display()))
+                .unwrap_or_default();
+            eprintln!(
+                "seed {}: FAILED at {} ({:?}){shrunk}{bundle}",
+                f.seed, f.failure.stage, f.failure.kind
+            );
+        }
+        println!(
+            "amcheck: {} seeds checked ({} skipped), {} stage pairs, {} failures",
+            report.seeds_checked,
+            report.seeds_skipped,
+            report.stages_checked,
+            report.failures.len()
+        );
+        failed += report.failures.len();
+    } else {
+        for file in &files {
+            let src = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => return fail_usage(&format!("cannot read {file}: {e}")),
+            };
+            let program = match parse(&src) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("{file}: parse error: {e}");
+                    failed += 1;
+                    continue;
+                }
+            };
+            match check_file(file, &program, &cfg) {
+                Ok(()) => println!("{file}: ok"),
+                Err(f) => {
+                    let bundle = f
+                        .bundle
+                        .as_ref()
+                        .map(|p| format!(" -> {}", p.display()))
+                        .unwrap_or_default();
+                    eprintln!(
+                        "{file}: FAILED at {} ({:?}){bundle}",
+                        f.failure.stage, f.failure.kind
+                    );
+                    failed += 1;
+                }
+            }
+        }
+    }
+
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,213 @@
+//! Deliberate miscompilation, for exercising the harness itself.
+//!
+//! A translation validator that has never seen a miscompile is untested.
+//! [`FaultSpec`] corrupts the program at an exact phase boundary — through
+//! the same mutable hook of
+//! [`optimize_hooked`](am_core::global::optimize_hooked) that the
+//! snapshotting uses — and the test suite (and `amcheck --inject`) then
+//! asserts that validation localizes the failure to that phase and that
+//! the shrinker reduces the witness to a handful of nodes.
+
+use am_core::global::PhaseId;
+use am_ir::{FlowGraph, Instr, Operand, Term};
+
+/// Where to inject the fault: immediately after the named phase runs, so
+/// the corruption is attributed to that phase's output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectAt {
+    /// After the initialization phase.
+    Init,
+    /// After the given 1-based assignment-motion round.
+    MotionRound(usize),
+    /// After the final flush.
+    Flush,
+}
+
+impl InjectAt {
+    /// Whether this injection point matches a fired phase boundary.
+    pub fn matches(self, phase: PhaseId) -> bool {
+        match (self, phase) {
+            (InjectAt::Init, PhaseId::Init) => true,
+            (InjectAt::MotionRound(want), PhaseId::MotionRound(got)) => want == got,
+            (InjectAt::Flush, PhaseId::Flush) => true,
+            _ => false,
+        }
+    }
+}
+
+/// The corruption to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Add 1 to the first constant operand found — a wrong-code bug that
+    /// diverges observably whenever the constant flows to an `out`.
+    TweakConst,
+    /// Delete the last `out(...)` (or, failing that, the last assignment) —
+    /// the classic dropped-instruction miscompile.
+    DropInstr,
+    /// Duplicate the first non-trivial assignment whose right-hand side
+    /// does not mention its own left-hand side. Semantics are preserved but
+    /// every execution pays an extra expression evaluation: an *optimality*
+    /// regression (Thm 5.2), not a wrong-code bug.
+    DuplicateEval,
+}
+
+/// A fault to inject during a hooked optimizer run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The phase boundary to corrupt.
+    pub at: InjectAt,
+    /// The corruption.
+    pub kind: FaultKind,
+}
+
+/// Applies `kind` to `g`. Returns whether a suitable injection site was
+/// found; the graph is untouched otherwise. The mutation always leaves the
+/// graph structurally valid.
+pub fn apply_fault(g: &mut FlowGraph, kind: FaultKind) -> bool {
+    match kind {
+        FaultKind::TweakConst => tweak_first_const(g),
+        FaultKind::DropInstr => drop_instr(g),
+        FaultKind::DuplicateEval => duplicate_eval(g),
+    }
+}
+
+fn tweak_operand(op: &mut Operand) -> bool {
+    if let Operand::Const(c) = op {
+        *c = c.wrapping_add(1);
+        true
+    } else {
+        false
+    }
+}
+
+fn tweak_term(t: &mut Term) -> bool {
+    match t {
+        Term::Operand(op) => tweak_operand(op),
+        Term::Binary { lhs, rhs, .. } => tweak_operand(lhs) || tweak_operand(rhs),
+    }
+}
+
+fn tweak_first_const(g: &mut FlowGraph) -> bool {
+    for n in g.nodes().collect::<Vec<_>>() {
+        for instr in &mut g.block_mut(n).instrs {
+            let hit = match instr {
+                Instr::Skip => false,
+                Instr::Assign { rhs, .. } => tweak_term(rhs),
+                Instr::Out(ops) => ops.iter_mut().any(tweak_operand),
+                Instr::Branch(c) => tweak_term(&mut c.lhs) || tweak_term(&mut c.rhs),
+            };
+            if hit {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn drop_instr(g: &mut FlowGraph) -> bool {
+    let nodes: Vec<_> = g.nodes().collect();
+    // Prefer dropping an out — observably wrong on every path through it.
+    for &n in nodes.iter().rev() {
+        let block = g.block_mut(n);
+        if let Some(i) = block
+            .instrs
+            .iter()
+            .rposition(|i| matches!(i, Instr::Out(_)))
+        {
+            block.instrs.remove(i);
+            return true;
+        }
+    }
+    for &n in nodes.iter().rev() {
+        let block = g.block_mut(n);
+        if let Some(i) = block
+            .instrs
+            .iter()
+            .rposition(|i| matches!(i, Instr::Assign { .. }))
+        {
+            block.instrs.remove(i);
+            return true;
+        }
+    }
+    false
+}
+
+fn duplicate_eval(g: &mut FlowGraph) -> bool {
+    for n in g.nodes().collect::<Vec<_>>() {
+        let block = g.block_mut(n);
+        let site = block.instrs.iter().position(|i| match i {
+            Instr::Assign { lhs, rhs } => rhs.is_nontrivial() && !rhs.mentions(*lhs),
+            _ => false,
+        });
+        if let Some(i) = site {
+            let dup = block.instrs[i].clone();
+            block.instrs.insert(i + 1, dup);
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_ir::interp::{run, Config};
+    use am_ir::text::parse;
+
+    const SRC: &str =
+        "start s\nend e\nnode s { x := a+1; y := x+2 }\nnode e { out(x,y) }\nedge s -> e";
+
+    #[test]
+    fn tweak_const_changes_observables() {
+        let orig = parse(SRC).unwrap();
+        let mut g = orig.clone();
+        assert!(apply_fault(&mut g, FaultKind::TweakConst));
+        assert_eq!(g.validate(), Ok(()));
+        let cfg = Config::with_inputs(vec![("a", 5)]);
+        assert_ne!(run(&orig, &cfg).observable(), run(&g, &cfg).observable());
+    }
+
+    #[test]
+    fn drop_instr_removes_an_out_first() {
+        let mut g = parse(SRC).unwrap();
+        assert!(apply_fault(&mut g, FaultKind::DropInstr));
+        assert_eq!(g.validate(), Ok(()));
+        let text = am_ir::text::to_text(&g);
+        assert!(!text.contains("out"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_eval_keeps_semantics_but_adds_an_evaluation() {
+        let orig = parse(SRC).unwrap();
+        let mut g = orig.clone();
+        assert!(apply_fault(&mut g, FaultKind::DuplicateEval));
+        assert_eq!(g.validate(), Ok(()));
+        let cfg = Config::with_inputs(vec![("a", 5)]);
+        let (a, b) = (run(&orig, &cfg), run(&g, &cfg));
+        assert_eq!(a.observable(), b.observable());
+        assert_eq!(b.expr_evals, a.expr_evals + 1);
+    }
+
+    #[test]
+    fn self_referential_assignments_are_never_duplicated() {
+        let mut g =
+            parse("start s\nend e\nnode s { x := x+1 }\nnode e { out(x) }\nedge s -> e").unwrap();
+        assert!(!apply_fault(&mut g, FaultKind::DuplicateEval));
+    }
+
+    #[test]
+    fn faults_without_a_site_report_failure() {
+        let mut g =
+            parse("start s\nend e\nnode s { skip }\nnode e { out(x) }\nedge s -> e").unwrap();
+        assert!(!apply_fault(&mut g, FaultKind::TweakConst));
+        assert!(!apply_fault(&mut g, FaultKind::DuplicateEval));
+    }
+
+    #[test]
+    fn inject_at_matches_the_right_boundaries() {
+        assert!(InjectAt::Init.matches(PhaseId::Init));
+        assert!(InjectAt::MotionRound(2).matches(PhaseId::MotionRound(2)));
+        assert!(!InjectAt::MotionRound(2).matches(PhaseId::MotionRound(1)));
+        assert!(!InjectAt::Flush.matches(PhaseId::Init));
+    }
+}

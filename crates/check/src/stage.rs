@@ -1,0 +1,98 @@
+//! Names for the checkable stages of the optimization pipeline.
+
+use std::fmt;
+
+use am_core::global::PhaseId;
+
+/// One differential-oracle boundary of the validation harness.
+///
+/// The pipeline stages mirror [`PhaseId`]; `Lcm` and `Sink` are the
+/// standalone baselines checked against the original program, and `Final`
+/// is the end-to-end comparison (original vs. fully optimized) that backs
+/// the optimality theorems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Critical-edge splitting (Sec. 2.1).
+    Split,
+    /// Initialization (Fig. 12).
+    Init,
+    /// The given 1-based `rae; aht` round of assignment motion (Fig. 14).
+    MotionRound(usize),
+    /// The final flush (Fig. 15).
+    Flush,
+    /// Original vs. fully optimized program (Thm 5.1/5.2 end to end).
+    Final,
+    /// The lazy-expression-motion baseline vs. the original.
+    Lcm,
+    /// The assignment-sinking baseline vs. the original.
+    Sink,
+}
+
+impl Stage {
+    /// Whether two stages are the same kind of boundary, ignoring the round
+    /// number. The shrinker uses this: cutting a program legitimately
+    /// changes *when* a bug manifests inside the motion fixed point, but
+    /// not *which phase* manifests it.
+    pub fn same_class(self, other: Stage) -> bool {
+        matches!(
+            (self, other),
+            (Stage::Split, Stage::Split)
+                | (Stage::Init, Stage::Init)
+                | (Stage::MotionRound(_), Stage::MotionRound(_))
+                | (Stage::Flush, Stage::Flush)
+                | (Stage::Final, Stage::Final)
+                | (Stage::Lcm, Stage::Lcm)
+                | (Stage::Sink, Stage::Sink)
+        )
+    }
+}
+
+impl From<PhaseId> for Stage {
+    fn from(p: PhaseId) -> Stage {
+        match p {
+            PhaseId::Split => Stage::Split,
+            PhaseId::Init => Stage::Init,
+            PhaseId::MotionRound(r) => Stage::MotionRound(r),
+            PhaseId::Flush => Stage::Flush,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Split => write!(f, "split"),
+            Stage::Init => write!(f, "init"),
+            Stage::MotionRound(r) => write!(f, "motion round {r}"),
+            Stage::Flush => write!(f, "flush"),
+            Stage::Final => write!(f, "final (end to end)"),
+            Stage::Lcm => write!(f, "lcm baseline"),
+            Stage::Sink => write!(f, "sink baseline"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_numbers_do_not_split_classes() {
+        assert!(Stage::MotionRound(1).same_class(Stage::MotionRound(7)));
+        assert!(!Stage::MotionRound(1).same_class(Stage::Flush));
+        assert!(Stage::Flush.same_class(Stage::Flush));
+        assert!(!Stage::Lcm.same_class(Stage::Sink));
+    }
+
+    #[test]
+    fn phases_map_onto_stages() {
+        assert_eq!(Stage::from(PhaseId::MotionRound(3)), Stage::MotionRound(3));
+        assert_eq!(Stage::from(PhaseId::Flush), Stage::Flush);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(Stage::MotionRound(2).to_string(), "motion round 2");
+        assert_eq!(Stage::Final.to_string(), "final (end to end)");
+    }
+}

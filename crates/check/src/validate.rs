@@ -1,0 +1,474 @@
+//! Per-phase differential validation of one program.
+//!
+//! [`validate`] replays the optimizer through the phase-boundary hooks of
+//! [`optimize_hooked`](am_core::global::optimize_hooked), snapshotting the
+//! program after every phase, then checks each *consecutive pair* of
+//! snapshots — original vs. split, split vs. init, round `r` vs. round
+//! `r+1`, … — against the counting interpreter on corresponding runs (the
+//! same fixed oracle and inputs). Because every stage of the paper's
+//! algorithm must individually preserve semantics and never increase the
+//! number of expression evaluations on corresponding paths, the first pair
+//! that disagrees names the exact phase that introduced the bug.
+
+use am_core::global::{optimize_hooked, GlobalConfig};
+use am_core::sink::{sink_assignments, SinkConfig};
+use am_core::verify::weakly_equivalent;
+use am_ir::interp::{run, Config, Oracle, RunResult, StopReason};
+use am_ir::FlowGraph;
+
+use crate::fault::{apply_fault, FaultSpec};
+use crate::stage::Stage;
+
+/// Configuration for one [`validate`] call.
+#[derive(Clone, Debug)]
+pub struct ValidationConfig {
+    /// Corresponding runs per snapshot pair.
+    pub runs: usize,
+    /// Oracle decisions per run (bounds the common path prefix).
+    pub decisions: usize,
+    /// Base seed; run `i` uses oracle seed `seed + i`.
+    pub seed: u64,
+    /// Initial variable values for every run.
+    pub inputs: Vec<(String, i64)>,
+    /// Round budget forwarded to the optimizer (`None` = paper bound).
+    pub max_motion_rounds: Option<usize>,
+    /// Also check the LCM and sink baselines against the original.
+    pub check_baselines: bool,
+    /// Inject a deliberate miscompile at a phase boundary (testing the
+    /// harness itself; see [`crate::fault`]).
+    pub fault: Option<FaultSpec>,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            runs: 16,
+            decisions: 14,
+            seed: 0xC0FFEE,
+            inputs: vec![
+                ("v0".into(), 3),
+                ("v1".into(), 2),
+                ("v2".into(), -5),
+                ("v3".into(), 1),
+            ],
+            max_motion_rounds: None,
+            check_baselines: true,
+            fault: None,
+        }
+    }
+}
+
+/// What went wrong at a stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The stage produced a structurally invalid graph.
+    Structural(String),
+    /// Observable behaviour diverged on a corresponding run.
+    Semantic {
+        /// Index of the failing run (its oracle seed is `seed + run`).
+        run: usize,
+        /// Human-readable account of the divergence.
+        detail: String,
+    },
+    /// The stage *increased* expression evaluations on a completed
+    /// corresponding run — an optimality regression (Thm 5.2).
+    Optimality {
+        /// Index of the failing run.
+        run: usize,
+        /// Evaluations before the stage.
+        before: u64,
+        /// Evaluations after the stage.
+        after: u64,
+    },
+}
+
+impl FailureKind {
+    /// Whether two failures are the same kind, ignoring run indices and
+    /// message text. The shrinker's acceptance test.
+    pub fn same_class(&self, other: &FailureKind) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(other)
+    }
+}
+
+/// A localized validation failure.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The stage whose output first disagreed with its input.
+    pub stage: Stage,
+    /// The nature of the disagreement.
+    pub kind: FailureKind,
+    /// The fixed oracle decisions of the failing run (empty for
+    /// structural failures) — enough to replay it by hand.
+    pub decisions: Vec<usize>,
+    /// The inputs of the failing run.
+    pub inputs: Vec<(String, i64)>,
+}
+
+/// The outcome of one [`validate`] call.
+#[derive(Clone, Debug)]
+pub struct Validation {
+    /// The first failure found, if any.
+    pub failure: Option<Failure>,
+    /// Snapshot pairs that were differentially checked.
+    pub stages_checked: usize,
+    /// Corresponding runs per pair.
+    pub runs: usize,
+    /// Assignment-motion rounds the optimizer took.
+    pub motion_rounds: usize,
+    /// Whether a requested fault found an injection site. A fault with no
+    /// site leaves the program untouched, so the validation passing then
+    /// is vacuous — campaigns skip such seeds.
+    pub fault_injected: bool,
+}
+
+impl Validation {
+    /// No failure was found.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Weak equivalence relaxed for *corresponding truncated runs*.
+///
+/// Stages move assignments across program points, so on a fixed oracle one
+/// version may hit a (faithfully preserved) trap that the other version's
+/// run never reaches because its oracle ran out first. That skew is not a
+/// miscompile: it is accepted when the truncated run has no trap and its
+/// outputs are a prefix of (or extended by) the trapped run's outputs.
+fn corresponding_equivalent(a: &RunResult, b: &RunResult) -> bool {
+    if weakly_equivalent(a, b) {
+        return true;
+    }
+    fn prefix(short: &[Vec<i64>], long: &[Vec<i64>]) -> bool {
+        short.len() <= long.len() && &long[..short.len()] == short
+    }
+    fn skew(truncated: &RunResult, trapped: &RunResult) -> bool {
+        truncated.trap.is_none()
+            && matches!(
+                truncated.stop,
+                StopReason::OracleExhausted | StopReason::StepLimit
+            )
+            && trapped.trap.is_some()
+            && (prefix(&truncated.outputs, &trapped.outputs)
+                || prefix(&trapped.outputs, &truncated.outputs))
+    }
+    skew(a, b) || skew(b, a)
+}
+
+fn describe(a: &RunResult, b: &RunResult) -> String {
+    format!(
+        "before: outputs {:?} trap {:?} stop {:?} | after: outputs {:?} trap {:?} stop {:?}",
+        a.outputs, a.trap, a.stop, b.outputs, b.trap, b.stop
+    )
+}
+
+fn decisions_of(oracle: &Oracle) -> Vec<usize> {
+    match oracle {
+        Oracle::Fixed(v) => v.clone(),
+        Oracle::Deterministic => Vec::new(),
+    }
+}
+
+/// Validates every optimizer stage on `g`, plus the end-to-end result and
+/// (optionally) the LCM and sink baselines. Returns the first failure
+/// found, localized to the stage that introduced it.
+pub fn validate(g: &FlowGraph, cfg: &ValidationConfig) -> Validation {
+    // 1. Replay the optimizer, snapshotting at every phase boundary. A
+    //    requested fault is applied *before* the snapshot is taken, so the
+    //    corruption is attributed to the injected stage.
+    let mut chain: Vec<(Stage, FlowGraph)> = Vec::new();
+    let mut fault_injected = false;
+    let gcfg = GlobalConfig {
+        max_motion_rounds: cfg.max_motion_rounds,
+        keep_snapshots: false,
+    };
+    let mut motion_rounds = 0;
+    optimize_hooked(g, &gcfg, &mut |phase, prog| {
+        if let Some(f) = cfg.fault {
+            if !fault_injected && f.at.matches(phase) {
+                fault_injected = apply_fault(prog, f.kind);
+            }
+        }
+        let stage = Stage::from(phase);
+        if let Stage::MotionRound(r) = stage {
+            motion_rounds = r;
+        }
+        // The converged motion round is a no-op; checking an identical
+        // snapshot twice adds nothing, so collapse it.
+        if chain.last().map(|(_, prev)| prev == prog) != Some(true) {
+            chain.push((stage, prog.clone()));
+        }
+    });
+
+    // 2. Every snapshot must be structurally valid.
+    for (stage, snap) in &chain {
+        if let Err(e) = snap.validate() {
+            return Validation {
+                failure: Some(Failure {
+                    stage: *stage,
+                    kind: FailureKind::Structural(e.to_string()),
+                    decisions: Vec::new(),
+                    inputs: cfg.inputs.clone(),
+                }),
+                stages_checked: chain.len(),
+                runs: cfg.runs,
+                motion_rounds,
+                fault_injected,
+            };
+        }
+    }
+
+    // 3. Fixed-oracle run configurations shared by every comparison.
+    let run_cfgs: Vec<Config> = (0..cfg.runs)
+        .map(|i| Config {
+            oracle: Oracle::random(cfg.seed.wrapping_add(i as u64), cfg.decisions),
+            inputs: cfg.inputs.clone(),
+            ..Config::default()
+        })
+        .collect();
+    let original_runs: Vec<RunResult> = run_cfgs.iter().map(|c| run(g, c)).collect();
+
+    let fail = |stage: Stage, kind: FailureKind, run_idx: Option<usize>| Failure {
+        stage,
+        kind,
+        decisions: run_idx
+            .map(|i| decisions_of(&run_cfgs[i].oracle))
+            .unwrap_or_default(),
+        inputs: cfg.inputs.clone(),
+    };
+
+    // Differentially checks one transformation step: semantics must be
+    // preserved and expression evaluations must not increase on completed
+    // corresponding runs.
+    let check_pair = |stage: Stage, before: &[RunResult], after: &[RunResult]| -> Option<Failure> {
+        for (i, (ra, rb)) in before.iter().zip(after).enumerate() {
+            if !corresponding_equivalent(ra, rb) {
+                return Some(fail(
+                    stage,
+                    FailureKind::Semantic {
+                        run: i,
+                        detail: describe(ra, rb),
+                    },
+                    Some(i),
+                ));
+            }
+            let both_done = ra.stop == StopReason::ReachedEnd && rb.stop == StopReason::ReachedEnd;
+            if both_done && rb.expr_evals > ra.expr_evals {
+                return Some(fail(
+                    stage,
+                    FailureKind::Optimality {
+                        run: i,
+                        before: ra.expr_evals,
+                        after: rb.expr_evals,
+                    },
+                    Some(i),
+                ));
+            }
+        }
+        None
+    };
+
+    let mut stages_checked = 0;
+    let mut verdict = |failure: Option<Failure>| -> Option<Validation> {
+        stages_checked += 1;
+        failure.map(|f| Validation {
+            failure: Some(f),
+            stages_checked,
+            runs: cfg.runs,
+            motion_rounds,
+            fault_injected,
+        })
+    };
+
+    // 4. Pairwise consecutive checks along the phase chain, then the
+    //    end-to-end comparison backing the theorems directly.
+    let mut prev_runs = original_runs.clone();
+    for (stage, snap) in &chain {
+        let cur_runs: Vec<RunResult> = run_cfgs.iter().map(|c| run(snap, c)).collect();
+        if let Some(v) = verdict(check_pair(*stage, &prev_runs, &cur_runs)) {
+            return v;
+        }
+        prev_runs = cur_runs;
+    }
+    if let Some(v) = verdict(check_pair(Stage::Final, &original_runs, &prev_runs)) {
+        return v;
+    }
+
+    // 5. The standalone baselines, against the original program.
+    if cfg.check_baselines {
+        let mut lcm = g.clone();
+        lcm.split_critical_edges();
+        am_core::lcm::lazy_expression_motion(&mut lcm);
+        let mut sink = g.clone();
+        sink.split_critical_edges();
+        sink_assignments(
+            &mut sink,
+            &SinkConfig {
+                eliminate_nontrivial_dead: false,
+            },
+        );
+        for (stage, version) in [(Stage::Lcm, &lcm), (Stage::Sink, &sink)] {
+            if let Err(e) = version.validate() {
+                return Validation {
+                    failure: Some(fail(stage, FailureKind::Structural(e.to_string()), None)),
+                    stages_checked,
+                    runs: cfg.runs,
+                    motion_rounds,
+                    fault_injected,
+                };
+            }
+            let runs: Vec<RunResult> = run_cfgs.iter().map(|c| run(version, c)).collect();
+            if let Some(v) = verdict(check_pair(stage, &original_runs, &runs)) {
+                return v;
+            }
+        }
+    }
+
+    Validation {
+        failure: None,
+        stages_checked,
+        runs: cfg.runs,
+        motion_rounds,
+        fault_injected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, InjectAt};
+    use am_ir::text::parse;
+
+    fn diamond() -> FlowGraph {
+        parse(
+            "start s\nend e\n\
+             node s { x := a+b }\n\
+             node l { y := a+b; out(y) }\n\
+             node r { z := a*b; out(z) }\n\
+             node j { out(x) }\n\
+             node e { }\n\
+             edge s -> l\nedge s -> r\nedge l -> j\nedge r -> j\nedge j -> e",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_program_validates_across_all_stages() {
+        let v = validate(&diamond(), &ValidationConfig::default());
+        assert!(v.passed(), "{:?}", v.failure);
+        assert!(v.stages_checked >= 4, "{}", v.stages_checked);
+        assert!(!v.fault_injected);
+    }
+
+    #[test]
+    fn init_fault_is_localized_to_init() {
+        let cfg = ValidationConfig {
+            fault: Some(FaultSpec {
+                at: InjectAt::Init,
+                kind: FaultKind::TweakConst,
+            }),
+            ..ValidationConfig::default()
+        };
+        let src = "start s\nend e\nnode s { x := v0+1; out(x) }\nnode e { out(v0) }\nedge s -> e";
+        let v = validate(&parse(src).unwrap(), &cfg);
+        assert!(v.fault_injected);
+        let f = v.failure.expect("fault must be caught");
+        assert_eq!(f.stage, Stage::Init, "{f:?}");
+        assert!(matches!(f.kind, FailureKind::Semantic { .. }), "{f:?}");
+    }
+
+    #[test]
+    fn flush_fault_is_localized_to_flush() {
+        let cfg = ValidationConfig {
+            fault: Some(FaultSpec {
+                at: InjectAt::Flush,
+                kind: FaultKind::DropInstr,
+            }),
+            ..ValidationConfig::default()
+        };
+        let v = validate(&diamond(), &cfg);
+        assert!(v.fault_injected);
+        let f = v.failure.expect("fault must be caught");
+        assert_eq!(f.stage, Stage::Flush, "{f:?}");
+    }
+
+    #[test]
+    fn duplicate_eval_fault_is_an_optimality_failure() {
+        let cfg = ValidationConfig {
+            fault: Some(FaultSpec {
+                at: InjectAt::Init,
+                kind: FaultKind::DuplicateEval,
+            }),
+            ..ValidationConfig::default()
+        };
+        let src = "start s\nend e\nnode s { x := v0+v1; out(x) }\nnode e { }\nedge s -> e";
+        let v = validate(&parse(src).unwrap(), &cfg);
+        assert!(v.fault_injected);
+        let f = v.failure.expect("extra evaluation must be caught");
+        assert_eq!(f.stage, Stage::Init, "{f:?}");
+        assert!(matches!(f.kind, FailureKind::Optimality { .. }), "{f:?}");
+    }
+
+    #[test]
+    fn fault_without_a_site_reports_not_injected() {
+        let cfg = ValidationConfig {
+            fault: Some(FaultSpec {
+                at: InjectAt::Init,
+                kind: FaultKind::TweakConst,
+            }),
+            ..ValidationConfig::default()
+        };
+        let src = "start s\nend e\nnode s { x := v0+v1 }\nnode e { out(x) }\nedge s -> e";
+        let v = validate(&parse(src).unwrap(), &cfg);
+        assert!(!v.fault_injected);
+        assert!(v.passed(), "{:?}", v.failure);
+    }
+
+    #[test]
+    fn failure_carries_a_replayable_oracle() {
+        let cfg = ValidationConfig {
+            fault: Some(FaultSpec {
+                at: InjectAt::Flush,
+                kind: FaultKind::DropInstr,
+            }),
+            ..ValidationConfig::default()
+        };
+        let v = validate(&diamond(), &cfg);
+        let f = v.failure.expect("fault must be caught");
+        assert_eq!(f.decisions.len(), cfg.decisions);
+        assert_eq!(f.inputs, cfg.inputs);
+    }
+
+    #[test]
+    fn kind_classes_ignore_payloads() {
+        let a = FailureKind::Semantic {
+            run: 0,
+            detail: "x".into(),
+        };
+        let b = FailureKind::Semantic {
+            run: 7,
+            detail: "y".into(),
+        };
+        assert!(a.same_class(&b));
+        assert!(!a.same_class(&FailureKind::Structural("z".into())));
+    }
+
+    #[test]
+    fn corresponding_equivalence_tolerates_trap_skew() {
+        use am_ir::interp::Trap;
+        let base = run(
+            &parse("start s\nend e\nnode s { out(v1) }\nnode e { }\nedge s -> e").unwrap(),
+            &Config::with_inputs(vec![("v1", 2)]),
+        );
+        let mut truncated = base.clone();
+        truncated.stop = StopReason::OracleExhausted;
+        truncated.trap = None;
+        let mut trapped = base.clone();
+        trapped.stop = StopReason::Trapped;
+        trapped.trap = Some(Trap::DivByZero);
+        assert!(!weakly_equivalent(&truncated, &trapped));
+        assert!(corresponding_equivalent(&truncated, &trapped));
+        // But a *completed* run against a trapped one is a real divergence.
+        assert!(!corresponding_equivalent(&base, &trapped));
+    }
+}

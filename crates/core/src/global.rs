@@ -9,7 +9,33 @@ use am_ir::FlowGraph;
 
 use crate::flush::{final_flush, FlushStats};
 use crate::init::{initialize, InitStats};
-use crate::motion::{assignment_motion_bounded, default_round_budget, MotionStats};
+use crate::motion::{assignment_motion_hooked, default_round_budget, MotionOrder, MotionStats};
+
+/// A phase boundary of the global algorithm, as reported to the hook of
+/// [`optimize_hooked`]. Ordered: `Split < Init < MotionRound(1) < … < Flush`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PhaseId {
+    /// After critical-edge splitting (Sec. 2.1).
+    Split,
+    /// After the initialization phase (Fig. 12, `G_Init`).
+    Init,
+    /// After the given 1-based `rae; aht` round of the assignment-motion
+    /// fixed point (Fig. 14).
+    MotionRound(usize),
+    /// After the final flush (Fig. 15, `G_GlobAlg`).
+    Flush,
+}
+
+impl std::fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhaseId::Split => write!(f, "split"),
+            PhaseId::Init => write!(f, "init"),
+            PhaseId::MotionRound(r) => write!(f, "motion round {r}"),
+            PhaseId::Flush => write!(f, "flush"),
+        }
+    }
+}
 
 /// Configuration of the global algorithm.
 #[derive(Clone, Debug)]
@@ -111,25 +137,51 @@ pub fn optimize(g: &FlowGraph) -> GlobalResult {
 
 /// Runs the complete algorithm with explicit configuration.
 pub fn optimize_with(g: &FlowGraph, config: &GlobalConfig) -> GlobalResult {
+    optimize_hooked(g, config, &mut |_, _| {})
+}
+
+/// Runs the complete algorithm, calling `hook` at every phase boundary.
+///
+/// The hook fires after critical-edge splitting, after initialization,
+/// after every assignment-motion round and after the final flush, with the
+/// program as it stands at that boundary. It may mutate the program: the
+/// subsequent phases continue from whatever the hook leaves behind. This is
+/// the entry point of the translation-validation harness (`am-check`),
+/// which uses read-only hooks to snapshot each phase for differential
+/// checking and mutating hooks to inject a fault at a chosen boundary and
+/// confirm the checker localizes it.
+pub fn optimize_hooked(
+    g: &FlowGraph,
+    config: &GlobalConfig,
+    hook: &mut dyn FnMut(PhaseId, &mut FlowGraph),
+) -> GlobalResult {
     let mut timings = PhaseTimings::default();
     let mut program = g.clone();
     let t = Instant::now();
     let edges_split = program.split_critical_edges();
     timings.split = t.elapsed();
+    hook(PhaseId::Split, &mut program);
     let t = Instant::now();
     let init = initialize(&mut program);
     timings.init = t.elapsed();
+    hook(PhaseId::Init, &mut program);
     let after_init = config.keep_snapshots.then(|| program.clone());
     let budget = config
         .max_motion_rounds
         .unwrap_or_else(|| default_round_budget(&program));
     let t = Instant::now();
-    let motion = assignment_motion_bounded(&mut program, budget);
+    let motion = assignment_motion_hooked(
+        &mut program,
+        budget,
+        MotionOrder::RaeFirst,
+        &mut |round, g| hook(PhaseId::MotionRound(round), g),
+    );
     timings.motion = t.elapsed();
     let after_motion = config.keep_snapshots.then(|| program.clone());
     let t = Instant::now();
     let flush = final_flush(&mut program);
     timings.flush = t.elapsed();
+    hook(PhaseId::Flush, &mut program);
     GlobalResult {
         program,
         after_init,
@@ -224,6 +276,48 @@ mod tests {
         let text = canonical_text(&result.program);
         assert!(text.contains("i := i+x"), "{text}");
         assert!(text.contains("y+i"), "{text}");
+    }
+
+    #[test]
+    fn hook_fires_at_every_phase_boundary_with_matching_snapshots() {
+        let g = parse(RUNNING_EXAMPLE).unwrap();
+        let mut phases: Vec<(PhaseId, FlowGraph)> = Vec::new();
+        let result = optimize_hooked(&g, &GlobalConfig::default(), &mut |phase, prog| {
+            phases.push((phase, prog.clone()));
+        });
+        // Split, Init, at least one motion round, Flush — in order.
+        assert_eq!(phases[0].0, PhaseId::Split);
+        assert_eq!(phases[1].0, PhaseId::Init);
+        assert!(matches!(phases[2].0, PhaseId::MotionRound(1)));
+        assert_eq!(phases.last().unwrap().0, PhaseId::Flush);
+        assert!(phases.windows(2).all(|w| w[0].0 < w[1].0), "{phases:?}");
+        // The hook's snapshots agree with the result's own.
+        let init_snap = &phases[1].1;
+        assert_eq!(init_snap, result.after_init.as_ref().unwrap());
+        let last_round = phases
+            .iter()
+            .rev()
+            .find(|(p, _)| matches!(p, PhaseId::MotionRound(_)))
+            .unwrap();
+        assert_eq!(&last_round.1, result.after_motion.as_ref().unwrap());
+        assert_eq!(phases.last().unwrap().1, result.program);
+        // A hooked run equals a plain run.
+        assert_eq!(optimize(&g).program, result.program);
+    }
+
+    #[test]
+    fn mutating_hook_feeds_later_phases() {
+        // Corrupting the program after init changes the final outcome —
+        // the fault-injection contract of the validation harness.
+        let g = parse(RUNNING_EXAMPLE).unwrap();
+        let clean = optimize(&g).program;
+        let faulty = optimize_hooked(&g, &GlobalConfig::default(), &mut |phase, prog| {
+            if phase == PhaseId::Init {
+                let start = prog.start();
+                prog.block_mut(start).instrs.clear();
+            }
+        });
+        assert_ne!(faulty.program, clean);
     }
 
     #[test]

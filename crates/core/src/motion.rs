@@ -97,8 +97,26 @@ pub fn assignment_motion_ordered(
     max_rounds: usize,
     order: MotionOrder,
 ) -> MotionStats {
+    assignment_motion_hooked(g, max_rounds, order, &mut |_, _| {})
+}
+
+/// Runs the assignment motion phase, calling `hook` at every round boundary.
+///
+/// The hook receives the 1-based round number and the program as it stands
+/// after that round's `rae; aht` (or `aht; rae`) pass, *before* the
+/// convergence test ends the loop. It may mutate the program: the
+/// translation-validation harness uses read-only hooks to snapshot every
+/// round and mutating hooks to inject faults at an exact phase boundary.
+/// A mutation made in the round that would otherwise have converged is kept
+/// but not re-stabilized — the budget governs further rounds as usual.
+pub fn assignment_motion_hooked(
+    g: &mut FlowGraph,
+    max_rounds: usize,
+    order: MotionOrder,
+    hook: &mut dyn FnMut(usize, &mut FlowGraph),
+) -> MotionStats {
     let mut stats = MotionStats::default();
-    for _ in 0..max_rounds {
+    for round in 1..=max_rounds {
         let before = g.clone();
         let (rae, hoist) = match order {
             MotionOrder::RaeFirst => {
@@ -117,7 +135,9 @@ pub fn assignment_motion_ordered(
         stats.inserted += hoist.inserted;
         stats.removed += hoist.removed;
         stats.iterations += rae.iterations + hoist.iterations;
-        if *g == before {
+        let stable = *g == before;
+        hook(round, g);
+        if stable {
             stats.converged = true;
             break;
         }

@@ -13,10 +13,20 @@ use am_ir::FlowGraph;
 /// The outcome of comparing two programs over a batch of runs.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Comparison {
-    /// Runs executed.
+    /// Runs executed. Every run is counted in exactly one of
+    /// [`completed`](Self::completed), [`both_truncated`](Self::both_truncated)
+    /// or [`completion_divergences`](Self::completion_divergences).
     pub runs: usize,
     /// Runs that completed (reached the end) in both programs.
     pub completed: usize,
+    /// Runs truncated (oracle exhausted, step limit, trap) in *both*
+    /// programs. Cost totals exclude these: motion legitimately reorders
+    /// work along a shared path prefix.
+    pub both_truncated: usize,
+    /// Runs where exactly one program completed — always suspicious, since
+    /// corresponding runs share the oracle and should stop together unless
+    /// a transformation changed the branching structure observed.
+    pub completion_divergences: usize,
     /// Runs with differing observable behaviour (should be 0).
     pub semantic_mismatches: usize,
     /// Completed runs where the second program evaluated more expressions.
@@ -111,7 +121,14 @@ pub fn compare(a: &FlowGraph, b: &FlowGraph, config: &CompareConfig) -> Comparis
         if ra.observable() != rb.observable() {
             out.semantic_mismatches += 1;
         }
-        if ra.stop == StopReason::ReachedEnd && rb.stop == StopReason::ReachedEnd {
+        let a_done = ra.stop == StopReason::ReachedEnd;
+        let b_done = rb.stop == StopReason::ReachedEnd;
+        if a_done != b_done {
+            out.completion_divergences += 1;
+        } else if !a_done {
+            out.both_truncated += 1;
+        }
+        if a_done && b_done {
             out.completed += 1;
             out.expr_evals_a += ra.expr_evals;
             out.expr_evals_b += rb.expr_evals;
@@ -159,6 +176,71 @@ mod tests {
         assert!(cmp.semantically_equal());
         assert!(cmp.expression_dominates());
         assert_eq!(cmp.expr_evals_a, cmp.expr_evals_b);
+    }
+
+    #[test]
+    fn every_run_lands_in_exactly_one_completion_bucket() {
+        let a = parse(
+            "start s\nend e\nnode s { branch p > 0 }\nnode l { x := 1 }\nnode r { x := 2 }\n\
+             node e { out(x) }\nedge s -> l, r\nedge l -> e\nedge r -> e",
+        )
+        .unwrap();
+        let cmp = compare(&a, &a, &CompareConfig::default());
+        assert_eq!(
+            cmp.runs,
+            cmp.completed + cmp.both_truncated + cmp.completion_divergences,
+            "{cmp:?}"
+        );
+        assert_eq!(cmp.completion_divergences, 0, "identical programs agree");
+    }
+
+    #[test]
+    fn both_truncated_runs_are_counted_and_excluded_from_costs() {
+        // One branch, zero decisions: both runs exhaust the oracle
+        // immediately and neither completes.
+        let g = parse(
+            "start s\nend e\nnode s { x := a+b; branch p > 0 }\nnode l { skip }\n\
+             node r { skip }\nnode e { out(x) }\nedge s -> l, r\nedge l -> e\nedge r -> e",
+        )
+        .unwrap();
+        let cfg = CompareConfig {
+            runs: 3,
+            decisions: 0,
+            ..CompareConfig::default()
+        };
+        let cmp = compare(&g, &g, &cfg);
+        assert_eq!(cmp.runs, 3);
+        assert_eq!(cmp.completed, 0);
+        assert_eq!(cmp.both_truncated, 3);
+        assert_eq!(cmp.completion_divergences, 0);
+        // Truncated runs contribute nothing to the cost totals.
+        assert_eq!((cmp.expr_evals_a, cmp.expr_evals_b), (0, 0));
+        assert_eq!((cmp.assign_execs_a, cmp.assign_execs_b), (0, 0));
+        assert!(cmp.semantically_equal(), "empty prefixes agree");
+    }
+
+    #[test]
+    fn one_sided_completion_is_a_divergence_not_a_truncation() {
+        // `a` is straight-line (completes on an empty oracle); `b` branches
+        // and exhausts the oracle. Exactly one side completes.
+        let a = parse("start s\nend e\nnode s { x := 1 }\nnode e { out(x) }\nedge s -> e").unwrap();
+        let b = parse(
+            "start s\nend e\nnode s { x := 1; branch x > 0 }\nnode l { skip }\nnode r { skip }\n\
+             node e { out(x) }\nedge s -> l, r\nedge l -> e\nedge r -> e",
+        )
+        .unwrap();
+        let cfg = CompareConfig {
+            runs: 4,
+            decisions: 0,
+            ..CompareConfig::default()
+        };
+        let cmp = compare(&a, &b, &cfg);
+        assert_eq!(cmp.runs, 4);
+        assert_eq!(cmp.completed, 0);
+        assert_eq!(cmp.both_truncated, 0);
+        assert_eq!(cmp.completion_divergences, 4);
+        // The divergent runs also differ observably (a wrote, b did not).
+        assert_eq!(cmp.semantic_mismatches, 4);
     }
 
     #[test]

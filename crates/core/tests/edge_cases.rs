@@ -1,5 +1,7 @@
 //! Edge-case coverage of the transformations: edge insertions, multi-pattern
-//! interactions, restricted-motion accounting, universe truncation.
+//! interactions, restricted-motion accounting, universe truncation, and the
+//! degenerate graph shapes the `am-check` shrinker produces (empty blocks,
+//! single-node programs, self-loops).
 
 use am_core::global::optimize;
 use am_core::lcm::lazy_expression_motion;
@@ -128,6 +130,95 @@ fn optimize_handles_branch_conditions_with_constants() {
         &Config::with_inputs(vec![("a", 7), ("b", 8)]),
     );
     assert_eq!(left.expr_evals, 1);
+}
+
+/// Full pipeline + interpreter on a program, asserting semantics are kept
+/// on a handful of deterministic and oracle-driven runs. The smoke test
+/// shared by the degenerate-shape cases below.
+fn optimizes_soundly(src: &str) {
+    let orig = parse(src).unwrap();
+    let result = optimize(&orig);
+    assert_eq!(result.program.validate(), Ok(()), "{src}");
+    assert!(result.motion.converged, "{src}");
+    let mut cfgs = vec![Config::with_inputs(vec![("a", 2), ("b", 3), ("i", 2)])];
+    for seed in 0..4 {
+        cfgs.push(Config {
+            oracle: Oracle::random(seed, 8),
+            inputs: vec![("a".into(), 2), ("b".into(), 3), ("i".into(), 2)],
+            ..Config::default()
+        });
+    }
+    for cfg in &cfgs {
+        let r0 = run(&orig, cfg);
+        let r1 = run(&result.program, cfg);
+        assert_eq!(r0.observable(), r1.observable(), "{src}");
+    }
+}
+
+#[test]
+fn empty_blocks_flow_through_the_whole_pipeline() {
+    optimizes_soundly(
+        "start s\nend e\n\
+         node s { }\n\
+         node m { }\n\
+         node u { x := a+b; out(x) }\n\
+         node e { }\n\
+         edge s -> m\nedge m -> u\nedge u -> e",
+    );
+}
+
+#[test]
+fn a_single_node_program_where_start_is_end_optimizes() {
+    optimizes_soundly("start s\nend s\nnode s { x := a+b; out(x) }");
+    optimizes_soundly("start s\nend s\nnode s { }");
+}
+
+#[test]
+fn a_two_node_program_with_an_empty_start_optimizes() {
+    optimizes_soundly("start s\nend e\nnode s { }\nnode e { out(a) }\nedge s -> e");
+}
+
+#[test]
+fn self_loops_optimize_without_panicking() {
+    // b -> b is a critical edge (b has two successors and two
+    // predecessors), so splitting inserts a synthetic node on it.
+    optimizes_soundly(
+        "start s\nend e\n\
+         node s { skip }\n\
+         node b { x := a+b; i := i-1; branch i > 0 }\n\
+         node e { out(x) }\n\
+         edge s -> b\nedge b -> b, e",
+    );
+}
+
+#[test]
+fn a_self_loop_on_an_empty_block_optimizes() {
+    optimizes_soundly(
+        "start s\nend e\n\
+         node s { }\n\
+         node b { }\n\
+         node e { out(a) }\n\
+         edge s -> b\nedge b -> b, e",
+    );
+}
+
+#[test]
+fn unreachable_nodes_are_rejected_at_parse_time() {
+    // The shrinker relies on this: cutting the last edge into a node makes
+    // the candidate *invalid* (and thus discarded), never a silent
+    // half-program.
+    let orphan = "start s\nend e\n\
+         node s { }\nnode dead { x := a+b }\nnode e { out(x) }\n\
+         edge s -> e";
+    assert!(parse(orphan).is_err(), "unreachable 'dead' must not parse");
+    // Reachable but non-terminating (no path to end) is equally invalid.
+    let trap = "start s\nend e\n\
+         node s { }\nnode sink { skip }\nnode e { }\n\
+         edge s -> e\nedge s -> sink\nedge sink -> sink";
+    assert!(
+        parse(trap).is_err(),
+        "end-unreachable 'sink' must not parse"
+    );
 }
 
 #[test]

@@ -179,6 +179,84 @@ impl FlowGraph {
         self.preds[n.index()].push(m);
     }
 
+    /// Removes one occurrence of the edge `(m, n)`, preserving the order of
+    /// the remaining successors. Returns whether the edge existed.
+    ///
+    /// The result may violate structural invariants (e.g. leave `n`
+    /// unreachable) — callers probing reductions, like the `am-check`
+    /// shrinker, should re-[`validate`](Self::validate).
+    pub fn remove_edge(&mut self, m: NodeId, n: NodeId) -> bool {
+        let Some(si) = self.succs[m.index()].iter().position(|&t| t == n) else {
+            return false;
+        };
+        self.succs[m.index()].remove(si);
+        let pi = self.preds[n.index()]
+            .iter()
+            .position(|&p| p == m)
+            .expect("edge lists out of sync");
+        self.preds[n.index()].remove(pi);
+        true
+    }
+
+    /// Returns a copy of the graph without node `n`, or `None` when `n` is
+    /// the start or end node (those cannot be dropped).
+    ///
+    /// All edges incident to `n` are removed first; with `bridge`, every
+    /// former predecessor is then connected to every former successor
+    /// (skipping self-edges and edges that already exist). Node ids are
+    /// renumbered; labels and the variable pool are preserved. The result
+    /// can be structurally invalid — the delta-debugging shrinker probes
+    /// candidates and keeps only those that re-[`validate`](Self::validate).
+    pub fn without_node(&self, n: NodeId, bridge: bool) -> Option<FlowGraph> {
+        if n == self.start || n == self.end {
+            return None;
+        }
+        let mut g = self.clone();
+        let preds: Vec<NodeId> = g.preds(n).iter().copied().filter(|&p| p != n).collect();
+        let succs: Vec<NodeId> = g.succs(n).iter().copied().filter(|&s| s != n).collect();
+        while let Some(&p) = g.preds[n.index()].first() {
+            g.remove_edge(p, n);
+        }
+        while let Some(&s) = g.succs[n.index()].first() {
+            g.remove_edge(n, s);
+        }
+        if bridge {
+            for &p in &preds {
+                for &s in &succs {
+                    if !g.succs(p).contains(&s) {
+                        g.add_edge(p, s);
+                    }
+                }
+            }
+        }
+        Some(g.compacted(|m| m != n))
+    }
+
+    /// Rebuilds the graph keeping only nodes satisfying `keep` (which must
+    /// hold for start and end and for every edge endpoint of a kept node).
+    /// Node ids are renumbered densely in the original index order.
+    fn compacted(&self, keep: impl Fn(NodeId) -> bool) -> FlowGraph {
+        let kept: Vec<NodeId> = self.nodes().filter(|&n| keep(n)).collect();
+        let mut out = FlowGraph::new();
+        *out.pool_mut() = self.pool.clone();
+        let mut map = vec![None; self.node_count()];
+        for &n in &kept {
+            let id = out.add_node_inner(self.label(n), self.is_synthetic(n));
+            out.block_mut(id).instrs = self.block(n).instrs.clone();
+            map[n.index()] = Some(id);
+        }
+        for &n in &kept {
+            let from = map[n.index()].expect("kept");
+            for &m in self.succs(n) {
+                let to = map[m.index()].expect("successors of kept nodes are kept");
+                out.add_edge(from, to);
+            }
+        }
+        out.set_start(map[self.start.index()].expect("start kept"));
+        out.set_end(map[self.end.index()].expect("end kept"));
+        out
+    }
+
     /// Declares `n` as the start node `s`.
     pub fn set_start(&mut self, n: NodeId) {
         self.start = n;
@@ -533,6 +611,75 @@ mod tests {
     }
 
     #[test]
+    fn remove_edge_preserves_order_and_reports_absence() {
+        let (mut g, [s, l, r, e]) = diamond();
+        assert!(g.remove_edge(s, l));
+        assert_eq!(g.succs(s), [r]);
+        assert_eq!(g.preds(l), []);
+        assert!(!g.remove_edge(s, l), "already gone");
+        // l is now unreachable: the graph no longer validates.
+        assert!(matches!(g.validate(), Err(GraphError::Unreachable(n)) if n == l));
+        let _ = e;
+    }
+
+    #[test]
+    fn without_node_refuses_start_and_end() {
+        let (g, [s, l, _, e]) = diamond();
+        assert!(g.without_node(s, true).is_none());
+        assert!(g.without_node(e, true).is_none());
+        assert!(g.without_node(l, false).is_some());
+    }
+
+    #[test]
+    fn without_node_bridges_and_renumbers() {
+        // Dropping a diamond arm without bridging still validates (the
+        // other arm remains); ids are renumbered densely.
+        let (g, [_, l, r, _]) = diamond();
+        let cut = g.without_node(l, false).unwrap();
+        assert_eq!(cut.node_count(), 3);
+        assert_eq!(cut.validate(), Ok(()));
+        // Dropping a node on the only path requires the bridge.
+        let mut chain = FlowGraph::new();
+        let s = chain.add_node("s");
+        let m = chain.add_node("m");
+        let e = chain.add_node("e");
+        chain.set_start(s);
+        chain.set_end(e);
+        chain.add_edge(s, m);
+        chain.add_edge(m, e);
+        let x = chain.pool_mut().intern("x");
+        chain.block_mut(m).instrs.push(Instr::assign(x, 1));
+        let unbridged = chain.without_node(m, false).unwrap();
+        assert!(unbridged.validate().is_err(), "end became unreachable");
+        let bridged = chain.without_node(m, true).unwrap();
+        assert_eq!(bridged.validate(), Ok(()));
+        assert_eq!(bridged.node_count(), 2);
+        assert_eq!(bridged.succs(bridged.start()), [bridged.end()]);
+        assert_eq!(bridged.instr_count(), 0, "m's block went with it");
+        let _ = r;
+    }
+
+    #[test]
+    fn without_node_handles_self_loops_and_duplicate_bridges() {
+        // m has a self-loop and its pred already reaches its succ: the
+        // bridge must not duplicate the existing edge or recreate the loop.
+        let mut g = FlowGraph::new();
+        let s = g.add_node("s");
+        let m = g.add_node("m");
+        let e = g.add_node("e");
+        g.set_start(s);
+        g.set_end(e);
+        g.add_edge(s, m);
+        g.add_edge(s, e);
+        g.add_edge(m, m);
+        g.add_edge(m, e);
+        let cut = g.without_node(m, true).unwrap();
+        assert_eq!(cut.node_count(), 2);
+        assert_eq!(cut.validate(), Ok(()));
+        assert_eq!(cut.succs(cut.start()), [cut.end()]);
+    }
+
+    #[test]
     fn temp_for_is_stable() {
         let mut g = FlowGraph::new();
         let a = g.pool_mut().intern("a");
@@ -615,30 +762,9 @@ impl FlowGraph {
             g.preds[n.index()].clear();
         }
         // Phase 2: compact, dropping now-disconnected nodes.
-        let keep: Vec<NodeId> = g
-            .nodes()
-            .filter(|&n| {
-                n == g.start() || n == g.end() || !g.preds(n).is_empty() || !g.succs(n).is_empty()
-            })
-            .collect();
-        let mut out = FlowGraph::new();
-        *out.pool_mut() = g.pool.clone();
-        let mut map = vec![None; g.node_count()];
-        for &n in &keep {
-            let id = out.add_node_inner(g.label(n), g.is_synthetic(n));
-            out.block_mut(id).instrs = g.block(n).instrs.clone();
-            map[n.index()] = Some(id);
-        }
-        for &n in &keep {
-            let from = map[n.index()].expect("kept");
-            for &m in g.succs(n) {
-                let to = map[m.index()].expect("successors of kept nodes are kept");
-                out.add_edge(from, to);
-            }
-        }
-        out.set_start(map[g.start().index()].expect("start kept"));
-        out.set_end(map[g.end().index()].expect("end kept"));
-        out
+        g.compacted(|n| {
+            n == g.start() || n == g.end() || !g.preds(n).is_empty() || !g.succs(n).is_empty()
+        })
     }
 }
 

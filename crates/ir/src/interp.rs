@@ -335,6 +335,12 @@ fn run_impl(g: &FlowGraph, config: &Config, sink: &mut dyn FnMut(TraceEvent)) ->
 
     let mut node = g.start();
     let halt: Option<Halt> = 'outer: loop {
+        // Entering a node counts as progress against the step bound: a
+        // cycle of empty blocks executes no instructions, so the per-
+        // instruction check alone would spin forever.
+        if machine.result.nodes_visited >= config.max_steps {
+            break 'outer Some(Halt::StepLimit);
+        }
         machine.result.nodes_visited += 1;
         machine.result.path.push(node);
         sink(TraceEvent::Enter(node));
@@ -587,5 +593,23 @@ mod tests {
         let r = run(&g, &Config::with_inputs(vec![("n", 1)]));
         let labels: Vec<&str> = r.path.iter().map(|&n| g.label(n)).collect();
         assert_eq!(labels, vec!["1", "2", "3", "2", "4"]);
+    }
+
+    #[test]
+    fn a_cycle_of_empty_blocks_hits_the_step_limit() {
+        // Zero instructions executed, so only the node-entry guard can
+        // stop this; a deterministic oracle always re-enters the loop.
+        let g = parse(
+            "start s\nend e\nnode s { }\nnode b { }\nnode e { }\n\
+             edge s -> b\nedge b -> b, e",
+        )
+        .unwrap();
+        let cfg = Config {
+            max_steps: 50,
+            ..Config::with_inputs(vec![])
+        };
+        let r = run(&g, &cfg);
+        assert_eq!(r.stop, StopReason::StepLimit);
+        assert!(r.nodes_visited <= 50);
     }
 }

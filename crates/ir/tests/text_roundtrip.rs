@@ -1,0 +1,82 @@
+//! Print-then-parse is the identity (up to alpha-renaming of temporaries)
+//! over the random-program corpus — the property the `am-check`
+//! reproduction bundles rely on: a bundled `.ir` file must re-parse to the
+//! very program that failed.
+
+use am_ir::alpha::{alpha_eq, canonical_text, stable_hash};
+use am_ir::random::{structured, unstructured, SplitMix64, StructuredConfig, UnstructuredConfig};
+use am_ir::text::{parse, to_text};
+use am_ir::FlowGraph;
+
+fn corpus() -> Vec<(String, FlowGraph)> {
+    let mut programs = Vec::new();
+    for seed in 0..40u64 {
+        let mut rng = SplitMix64::new(seed);
+        programs.push((
+            format!("structured/{seed}"),
+            structured(
+                &mut rng,
+                &StructuredConfig {
+                    allow_div: seed % 2 == 1,
+                    max_depth: 3 + (seed as usize % 2),
+                    ..Default::default()
+                },
+            ),
+        ));
+        let mut rng = SplitMix64::new(seed ^ 0xDEAD);
+        programs.push((
+            format!("unstructured/{seed}"),
+            unstructured(
+                &mut rng,
+                &UnstructuredConfig {
+                    nodes: 4 + (seed as usize % 14),
+                    extra_edges: 2 + (seed as usize % 9),
+                    max_instrs: 4,
+                    num_vars: 6,
+                    allow_div: seed % 3 == 0,
+                },
+            ),
+        ));
+    }
+    programs
+}
+
+#[test]
+fn to_text_then_parse_is_alpha_identity_over_the_corpus() {
+    for (name, g) in corpus() {
+        let text = to_text(&g);
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("{name}: {e}\n{text}"));
+        assert!(alpha_eq(&g, &reparsed), "{name}:\n{text}");
+        assert_eq!(stable_hash(&g), stable_hash(&reparsed), "{name}");
+    }
+}
+
+#[test]
+fn canonical_text_is_a_fixed_point_over_the_corpus() {
+    // canonical_text(parse(canonical_text(g))) == canonical_text(g):
+    // canonicalization must be stable, or equal programs would hash apart
+    // depending on how many times they round-tripped.
+    for (name, g) in corpus() {
+        let once = canonical_text(&g);
+        let reparsed = parse(&once).unwrap_or_else(|e| panic!("{name}: {e}\n{once}"));
+        let twice = canonical_text(&reparsed);
+        assert_eq!(once, twice, "{name}");
+        assert_eq!(stable_hash(&g), stable_hash(&reparsed), "{name}");
+    }
+}
+
+#[test]
+fn round_trip_preserves_start_end_and_shape() {
+    for (name, g) in corpus() {
+        let reparsed = parse(&to_text(&g)).unwrap();
+        assert_eq!(g.nodes().count(), reparsed.nodes().count(), "{name}");
+        let edges = |g: &FlowGraph| g.nodes().map(|n| g.succs(n).len()).sum::<usize>();
+        assert_eq!(edges(&g), edges(&reparsed), "{name}");
+        assert_eq!(
+            g.label(g.start()),
+            reparsed.label(reparsed.start()),
+            "{name}"
+        );
+        assert_eq!(g.label(g.end()), reparsed.label(reparsed.end()), "{name}");
+    }
+}

@@ -25,6 +25,7 @@ struct Options {
     repeat: usize,
     emit: bool,
     quiet: bool,
+    verify: bool,
     inputs: Vec<PathBuf>,
 }
 
@@ -40,6 +41,8 @@ options:
   --repeat N       run the batch N times; repeats hit the cache (default 1)
   --emit           print each optimized program (canonical text)
   --quiet          suppress the per-job report, print only the summary
+  --verify         translation-validate every job per phase (am-check);
+                   a failed validation fails the batch
   --help           this text";
 
 fn parse_args() -> Result<Options, String> {
@@ -50,6 +53,7 @@ fn parse_args() -> Result<Options, String> {
         repeat: 1,
         emit: false,
         quiet: false,
+        verify: false,
         inputs: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -87,6 +91,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--emit" => opts.emit = true,
             "--quiet" => opts.quiet = true,
+            "--verify" => opts.verify = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option '{other}'; --help for usage"));
@@ -154,6 +159,7 @@ fn main() -> ExitCode {
         workers: opts.workers,
         cache_capacity: opts.cache_capacity,
         max_motion_rounds: opts.max_motion_rounds,
+        verify: opts.verify,
     });
     let mut any_failed = false;
     for pass in 1..=opts.repeat {
@@ -162,8 +168,13 @@ fn main() -> ExitCode {
             println!("== pass {pass}/{} ==", opts.repeat);
         }
         if opts.quiet {
+            let verify = if opts.verify {
+                format!(", {} verified", report.verified())
+            } else {
+                String::new()
+            };
             println!(
-                "pass {pass}: {}/{} ok, {} cache hits, {:.2} ms",
+                "pass {pass}: {}/{} ok, {} cache hits{verify}, {:.2} ms",
                 report.succeeded(),
                 report.jobs.len(),
                 report.cache_hits(),
@@ -179,7 +190,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        any_failed |= report.failed() + report.panicked() > 0;
+        any_failed |= report.failed() + report.panicked() + report.verify_failed() > 0;
     }
     if any_failed {
         ExitCode::FAILURE

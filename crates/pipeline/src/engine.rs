@@ -14,6 +14,7 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::Instant;
 
+use am_check::validate::{validate, ValidationConfig};
 use am_core::global::{optimize_with, GlobalConfig, PhaseTimings};
 use am_ir::alpha::{canonical_text, stable_hash};
 use am_lang::{compile_source, SourceKind};
@@ -33,6 +34,11 @@ pub struct PipelineConfig {
     /// bound. A job that exhausts the budget still terminates and reports
     /// `converged: false`.
     pub max_motion_rounds: Option<usize>,
+    /// Translation-validate every job: re-run the optimizer through the
+    /// phase-boundary hooks and differentially check each phase against
+    /// the counting interpreter (see `am-check`). Runs even on cache hits
+    /// — the cache stores results, not validations.
+    pub verify: bool,
 }
 
 impl Default for PipelineConfig {
@@ -41,6 +47,7 @@ impl Default for PipelineConfig {
             workers: None,
             cache_capacity: 256,
             max_motion_rounds: None,
+            verify: false,
         }
     }
 }
@@ -151,6 +158,7 @@ impl Pipeline {
             JobInput::Poison => panic!("poison job '{}'", job.name),
         };
         let graph = compile_source(kind, &text).map_err(|e| format!("{}: {e}", job.name))?;
+        let verification = self.config.verify.then(|| self.verify_graph(&graph));
         let input_hash = stable_hash(&graph);
         if let Some(result) = self.cache.get(input_hash) {
             return Ok(OptimizedJob {
@@ -158,6 +166,7 @@ impl Pipeline {
                 cache_hit: true,
                 result,
                 timings: PhaseTimings::default(),
+                verification,
             });
         }
         let config = GlobalConfig {
@@ -180,7 +189,23 @@ impl Pipeline {
             cache_hit: false,
             result,
             timings: out.timings,
+            verification,
         })
+    }
+
+    /// Differentially validates every optimizer phase on `graph`.
+    fn verify_graph(&self, graph: &am_ir::FlowGraph) -> Result<(), String> {
+        let vcfg = ValidationConfig {
+            max_motion_rounds: self.config.max_motion_rounds,
+            // The baselines are not what this pipeline ships; verify the
+            // phases the batch actually ran.
+            check_baselines: false,
+            ..ValidationConfig::default()
+        };
+        match validate(graph, &vcfg).failure {
+            None => Ok(()),
+            Some(f) => Err(format!("{}: {:?}", f.stage, f.kind)),
+        }
     }
 }
 

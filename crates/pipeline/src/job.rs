@@ -91,6 +91,10 @@ pub struct OptimizedJob {
     /// Per-phase wall times of this job's own optimizer run; zero on a
     /// cache hit (nothing ran).
     pub timings: PhaseTimings,
+    /// Translation-validation verdict: `None` when verification was not
+    /// requested, `Some(Err(_))` names the failing phase. Present even on
+    /// cache hits — the cache stores results, not validations.
+    pub verification: Option<Result<(), String>>,
 }
 
 /// One job's outcome plus its end-to-end wall time (I/O + parse + optimize).

@@ -56,6 +56,28 @@ impl PipelineReport {
             .filter(|j| j.optimized().is_some_and(|o| o.cache_hit))
             .count()
     }
+
+    /// Jobs whose translation validation passed.
+    pub fn verified(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| {
+                j.optimized()
+                    .is_some_and(|o| matches!(o.verification, Some(Ok(()))))
+            })
+            .count()
+    }
+
+    /// Jobs whose translation validation failed.
+    pub fn verify_failed(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| {
+                j.optimized()
+                    .is_some_and(|o| matches!(o.verification, Some(Err(_))))
+            })
+            .count()
+    }
 }
 
 fn ms(d: Duration) -> f64 {
@@ -90,6 +112,9 @@ impl fmt::Display for PipelineReport {
                     if !o.result.motion.converged {
                         writeln!(f, "        {:<32} motion budget exhausted", "")?;
                     }
+                    if let Some(Err(e)) = &o.verification {
+                        writeln!(f, "        {:<32} verify FAILED at {}", "", e)?;
+                    }
                 }
                 JobOutcome::Failed(e) => {
                     writeln!(f, "  fail  {:<32} {}", job.name, e)?;
@@ -104,6 +129,14 @@ impl fmt::Display for PipelineReport {
             "  cache: {} hits, {} misses, {} evictions, {} resident",
             self.cache.hits, self.cache.misses, self.cache.evictions, self.cache.entries
         )?;
+        if self.verified() + self.verify_failed() > 0 {
+            writeln!(
+                f,
+                "  verify: {} ok, {} failed",
+                self.verified(),
+                self.verify_failed()
+            )?;
+        }
         write!(
             f,
             "  phases (cpu): split {:.2} ms, init {:.2} ms, motion {:.2} ms, flush {:.2} ms",

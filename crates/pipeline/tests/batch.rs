@@ -183,6 +183,44 @@ fn motion_round_budget_terminates_and_reports_nonconvergence() {
 }
 
 #[test]
+fn verification_runs_per_job_and_also_on_cache_hits() {
+    let p = Pipeline::new(PipelineConfig {
+        workers: Some(2),
+        verify: true,
+        ..Default::default()
+    });
+    let jobs = corpus(4);
+    let first = p.run(&jobs);
+    assert_eq!(first.succeeded(), 4);
+    assert_eq!(first.verified(), 4, "{first}");
+    assert_eq!(first.verify_failed(), 0);
+    for job in &first.jobs {
+        assert!(matches!(
+            job.optimized().unwrap().verification,
+            Some(Ok(()))
+        ));
+    }
+    // The cache stores results, not validations: a cache-served pass is
+    // still verified.
+    let second = p.run(&jobs);
+    assert_eq!(second.cache_hits(), 4);
+    assert_eq!(second.verified(), 4, "{second}");
+    // And the summary mentions it.
+    assert!(second.to_string().contains("verify: 4 ok, 0 failed"));
+}
+
+#[test]
+fn without_the_flag_no_verification_verdicts_are_reported() {
+    let report = pipeline_with(2).run(&corpus(2));
+    assert_eq!(report.verified(), 0);
+    assert_eq!(report.verify_failed(), 0);
+    for job in &report.jobs {
+        assert!(job.optimized().unwrap().verification.is_none());
+    }
+    assert!(!report.to_string().contains("verify:"));
+}
+
+#[test]
 fn file_jobs_dispatch_on_extension() {
     let dir = std::env::temp_dir().join(format!("am_pipeline_test_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
