@@ -38,4 +38,14 @@ fn main() {
             black_box(warm.run(&jobs));
         });
     }
+
+    // One traced batch so perf-relevant counters land in the bench log.
+    let (tracer, collector) = am_trace::Tracer::collector();
+    let traced = Pipeline::new(PipelineConfig {
+        workers: Some(4),
+        tracer,
+        ..Default::default()
+    });
+    black_box(traced.run(&jobs));
+    println!("{}", am_trace::export::summary_line(&collector.take()));
 }

@@ -17,6 +17,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use am_check::campaign::{default_bundle_dir, run_campaign, CampaignConfig};
+use am_trace::Tracer;
 
 const USAGE: &str = "usage: fuzz_blitz [COUNT] [--seed-start N] [--fail-fast]";
 
@@ -49,6 +50,7 @@ fn main() -> ExitCode {
         }
     }
 
+    let (tracer, collector) = Tracer::collector();
     let cfg = CampaignConfig {
         seed_start,
         seed_end: seed_start + count,
@@ -57,6 +59,7 @@ fn main() -> ExitCode {
         fail_fast,
         fault: None,
         bundle_dir: Some(default_bundle_dir(&PathBuf::from("."))),
+        tracer,
         ..CampaignConfig::default()
     };
     let report = run_campaign(&cfg, &mut |seed, fails| {
@@ -83,6 +86,7 @@ fn main() -> ExitCode {
         report.stages_checked,
         report.failures.len()
     );
+    println!("{}", am_trace::export::summary_line(&collector.take()));
     if report.passed() {
         ExitCode::SUCCESS
     } else {

@@ -11,6 +11,7 @@ use std::path::{Path, PathBuf};
 
 use am_ir::random::{structured, unstructured, SplitMix64, StructuredConfig, UnstructuredConfig};
 use am_ir::FlowGraph;
+use am_trace::Tracer;
 
 use crate::bundle::{write_bundle, Bundle};
 use crate::fault::FaultSpec;
@@ -83,6 +84,9 @@ pub struct CampaignConfig {
     pub bundle_dir: Option<PathBuf>,
     /// Shrinker budget.
     pub shrink: ShrinkConfig,
+    /// Trace sink: one `campaign/seed` span per seed plus running
+    /// progress counters. Disabled (a no-op) by default.
+    pub tracer: Tracer,
 }
 
 impl Default for CampaignConfig {
@@ -96,6 +100,7 @@ impl Default for CampaignConfig {
             fault: None,
             bundle_dir: None,
             shrink: ShrinkConfig::default(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -139,26 +144,44 @@ impl CampaignReport {
 pub fn run_campaign(cfg: &CampaignConfig, progress: &mut dyn FnMut(u64, usize)) -> CampaignReport {
     let mut report = CampaignReport::default();
     for seed in cfg.seed_start..cfg.seed_end {
+        let mut span = cfg.tracer.span("campaign", "seed");
+        span.arg("seed", seed as i64);
         let program = seed_program(seed);
         let vcfg = ValidationConfig {
             fault: cfg.fault,
+            tracer: cfg.tracer.clone(),
             ..seed_validation_config(seed, cfg.runs, cfg.decisions)
         };
         let v = validate(&program, &vcfg);
         if cfg.fault.is_some() && !v.fault_injected {
             report.seeds_skipped += 1;
+            span.arg("skipped", 1);
+            drop(span);
             progress(seed, report.failures.len());
             continue;
         }
         report.seeds_checked += 1;
         report.stages_checked += v.stages_checked as u64;
+        span.arg("stages", v.stages_checked as i64);
+        let failed = v.failure.is_some();
         if let Some(failure) = v.failure {
             let entry = handle_failure(seed, &program, &vcfg, failure, cfg);
             report.failures.push(entry);
-            if cfg.fail_fast {
-                progress(seed, report.failures.len());
-                break;
-            }
+        }
+        span.arg("failed", failed as i64);
+        drop(span);
+        cfg.tracer.counter(
+            "campaign",
+            "progress",
+            &[
+                ("seeds_checked", report.seeds_checked as i64),
+                ("stages_checked", report.stages_checked as i64),
+                ("failures", report.failures.len() as i64),
+            ],
+        );
+        if failed && cfg.fail_fast {
+            progress(seed, report.failures.len());
+            break;
         }
         progress(seed, report.failures.len());
     }

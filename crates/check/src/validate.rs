@@ -15,6 +15,7 @@ use am_core::sink::{sink_assignments, SinkConfig};
 use am_core::verify::weakly_equivalent;
 use am_ir::interp::{run, Config, Oracle, RunResult, StopReason};
 use am_ir::FlowGraph;
+use am_trace::Tracer;
 
 use crate::fault::{apply_fault, FaultSpec};
 use crate::stage::Stage;
@@ -37,6 +38,10 @@ pub struct ValidationConfig {
     /// Inject a deliberate miscompile at a phase boundary (testing the
     /// harness itself; see [`crate::fault`]).
     pub fault: Option<FaultSpec>,
+    /// Trace sink forwarded to the optimizer under validation, so
+    /// campaign traces include phase/round/analysis events. Disabled
+    /// (a no-op) by default.
+    pub tracer: Tracer,
 }
 
 impl Default for ValidationConfig {
@@ -54,6 +59,7 @@ impl Default for ValidationConfig {
             max_motion_rounds: None,
             check_baselines: true,
             fault: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -181,6 +187,7 @@ pub fn validate(g: &FlowGraph, cfg: &ValidationConfig) -> Validation {
     let gcfg = GlobalConfig {
         max_motion_rounds: cfg.max_motion_rounds,
         keep_snapshots: false,
+        tracer: cfg.tracer.clone(),
     };
     let mut motion_rounds = 0;
     optimize_hooked(g, &gcfg, &mut |phase, prog| {

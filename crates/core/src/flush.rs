@@ -31,6 +31,7 @@
 use am_bitset::BitSet;
 use am_dfa::{solve, Confluence, Direction, PointGraph, Problem};
 use am_ir::{Cond, FlowGraph, Instr, Operand, PatternUniverse, Term, Var};
+use am_trace::Tracer;
 
 /// Statistics of a [`final_flush`] run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -41,8 +42,12 @@ pub struct FlushStats {
     pub inserted: usize,
     /// Uses rewritten back to their original term.
     pub reconstructed: usize,
-    /// Data-flow solver iterations.
+    /// Data-flow solver iterations (delayability + usability).
     pub iterations: u64,
+    /// Solver worklist pushes (delayability + usability).
+    pub worklist_pushes: u64,
+    /// Peak solver worklist length across the two systems.
+    pub max_worklist_len: usize,
 }
 
 /// The solved Table 3 analyses of a program: local predicates plus the
@@ -188,7 +193,27 @@ fn reconstruct_use(instr: &Instr, h: Var, eps: Term) -> Option<Instr> {
 /// # Ok::<(), am_ir::text::ParseError>(())
 /// ```
 pub fn final_flush(g: &mut FlowGraph) -> FlushStats {
+    final_flush_traced(g, &Tracer::disabled())
+}
+
+/// As [`final_flush`], with tracing: emits one `analysis` counter per
+/// solved system (`delayability`, `usability`) with its fixpoint metrics.
+pub fn final_flush_traced(g: &mut FlowGraph, tracer: &Tracer) -> FlushStats {
     let analysis = analyze_flush(g);
+    for (name, sol) in [
+        ("delayability", &analysis.delay),
+        ("usability", &analysis.usable),
+    ] {
+        tracer.counter(
+            "analysis",
+            name,
+            &[
+                ("iterations", sol.iterations as i64),
+                ("worklist_pushes", sol.worklist_pushes as i64),
+                ("max_worklist_len", sol.max_worklist_len as i64),
+            ],
+        );
+    }
     let universe = analysis.universe;
     let temps = analysis.temps;
     let ep = universe.expr_count();
@@ -206,6 +231,8 @@ pub fn final_flush(g: &mut FlowGraph) -> FlushStats {
     let delay = analysis.delay;
     let usable = analysis.usable;
     stats.iterations = delay.iterations + usable.iterations;
+    stats.worklist_pushes = delay.worklist_pushes + usable.worklist_pushes;
+    stats.max_worklist_len = delay.max_worklist_len.max(usable.max_worklist_len);
 
     // Latestness and initialization points (no further data flow).
     let mut insert_before = vec![BitSet::new(ep); points];

@@ -3,13 +3,14 @@
 //! (Fig. 12), `G_AssMot` (Fig. 14) and `G_GlobAlg` (Fig. 15) exposed for
 //! inspection, testing and figure regeneration.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use am_ir::FlowGraph;
+use am_trace::Tracer;
 
-use crate::flush::{final_flush, FlushStats};
+use crate::flush::{final_flush_traced, FlushStats};
 use crate::init::{initialize, InitStats};
-use crate::motion::{assignment_motion_hooked, default_round_budget, MotionOrder, MotionStats};
+use crate::motion::{assignment_motion_traced, default_round_budget, MotionOrder, MotionStats};
 
 /// A phase boundary of the global algorithm, as reported to the hook of
 /// [`optimize_hooked`]. Ordered: `Split < Init < MotionRound(1) < … < Flush`.
@@ -45,6 +46,8 @@ pub struct GlobalConfig {
     pub max_motion_rounds: Option<usize>,
     /// Keep copies of the intermediate programs (costs two clones).
     pub keep_snapshots: bool,
+    /// Trace sink for spans and counters; disabled (a no-op) by default.
+    pub tracer: Tracer,
 }
 
 impl Default for GlobalConfig {
@@ -52,6 +55,7 @@ impl Default for GlobalConfig {
         GlobalConfig {
             max_motion_rounds: None,
             keep_snapshots: true,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -61,6 +65,13 @@ impl Default for GlobalConfig {
 /// Plain data (`Copy + Send`), so callers can aggregate timings across
 /// worker threads — the batch pipeline sums these per phase to show where
 /// a whole corpus spends its time.
+///
+/// The durations are measured by the per-phase trace spans (the same
+/// measurement whether tracing is enabled or not), so a `phase` span in an
+/// exported trace and the corresponding `PhaseTimings` field always agree.
+/// New aggregation should prefer the trace stream
+/// ([`am_trace::OptStats`]); this struct remains as the zero-setup summary
+/// for direct callers — see DESIGN.md for the deprecation path.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PhaseTimings {
     /// Critical-edge splitting (Sec. 2.1).
@@ -155,33 +166,55 @@ pub fn optimize_hooked(
     config: &GlobalConfig,
     hook: &mut dyn FnMut(PhaseId, &mut FlowGraph),
 ) -> GlobalResult {
+    let tracer = &config.tracer;
     let mut timings = PhaseTimings::default();
+    let mut root = tracer.span("phase", "optimize");
+    root.arg("nodes", g.node_count() as i64)
+        .arg("instrs", g.instr_count() as i64);
     let mut program = g.clone();
-    let t = Instant::now();
+    let mut span = tracer.span("phase", "split");
     let edges_split = program.split_critical_edges();
-    timings.split = t.elapsed();
+    span.arg("edges_split", edges_split as i64);
+    timings.split = span.end();
     hook(PhaseId::Split, &mut program);
-    let t = Instant::now();
+    let span = tracer.span("phase", "init");
     let init = initialize(&mut program);
-    timings.init = t.elapsed();
+    timings.init = span.end();
     hook(PhaseId::Init, &mut program);
+    if tracer.enabled() {
+        let universe = am_ir::PatternUniverse::collect(&program);
+        tracer.counter(
+            "meta",
+            "universe",
+            &[
+                ("assign_patterns", universe.assign_count() as i64),
+                ("expr_patterns", universe.expr_count() as i64),
+                ("nodes", program.node_count() as i64),
+                ("instrs", program.instr_count() as i64),
+            ],
+        );
+    }
     let after_init = config.keep_snapshots.then(|| program.clone());
     let budget = config
         .max_motion_rounds
         .unwrap_or_else(|| default_round_budget(&program));
-    let t = Instant::now();
-    let motion = assignment_motion_hooked(
+    let span = tracer.span("phase", "motion");
+    let motion = assignment_motion_traced(
         &mut program,
         budget,
         MotionOrder::RaeFirst,
+        tracer,
         &mut |round, g| hook(PhaseId::MotionRound(round), g),
     );
-    timings.motion = t.elapsed();
+    timings.motion = span.end();
     let after_motion = config.keep_snapshots.then(|| program.clone());
-    let t = Instant::now();
-    let flush = final_flush(&mut program);
-    timings.flush = t.elapsed();
+    let span = tracer.span("phase", "flush");
+    let flush = final_flush_traced(&mut program, tracer);
+    timings.flush = span.end();
     hook(PhaseId::Flush, &mut program);
+    root.arg("rounds", motion.rounds as i64)
+        .arg("iterations", (motion.iterations + flush.iterations) as i64);
+    drop(root);
     GlobalResult {
         program,
         after_init,

@@ -34,6 +34,7 @@
 use am_bitset::BitSet;
 use am_dfa::{solve, Confluence, Direction, Problem};
 use am_ir::{FlowGraph, Instr, NodeId, PatternUniverse};
+use am_trace::Tracer;
 
 /// The solved hoistability analysis of a program.
 pub struct HoistAnalysis {
@@ -55,6 +56,10 @@ pub struct HoistAnalysis {
     pub candidates: Vec<Vec<(usize, usize)>>,
     /// Solver iterations (for the complexity study).
     pub iterations: u64,
+    /// Solver worklist pushes.
+    pub worklist_pushes: u64,
+    /// Peak solver worklist length.
+    pub max_worklist_len: usize,
 }
 
 /// Computes local predicates and solves the hoistability system of Table 1.
@@ -133,6 +138,8 @@ pub fn analyze_hoisting(g: &FlowGraph) -> HoistAnalysis {
         x_insert,
         candidates,
         iterations: sol.iterations,
+        worklist_pushes: sol.worklist_pushes,
+        max_worklist_len: sol.max_worklist_len,
     }
 }
 
@@ -147,6 +154,10 @@ pub struct HoistOutcome {
     pub changed: bool,
     /// Solver iterations.
     pub iterations: u64,
+    /// Solver worklist pushes.
+    pub worklist_pushes: u64,
+    /// Peak solver worklist length.
+    pub max_worklist_len: usize,
 }
 
 /// Applies the Insertion Step of Sec. 4.3.2: inserts every pattern at its
@@ -157,8 +168,28 @@ pub struct HoistOutcome {
 /// [`assignment_motion`](crate::motion::assignment_motion) iterates it
 /// against redundancy elimination until the program stabilizes.
 pub fn hoist_assignments(g: &mut FlowGraph) -> HoistOutcome {
+    hoist_assignments_traced(g, &Tracer::disabled())
+}
+
+/// As [`hoist_assignments`], with tracing: wraps the pass in an
+/// `analysis/aht` span and emits a counter with the solver's fixpoint
+/// metrics.
+pub fn hoist_assignments_traced(g: &mut FlowGraph, tracer: &Tracer) -> HoistOutcome {
+    let mut span = tracer.span("analysis", "aht");
     let analysis = analyze_hoisting(g);
-    apply_insertion_step(g, &analysis)
+    tracer.counter(
+        "analysis",
+        "aht",
+        &[
+            ("iterations", analysis.iterations as i64),
+            ("worklist_pushes", analysis.worklist_pushes as i64),
+            ("max_worklist_len", analysis.max_worklist_len as i64),
+        ],
+    );
+    let outcome = apply_insertion_step(g, &analysis);
+    span.arg("inserted", outcome.inserted as i64)
+        .arg("removed", outcome.removed as i64);
+    outcome
 }
 
 /// Applies the insertion/removal step for a previously computed analysis,
@@ -171,6 +202,8 @@ pub(crate) fn apply_insertion_step_filtered(
 ) -> HoistOutcome {
     let mut outcome = HoistOutcome {
         iterations: analysis.iterations,
+        worklist_pushes: analysis.worklist_pushes,
+        max_worklist_len: analysis.max_worklist_len,
         ..HoistOutcome::default()
     };
     for n in g.nodes().collect::<Vec<_>>() {

@@ -9,9 +9,10 @@
 //! [`MotionStats::rounds`] counter feeds the complexity study.
 
 use am_ir::FlowGraph;
+use am_trace::Tracer;
 
-use crate::hoist::hoist_assignments;
-use crate::rae::eliminate_redundant_assignments;
+use crate::hoist::hoist_assignments_traced;
+use crate::rae::eliminate_redundant_assignments_traced;
 
 /// Which procedure runs first within each round. The paper leaves the
 /// order unspecified ("applied until the program stabilizes"); by local
@@ -39,6 +40,8 @@ pub struct MotionStats {
     pub removed: usize,
     /// Total data-flow solver iterations across all rounds.
     pub iterations: u64,
+    /// Total solver worklist pushes across all rounds.
+    pub worklist_pushes: u64,
     /// Whether the fixed point was reached within the round budget.
     pub converged: bool,
 }
@@ -115,18 +118,32 @@ pub fn assignment_motion_hooked(
     order: MotionOrder,
     hook: &mut dyn FnMut(usize, &mut FlowGraph),
 ) -> MotionStats {
+    assignment_motion_traced(g, max_rounds, order, &Tracer::disabled(), hook)
+}
+
+/// As [`assignment_motion_hooked`], with tracing: each round runs under a
+/// `round` span carrying its eliminated/inserted/removed counts, and the
+/// rae/aht passes emit their own `analysis` spans and counters.
+pub fn assignment_motion_traced(
+    g: &mut FlowGraph,
+    max_rounds: usize,
+    order: MotionOrder,
+    tracer: &Tracer,
+    hook: &mut dyn FnMut(usize, &mut FlowGraph),
+) -> MotionStats {
     let mut stats = MotionStats::default();
     for round in 1..=max_rounds {
+        let mut span = tracer.span("round", format!("round {round}"));
         let before = g.clone();
         let (rae, hoist) = match order {
             MotionOrder::RaeFirst => {
-                let rae = eliminate_redundant_assignments(g);
-                let hoist = hoist_assignments(g);
+                let rae = eliminate_redundant_assignments_traced(g, tracer);
+                let hoist = hoist_assignments_traced(g, tracer);
                 (rae, hoist)
             }
             MotionOrder::HoistFirst => {
-                let hoist = hoist_assignments(g);
-                let rae = eliminate_redundant_assignments(g);
+                let hoist = hoist_assignments_traced(g, tracer);
+                let rae = eliminate_redundant_assignments_traced(g, tracer);
                 (rae, hoist)
             }
         };
@@ -135,6 +152,11 @@ pub fn assignment_motion_hooked(
         stats.inserted += hoist.inserted;
         stats.removed += hoist.removed;
         stats.iterations += rae.iterations + hoist.iterations;
+        stats.worklist_pushes += rae.worklist_pushes + hoist.worklist_pushes;
+        span.arg("eliminated", rae.eliminated as i64)
+            .arg("inserted", hoist.inserted as i64)
+            .arg("removed", hoist.removed as i64);
+        drop(span);
         let stable = *g == before;
         hook(round, g);
         if stable {

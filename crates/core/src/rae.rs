@@ -22,6 +22,7 @@
 use am_bitset::BitSet;
 use am_dfa::{solve, Confluence, Direction, PointGraph, Problem, Solution};
 use am_ir::{FlowGraph, Loc, PatternUniverse};
+use am_trace::Tracer;
 
 /// Outcome of one [`eliminate_redundant_assignments`] pass.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -30,6 +31,10 @@ pub struct RaeOutcome {
     pub eliminated: usize,
     /// Solver iterations spent (for the complexity study).
     pub iterations: u64,
+    /// Solver worklist pushes.
+    pub worklist_pushes: u64,
+    /// Peak solver worklist length.
+    pub max_worklist_len: usize,
 }
 
 /// Solves the redundancy analysis of Table 2 over `g`.
@@ -69,6 +74,13 @@ pub fn redundancy(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
 
 /// The set of instruction locations whose assignment is redundant at entry.
 pub fn redundant_locs(g: &FlowGraph) -> (Vec<Loc>, u64) {
+    let (locs, sol) = redundant_locs_solved(g);
+    (locs, sol.iterations)
+}
+
+/// As [`redundant_locs`], but returns the full solution so callers can
+/// report worklist metrics too.
+fn redundant_locs_solved(g: &FlowGraph) -> (Vec<Loc>, Solution) {
     let universe = PatternUniverse::collect(g);
     let pg = PointGraph::build(g);
     let sol = redundancy(&pg, &universe);
@@ -91,7 +103,7 @@ pub fn redundant_locs(g: &FlowGraph) -> (Vec<Loc>, u64) {
             }
         }
     }
-    (locs, sol.iterations)
+    (locs, sol)
 }
 
 /// Removes every redundant assignment occurrence from `g` (the Elimination
@@ -110,12 +122,33 @@ pub fn redundant_locs(g: &FlowGraph) -> (Vec<Loc>, u64) {
 /// # Ok::<(), am_ir::text::ParseError>(())
 /// ```
 pub fn eliminate_redundant_assignments(g: &mut FlowGraph) -> RaeOutcome {
-    let (locs, iterations) = redundant_locs(g);
+    eliminate_redundant_assignments_traced(g, &Tracer::disabled())
+}
+
+/// As [`eliminate_redundant_assignments`], with tracing: wraps the pass in
+/// an `analysis/rae` span and emits a counter with the solver's fixpoint
+/// metrics.
+pub fn eliminate_redundant_assignments_traced(g: &mut FlowGraph, tracer: &Tracer) -> RaeOutcome {
+    let mut span = tracer.span("analysis", "rae");
+    let (locs, sol) = redundant_locs_solved(g);
     let eliminated = locs.len();
     remove_locs(g, &locs);
+    tracer.counter(
+        "analysis",
+        "rae",
+        &[
+            ("iterations", sol.iterations as i64),
+            ("worklist_pushes", sol.worklist_pushes as i64),
+            ("max_worklist_len", sol.max_worklist_len as i64),
+        ],
+    );
+    span.arg("eliminated", eliminated as i64);
+    drop(span);
     RaeOutcome {
         eliminated,
-        iterations,
+        iterations: sol.iterations,
+        worklist_pushes: sol.worklist_pushes,
+        max_worklist_len: sol.max_worklist_len,
     }
 }
 

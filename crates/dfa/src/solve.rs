@@ -83,6 +83,13 @@ pub struct Solution {
     /// Number of point updates performed until convergence — the iteration
     /// count reported by the complexity study.
     pub iterations: u64,
+    /// Number of worklist pushes, including the initial seeding of every
+    /// point. Since the solver runs until the worklist drains, this always
+    /// equals [`iterations`](Self::iterations) for a single solve; the
+    /// parallel solver reports the sum over its partitions.
+    pub worklist_pushes: u64,
+    /// Peak worklist length observed (≥ the point count, which seeds it).
+    pub max_worklist_len: usize,
 }
 
 impl Solution {
@@ -133,6 +140,8 @@ pub fn solve(succs: &[Vec<usize>], preds: &[Vec<usize>], problem: &Problem) -> S
     let mut iterations: u64 = 0;
     let mut on_list = vec![true; n];
     let mut worklist: Vec<usize> = (0..n).collect();
+    let mut worklist_pushes = n as u64;
+    let mut max_worklist_len = n;
     let mut scratch = BitSet::new(universe);
     while let Some(p) = worklist.pop() {
         on_list[p] = false;
@@ -165,8 +174,10 @@ pub fn solve(succs: &[Vec<usize>], preds: &[Vec<usize>], problem: &Problem) -> S
                 if !on_list[q] {
                     on_list[q] = true;
                     worklist.push(q);
+                    worklist_pushes += 1;
                 }
             }
+            max_worklist_len = max_worklist_len.max(worklist.len());
         }
     }
 
@@ -178,6 +189,8 @@ pub fn solve(succs: &[Vec<usize>], preds: &[Vec<usize>], problem: &Problem) -> S
         before,
         after,
         iterations,
+        worklist_pushes,
+        max_worklist_len,
     }
 }
 
@@ -279,6 +292,40 @@ mod tests {
     }
 
     #[test]
+    fn worklist_metrics_on_a_known_diamond() {
+        let (succs, preds) = diamond();
+        let mut p = Problem::new(Direction::Forward, Confluence::Must, 4, 2);
+        p.gen[0].insert(0);
+        p.gen[1].insert(1);
+        let sol = solve(&succs, &preds, &p);
+        // Every pop was pushed and the solver runs until the list drains,
+        // so pushes and iterations agree exactly.
+        assert_eq!(sol.worklist_pushes, sol.iterations);
+        // All four points seed the worklist, so the peak is at least that.
+        assert!(sol.max_worklist_len >= 4, "{}", sol.max_worklist_len);
+        // Seeding LIFO order pops 3,2,1,0; each update re-enqueues its
+        // downstream point(s): 0 pushes {1,2}, 1 and 2 each push 3.
+        // 4 seeds + at most 4 re-pushes for this acyclic graph.
+        assert!(sol.worklist_pushes >= 4 && sol.worklist_pushes <= 8);
+    }
+
+    #[test]
+    fn parallel_solve_sums_pushes_and_maxes_worklist_len() {
+        let (succs, preds) = diamond();
+        let mut p = Problem::new(Direction::Forward, Confluence::Must, 4, 8);
+        for bit in 0..8 {
+            p.gen[0].insert(bit);
+        }
+        let seq = solve(&succs, &preds, &p);
+        let par = solve_parallel(&succs, &preds, &p, 4);
+        // Each of the 4 partitions seeds all 4 points.
+        assert!(par.worklist_pushes >= 16);
+        assert!(par.worklist_pushes >= seq.worklist_pushes);
+        assert!(par.max_worklist_len >= 4);
+        assert_eq!(par.before, seq.before);
+    }
+
+    #[test]
     #[should_panic(expected = "gen length mismatch")]
     fn length_mismatch_panics() {
         let (succs, preds) = diamond();
@@ -359,8 +406,12 @@ pub fn solve_parallel(
     let mut before = vec![BitSet::new(universe); points];
     let mut after = vec![BitSet::new(universe); points];
     let mut iterations = 0;
+    let mut worklist_pushes = 0;
+    let mut max_worklist_len = 0;
     for (range, sol) in partials {
         iterations += sol.iterations;
+        worklist_pushes += sol.worklist_pushes;
+        max_worklist_len = max_worklist_len.max(sol.max_worklist_len);
         for p in 0..points {
             for b in sol.before[p].iter() {
                 before[p].insert(b + range.start);
@@ -374,6 +425,8 @@ pub fn solve_parallel(
         before,
         after,
         iterations,
+        worklist_pushes,
+        max_worklist_len,
     }
 }
 

@@ -17,6 +17,14 @@ use std::process::ExitCode;
 
 use am_lang::SourceKind;
 use am_pipeline::{Job, JobOutcome, Pipeline, PipelineConfig};
+use am_trace::{export, Tracer};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Jsonl,
+    Summary,
+}
 
 struct Options {
     workers: Option<usize>,
@@ -26,6 +34,9 @@ struct Options {
     emit: bool,
     quiet: bool,
     verify: bool,
+    trace: Option<PathBuf>,
+    trace_format: TraceFormat,
+    synthetic: usize,
     inputs: Vec<PathBuf>,
 }
 
@@ -43,6 +54,13 @@ options:
   --quiet          suppress the per-job report, print only the summary
   --verify         translation-validate every job per phase (am-check);
                    a failed validation fails the batch
+  --trace FILE     record a structured trace of the whole run to FILE
+                   (phases, motion rounds, analyses, jobs, batches)
+  --trace-format F trace output format: chrome (chrome://tracing JSON,
+                   default), jsonl (one event per line, amstat input),
+                   or summary (human-readable tree)
+  --synthetic N    append N deterministic synthetic programs to the batch
+                   (seeded random structured programs; no files needed)
   --help           this text";
 
 fn parse_args() -> Result<Options, String> {
@@ -54,6 +72,9 @@ fn parse_args() -> Result<Options, String> {
         emit: false,
         quiet: false,
         verify: false,
+        trace: None,
+        trace_format: TraceFormat::Chrome,
+        synthetic: 0,
         inputs: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -92,6 +113,26 @@ fn parse_args() -> Result<Options, String> {
             "--emit" => opts.emit = true,
             "--quiet" => opts.quiet = true,
             "--verify" => opts.verify = true,
+            "--trace" => {
+                opts.trace = Some(PathBuf::from(value(&mut args, "--trace")?));
+            }
+            "--trace-format" => {
+                opts.trace_format = match value(&mut args, "--trace-format")?.as_str() {
+                    "chrome" => TraceFormat::Chrome,
+                    "jsonl" => TraceFormat::Jsonl,
+                    "summary" => TraceFormat::Summary,
+                    other => {
+                        return Err(format!(
+                            "--trace-format: '{other}' is not chrome, jsonl or summary"
+                        ))
+                    }
+                };
+            }
+            "--synthetic" => {
+                opts.synthetic = value(&mut args, "--synthetic")?
+                    .parse()
+                    .map_err(|e| format!("--synthetic: {e}"))?;
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option '{other}'; --help for usage"));
@@ -99,10 +140,27 @@ fn parse_args() -> Result<Options, String> {
             path => opts.inputs.push(PathBuf::from(path)),
         }
     }
-    if opts.inputs.is_empty() {
+    if opts.inputs.is_empty() && opts.synthetic == 0 {
         opts.inputs.push(PathBuf::from("programs"));
     }
     Ok(opts)
+}
+
+/// Deterministic synthetic corpus: seeded random structured programs,
+/// serialized to IR text so they flow through the normal job path.
+fn synthetic_jobs(count: usize) -> Vec<Job> {
+    use am_ir::random::{structured, SplitMix64, StructuredConfig};
+    (0..count)
+        .map(|i| {
+            let mut rng = SplitMix64::new(0xA5_0000 + i as u64);
+            let g = structured(&mut rng, &StructuredConfig::default());
+            Job::from_source(
+                format!("synthetic/{i:04}"),
+                SourceKind::Ir,
+                am_ir::text::to_text(&g),
+            )
+        })
+        .collect()
 }
 
 /// Expands files and directories into jobs, sorted by name so the batch
@@ -148,18 +206,31 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let jobs = match collect_jobs(&opts.inputs) {
-        Ok(j) => j,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
+    let mut jobs = if opts.inputs.is_empty() {
+        Vec::new()
+    } else {
+        match collect_jobs(&opts.inputs) {
+            Ok(j) => j,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
         }
+    };
+    jobs.extend(synthetic_jobs(opts.synthetic));
+    let (tracer, collector) = match &opts.trace {
+        Some(_) => {
+            let (t, c) = Tracer::collector();
+            (t, Some(c))
+        }
+        None => (Tracer::disabled(), None),
     };
     let pipeline = Pipeline::new(PipelineConfig {
         workers: opts.workers,
         cache_capacity: opts.cache_capacity,
         max_motion_rounds: opts.max_motion_rounds,
         verify: opts.verify,
+        tracer,
     });
     let mut any_failed = false;
     for pass in 1..=opts.repeat {
@@ -191,6 +262,25 @@ fn main() -> ExitCode {
             }
         }
         any_failed |= report.failed() + report.panicked() + report.verify_failed() > 0;
+    }
+    if let (Some(path), Some(collector)) = (&opts.trace, &collector) {
+        let events = collector.take();
+        let out = match opts.trace_format {
+            TraceFormat::Chrome => export::chrome_trace(&events),
+            TraceFormat::Jsonl => export::jsonl(&events),
+            TraceFormat::Summary => export::summary_tree(&events),
+        };
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("--trace {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            println!(
+                "trace: {} events written to {}",
+                events.len(),
+                path.display()
+            );
+        }
     }
     if any_failed {
         ExitCode::FAILURE

@@ -18,6 +18,7 @@ use am_check::validate::{validate, ValidationConfig};
 use am_core::global::{optimize_with, GlobalConfig, PhaseTimings};
 use am_ir::alpha::{canonical_text, stable_hash};
 use am_lang::{compile_source, SourceKind};
+use am_trace::Tracer;
 
 use crate::cache::{CachedResult, ResultCache};
 use crate::job::{Job, JobInput, JobOutcome, JobReport, OptimizedJob};
@@ -39,6 +40,10 @@ pub struct PipelineConfig {
     /// the counting interpreter (see `am-check`). Runs even on cache hits
     /// — the cache stores results, not validations.
     pub verify: bool,
+    /// Trace sink shared by every worker: per-job spans, per-batch
+    /// counters and the optimizer's own phase/round/analysis events.
+    /// Disabled (a no-op) by default.
+    pub tracer: Tracer,
 }
 
 impl Default for PipelineConfig {
@@ -48,6 +53,7 @@ impl Default for PipelineConfig {
             cache_capacity: 256,
             max_motion_rounds: None,
             verify: false,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -94,6 +100,11 @@ impl Pipeline {
     pub fn run(&self, jobs: &[Job]) -> PipelineReport {
         let started = Instant::now();
         let workers = self.workers().min(jobs.len()).max(1);
+        let cache_before = self.cache.stats();
+        let mut batch = self.config.tracer.span("batch", "batch");
+        batch
+            .arg("jobs", jobs.len() as i64)
+            .arg("workers", workers as i64);
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<JobReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
 
@@ -118,10 +129,24 @@ impl Pipeline {
                 phase_totals.accumulate(&o.timings);
             }
         }
+        let cache = self.cache.stats();
+        let batch_cache_hits = cache.hits - cache_before.hits;
+        let batch_cache_misses = cache.misses - cache_before.misses;
+        self.config.tracer.counter(
+            "batch",
+            "cache",
+            &[
+                ("hits", batch_cache_hits as i64),
+                ("misses", batch_cache_misses as i64),
+            ],
+        );
+        drop(batch);
         PipelineReport {
             workers,
             wall: started.elapsed(),
-            cache: self.cache.stats(),
+            cache,
+            batch_cache_hits,
+            batch_cache_misses,
             phase_totals,
             jobs,
         }
@@ -129,11 +154,16 @@ impl Pipeline {
 
     fn run_job(&self, job: &Job) -> JobReport {
         let started = Instant::now();
+        let mut span = self.config.tracer.span("job", "job");
         let outcome = match catch_unwind(AssertUnwindSafe(|| self.process(job))) {
             Ok(Ok(optimized)) => JobOutcome::Optimized(optimized),
             Ok(Err(message)) => JobOutcome::Failed(message),
             Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
         };
+        if let JobOutcome::Optimized(o) = &outcome {
+            span.arg("cache_hit", o.cache_hit as i64);
+        }
+        drop(span);
         JobReport {
             name: job.name.clone(),
             outcome,
@@ -172,6 +202,7 @@ impl Pipeline {
         let config = GlobalConfig {
             max_motion_rounds: self.config.max_motion_rounds,
             keep_snapshots: false,
+            tracer: self.config.tracer.clone(),
         };
         let out = optimize_with(&graph, &config);
         let result = self.cache.insert(

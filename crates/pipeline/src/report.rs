@@ -19,8 +19,14 @@ pub struct PipelineReport {
     pub workers: usize,
     /// End-to-end wall time of the whole batch.
     pub wall: Duration,
-    /// Cache counters at the end of the batch.
+    /// Cache counters at the end of the batch. Cumulative over the
+    /// pipeline's lifetime — a second batch on the same [`Pipeline`]
+    /// includes the first batch's traffic.
     pub cache: CacheStats,
+    /// Cache hits attributable to *this* batch (end minus start).
+    pub batch_cache_hits: u64,
+    /// Cache misses attributable to *this* batch (end minus start).
+    pub batch_cache_misses: u64,
     /// Sum of per-phase optimizer times across all non-cached jobs. With
     /// several workers this exceeds `wall` — it is total CPU time spent in
     /// the optimizer, not elapsed time.
@@ -126,8 +132,13 @@ impl fmt::Display for PipelineReport {
         }
         writeln!(
             f,
-            "  cache: {} hits, {} misses, {} evictions, {} resident",
-            self.cache.hits, self.cache.misses, self.cache.evictions, self.cache.entries
+            "  cache: batch {} hits, {} misses; lifetime {} hits, {} misses, {} evictions, {} resident",
+            self.batch_cache_hits,
+            self.batch_cache_misses,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.entries
         )?;
         if self.verified() + self.verify_failed() > 0 {
             writeln!(

@@ -149,6 +149,72 @@ fn output_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn batch_cache_deltas_are_deterministic_and_per_batch() {
+    // Cumulative counters grow across batches; the batch_* fields must
+    // isolate each run's own traffic. One worker makes the hit/miss split
+    // deterministic (no concurrent double-miss on duplicates).
+    let p = pipeline_with(1);
+    let jobs = corpus(5);
+    let first = p.run(&jobs);
+    assert_eq!(first.batch_cache_hits, 0, "{first}");
+    assert_eq!(first.batch_cache_misses, 5);
+    let second = p.run(&jobs);
+    assert_eq!(second.batch_cache_hits, 5, "whole second batch from cache");
+    assert_eq!(second.batch_cache_misses, 0);
+    // Cumulative keeps growing while the batch view resets.
+    assert_eq!(second.cache.hits, 5);
+    assert_eq!(second.cache.misses, 5);
+    let third = p.run(&jobs);
+    assert_eq!(third.batch_cache_hits, 5);
+    assert_eq!(third.cache.hits, 10);
+    // The report text carries both views.
+    assert!(
+        third.to_string().contains("batch 5 hits, 0 misses"),
+        "{third}"
+    );
+    // Determinism across fresh pipelines: identical batches on identical
+    // engines report identical batch fields.
+    let again = pipeline_with(1).run(&jobs);
+    assert_eq!(again.batch_cache_hits, first.batch_cache_hits);
+    assert_eq!(again.batch_cache_misses, first.batch_cache_misses);
+    assert_eq!(observable(&again), observable(&first));
+}
+
+#[test]
+fn a_traced_run_records_job_and_batch_events() {
+    let (tracer, collector) = am_trace::Tracer::collector();
+    let p = Pipeline::new(PipelineConfig {
+        workers: Some(2),
+        tracer,
+        ..Default::default()
+    });
+    let jobs = corpus(3);
+    let report = p.run(&jobs);
+    assert_eq!(report.succeeded(), 3);
+    let events = collector.take();
+    let spans_named = |name: &str| {
+        events
+            .iter()
+            .filter(|e| e.name == name && e.dur_micros().is_some())
+            .count()
+    };
+    assert_eq!(spans_named("job"), 3, "one span per job");
+    assert_eq!(spans_named("batch"), 1);
+    assert_eq!(spans_named("optimize"), 3, "optimizer root span per job");
+    // The batch cache counter mirrors the report's delta fields.
+    let cache = events
+        .iter()
+        .find(|e| e.cat == "batch" && e.name == "cache")
+        .expect("batch cache counter");
+    assert_eq!(cache.arg("hits"), Some(report.batch_cache_hits as i64));
+    assert_eq!(cache.arg("misses"), Some(report.batch_cache_misses as i64));
+    // Analysis counters made it out of the solver.
+    assert!(events
+        .iter()
+        .any(|e| e.cat == "analysis" && e.name == "rae" && e.arg("iterations").unwrap_or(0) > 0));
+}
+
+#[test]
 fn a_panicking_job_fails_alone() {
     let mut jobs = corpus(4);
     jobs.insert(2, Job::poison("poison"));

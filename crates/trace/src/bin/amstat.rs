@@ -1,0 +1,121 @@
+//! `amstat`: aggregate JSONL traces produced by `amopt --trace`.
+//!
+//! Reads one or more JSON-lines trace files, folds every event into the
+//! [`OptStats`] model and prints per-phase latency percentiles
+//! (p50/p95/p99), per-analysis fixpoint totals and the
+//! iterations-vs-program-size scatter. Exits nonzero on malformed or empty
+//! input so CI can use it as a trace-shape check.
+
+use std::process::ExitCode;
+
+use am_trace::export::parse_jsonl_line;
+use am_trace::stats::OptStats;
+
+fn usage() -> ! {
+    eprintln!("usage: amstat TRACE.jsonl [TRACE.jsonl ...]");
+    eprintln!();
+    eprintln!("Aggregates JSONL traces written by `amopt --trace FILE --trace-format jsonl`:");
+    eprintln!("per-span latency percentiles, per-analysis fixpoint totals and the");
+    eprintln!("iterations-vs-nodes scatter. Exits 1 on malformed or empty input.");
+    std::process::exit(2);
+}
+
+fn fmt_micros(micros: u64) -> String {
+    if micros >= 10_000_000 {
+        format!("{:.2}s", micros as f64 / 1e6)
+    } else if micros >= 10_000 {
+        format!("{:.2}ms", micros as f64 / 1e3)
+    } else {
+        format!("{micros}us")
+    }
+}
+
+fn run(paths: &[String]) -> Result<OptStats, String> {
+    let mut stats = OptStats::default();
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(parse_jsonl_line(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?);
+        }
+        if events.is_empty() {
+            return Err(format!("{path}: no events"));
+        }
+        stats.fold(&events);
+    }
+    Ok(stats)
+}
+
+fn print_report(stats: &OptStats) {
+    println!("events: {}", stats.events);
+    println!();
+    println!(
+        "{:<24} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "span", "count", "total", "p50", "p95", "p99", "max"
+    );
+    for (key, d) in &stats.spans {
+        println!(
+            "{key:<24} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            d.count,
+            fmt_micros(d.total_micros),
+            fmt_micros(d.quantile(0.5)),
+            fmt_micros(d.quantile(0.95)),
+            fmt_micros(d.quantile(0.99)),
+            fmt_micros(d.max_micros),
+        );
+    }
+    if !stats.analyses.is_empty() {
+        println!();
+        println!(
+            "{:<14} {:>7} {:>12} {:>12} {:>14}",
+            "analysis", "solves", "iterations", "pushes", "peak worklist"
+        );
+        for (name, a) in &stats.analyses {
+            println!(
+                "{name:<14} {:>7} {:>12} {:>12} {:>14}",
+                a.solves, a.iterations, a.worklist_pushes, a.max_worklist_len
+            );
+        }
+        println!("total fixpoint iterations: {}", stats.total_iterations());
+    }
+    if !stats.counters.is_empty() {
+        println!();
+        println!("counters");
+        for (key, value) in &stats.counters {
+            println!("  {key} = {value}");
+        }
+    }
+    if !stats.scatter.is_empty() {
+        println!();
+        println!(
+            "{:>8} {:>8} {:>12} {:>8}   iterations vs size",
+            "nodes", "instrs", "iterations", "rounds"
+        );
+        for p in &stats.scatter {
+            println!(
+                "{:>8} {:>8} {:>12} {:>8}",
+                p.nodes, p.instrs, p.iterations, p.rounds
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        usage();
+    }
+    match run(&args) {
+        Ok(stats) => {
+            print_report(&stats);
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("amstat: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The event model: everything a sink records.
+//!
+//! An [`Event`] is one observation — a completed span, a counter sample or
+//! an instant marker — stamped with a monotonic timestamp relative to the
+//! collector's epoch, the logical thread that produced it, and the span
+//! nesting depth at the time. Events are plain data: exporters and the
+//! [`OptStats`](crate::stats::OptStats) model work from `&[Event]` alone,
+//! with no back-reference to the tracer that produced them.
+
+/// What kind of observation an [`Event`] is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span with its duration in microseconds.
+    Span {
+        /// Wall-clock duration of the span, microseconds.
+        dur_micros: u64,
+    },
+    /// A point-in-time counter sample; the values live in [`Event::args`].
+    Counter,
+    /// A point-in-time marker with no values of its own.
+    Instant,
+}
+
+/// One trace observation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Event name (span or counter name, e.g. `init`, `rae`, `job`).
+    pub name: String,
+    /// Category, grouping related events: `phase`, `round`, `analysis`,
+    /// `job`, `batch`, `campaign`, `meta` (see docs/OBSERVABILITY.md).
+    pub cat: String,
+    /// Span / counter / instant.
+    pub kind: EventKind,
+    /// Start time in microseconds since the collector's epoch. For spans
+    /// this is the *begin* timestamp (end = `ts_micros + dur_micros`).
+    pub ts_micros: u64,
+    /// Logical thread id (small integers assigned per OS thread).
+    pub tid: u64,
+    /// Span nesting depth on this thread when the event began (0 = root).
+    pub depth: u32,
+    /// Structured values: `(key, value)` pairs, insertion-ordered.
+    pub args: Vec<(String, i64)>,
+}
+
+impl Event {
+    /// The value of argument `key`, if present.
+    pub fn arg(&self, key: &str) -> Option<i64> {
+        self.args.iter().find_map(|(k, v)| (k == key).then_some(*v))
+    }
+
+    /// The span duration, if this event is a span.
+    pub fn dur_micros(&self) -> Option<u64> {
+        match self.kind {
+            EventKind::Span { dur_micros } => Some(dur_micros),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_lookup_finds_first_match() {
+        let ev = Event {
+            name: "x".into(),
+            cat: "phase".into(),
+            kind: EventKind::Counter,
+            ts_micros: 0,
+            tid: 1,
+            depth: 0,
+            args: vec![("a".into(), 1), ("b".into(), 2)],
+        };
+        assert_eq!(ev.arg("b"), Some(2));
+        assert_eq!(ev.arg("c"), None);
+        assert_eq!(ev.dur_micros(), None);
+    }
+}

@@ -1,0 +1,318 @@
+//! The optimizer metrics model: [`Histogram`], [`DurStats`] and the
+//! aggregated [`OptStats`] built from a flat event stream.
+//!
+//! `OptStats` is what the human-readable exporters and `amstat` share: it
+//! folds spans into per-`cat/name` latency statistics (count, total, exact
+//! percentiles, a log₂ histogram), folds `analysis` counters into
+//! per-analysis fixpoint totals (iterations, worklist pushes, peak worklist
+//! length), sums every other counter, and extracts the
+//! iterations-vs-program-size scatter the complexity claim (paper Sec. 4.5)
+//! is checked against.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+
+/// Number of log₂ buckets; bucket `i ≥ 1` holds durations in
+/// `[2^(i-1), 2^i)` microseconds, bucket 0 holds zero. 2³⁹ µs ≈ 6 days.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram over microsecond durations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Sample count per bucket.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a duration.
+    pub fn bucket_of(micros: u64) -> usize {
+        ((64 - micros.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, micros: u64) {
+        self.buckets[Self::bucket_of(micros)] += 1;
+        self.count += 1;
+    }
+
+    /// The inclusive upper bound of the bucket holding quantile `q`
+    /// (0 < q ≤ 1); 0 when empty. A power-of-two estimate, by design.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Latency statistics for one span name: exact percentiles from the raw
+/// samples plus the log₂ histogram.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DurStats {
+    /// Number of spans.
+    pub count: u64,
+    /// Sum of durations, microseconds.
+    pub total_micros: u64,
+    /// Largest single duration.
+    pub max_micros: u64,
+    /// The log₂ histogram of the same samples.
+    pub histogram: Histogram,
+    /// Every sample, sorted ascending (kept for exact percentiles).
+    pub sorted_micros: Vec<u64>,
+}
+
+impl DurStats {
+    fn record(&mut self, micros: u64) {
+        self.count += 1;
+        self.total_micros += micros;
+        self.max_micros = self.max_micros.max(micros);
+        self.histogram.record(micros);
+        let at = self.sorted_micros.partition_point(|&v| v <= micros);
+        self.sorted_micros.insert(at, micros);
+    }
+
+    /// Exact quantile `q` (0 < q ≤ 1) over the recorded samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.sorted_micros.is_empty() {
+            return 0;
+        }
+        let rank = (q * self.sorted_micros.len() as f64).ceil() as usize;
+        self.sorted_micros[rank.clamp(1, self.sorted_micros.len()) - 1]
+    }
+}
+
+/// Fixpoint-solver totals for one analysis (`rae`, `aht`, `delayability`,
+/// `usability`), folded over every `analysis` counter event of that name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisTotals {
+    /// Counter samples folded in (≈ solver invocations).
+    pub solves: u64,
+    /// Total point updates until convergence.
+    pub iterations: u64,
+    /// Total worklist pushes.
+    pub worklist_pushes: u64,
+    /// Peak worklist length over all solves.
+    pub max_worklist_len: u64,
+}
+
+/// One point of the iterations-vs-size scatter: an `optimize` span's
+/// program size against the fixpoint work it cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScatterPoint {
+    /// Flow-graph nodes of the input program.
+    pub nodes: i64,
+    /// Instructions of the input program.
+    pub instrs: i64,
+    /// Total solver iterations across every analysis of the run.
+    pub iterations: i64,
+    /// Motion rounds until stabilization.
+    pub rounds: i64,
+}
+
+/// Aggregated optimizer metrics over an event stream.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OptStats {
+    /// Per-span statistics keyed `cat/name` (e.g. `phase/motion`).
+    pub spans: BTreeMap<String, DurStats>,
+    /// Per-analysis fixpoint totals keyed by analysis name.
+    pub analyses: BTreeMap<String, AnalysisTotals>,
+    /// Every other counter value, summed, keyed `cat/name/key`.
+    pub counters: BTreeMap<String, i64>,
+    /// Iterations-vs-size scatter, one point per `optimize` span.
+    pub scatter: Vec<ScatterPoint>,
+    /// Total events folded in.
+    pub events: u64,
+}
+
+impl OptStats {
+    /// Folds `events` into the aggregate model.
+    pub fn from_events(events: &[Event]) -> OptStats {
+        let mut stats = OptStats::default();
+        stats.fold(events);
+        stats
+    }
+
+    /// Folds more events into an existing aggregate (amstat merges many
+    /// trace files this way).
+    pub fn fold(&mut self, events: &[Event]) {
+        for ev in events {
+            self.events += 1;
+            match &ev.kind {
+                EventKind::Span { dur_micros } => {
+                    self.spans
+                        .entry(format!("{}/{}", ev.cat, ev.name))
+                        .or_default()
+                        .record(*dur_micros);
+                    if ev.cat == "phase" && ev.name == "optimize" {
+                        self.scatter.push(ScatterPoint {
+                            nodes: ev.arg("nodes").unwrap_or(0),
+                            instrs: ev.arg("instrs").unwrap_or(0),
+                            iterations: ev.arg("iterations").unwrap_or(0),
+                            rounds: ev.arg("rounds").unwrap_or(0),
+                        });
+                    }
+                }
+                EventKind::Counter if ev.cat == "analysis" => {
+                    let totals = self.analyses.entry(ev.name.clone()).or_default();
+                    totals.solves += 1;
+                    totals.iterations += ev.arg("iterations").unwrap_or(0).max(0) as u64;
+                    totals.worklist_pushes += ev.arg("worklist_pushes").unwrap_or(0).max(0) as u64;
+                    totals.max_worklist_len = totals
+                        .max_worklist_len
+                        .max(ev.arg("max_worklist_len").unwrap_or(0).max(0) as u64);
+                }
+                EventKind::Counter => {
+                    for (key, value) in &ev.args {
+                        *self
+                            .counters
+                            .entry(format!("{}/{}/{}", ev.cat, ev.name, key))
+                            .or_insert(0) += value;
+                    }
+                }
+                EventKind::Instant => {}
+            }
+        }
+    }
+
+    /// Total fixpoint iterations across every analysis.
+    pub fn total_iterations(&self) -> u64 {
+        self.analyses.values().map(|a| a.iterations).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(cat: &str, name: &str, dur: u64, args: Vec<(String, i64)>) -> Event {
+        Event {
+            name: name.into(),
+            cat: cat.into(),
+            kind: EventKind::Span { dur_micros: dur },
+            ts_micros: 0,
+            tid: 1,
+            depth: 0,
+            args,
+        }
+    }
+
+    fn counter(cat: &str, name: &str, args: Vec<(String, i64)>) -> Event {
+        Event {
+            name: name.into(),
+            cat: cat.into(),
+            kind: EventKind::Counter,
+            ts_micros: 0,
+            tid: 1,
+            depth: 0,
+            args,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_samples() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        // p50 over {1,2,3,4,100,1000}: 3rd sample = 3 → bucket [2,4).
+        assert_eq!(h.quantile(0.5), 3);
+        assert!(h.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn durstats_exact_percentiles() {
+        let mut d = DurStats::default();
+        for v in [50u64, 10, 30, 20, 40] {
+            d.record(v);
+        }
+        assert_eq!(d.sorted_micros, vec![10, 20, 30, 40, 50]);
+        assert_eq!(d.quantile(0.5), 30);
+        assert_eq!(d.quantile(0.95), 50);
+        assert_eq!(d.quantile(1.0), 50);
+        assert_eq!(d.max_micros, 50);
+        assert_eq!(d.total_micros, 150);
+    }
+
+    #[test]
+    fn events_fold_into_the_model() {
+        let events = vec![
+            span(
+                "phase",
+                "optimize",
+                120,
+                vec![
+                    ("nodes".into(), 9),
+                    ("instrs".into(), 30),
+                    ("iterations".into(), 77),
+                    ("rounds".into(), 2),
+                ],
+            ),
+            span("phase", "init", 20, vec![]),
+            counter(
+                "analysis",
+                "rae",
+                vec![
+                    ("iterations".into(), 40),
+                    ("worklist_pushes".into(), 55),
+                    ("max_worklist_len".into(), 12),
+                ],
+            ),
+            counter(
+                "analysis",
+                "rae",
+                vec![
+                    ("iterations".into(), 37),
+                    ("worklist_pushes".into(), 44),
+                    ("max_worklist_len".into(), 9),
+                ],
+            ),
+            counter("batch", "cache", vec![("hits".into(), 3)]),
+            counter("batch", "cache", vec![("hits".into(), 2)]),
+        ];
+        let stats = OptStats::from_events(&events);
+        assert_eq!(stats.events, 6);
+        assert_eq!(stats.spans["phase/init"].count, 1);
+        let rae = &stats.analyses["rae"];
+        assert_eq!(rae.solves, 2);
+        assert_eq!(rae.iterations, 77);
+        assert_eq!(rae.worklist_pushes, 99);
+        assert_eq!(rae.max_worklist_len, 12);
+        assert_eq!(stats.counters["batch/cache/hits"], 5);
+        assert_eq!(stats.scatter.len(), 1);
+        assert_eq!(stats.scatter[0].nodes, 9);
+        assert_eq!(stats.scatter[0].iterations, 77);
+        assert_eq!(stats.total_iterations(), 77);
+    }
+}

@@ -1,0 +1,154 @@
+//! Exporter shape tests: the Chrome-trace output is pinned against a golden
+//! file (byte-for-byte, over a fixed synthetic event stream), and the JSONL
+//! format round-trips through a real tracer + collector.
+
+use am_trace::event::{Event, EventKind};
+use am_trace::export::{chrome_trace, jsonl, parse_jsonl_line, summary_line, summary_tree};
+use am_trace::json;
+use am_trace::Tracer;
+
+/// A fixed event stream shaped like a tiny real run: one optimize span with
+/// nested phases, analysis counters, a cache counter and an instant marker.
+fn fixture() -> Vec<Event> {
+    let ev = |name: &str, cat: &str, kind, ts, tid, depth, args: &[(&str, i64)]| Event {
+        name: name.into(),
+        cat: cat.into(),
+        kind,
+        ts_micros: ts,
+        tid,
+        depth,
+        args: args.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+    };
+    vec![
+        ev(
+            "split",
+            "phase",
+            EventKind::Span { dur_micros: 7 },
+            2,
+            1,
+            1,
+            &[("edges_split", 1)],
+        ),
+        ev(
+            "init",
+            "phase",
+            EventKind::Span { dur_micros: 11 },
+            10,
+            1,
+            1,
+            &[],
+        ),
+        ev(
+            "rae",
+            "analysis",
+            EventKind::Counter,
+            25,
+            1,
+            2,
+            &[
+                ("iterations", 12),
+                ("worklist_pushes", 12),
+                ("max_worklist_len", 5),
+            ],
+        ),
+        ev(
+            "round 1",
+            "round",
+            EventKind::Span { dur_micros: 30 },
+            22,
+            1,
+            1,
+            &[("eliminated", 2), ("inserted", 1), ("removed", 1)],
+        ),
+        ev(
+            "flush",
+            "phase",
+            EventKind::Span { dur_micros: 9 },
+            55,
+            1,
+            1,
+            &[],
+        ),
+        ev(
+            "optimize",
+            "phase",
+            EventKind::Span { dur_micros: 70 },
+            1,
+            1,
+            0,
+            &[
+                ("nodes", 6),
+                ("instrs", 14),
+                ("iterations", 12),
+                ("rounds", 1),
+            ],
+        ),
+        ev("done", "meta", EventKind::Instant, 72, 1, 0, &[]),
+    ]
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let rendered = chrome_trace(&fixture());
+    let golden = include_str!("golden/chrome_shape.json");
+    assert_eq!(
+        rendered, golden,
+        "Chrome trace shape drifted from tests/golden/chrome_shape.json; \
+         if the change is intentional, update the golden file"
+    );
+}
+
+#[test]
+fn chrome_trace_is_loadable_json() {
+    let rendered = chrome_trace(&fixture());
+    let parsed = json::parse(&rendered).expect("chrome trace must be valid JSON");
+    let items = parsed.as_arr().expect("top level must be an array");
+    assert_eq!(items.len(), fixture().len());
+    for item in items {
+        // The fields chrome://tracing requires on every event.
+        for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+            assert!(item.get(key).is_some(), "missing {key:?} in {item:?}");
+        }
+        if item.get("ph").unwrap().as_str() == Some("X") {
+            assert!(item.get("dur").is_some(), "complete event without dur");
+        }
+    }
+}
+
+#[test]
+fn jsonl_round_trips_through_a_real_tracer() {
+    let (tracer, collector) = Tracer::collector();
+    {
+        let mut optimize = tracer.span("phase", "optimize");
+        optimize.arg("nodes", 6).arg("iterations", 12);
+        {
+            let _init = tracer.span("phase", "init");
+        }
+        tracer.counter(
+            "analysis",
+            "rae",
+            &[("iterations", 12), ("worklist_pushes", 12)],
+        );
+        tracer.instant("meta", "done");
+    }
+    let events = collector.take();
+    assert_eq!(events.len(), 4);
+
+    let text = jsonl(&events);
+    let parsed: Vec<Event> = text
+        .lines()
+        .map(|line| parse_jsonl_line(line).expect("every emitted line parses"))
+        .collect();
+    assert_eq!(parsed, events, "JSONL must round-trip losslessly");
+}
+
+#[test]
+fn summary_exporters_cover_the_fixture() {
+    let events = fixture();
+    let tree = summary_tree(&events);
+    assert!(tree.contains("optimize [phase]"), "{tree}");
+    assert!(tree.contains("rae: 1 solves, 12 iterations"), "{tree}");
+    let line = summary_line(&events);
+    assert!(line.contains("7 events"), "{line}");
+    assert!(line.contains("12 iterations"), "{line}");
+}
