@@ -32,6 +32,8 @@ options:
   --inject WHERE    inject a fault: init, round:N, flush (harness self-test)
   --fault KIND      fault kind: tweak-const, drop-instr, duplicate-eval
                     (default tweak-const; only with --inject)
+  --lint            also run the am-lint static suite on each final
+                    snapshot; reports seeds with error-severity findings
   --out DIR         bundle directory (default target/am-check)
   --no-bundles      do not shrink or write bundles
   -h, --help        show this help
@@ -76,6 +78,7 @@ fn main() -> ExitCode {
                 _ => return fail_usage("--decisions wants a number"),
             },
             "--fail-fast" => cfg.fail_fast = true,
+            "--lint" => cfg.lint = true,
             "--inject" => match value("--inject") {
                 Ok(v) => {
                     inject = Some(match v.as_str() {
@@ -142,8 +145,13 @@ fn main() -> ExitCode {
                 f.seed, f.failure.stage, f.failure.kind
             );
         }
+        let lints = if cfg.lint {
+            format!(", {} lints tripped", report.lints_tripped)
+        } else {
+            String::new()
+        };
         println!(
-            "amcheck: {} seeds checked ({} skipped), {} stage pairs, {} failures",
+            "amcheck: {} seeds checked ({} skipped), {} stage pairs, {} failures{lints}",
             report.seeds_checked,
             report.seeds_skipped,
             report.stages_checked,

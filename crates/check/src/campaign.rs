@@ -80,6 +80,12 @@ pub struct CampaignConfig {
     /// Inject this fault into every seed's optimization (harness
     /// self-test; seeds where the fault finds no site are skipped).
     pub fault: Option<FaultSpec>,
+    /// Cross-check every seed's final snapshot with the `am-lint` static
+    /// suite; [`CampaignReport::lints_tripped`] counts the seeds whose
+    /// snapshot had error-severity findings. On clean optimizer output
+    /// that count must be zero; under fault injection a nonzero count
+    /// shows the linter catching corruption statically.
+    pub lint: bool,
     /// Shrink failures and write bundles here; `None` disables both.
     pub bundle_dir: Option<PathBuf>,
     /// Shrinker budget.
@@ -98,6 +104,7 @@ impl Default for CampaignConfig {
             decisions: 14,
             fail_fast: false,
             fault: None,
+            lint: false,
             bundle_dir: None,
             shrink: ShrinkConfig::default(),
             tracer: Tracer::disabled(),
@@ -127,6 +134,9 @@ pub struct CampaignReport {
     pub seeds_skipped: u64,
     /// Snapshot pairs differentially checked, across all seeds.
     pub stages_checked: u64,
+    /// Seeds whose final snapshot had error-severity lint findings
+    /// (always 0 unless [`CampaignConfig::lint`] is set).
+    pub lints_tripped: u64,
     /// Every failing seed, in order.
     pub failures: Vec<SeedFailure>,
 }
@@ -149,6 +159,7 @@ pub fn run_campaign(cfg: &CampaignConfig, progress: &mut dyn FnMut(u64, usize)) 
         let program = seed_program(seed);
         let vcfg = ValidationConfig {
             fault: cfg.fault,
+            lint: cfg.lint,
             tracer: cfg.tracer.clone(),
             ..seed_validation_config(seed, cfg.runs, cfg.decisions)
         };
@@ -163,6 +174,12 @@ pub fn run_campaign(cfg: &CampaignConfig, progress: &mut dyn FnMut(u64, usize)) 
         report.seeds_checked += 1;
         report.stages_checked += v.stages_checked as u64;
         span.arg("stages", v.stages_checked as i64);
+        if let Some(lint) = &v.lint {
+            if lint.has_errors() {
+                report.lints_tripped += 1;
+                span.arg("lint_errors", lint.errors as i64);
+            }
+        }
         let failed = v.failure.is_some();
         if let Some(failure) = v.failure {
             let entry = handle_failure(seed, &program, &vcfg, failure, cfg);

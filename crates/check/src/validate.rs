@@ -38,6 +38,12 @@ pub struct ValidationConfig {
     /// Inject a deliberate miscompile at a phase boundary (testing the
     /// harness itself; see [`crate::fault`]).
     pub fault: Option<FaultSpec>,
+    /// Also run the `am-lint` static suite on the final snapshot (after
+    /// any injected fault) and report its findings in
+    /// [`Validation::lint`]. A static cross-check of the dynamic oracles:
+    /// a corrupted translation should both diverge under the interpreter
+    /// *and* trip the linter.
+    pub lint: bool,
     /// Trace sink forwarded to the optimizer under validation, so
     /// campaign traces include phase/round/analysis events. Disabled
     /// (a no-op) by default.
@@ -59,6 +65,7 @@ impl Default for ValidationConfig {
             max_motion_rounds: None,
             check_baselines: true,
             fault: None,
+            lint: false,
             tracer: Tracer::disabled(),
         }
     }
@@ -125,6 +132,9 @@ pub struct Validation {
     /// site leaves the program untouched, so the validation passing then
     /// is vacuous — campaigns skip such seeds.
     pub fault_injected: bool,
+    /// Findings of the `am-lint` suite on the final snapshot, when
+    /// [`ValidationConfig::lint`] was set.
+    pub lint: Option<am_lint::LintSummary>,
 }
 
 impl Validation {
@@ -207,6 +217,20 @@ pub fn validate(g: &FlowGraph, cfg: &ValidationConfig) -> Validation {
         }
     });
 
+    // Static cross-check: lint the final snapshot (post-fault, so injected
+    // corruption is visible to the static analyses too).
+    let lint = cfg.lint.then(|| {
+        let final_prog = chain.last().map(|(_, p)| p).unwrap_or(g);
+        let report = am_lint::lint_graph(
+            final_prog,
+            &am_lint::LintConfig {
+                tracer: cfg.tracer.clone(),
+                srcmap: None,
+            },
+        );
+        am_lint::LintSummary::from(&report)
+    });
+
     // 2. Every snapshot must be structurally valid.
     for (stage, snap) in &chain {
         if let Err(e) = snap.validate() {
@@ -221,6 +245,7 @@ pub fn validate(g: &FlowGraph, cfg: &ValidationConfig) -> Validation {
                 runs: cfg.runs,
                 motion_rounds,
                 fault_injected,
+                lint: lint.clone(),
             };
         }
     }
@@ -276,6 +301,7 @@ pub fn validate(g: &FlowGraph, cfg: &ValidationConfig) -> Validation {
     };
 
     let mut stages_checked = 0;
+    let lint_ref = &lint;
     let mut verdict = |failure: Option<Failure>| -> Option<Validation> {
         stages_checked += 1;
         failure.map(|f| Validation {
@@ -284,6 +310,7 @@ pub fn validate(g: &FlowGraph, cfg: &ValidationConfig) -> Validation {
             runs: cfg.runs,
             motion_rounds,
             fault_injected,
+            lint: lint_ref.clone(),
         })
     };
 
@@ -322,6 +349,7 @@ pub fn validate(g: &FlowGraph, cfg: &ValidationConfig) -> Validation {
                     runs: cfg.runs,
                     motion_rounds,
                     fault_injected,
+                    lint: lint.clone(),
                 };
             }
             let runs: Vec<RunResult> = run_cfgs.iter().map(|c| run(version, c)).collect();
@@ -337,6 +365,7 @@ pub fn validate(g: &FlowGraph, cfg: &ValidationConfig) -> Validation {
         runs: cfg.runs,
         motion_rounds,
         fault_injected,
+        lint,
     }
 }
 

@@ -84,6 +84,124 @@ pub fn anticipated_expressions(pg: &PointGraph<'_>, universe: &PatternUniverse) 
     solve(pg.succs(), pg.preds(), &p)
 }
 
+/// Partially available expressions: expression `t` is partially available
+/// at a point when *some* path from the start computes `t` afterwards
+/// unmodified. Forward, may, least solution.
+///
+/// The gap between this and [`available_expressions`] is exactly partial
+/// redundancy: a computation of `t` whose entry point has `t` partially but
+/// not fully available is the situation expression motion (Thm 5.2)
+/// exists to eliminate — `am-lint` re-solves both on optimizer output to
+/// check that statically.
+pub fn partially_available_expressions(
+    pg: &PointGraph<'_>,
+    universe: &PatternUniverse,
+) -> Solution {
+    let n = pg.len();
+    let mut p = Problem::new(
+        Direction::Forward,
+        Confluence::May,
+        n,
+        universe.expr_count(),
+    );
+    for point in pg.points() {
+        if let Some(instr) = pg.instr(point) {
+            for (i, t) in universe.expr_patterns() {
+                if expr_computed(instr, t) {
+                    p.gen[point.index()].insert(i);
+                }
+                if !expr_transparent(instr, t) {
+                    p.kill[point.index()].insert(i);
+                    // An instruction that both computes and kills (x := x+1)
+                    // leaves the stale value unavailable on every path.
+                    if instr.def().map(|d| t.mentions(d)).unwrap_or(false) {
+                        p.gen[point.index()].remove(i);
+                    }
+                }
+            }
+        }
+    }
+    solve(pg.succs(), pg.preds(), &p)
+}
+
+/// Strongly live (non-faint) variables: `v` is strongly live at a point
+/// when some path to the end *observes* `v` — reads it in an `out` or a
+/// branch condition, or reads it in an assignment whose target is itself
+/// strongly live after the assignment (Sec. 3's faintness, the complement).
+///
+/// Strictly stronger than [`live_variables`]: a chain `a := 1; b := a`
+/// ending unread keeps `a` classically live (the `b := a` read) but not
+/// strongly live — the whole chain is faint. The conditional transfer
+/// (uses count only under a strongly live target) is not a gen/kill system,
+/// so this runs its own worklist fixpoint; backward, may, least solution,
+/// reported in the same [`Solution`] shape as the framework instances.
+pub fn strongly_live_variables(pg: &PointGraph<'_>) -> Solution {
+    let g = pg.graph();
+    let n = pg.len();
+    let vars = g.pool().len();
+    let succs = pg.succs();
+    let preds = pg.preds();
+    let mut before = vec![BitSet::new(vars); n];
+    let mut after = vec![BitSet::new(vars); n];
+    let mut iterations: u64 = 0;
+    let mut on_list = vec![true; n];
+    let mut worklist: Vec<usize> = (0..n).collect();
+    let mut worklist_pushes = n as u64;
+    let mut max_worklist_len = n;
+    let mut scratch = BitSet::new(vars);
+    while let Some(p) = worklist.pop() {
+        on_list[p] = false;
+        iterations += 1;
+        // Merge: strongly-live-after = Σ over successors (exit stays ⊥).
+        scratch.clear();
+        for &q in &succs[p] {
+            scratch.union_with(&before[q]);
+        }
+        after[p].copy_from(&scratch);
+        match pg.instr(PointId(p as u32)) {
+            Some(Instr::Assign { lhs, rhs }) => {
+                let target_live = scratch.contains(lhs.index());
+                scratch.remove(lhs.index());
+                if target_live {
+                    rhs.for_each_var(|v| {
+                        scratch.insert(v.index());
+                    });
+                }
+            }
+            Some(Instr::Out(ops)) => {
+                for op in ops {
+                    if let Some(v) = op.as_var() {
+                        scratch.insert(v.index());
+                    }
+                }
+            }
+            Some(Instr::Branch(c)) => {
+                c.for_each_var(|v| {
+                    scratch.insert(v.index());
+                });
+            }
+            Some(Instr::Skip) | None => {}
+        }
+        if before[p].copy_from(&scratch) {
+            for &q in &preds[p] {
+                if !on_list[q] {
+                    on_list[q] = true;
+                    worklist.push(q);
+                    worklist_pushes += 1;
+                }
+            }
+            max_worklist_len = max_worklist_len.max(worklist.len());
+        }
+    }
+    Solution {
+        before,
+        after,
+        iterations,
+        worklist_pushes,
+        max_worklist_len,
+    }
+}
+
 /// Live variables: variable `v` is live at a point when some path to the
 /// end reads `v` before writing it. Backward, may, least solution.
 pub fn live_variables(pg: &PointGraph<'_>) -> Solution {
@@ -271,6 +389,145 @@ mod tests {
         let n2 = g.nodes().find(|&n| g.label(n) == "2").unwrap();
         assert!(sol.before[pg.first_of(n2).index()].contains(copy));
         assert!(!sol.after[pg.last_of(n2).index()].contains(copy));
+    }
+
+    #[test]
+    fn partial_availability_holds_on_one_branch() {
+        // a+b computed only on the left branch: partially but not fully
+        // available at the join — the textbook partial redundancy.
+        let g = parse(
+            "start 1\nend 4\n\
+             node 1 { skip }\n\
+             node 2 { x := a+b }\n\
+             node 3 { skip }\n\
+             node 4 { y := a+b; out(x,y) }\n\
+             edge 1 -> 2, 3\nedge 2 -> 4\nedge 3 -> 4",
+        )
+        .unwrap();
+        let pg = PointGraph::build(&g);
+        let u = PatternUniverse::collect(&g);
+        let a = g.pool().lookup("a").unwrap();
+        let b = g.pool().lookup("b").unwrap();
+        let ab = u.expr_id(&Term::binary(BinOp::Add, a, b)).unwrap();
+        let join = pg.first_of(g.end()).index();
+        let may = partially_available_expressions(&pg, &u);
+        let must = available_expressions(&pg, &u);
+        assert!(may.before[join].contains(ab));
+        assert!(!must.before[join].contains(ab));
+        // Nothing is even partially available at the start boundary.
+        assert!(!may.before[pg.entry().index()].contains(ab));
+    }
+
+    #[test]
+    fn partial_availability_killed_by_operand_write() {
+        let g = parse(
+            "start 1\nend 3\n\
+             node 1 { x := a+b }\n\
+             node 2 { a := 0 }\n\
+             node 3 { out(x) }\n\
+             edge 1 -> 2\nedge 2 -> 3",
+        )
+        .unwrap();
+        let pg = PointGraph::build(&g);
+        let u = PatternUniverse::collect(&g);
+        let a = g.pool().lookup("a").unwrap();
+        let b = g.pool().lookup("b").unwrap();
+        let ab = u.expr_id(&Term::binary(BinOp::Add, a, b)).unwrap();
+        let n2 = g.nodes().find(|&n| g.label(n) == "2").unwrap();
+        let sol = partially_available_expressions(&pg, &u);
+        assert!(sol.before[pg.first_of(n2).index()].contains(ab));
+        assert!(!sol.after[pg.last_of(n2).index()].contains(ab));
+    }
+
+    #[test]
+    fn faint_chains_are_not_strongly_live() {
+        // b := a is a classic live-variable use of a, but the chain ends
+        // unobserved: nothing is strongly live.
+        let g = parse(
+            "start 1\nend 2\n\
+             node 1 { a := 1; b := a }\n\
+             node 2 { out() }\n\
+             edge 1 -> 2",
+        )
+        .unwrap();
+        let pg = PointGraph::build(&g);
+        let a = g.pool().lookup("a").unwrap();
+        let b = g.pool().lookup("b").unwrap();
+        let weak = live_variables(&pg);
+        let strong = strongly_live_variables(&pg);
+        let mid = pg.last_of(g.start()).index();
+        // Classic liveness sees the read of a in `b := a`...
+        assert!(weak.before[mid].contains(a.index()));
+        // ...strong liveness does not: b is never observed.
+        assert!(!strong.before[mid].contains(a.index()));
+        assert!(!strong.after[mid].contains(b.index()));
+    }
+
+    #[test]
+    fn observed_chains_stay_strongly_live() {
+        let g = parse(
+            "start 1\nend 2\n\
+             node 1 { a := 1; b := a }\n\
+             node 2 { out(b) }\n\
+             edge 1 -> 2",
+        )
+        .unwrap();
+        let pg = PointGraph::build(&g);
+        let a = g.pool().lookup("a").unwrap();
+        let b = g.pool().lookup("b").unwrap();
+        let strong = strongly_live_variables(&pg);
+        assert!(strong.after[pg.first_of(g.start()).index()].contains(a.index()));
+        assert!(strong.before[pg.first_of(g.end()).index()].contains(b.index()));
+    }
+
+    #[test]
+    fn branch_uses_are_strongly_live() {
+        let g = parse(
+            "start 1\nend 4\n\
+             node 1 { p := 1 }\n\
+             node 2 { branch p > 0 }\n\
+             node 3 { skip }\n\
+             node 4 { out() }\n\
+             edge 1 -> 2\nedge 2 -> 3, 4\nedge 3 -> 4",
+        )
+        .unwrap();
+        let pg = PointGraph::build(&g);
+        let p = g.pool().lookup("p").unwrap();
+        let strong = strongly_live_variables(&pg);
+        let n2 = g.nodes().find(|&n| g.label(n) == "2").unwrap();
+        assert!(strong.before[pg.first_of(n2).index()].contains(p.index()));
+        // p is assigned at the entry instruction, so not strongly live
+        // before it — but the definition itself is strongly live (kept).
+        assert!(strong.after[pg.entry().index()].contains(p.index()));
+    }
+
+    #[test]
+    fn faint_self_update_cycle_is_not_self_justifying() {
+        // i := i+1 in a loop, never observed: the least fixpoint must not
+        // let the self-use keep i alive.
+        let g = parse(
+            "start 1\nend 4\n\
+             node 1 { i := 0 }\n\
+             node 2 { branch p > 0 }\n\
+             node 3 { i := i+1 }\n\
+             node 4 { out(p) }\n\
+             edge 1 -> 2\nedge 2 -> 3, 4\nedge 3 -> 2",
+        )
+        .unwrap();
+        let pg = PointGraph::build(&g);
+        let i = g.pool().lookup("i").unwrap();
+        let strong = strongly_live_variables(&pg);
+        let weak = live_variables(&pg);
+        // Classic liveness keeps i alive around the loop (the i+1 read);
+        // faintness kills it everywhere.
+        let n3 = g.nodes().find(|&n| g.label(n) == "3").unwrap();
+        assert!(weak.before[pg.first_of(n3).index()].contains(i.index()));
+        for point in pg.points() {
+            assert!(
+                !strong.before[point.index()].contains(i.index()),
+                "i strongly live at {point:?}"
+            );
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use std::fmt::Write as _;
 
-use crate::graph::FlowGraph;
+use crate::graph::{FlowGraph, NodeId};
 
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -29,6 +29,15 @@ fn escape(s: &str) -> String {
 /// block (label plus instructions), ordered out-edges annotated with their
 /// successor index for branch nodes, synthetic nodes dashed.
 pub fn to_dot(g: &FlowGraph) -> String {
+    to_dot_with(g, |_| None)
+}
+
+/// [`to_dot`] with a per-node attribute overlay: `extra` may return
+/// additional Graphviz attributes (e.g. `style=filled, fillcolor="#fff"`)
+/// appended to the node's attribute list — later attributes win, so
+/// overlays can restyle nodes. Tools layer analysis results onto the
+/// rendering this way (`amlint --dot` colors nodes by finding severity).
+pub fn to_dot_with(g: &FlowGraph, extra: impl Fn(NodeId) -> Option<String>) -> String {
     let mut out = String::from("digraph flowgraph {\n");
     let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
     for n in g.nodes() {
@@ -45,6 +54,10 @@ pub fn to_dot(g: &FlowGraph) -> String {
         }
         if g.is_synthetic(n) {
             attrs.push_str(", style=dashed");
+        }
+        if let Some(more) = extra(n) {
+            attrs.push_str(", ");
+            attrs.push_str(&more);
         }
         let _ = writeln!(out, "  n{} [{attrs}];", n.index());
     }
@@ -102,6 +115,20 @@ mod tests {
         g.split_critical_edges();
         let dot = to_dot(&g);
         assert!(dot.contains("style=dashed"), "{dot}");
+    }
+
+    #[test]
+    fn overlay_attributes_are_appended() {
+        let g = parse("start s\nend e\nnode s { skip }\nnode e { out() }\nedge s -> e").unwrap();
+        let dot = to_dot_with(&g, |n| {
+            (n == g.start()).then(|| "style=filled, fillcolor=\"#f4cccc\"".to_owned())
+        });
+        assert!(
+            dot.contains("penwidth=2, style=filled, fillcolor=\"#f4cccc\""),
+            "{dot}"
+        );
+        // Non-selected nodes are untouched.
+        assert_eq!(dot.matches("fillcolor").count(), 1);
     }
 
     #[test]

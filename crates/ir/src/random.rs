@@ -344,6 +344,46 @@ pub fn unstructured(rng: &mut SplitMix64, cfg: &UnstructuredConfig) -> FlowGraph
     g
 }
 
+/// The repository's canonical 80-program corpus: 40 structured and 40
+/// unstructured seeded programs, interleaved per seed.
+///
+/// This is the fixed batch shared by the text round-trip tests, the
+/// `am-lint` self-audit (`amlint --corpus`) and CI, so "the corpus" always
+/// means the same programs everywhere. Deterministic: the same seeds and
+/// configurations on every call.
+pub fn corpus80() -> Vec<(String, FlowGraph)> {
+    let mut programs = Vec::new();
+    for seed in 0..40u64 {
+        let mut rng = SplitMix64::new(seed);
+        programs.push((
+            format!("structured/{seed}"),
+            structured(
+                &mut rng,
+                &StructuredConfig {
+                    allow_div: seed % 2 == 1,
+                    max_depth: 3 + (seed as usize % 2),
+                    ..Default::default()
+                },
+            ),
+        ));
+        let mut rng = SplitMix64::new(seed ^ 0xDEAD);
+        programs.push((
+            format!("unstructured/{seed}"),
+            unstructured(
+                &mut rng,
+                &UnstructuredConfig {
+                    nodes: 4 + (seed as usize % 14),
+                    extra_edges: 2 + (seed as usize % 9),
+                    max_instrs: 4,
+                    num_vars: 6,
+                    allow_div: seed % 3 == 0,
+                },
+            ),
+        ));
+    }
+    programs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -75,24 +75,92 @@ impl fmt::Display for Token {
     }
 }
 
-/// A lexing failure with its source line.
+/// A 1-based line/column source position.
+///
+/// Every token carries the position of its first character, and the parser
+/// propagates statement positions onto the instructions it produces (see
+/// [`SourceMap`](super::SourceMap)) so downstream tooling — notably the
+/// `am-lint` diagnostics — can cite the exact source location of a finding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pos {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (in characters).
+    pub col: usize,
+}
+
+impl Pos {
+    /// Builds a position from 1-based line and column.
+    pub fn new(line: usize, col: usize) -> Pos {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexing failure with its source position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LexError {
     /// 1-based source line.
     pub line: usize,
+    /// 1-based source column (0 when unknown).
+    pub col: usize,
     /// Description of the failure.
     pub message: String,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.col == 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "line {}:{}: {}", self.line, self.col, self.message)
+        }
     }
 }
 
 impl std::error::Error for LexError {}
 
-/// Tokenizes `src`, returning `(token, line)` pairs.
+/// Character cursor that tracks the current line and column.
+struct Scan<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl Scan<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        match c {
+            Some('\n') => {
+                self.line += 1;
+                self.col = 1;
+            }
+            Some(_) => self.col += 1,
+            None => {}
+        }
+        c
+    }
+
+    /// Position of the next (unconsumed) character.
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+/// Tokenizes `src`, returning `(token, position)` pairs; the position is
+/// that of the token's first character.
 ///
 /// Newlines outside parentheses are emitted as [`Token::Sep`]; consecutive
 /// separators are collapsed. `#` and `//` start comments running to the end
@@ -101,177 +169,184 @@ impl std::error::Error for LexError {}
 /// # Errors
 ///
 /// Returns a [`LexError`] on unknown characters or malformed numbers.
-pub fn lex(src: &str) -> Result<Vec<(Token, usize)>, LexError> {
-    let mut out: Vec<(Token, usize)> = Vec::new();
-    let mut chars = src.chars().peekable();
-    let mut line = 1usize;
+pub fn lex(src: &str) -> Result<Vec<(Token, Pos)>, LexError> {
+    let mut out: Vec<(Token, Pos)> = Vec::new();
+    let mut s = Scan {
+        chars: src.chars().peekable(),
+        line: 1,
+        col: 1,
+    };
     let mut paren_depth = 0usize;
-    let err = |line: usize, message: String| LexError { line, message };
+    let err = |at: Pos, message: String| LexError {
+        line: at.line,
+        col: at.col,
+        message,
+    };
 
-    let push_sep = |out: &mut Vec<(Token, usize)>, line: usize| {
+    let push_sep = |out: &mut Vec<(Token, Pos)>, at: Pos| {
         if !matches!(out.last(), Some((Token::Sep, _)) | None) {
-            out.push((Token::Sep, line));
+            out.push((Token::Sep, at));
         }
     };
 
-    while let Some(&c) = chars.peek() {
+    while let Some(c) = s.peek() {
+        let at = s.pos();
         match c {
             '\n' => {
-                chars.next();
+                s.bump();
                 if paren_depth == 0 {
-                    push_sep(&mut out, line);
+                    push_sep(&mut out, at);
                 }
-                line += 1;
             }
             c if c.is_whitespace() => {
-                chars.next();
+                s.bump();
             }
             '#' => {
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = s.peek() {
                     if c == '\n' {
                         break;
                     }
-                    chars.next();
+                    s.bump();
                 }
             }
             '/' => {
-                chars.next();
-                if chars.peek() == Some(&'/') {
-                    while let Some(&c) = chars.peek() {
+                s.bump();
+                if s.peek() == Some('/') {
+                    while let Some(c) = s.peek() {
                         if c == '\n' {
                             break;
                         }
-                        chars.next();
+                        s.bump();
                     }
                 } else {
-                    out.push((Token::Slash, line));
+                    out.push((Token::Slash, at));
                 }
             }
             ';' => {
-                chars.next();
-                push_sep(&mut out, line);
+                s.bump();
+                push_sep(&mut out, at);
             }
             '{' => {
-                chars.next();
-                out.push((Token::LBrace, line));
+                s.bump();
+                out.push((Token::LBrace, at));
             }
             '}' => {
-                chars.next();
+                s.bump();
                 // A closing brace also terminates the statement before it.
-                push_sep(&mut out, line);
+                push_sep(&mut out, at);
                 // Replace the separator ordering: Sep then RBrace reads
                 // naturally for the parser.
-                out.push((Token::RBrace, line));
+                out.push((Token::RBrace, at));
             }
             '(' => {
-                chars.next();
+                s.bump();
                 paren_depth += 1;
-                out.push((Token::LParen, line));
+                out.push((Token::LParen, at));
             }
             ')' => {
-                chars.next();
+                s.bump();
                 paren_depth = paren_depth.saturating_sub(1);
-                out.push((Token::RParen, line));
+                out.push((Token::RParen, at));
             }
             ',' => {
-                chars.next();
-                out.push((Token::Comma, line));
+                s.bump();
+                out.push((Token::Comma, at));
             }
             '+' => {
-                chars.next();
-                out.push((Token::Plus, line));
+                s.bump();
+                out.push((Token::Plus, at));
             }
             '*' => {
-                chars.next();
-                out.push((Token::Star, line));
+                s.bump();
+                out.push((Token::Star, at));
             }
             '%' => {
-                chars.next();
-                out.push((Token::Percent, line));
+                s.bump();
+                out.push((Token::Percent, at));
             }
             '-' => {
-                chars.next();
-                if chars.peek() == Some(&'>') {
-                    chars.next();
-                    out.push((Token::Arrow, line));
+                s.bump();
+                if s.peek() == Some('>') {
+                    s.bump();
+                    out.push((Token::Arrow, at));
                 } else {
-                    out.push((Token::Minus, line));
+                    out.push((Token::Minus, at));
                 }
             }
             ':' => {
-                chars.next();
-                if chars.peek() == Some(&'=') {
-                    chars.next();
-                    out.push((Token::Assign, line));
+                s.bump();
+                if s.peek() == Some('=') {
+                    s.bump();
+                    out.push((Token::Assign, at));
                 } else {
-                    return Err(err(line, "expected ':='".into()));
+                    return Err(err(at, "expected ':='".into()));
                 }
             }
             '<' => {
-                chars.next();
-                if chars.peek() == Some(&'=') {
-                    chars.next();
-                    out.push((Token::Le, line));
+                s.bump();
+                if s.peek() == Some('=') {
+                    s.bump();
+                    out.push((Token::Le, at));
                 } else {
-                    out.push((Token::Lt, line));
+                    out.push((Token::Lt, at));
                 }
             }
             '>' => {
-                chars.next();
-                if chars.peek() == Some(&'=') {
-                    chars.next();
-                    out.push((Token::Ge, line));
+                s.bump();
+                if s.peek() == Some('=') {
+                    s.bump();
+                    out.push((Token::Ge, at));
                 } else {
-                    out.push((Token::Gt, line));
+                    out.push((Token::Gt, at));
                 }
             }
             '=' => {
-                chars.next();
-                if chars.peek() == Some(&'=') {
-                    chars.next();
-                    out.push((Token::EqEq, line));
+                s.bump();
+                if s.peek() == Some('=') {
+                    s.bump();
+                    out.push((Token::EqEq, at));
                 } else {
-                    return Err(err(line, "expected '=='".into()));
+                    return Err(err(at, "expected '=='".into()));
                 }
             }
             '!' => {
-                chars.next();
-                if chars.peek() == Some(&'=') {
-                    chars.next();
-                    out.push((Token::Ne, line));
+                s.bump();
+                if s.peek() == Some('=') {
+                    s.bump();
+                    out.push((Token::Ne, at));
                 } else {
-                    return Err(err(line, "expected '!='".into()));
+                    return Err(err(at, "expected '!='".into()));
                 }
             }
             c if c.is_ascii_digit() => {
                 let mut text = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = s.peek() {
                     if c.is_ascii_digit() {
                         text.push(c);
-                        chars.next();
+                        s.bump();
                     } else {
                         break;
                     }
                 }
                 let value: i64 = text
                     .parse()
-                    .map_err(|_| err(line, format!("integer literal '{text}' out of range")))?;
-                out.push((Token::Int(value), line));
+                    .map_err(|_| err(at, format!("integer literal '{text}' out of range")))?;
+                out.push((Token::Int(value), at));
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut text = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = s.peek() {
                     if c.is_alphanumeric() || c == '_' || c == '\'' {
                         text.push(c);
-                        chars.next();
+                        s.bump();
                     } else {
                         break;
                     }
                 }
-                out.push((Token::Ident(text), line));
+                out.push((Token::Ident(text), at));
             }
             other => {
-                return Err(err(line, format!("unexpected character '{other}'")));
+                return Err(err(at, format!("unexpected character '{other}'")));
             }
         }
     }
@@ -375,7 +450,35 @@ mod tests {
     fn bad_character_is_reported_with_line() {
         let e = lex("x := 1\ny ?= 2").unwrap_err();
         assert_eq!(e.line, 2);
+        assert_eq!(e.col, 3);
         assert!(e.message.contains('?'));
+        assert_eq!(e.to_string(), "line 2:3: unexpected character '?'");
+    }
+
+    #[test]
+    fn tokens_carry_line_and_column() {
+        let toks = lex("x := 1\n  y := 42").unwrap();
+        let find = |name: &str| {
+            toks.iter()
+                .find(|(t, _)| matches!(t, Token::Ident(s) if s == name))
+                .map(|(_, p)| *p)
+                .unwrap()
+        };
+        assert_eq!(find("x"), Pos::new(1, 1));
+        assert_eq!(find("y"), Pos::new(2, 3));
+        // Multi-character tokens are positioned at their first character.
+        let assign = toks
+            .iter()
+            .rfind(|(t, _)| matches!(t, Token::Assign))
+            .map(|(_, p)| *p)
+            .unwrap();
+        assert_eq!(assign, Pos::new(2, 5));
+        let int = toks
+            .iter()
+            .find(|(t, _)| matches!(t, Token::Int(42)))
+            .map(|(_, p)| *p)
+            .unwrap();
+        assert_eq!(int, Pos::new(2, 8));
     }
 
     #[test]

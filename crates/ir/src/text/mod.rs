@@ -40,6 +40,9 @@ mod parser;
 mod printer;
 
 pub use ast::Expr;
-pub use lexer::{lex, LexError, Token};
-pub use parser::{parse, parse_cond_str, parse_expr_str, parse_with_mode, Mode, ParseError};
+pub use lexer::{lex, LexError, Pos, Token};
+pub use parser::{
+    parse, parse_cond_str, parse_expr_str, parse_with_locations, parse_with_mode, Mode, ParseError,
+    SourceMap,
+};
 pub use printer::{node_summary, to_text};

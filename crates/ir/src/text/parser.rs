@@ -7,7 +7,7 @@ use crate::term::{BinOp, Operand, Term};
 use crate::var::Var;
 
 use super::ast::Expr;
-use super::lexer::{lex, Token};
+use super::lexer::{lex, Pos, Token};
 
 /// How the parser treats expressions deeper than 3-address form.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -21,22 +21,60 @@ pub enum Mode {
     Decompose,
 }
 
-/// A parse failure with its source line.
+/// A parse failure with its source position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based source line (0 when no position applies).
     pub line: usize,
+    /// 1-based source column (0 when only the line is known).
+    pub col: usize,
     /// Description of the failure.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else if self.col == 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "line {}:{}: {}", self.line, self.col, self.message)
+        }
     }
 }
 
 impl std::error::Error for ParseError {}
+
+/// Source positions of the instructions of a parsed flow graph.
+///
+/// Keys are `(node, instruction index)` pairs — the same addressing as
+/// [`Loc`](crate::Loc). A statement that lowers to several instructions
+/// (e.g. a decomposed nested expression) maps each of them to the
+/// statement's position. Produced by [`parse_with_locations`]; consumed by
+/// diagnostics tooling such as `am-lint` to cite findings in the original
+/// text.
+#[derive(Clone, Debug, Default)]
+pub struct SourceMap {
+    map: HashMap<(NodeId, usize), Pos>,
+}
+
+impl SourceMap {
+    /// Position of instruction `index` of `node`, when known.
+    pub fn get(&self, node: NodeId, index: usize) -> Option<Pos> {
+        self.map.get(&(node, index)).copied()
+    }
+
+    /// Number of located instructions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no instruction has a recorded position.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
 
 /// Parses a flow graph in [`Mode::Strict`].
 ///
@@ -56,8 +94,19 @@ pub fn parse(src: &str) -> Result<FlowGraph, ParseError> {
 ///
 /// See [`parse`].
 pub fn parse_with_mode(src: &str, mode: Mode) -> Result<FlowGraph, ParseError> {
+    parse_with_locations(src, mode).map(|(g, _)| g)
+}
+
+/// Like [`parse_with_mode`], but also returns the [`SourceMap`] giving the
+/// line/column of every parsed instruction.
+///
+/// # Errors
+///
+/// See [`parse`].
+pub fn parse_with_locations(src: &str, mode: Mode) -> Result<(FlowGraph, SourceMap), ParseError> {
     let tokens = lex(src).map_err(|e| ParseError {
         line: e.line,
+        col: e.col,
         message: e.message,
     })?;
     let taken_names: HashSet<String> = tokens
@@ -78,12 +127,13 @@ pub fn parse_with_mode(src: &str, mode: Mode) -> Result<FlowGraph, ParseError> {
         mode,
         taken_names,
         fresh_counter: 0,
+        srcmap: SourceMap::default(),
     }
     .run()
 }
 
 struct Parser {
-    tokens: Vec<(Token, usize)>,
+    tokens: Vec<(Token, Pos)>,
     pos: usize,
     graph: FlowGraph,
     nodes: HashMap<String, NodeId>,
@@ -93,10 +143,11 @@ struct Parser {
     mode: Mode,
     taken_names: HashSet<String>,
     fresh_counter: usize,
+    srcmap: SourceMap,
 }
 
 impl Parser {
-    fn run(mut self) -> Result<FlowGraph, ParseError> {
+    fn run(mut self) -> Result<(FlowGraph, SourceMap), ParseError> {
         while self.peek().is_some() {
             self.skip_seps();
             let Some(tok) = self.peek().cloned() else {
@@ -133,7 +184,7 @@ impl Parser {
         self.finish()
     }
 
-    fn finish(mut self) -> Result<FlowGraph, ParseError> {
+    fn finish(mut self) -> Result<(FlowGraph, SourceMap), ParseError> {
         let start_label = self
             .start
             .take()
@@ -153,14 +204,16 @@ impl Parser {
         self.graph.set_end(end);
         self.graph.validate().map_err(|e| ParseError {
             line: 0,
+            col: 0,
             message: e.to_string(),
         })?;
-        Ok(self.graph)
+        Ok((self.graph, self.srcmap))
     }
 
     fn missing(&self, msg: &str) -> ParseError {
         ParseError {
             line: 0,
+            col: 0,
             message: msg.to_owned(),
         }
     }
@@ -177,16 +230,22 @@ impl Parser {
         t
     }
 
-    fn line(&self) -> usize {
+    /// Position of the current token; at end of input, of the last token.
+    fn here(&self) -> Pos {
         self.tokens
             .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
+            .map(|(_, p)| *p)
+            .unwrap_or_default()
     }
 
     fn error(&self, message: String) -> ParseError {
+        self.error_at(self.here(), message)
+    }
+
+    fn error_at(&self, at: Pos, message: String) -> ParseError {
         ParseError {
-            line: self.line(),
+            line: at.line,
+            col: at.col,
             message,
         }
     }
@@ -198,20 +257,22 @@ impl Parser {
     }
 
     fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        let at = self.here();
         match self.advance() {
             Some(ref t) if t == want => Ok(()),
-            Some(t) => Err(self.error(format!("expected {want}, found {t}"))),
-            None => Err(self.error(format!("expected {want}, found end of input"))),
+            Some(t) => Err(self.error_at(at, format!("expected {want}, found {t}"))),
+            None => Err(self.error_at(at, format!("expected {want}, found end of input"))),
         }
     }
 
     /// Node labels may be identifiers or bare integers.
     fn expect_label(&mut self) -> Result<String, ParseError> {
+        let at = self.here();
         match self.advance() {
             Some(Token::Ident(s)) => Ok(s),
             Some(Token::Int(i)) => Ok(i.to_string()),
-            Some(t) => Err(self.error(format!("expected a node label, found {t}"))),
-            None => Err(self.error("expected a node label, found end of input".into())),
+            Some(t) => Err(self.error_at(at, format!("expected a node label, found {t}"))),
+            None => Err(self.error_at(at, "expected a node label, found end of input".into())),
         }
     }
 
@@ -242,6 +303,7 @@ impl Parser {
     }
 
     fn parse_node(&mut self) -> Result<(), ParseError> {
+        let opened = self.here();
         let label = self.expect_label()?;
         if !self.defined.insert(label.clone()) {
             return Err(self.error(format!("node '{label}' defined twice")));
@@ -255,9 +317,18 @@ impl Parser {
                 break;
             }
             if self.peek().is_none() {
-                return Err(self.error("unterminated node body".into()));
+                return Err(self.error(format!(
+                    "unterminated body of node '{label}' (opened at line {}, column {}): \
+                     expected '}}' before end of input",
+                    opened.line, opened.col
+                )));
             }
+            let at = self.here();
             let instrs = self.parse_stmt()?;
+            let base = self.graph.block(node).instrs.len();
+            for offset in 0..instrs.len() {
+                self.srcmap.map.insert((node, base + offset), at);
+            }
             self.graph.block_mut(node).instrs.extend(instrs);
         }
         Ok(())
@@ -303,15 +374,16 @@ impl Parser {
     }
 
     fn parse_operand(&mut self) -> Result<Operand, ParseError> {
+        let at = self.here();
         match self.advance() {
             Some(Token::Ident(name)) => Ok(Operand::Var(self.graph.pool_mut().intern(&name))),
             Some(Token::Int(i)) => Ok(Operand::Const(i)),
             Some(Token::Minus) => match self.advance() {
                 Some(Token::Int(i)) => Ok(Operand::Const(-i)),
-                _ => Err(self.error("expected an integer after '-'".into())),
+                _ => Err(self.error_at(at, "expected an integer after '-'".into())),
             },
-            Some(t) => Err(self.error(format!("expected an operand, found {t}"))),
-            None => Err(self.error("expected an operand, found end of input".into())),
+            Some(t) => Err(self.error_at(at, format!("expected an operand, found {t}"))),
+            None => Err(self.error_at(at, "expected an operand, found end of input".into())),
         }
     }
 
@@ -611,6 +683,57 @@ mod tests {
     }
 
     #[test]
+    fn errors_carry_line_and_column() {
+        // The stray '*' is on line 3, column 14.
+        let src = "start s\nend e\nnode s { x := * }\nnode e { out() }\nedge s -> e";
+        let err = parse(src).unwrap_err();
+        assert_eq!((err.line, err.col), (3, 15));
+        assert!(err.to_string().starts_with("line 3:15: "));
+        // Positionless errors render without a bogus "line 0:" prefix.
+        let err = parse("end e\nnode e { out() }").unwrap_err();
+        assert_eq!((err.line, err.col), (0, 0));
+        assert!(err.to_string().starts_with("no 'start'"));
+    }
+
+    #[test]
+    fn unterminated_node_body_names_the_node() {
+        let err = parse("start s\nend e\nnode s {\n  x := 1\n").unwrap_err();
+        assert!(err.message.contains("node 's'"), "{}", err.message);
+        assert!(err.message.contains("line 3"), "{}", err.message);
+        assert!(err.message.contains("unterminated"), "{}", err.message);
+        // Same when the body is empty and the header itself dangles.
+        let err = parse("start s\nend e\nnode s {").unwrap_err();
+        assert!(err.message.contains("node 's'"), "{}", err.message);
+    }
+
+    #[test]
+    fn source_map_locates_instructions() {
+        let src = "start 1\nend 2\n\
+                   node 1 {\n  x := a+b\n  y := x\n}\n\
+                   node 2 { out(x, y) }\n\
+                   edge 1 -> 2";
+        let (g, map) = parse_with_locations(src, Mode::Strict).unwrap();
+        let n1 = g.start();
+        let n2 = g.end();
+        assert_eq!(map.get(n1, 0), Some(Pos::new(4, 3)));
+        assert_eq!(map.get(n1, 1), Some(Pos::new(5, 3)));
+        assert_eq!(map.get(n2, 0), Some(Pos::new(7, 10)));
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.get(n1, 2), None);
+    }
+
+    #[test]
+    fn source_map_covers_decomposed_statements() {
+        // One statement lowering to two instructions: both share its position.
+        let src = "start s\nend e\nnode s { x := a+b+c }\nnode e { out(x) }\nedge s -> e";
+        let (g, map) = parse_with_locations(src, Mode::Decompose).unwrap();
+        let s = g.start();
+        assert_eq!(g.block(s).instrs.len(), 2);
+        assert_eq!(map.get(s, 0), map.get(s, 1));
+        assert_eq!(map.get(s, 0), Some(Pos::new(3, 10)));
+    }
+
+    #[test]
     fn negative_constants() {
         let src =
             "start s\nend e\nnode s { x := -3; y := x + -2 }\nnode e { out(x,y) }\nedge s -> e";
@@ -627,7 +750,7 @@ mod tests {
 /// A tiny cursor for parsing standalone expressions and conditions
 /// (used by [`crate::builder`]).
 struct ExprCursor<'p> {
-    tokens: Vec<(Token, usize)>,
+    tokens: Vec<(Token, Pos)>,
     pos: usize,
     pool: &'p mut crate::var::VarPool,
 }
@@ -648,6 +771,7 @@ impl ExprCursor<'_> {
     fn err(&self, message: impl Into<String>) -> ParseError {
         ParseError {
             line: 1,
+            col: 0,
             message: message.into(),
         }
     }
@@ -715,6 +839,7 @@ impl ExprCursor<'_> {
 fn cursor<'p>(src: &str, pool: &'p mut crate::var::VarPool) -> Result<ExprCursor<'p>, ParseError> {
     let tokens = lex(src).map_err(|e| ParseError {
         line: e.line,
+        col: e.col,
         message: e.message,
     })?;
     Ok(ExprCursor {
@@ -736,6 +861,7 @@ pub fn parse_expr_str(src: &str, pool: &mut crate::var::VarPool) -> Result<Term,
     c.finish()?;
     expr.as_term().ok_or_else(|| ParseError {
         line: 1,
+        col: 0,
         message: "nested expression requires 3-address form".into(),
     })
 }
@@ -753,6 +879,7 @@ pub fn parse_cond_str(src: &str, pool: &mut crate::var::VarPool) -> Result<Cond,
     let side = |e: &Expr| {
         e.as_term().ok_or_else(|| ParseError {
             line: 1,
+            col: 0,
             message: "condition side requires 3-address form".into(),
         })
     };

@@ -4,41 +4,12 @@
 //! very program that failed.
 
 use am_ir::alpha::{alpha_eq, canonical_text, stable_hash};
-use am_ir::random::{structured, unstructured, SplitMix64, StructuredConfig, UnstructuredConfig};
+use am_ir::random::corpus80;
 use am_ir::text::{parse, to_text};
 use am_ir::FlowGraph;
 
 fn corpus() -> Vec<(String, FlowGraph)> {
-    let mut programs = Vec::new();
-    for seed in 0..40u64 {
-        let mut rng = SplitMix64::new(seed);
-        programs.push((
-            format!("structured/{seed}"),
-            structured(
-                &mut rng,
-                &StructuredConfig {
-                    allow_div: seed % 2 == 1,
-                    max_depth: 3 + (seed as usize % 2),
-                    ..Default::default()
-                },
-            ),
-        ));
-        let mut rng = SplitMix64::new(seed ^ 0xDEAD);
-        programs.push((
-            format!("unstructured/{seed}"),
-            unstructured(
-                &mut rng,
-                &UnstructuredConfig {
-                    nodes: 4 + (seed as usize % 14),
-                    extra_edges: 2 + (seed as usize % 9),
-                    max_instrs: 4,
-                    num_vars: 6,
-                    allow_div: seed % 3 == 0,
-                },
-            ),
-        ));
-    }
-    programs
+    corpus80()
 }
 
 #[test]

@@ -34,6 +34,7 @@ struct Options {
     emit: bool,
     quiet: bool,
     verify: bool,
+    lint: bool,
     trace: Option<PathBuf>,
     trace_format: TraceFormat,
     synthetic: usize,
@@ -54,6 +55,8 @@ options:
   --quiet          suppress the per-job report, print only the summary
   --verify         translation-validate every job per phase (am-check);
                    a failed validation fails the batch
+  --lint           run the am-lint static suite on every optimized
+                   program; error-severity findings fail the batch
   --trace FILE     record a structured trace of the whole run to FILE
                    (phases, motion rounds, analyses, jobs, batches)
   --trace-format F trace output format: chrome (chrome://tracing JSON,
@@ -72,6 +75,7 @@ fn parse_args() -> Result<Options, String> {
         emit: false,
         quiet: false,
         verify: false,
+        lint: false,
         trace: None,
         trace_format: TraceFormat::Chrome,
         synthetic: 0,
@@ -113,6 +117,7 @@ fn parse_args() -> Result<Options, String> {
             "--emit" => opts.emit = true,
             "--quiet" => opts.quiet = true,
             "--verify" => opts.verify = true,
+            "--lint" => opts.lint = true,
             "--trace" => {
                 opts.trace = Some(PathBuf::from(value(&mut args, "--trace")?));
             }
@@ -230,6 +235,7 @@ fn main() -> ExitCode {
         cache_capacity: opts.cache_capacity,
         max_motion_rounds: opts.max_motion_rounds,
         verify: opts.verify,
+        lint: opts.lint,
         tracer,
     });
     let mut any_failed = false;
@@ -244,8 +250,13 @@ fn main() -> ExitCode {
             } else {
                 String::new()
             };
+            let lint = if opts.lint {
+                format!(", {} lint error(s)", report.lint_errors())
+            } else {
+                String::new()
+            };
             println!(
-                "pass {pass}: {}/{} ok, {} cache hits{verify}, {:.2} ms",
+                "pass {pass}: {}/{} ok, {} cache hits{verify}{lint}, {:.2} ms",
                 report.succeeded(),
                 report.jobs.len(),
                 report.cache_hits(),
@@ -261,7 +272,8 @@ fn main() -> ExitCode {
                 }
             }
         }
-        any_failed |= report.failed() + report.panicked() + report.verify_failed() > 0;
+        any_failed |=
+            report.failed() + report.panicked() + report.verify_failed() + report.lint_errors() > 0;
     }
     if let (Some(path), Some(collector)) = (&opts.trace, &collector) {
         let events = collector.take();

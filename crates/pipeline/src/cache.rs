@@ -12,6 +12,7 @@ use std::sync::{Arc, Mutex};
 use am_core::flush::FlushStats;
 use am_core::init::InitStats;
 use am_core::motion::MotionStats;
+use am_lint::LintSummary;
 
 /// The cached outcome of optimizing one program.
 #[derive(Clone, Debug)]
@@ -26,6 +27,10 @@ pub struct CachedResult {
     pub flush: FlushStats,
     /// Critical edges split before the phases ran.
     pub edges_split: usize,
+    /// `am-lint` findings on the optimized program. Deterministic in the
+    /// input, so it is cached with the result; `None` when the entry was
+    /// produced by a run without linting enabled.
+    pub lint: Option<LintSummary>,
 }
 
 /// Counters describing the cache's behaviour so far.
@@ -147,6 +152,7 @@ mod tests {
             motion: MotionStats::default(),
             flush: FlushStats::default(),
             edges_split: 0,
+            lint: None,
         }
     }
 

@@ -40,6 +40,12 @@ pub struct PipelineConfig {
     /// the counting interpreter (see `am-check`). Runs even on cache hits
     /// — the cache stores results, not validations.
     pub verify: bool,
+    /// Lint every freshly optimized program with the `am-lint` static
+    /// suite and store the summary in the result cache. Unlike `verify`,
+    /// the verdict is a deterministic function of the input, so cache
+    /// hits reuse the stored summary (which is `None` when the entry was
+    /// cached by a run without linting).
+    pub lint: bool,
     /// Trace sink shared by every worker: per-job spans, per-batch
     /// counters and the optimizer's own phase/round/analysis events.
     /// Disabled (a no-op) by default.
@@ -53,6 +59,7 @@ impl Default for PipelineConfig {
             cache_capacity: 256,
             max_motion_rounds: None,
             verify: false,
+            lint: false,
             tracer: Tracer::disabled(),
         }
     }
@@ -205,6 +212,16 @@ impl Pipeline {
             tracer: self.config.tracer.clone(),
         };
         let out = optimize_with(&graph, &config);
+        let lint = self.config.lint.then(|| {
+            let report = am_lint::lint_graph(
+                &out.program,
+                &am_lint::LintConfig {
+                    tracer: self.config.tracer.clone(),
+                    srcmap: None,
+                },
+            );
+            am_lint::LintSummary::from(&report)
+        });
         let result = self.cache.insert(
             input_hash,
             CachedResult {
@@ -213,6 +230,7 @@ impl Pipeline {
                 motion: out.motion,
                 flush: out.flush,
                 edges_split: out.edges_split,
+                lint,
             },
         );
         Ok(OptimizedJob {

@@ -84,6 +84,33 @@ impl PipelineReport {
             })
             .count()
     }
+
+    /// Jobs with a lint verdict (linted now, or served from a cache entry
+    /// that stored one).
+    pub fn linted(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.optimized().is_some_and(|o| o.result.lint.is_some()))
+            .count()
+    }
+
+    /// Error-severity lint findings summed over all jobs.
+    pub fn lint_errors(&self) -> usize {
+        self.lint_sum(|l| l.errors)
+    }
+
+    /// Warning-severity lint findings summed over all jobs.
+    pub fn lint_warnings(&self) -> usize {
+        self.lint_sum(|l| l.warnings)
+    }
+
+    fn lint_sum(&self, f: impl Fn(&am_lint::LintSummary) -> usize) -> usize {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.optimized().and_then(|o| o.result.lint.as_ref()))
+            .map(f)
+            .sum()
+    }
 }
 
 fn ms(d: Duration) -> f64 {
@@ -121,6 +148,13 @@ impl fmt::Display for PipelineReport {
                     if let Some(Err(e)) = &o.verification {
                         writeln!(f, "        {:<32} verify FAILED at {}", "", e)?;
                     }
+                    if let Some(lint) = &o.result.lint {
+                        if lint.has_errors() {
+                            for line in &lint.lines {
+                                writeln!(f, "        {:<32} lint: {line}", "")?;
+                            }
+                        }
+                    }
                 }
                 JobOutcome::Failed(e) => {
                     writeln!(f, "  fail  {:<32} {}", job.name, e)?;
@@ -146,6 +180,15 @@ impl fmt::Display for PipelineReport {
                 "  verify: {} ok, {} failed",
                 self.verified(),
                 self.verify_failed()
+            )?;
+        }
+        if self.linted() > 0 {
+            writeln!(
+                f,
+                "  lint: {} jobs, {} error(s), {} warning(s)",
+                self.linted(),
+                self.lint_errors(),
+                self.lint_warnings()
             )?;
         }
         write!(

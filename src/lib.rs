@@ -18,7 +18,11 @@
 //!   assignment sinking);
 //! * [`pipeline`] ([`am_pipeline`]) — parallel batch optimization over
 //!   whole corpora with a content-addressed result cache (ships the
-//!   `amopt` binary).
+//!   `amopt` binary);
+//! * [`check`] ([`am_check`]) — differential translation validation with
+//!   fault injection and shrinking (ships the `amcheck` binary);
+//! * [`lint`] ([`am_lint`]) — the static-analysis suite over programs and
+//!   optimizer output (ships the `amlint` binary).
 //!
 //! # Quickstart
 //!
@@ -48,10 +52,12 @@
 //! ```
 
 pub use am_bitset as bitset;
+pub use am_check as check;
 pub use am_core as alg;
 pub use am_dfa as dfa;
 pub use am_ir as ir;
 pub use am_lang as lang;
+pub use am_lint as lint;
 pub use am_pipeline as pipeline;
 
 /// The most commonly used items, re-exported flat.
@@ -68,5 +74,6 @@ pub mod prelude {
     pub use am_ir::FlowGraph;
     pub use am_lang::compile as compile_while;
     pub use am_lang::{compile_source, SourceKind};
+    pub use am_lint::{lint_graph, LintConfig, LintReport, Severity};
     pub use am_pipeline::{Job, Pipeline, PipelineConfig, PipelineReport};
 }

@@ -1,0 +1,165 @@
+//! Lint-suite acceptance gates (see `crates/lint`).
+//!
+//! Two directions, mirroring the translation-validation story:
+//!
+//! * **Clean**: the optimizer's output is lint-error-free — over the whole
+//!   80-program corpus and over 200 seeded random programs. Warnings are
+//!   expected (partial redundancies blocked by down-safety, faint source
+//!   stores), errors are not.
+//! * **Inverted**: each `am-check` fault-injection mode, applied after the
+//!   final flush, leaves a corruption the static suite can see — the lints
+//!   cross-check the dynamic oracles.
+
+use am_check::campaign::{run_campaign, seed_program, CampaignConfig};
+use am_check::fault::{FaultKind, FaultSpec, InjectAt};
+use am_check::validate::{validate, Validation, ValidationConfig};
+use am_ir::random::corpus80;
+use assignment_motion::prelude::*;
+
+/// Optimizer output must carry no error-severity findings: availability of
+/// every recomputed expression, definite initialization of every `h_t`,
+/// naming discipline, no never-read temporaries (Thms 5.2 and 5.4, checked
+/// statically).
+#[test]
+fn optimized_random_programs_are_lint_error_free_over_200_seeds() {
+    for seed in 0..200 {
+        let program = seed_program(seed);
+        let optimized = optimize(&program).program;
+        let report = lint_graph(&optimized, &LintConfig::default());
+        assert_eq!(
+            report.errors(),
+            0,
+            "seed {seed}: optimizer output has lint errors:\n{report}"
+        );
+    }
+}
+
+/// Same gate over the named corpus the CI job lints.
+#[test]
+fn optimized_corpus_is_lint_error_free() {
+    for (name, program) in corpus80() {
+        let optimized = optimize(&program).program;
+        let report = lint_graph(&optimized, &LintConfig::default());
+        assert_eq!(
+            report.errors(),
+            0,
+            "{name}: optimizer output has lint errors:\n{report}"
+        );
+    }
+}
+
+/// Validates `text` with linting on, optionally corrupting the final
+/// program with `fault` after the flush phase.
+fn lint_after(text: &str, fault: Option<FaultKind>) -> Validation {
+    let program = parse(text).expect("fixture parses");
+    let cfg = ValidationConfig {
+        lint: true,
+        fault: fault.map(|kind| FaultSpec {
+            at: InjectAt::Flush,
+            kind,
+        }),
+        ..ValidationConfig::default()
+    };
+    validate(&program, &cfg)
+}
+
+/// Two uses of `a+1` force a temporary `h<a+1> := a+1`; its initializer
+/// holds the first constant of the optimized program.
+const TEMP_FIXTURE: &str = "start s\nend e\n\
+     node s { x := a+1; y := a+1 }\n\
+     node e { out(x,y) }\n\
+     edge s -> e";
+
+/// `TweakConst` after the flush turns `h<a+1> := a+1` into
+/// `h<a+1> := a+2`: the temporary no longer holds the value its name
+/// promises (L011).
+#[test]
+fn tweak_const_after_flush_trips_the_naming_lint() {
+    let clean = lint_after(TEMP_FIXTURE, None);
+    let lint = clean.lint.expect("lint ran");
+    assert_eq!(lint.errors, 0, "clean fixture must be error-free: {lint:?}");
+
+    let v = lint_after(TEMP_FIXTURE, Some(FaultKind::TweakConst));
+    assert!(v.fault_injected, "fixture must offer an injection site");
+    let lint = v.lint.expect("lint ran");
+    assert!(
+        lint.errors > 0,
+        "tweaked temp initializer must be an error: {lint:?}"
+    );
+    assert!(
+        lint.lines.iter().any(|l| l.contains("L011")),
+        "expected L011, got: {:?}",
+        lint.lines
+    );
+}
+
+/// `DuplicateEval` re-executes the temporary's initializer; the second
+/// evaluation recomputes an expression that is must-available (L101) —
+/// exactly the redundancy Thm 5.2 says an optimal program cannot contain.
+#[test]
+fn duplicate_eval_after_flush_trips_the_redundancy_lint() {
+    let v = lint_after(TEMP_FIXTURE, Some(FaultKind::DuplicateEval));
+    assert!(v.fault_injected, "fixture must offer an injection site");
+    let lint = v.lint.expect("lint ran");
+    assert!(
+        lint.errors > 0,
+        "duplicated evaluation must be an error: {lint:?}"
+    );
+    assert!(
+        lint.lines.iter().any(|l| l.contains("L101")),
+        "expected L101, got: {:?}",
+        lint.lines
+    );
+}
+
+/// `DropInstr` removes the last observation: everything that fed
+/// `out(x,y)` — both copies and the temporary's initializer — goes faint,
+/// so the run must report strictly more findings than the clean run.
+#[test]
+fn drop_instr_after_flush_trips_the_faint_lints() {
+    let clean = lint_after(TEMP_FIXTURE, None);
+    let clean_lint = clean.lint.expect("lint ran");
+
+    let v = lint_after(TEMP_FIXTURE, Some(FaultKind::DropInstr));
+    assert!(v.fault_injected, "fixture must offer an injection site");
+    let lint = v.lint.expect("lint ran");
+    assert!(
+        lint.errors + lint.warnings > clean_lint.errors + clean_lint.warnings,
+        "dropping an instruction must surface new findings: clean {clean_lint:?}, dropped {lint:?}"
+    );
+}
+
+/// Campaign-level cross-check: a faulted sweep trips lints on at least one
+/// seed; the same sweep without faults trips none.
+#[test]
+fn campaigns_count_lint_trips_under_injected_faults() {
+    let base = CampaignConfig {
+        seed_start: 0,
+        seed_end: 24,
+        runs: 2,
+        decisions: 8,
+        lint: true,
+        bundle_dir: None,
+        ..CampaignConfig::default()
+    };
+
+    let clean = run_campaign(&base, &mut |_, _| {});
+    assert_eq!(
+        clean.lints_tripped, 0,
+        "clean campaign must not trip error-severity lints"
+    );
+
+    let faulted = CampaignConfig {
+        fault: Some(FaultSpec {
+            at: InjectAt::Flush,
+            kind: FaultKind::DuplicateEval,
+        }),
+        ..base
+    };
+    let report = run_campaign(&faulted, &mut |_, _| {});
+    assert!(
+        report.lints_tripped > 0,
+        "faulted campaign must trip lints on some seed ({} checked)",
+        report.seeds_checked
+    );
+}
