@@ -1,0 +1,212 @@
+//! The dataflow-engine scaling benchmark: runs the complexity-study
+//! workload ladder end-to-end through `optimize` and writes an
+//! `am-bench-dataflow/v1` JSON document (wall times + solver counters per
+//! workload) for trajectory tracking across PRs.
+//!
+//! ```sh
+//! cargo run --release -p am-bench --bin bench_dataflow
+//! cargo run --release -p am-bench --bin bench_dataflow -- \
+//!     --small --out target/BENCH_dataflow.json --max-pushes-per-point 64
+//! ```
+//!
+//! `--max-pushes-per-point` turns the run into a CI gate: the run fails if
+//! any workload's `worklist_pushes / points` exceeds the ceiling (which
+//! catches accidental loss of worklist dedup or priority ordering).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use am_bench::workloads::{diamond_chain, loop_nest};
+use am_core::global::{optimize_with, GlobalConfig};
+use am_dfa::PointGraph;
+use am_ir::random::{unstructured, SplitMix64, UnstructuredConfig};
+use am_ir::FlowGraph;
+use am_pipeline::bench_json::{render, BenchRecord};
+
+struct Options {
+    out: String,
+    iters: u32,
+    small: bool,
+    max_pushes_per_point: Option<f64>,
+}
+
+const USAGE: &str = "usage: bench_dataflow [options]
+
+Runs the scaling workload ladder through the full optimizer and writes
+machine-readable benchmark records (am-bench-dataflow/v1 JSON).
+
+options:
+  --out PATH                output file (default BENCH_dataflow.json)
+  --iters N                 timed iterations per workload, best-of (default 5)
+  --small                   CI ladder: smallest two sizes per family
+  --max-pushes-per-point X  fail (exit 1) if any workload exceeds this
+                            worklist_pushes / points ratio
+  --help                    this text";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        out: "BENCH_dataflow.json".to_owned(),
+        iters: 5,
+        small: false,
+        max_pushes_per_point: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => opts.out = value(&mut args, "--out")?,
+            "--iters" => {
+                opts.iters = value(&mut args, "--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+                if opts.iters == 0 {
+                    return Err("--iters must be at least 1".to_owned());
+                }
+            }
+            "--small" => opts.small = true,
+            "--max-pushes-per-point" => {
+                opts.max_pushes_per_point = Some(
+                    value(&mut args, "--max-pushes-per-point")?
+                        .parse()
+                        .map_err(|e| format!("--max-pushes-per-point: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument '{other}'; --help for usage")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The workload ladder: three families swept over size. `small` keeps the
+/// two smallest rungs per family for the CI smoke job.
+fn ladder(small: bool) -> Vec<(String, FlowGraph)> {
+    let take = if small { 2 } else { 4 };
+    let mut workloads = Vec::new();
+    for depth in [1usize, 2, 4, 6].into_iter().take(take) {
+        workloads.push((format!("nest d={depth} w=4"), loop_nest(depth, 4)));
+    }
+    for sections in [4usize, 8, 16, 32].into_iter().take(take) {
+        workloads.push((
+            format!("diamonds s={sections} w=4"),
+            diamond_chain(sections, 4),
+        ));
+    }
+    for nodes in [8usize, 16, 32, 64].into_iter().take(take) {
+        let mut rng = SplitMix64::new(nodes as u64);
+        let g = unstructured(
+            &mut rng,
+            &UnstructuredConfig {
+                nodes,
+                extra_edges: nodes / 2,
+                max_instrs: 4,
+                num_vars: 6,
+                allow_div: false,
+            },
+        );
+        workloads.push((format!("random n={nodes}"), g));
+    }
+    workloads
+}
+
+/// Runs one workload `iters` times, keeping the fastest end-to-end run
+/// (and its per-phase timings; the counters are deterministic).
+fn measure(label: &str, g: &FlowGraph, iters: u32) -> BenchRecord {
+    let config = GlobalConfig {
+        keep_snapshots: false,
+        ..Default::default()
+    };
+    // Warmup, then best-of-N: minimum wall time is the least noisy
+    // estimator on a shared machine.
+    let _ = optimize_with(g, &config);
+    let mut best_wall = u128::MAX;
+    let mut best = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let result = optimize_with(g, &config);
+        let wall = start.elapsed().as_micros();
+        if wall < best_wall {
+            best_wall = wall;
+            best = Some(result);
+        }
+    }
+    let result = best.expect("at least one timed iteration");
+    let points = PointGraph::build(g).len();
+    BenchRecord {
+        label: label.to_owned(),
+        nodes: g.node_count(),
+        instrs: g.instr_count(),
+        points,
+        wall_micros: best_wall,
+        split_micros: result.timings.split.as_micros(),
+        init_micros: result.timings.init.as_micros(),
+        motion_micros: result.timings.motion.as_micros(),
+        flush_micros: result.timings.flush.as_micros(),
+        rounds: result.motion.rounds,
+        converged: result.motion.converged,
+        iterations: result.motion.iterations + result.flush.iterations,
+        worklist_pushes: result.motion.worklist_pushes + result.flush.worklist_pushes,
+        max_worklist_len: result.flush.max_worklist_len,
+        eliminated: result.motion.eliminated,
+        inserted: result.motion.inserted,
+        removed: result.motion.removed,
+        cache_hit: false,
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut records = Vec::new();
+    println!(
+        "{:<18} {:>6} {:>7} {:>7} {:>10} {:>7} {:>9} {:>9} {:>8}",
+        "workload", "nodes", "instrs", "points", "wall(us)", "rounds", "iters", "pushes", "push/pt"
+    );
+    for (label, g) in ladder(opts.small) {
+        let rec = measure(&label, &g, opts.iters);
+        println!(
+            "{:<18} {:>6} {:>7} {:>7} {:>10} {:>7} {:>9} {:>9} {:>8.1}",
+            rec.label,
+            rec.nodes,
+            rec.instrs,
+            rec.points,
+            rec.wall_micros,
+            rec.rounds,
+            rec.iterations,
+            rec.worklist_pushes,
+            rec.pushes_per_point()
+        );
+        records.push(rec);
+    }
+    let doc = render("bench_dataflow", &records);
+    if let Err(e) = std::fs::write(&opts.out, &doc) {
+        eprintln!("{}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} records to {}", records.len(), opts.out);
+    if let Some(ceiling) = opts.max_pushes_per_point {
+        let mut over = false;
+        for rec in &records {
+            if rec.pushes_per_point() > ceiling {
+                eprintln!(
+                    "GATE: {} pushed {:.1} times per point (ceiling {ceiling})",
+                    rec.label,
+                    rec.pushes_per_point()
+                );
+                over = true;
+            }
+        }
+        if over {
+            return ExitCode::FAILURE;
+        }
+        println!("gate ok: every workload under {ceiling} pushes/point");
+    }
+    ExitCode::SUCCESS
+}

@@ -28,8 +28,10 @@
 //! a use position that cannot syntactically hold a non-trivial term (an
 //! operand inside a binary term or an `out`) does too.
 
+use std::collections::HashMap;
+
 use am_bitset::BitSet;
-use am_dfa::{solve, Confluence, Direction, PointGraph, Problem};
+use am_dfa::{solve_scheduled, Confluence, Direction, PatternMasks, PointGraph, Problem};
 use am_ir::{Cond, FlowGraph, Instr, Operand, PatternUniverse, Term, Var};
 use am_trace::Tracer;
 
@@ -76,6 +78,10 @@ pub struct FlushAnalysis {
 pub fn analyze_flush(g: &mut FlowGraph) -> FlushAnalysis {
     let (universe, temps) = participating(g);
     let ep = universe.expr_count();
+    // Masks must be built after `participating`: `temp_for` may grow the
+    // variable pool, and the index covers the whole pool.
+    let masks = PatternMasks::build(&universe, g.pool().len());
+    let temp_index: HashMap<Var, usize> = temps.iter().enumerate().map(|(i, &h)| (h, i)).collect();
     let snapshot = g.clone();
     let pg = PointGraph::build(&snapshot);
     let points = pg.len();
@@ -85,18 +91,22 @@ pub fn analyze_flush(g: &mut FlowGraph) -> FlushAnalysis {
     for p in pg.points() {
         let Some(instr) = pg.instr(p) else { continue };
         let idx = p.index();
-        for (i, eps) in universe.expr_patterns() {
-            let h = temps[i];
-            if matches!(instr, Instr::Assign { lhs, rhs } if *lhs == h && *rhs == eps) {
-                is_inst[idx].insert(i);
+        if let Instr::Assign { lhs, rhs } = instr {
+            if let Some(i) = universe.expr_id(rhs) {
+                if temps[i] == *lhs {
+                    is_inst[idx].insert(i);
+                }
             }
-            if instr.uses(h) {
+        }
+        instr.for_each_use(|u| {
+            if let Some(&i) = temp_index.get(&u) {
                 used[idx].insert(i);
             }
-            if let Some(d) = instr.def() {
-                if d == h || eps.mentions(d) {
-                    blocked[idx].insert(i);
-                }
+        });
+        if let Some(d) = instr.def() {
+            blocked[idx].union_with(masks.expr_mentions(d));
+            if let Some(&i) = temp_index.get(&d) {
+                blocked[idx].insert(i);
             }
         }
     }
@@ -106,11 +116,11 @@ pub fn analyze_flush(g: &mut FlowGraph) -> FlushAnalysis {
         delay_problem.kill[p].copy_from(&used[p]);
         delay_problem.kill[p].union_with(&blocked[p]);
     }
-    let delay = solve(pg.succs(), pg.preds(), &delay_problem);
+    let delay = solve_scheduled(pg.succs(), pg.preds(), &delay_problem, pg.schedule());
     let mut use_problem = Problem::new(Direction::Backward, Confluence::May, points, ep);
     use_problem.gen = used.clone();
     use_problem.kill = is_inst.clone();
-    let usable = solve(pg.succs(), pg.preds(), &use_problem);
+    let usable = solve_scheduled(pg.succs(), pg.preds(), &use_problem, pg.schedule());
     FlushAnalysis {
         universe,
         temps,

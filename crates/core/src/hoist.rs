@@ -32,8 +32,8 @@
 //! are emitted in pattern-index order.
 
 use am_bitset::BitSet;
-use am_dfa::{solve, Confluence, Direction, Problem};
-use am_ir::{FlowGraph, Instr, NodeId, PatternUniverse};
+use am_dfa::{solve_scheduled, Confluence, Direction, PatternMasks, Problem, Schedule};
+use am_ir::{AssignPattern, FlowGraph, Instr, NodeId, PatternUniverse};
 use am_trace::Tracer;
 
 /// The solved hoistability analysis of a program.
@@ -65,6 +65,7 @@ pub struct HoistAnalysis {
 /// Computes local predicates and solves the hoistability system of Table 1.
 pub fn analyze_hoisting(g: &FlowGraph) -> HoistAnalysis {
     let universe = PatternUniverse::collect(g);
+    let masks = PatternMasks::build(&universe, g.pool().len());
     let ap = universe.assign_count();
     let nodes = g.node_count();
 
@@ -73,39 +74,85 @@ pub fn analyze_hoisting(g: &FlowGraph) -> HoistAnalysis {
     let mut candidates: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes];
 
     for n in g.nodes() {
-        let instrs = &g.block(n).instrs;
-        for (i, pat) in universe.assign_patterns() {
-            let mut blocked_prefix = false;
-            let mut any_block = false;
-            for (idx, instr) in instrs.iter().enumerate() {
-                if pat.executed_by(instr) && !blocked_prefix {
-                    // First unblocked occurrence: the candidate (Fig. 13).
-                    if !loc_hoistable[n.index()].contains(i) {
-                        loc_hoistable[n.index()].insert(i);
-                        candidates[n.index()].push((i, idx));
-                    }
-                }
-                if pat.blocked_by(instr) {
-                    blocked_prefix = true;
-                    any_block = true;
-                }
-            }
-            if any_block {
-                loc_blocked[n.index()].insert(i);
-            }
-        }
+        let (hoistable, blocked, cands) = block_locals(&g.block(n).instrs, &universe, &masks);
+        loc_hoistable[n.index()] = hoistable;
+        loc_blocked[n.index()] = blocked;
+        candidates[n.index()] = cands;
     }
 
     // Backward must system over whole blocks.
     let (succs, preds) = am_dfa::node_adjacency(g);
+    let schedule = Schedule::build(&succs, &preds);
     let mut problem = Problem::new(Direction::Backward, Confluence::Must, nodes, ap);
     problem.gen = loc_hoistable.clone();
     problem.kill = loc_blocked.clone();
-    let sol = solve(&succs, &preds, &problem);
+    let sol = solve_scheduled(&succs, &preds, &problem, &schedule);
     let n_hoistable = sol.before;
     let x_hoistable = sol.after;
 
-    // Insertion points.
+    let (n_insert, x_insert) = insertion_points(g, &n_hoistable, &x_hoistable, &loc_blocked, ap);
+
+    HoistAnalysis {
+        universe,
+        loc_hoistable,
+        loc_blocked,
+        n_hoistable,
+        x_hoistable,
+        n_insert,
+        x_insert,
+        candidates,
+        iterations: sol.iterations,
+        worklist_pushes: sol.worklist_pushes,
+        max_worklist_len: sol.max_worklist_len,
+    }
+}
+
+/// The block-level local predicates of Table 1 for one instruction list:
+/// `LOC-HOISTABLE`, `LOC-BLOCKED` and the `(pattern, index)` hoisting
+/// candidates, in one pass with a running blocked mask instead of a
+/// per-pattern rescan. The candidate check precedes the instruction's own
+/// blocking update: the first *unblocked* occurrence of a pattern is its
+/// candidate (Fig. 13), and every occurrence blocks the ones after it.
+pub(crate) fn block_locals(
+    instrs: &[Instr],
+    universe: &PatternUniverse,
+    masks: &PatternMasks,
+) -> (BitSet, BitSet, Vec<(usize, usize)>) {
+    let ap = universe.assign_count();
+    let mut hoistable = BitSet::new(ap);
+    let mut blocked = BitSet::new(ap);
+    let mut candidates = Vec::new();
+    for (idx, instr) in instrs.iter().enumerate() {
+        if let Instr::Assign { lhs, rhs } = instr {
+            if let Some(i) = universe.assign_id(&AssignPattern::new(*lhs, *rhs)) {
+                if !blocked.contains(i) && !hoistable.contains(i) {
+                    hoistable.insert(i);
+                    candidates.push((i, idx));
+                }
+            }
+        }
+        if let Some(d) = instr.def() {
+            blocked.union_with(masks.assign_lhs(d));
+            blocked.union_with(masks.assign_mentions(d));
+        }
+        instr.for_each_use(|u| {
+            blocked.union_with(masks.assign_lhs(u));
+        });
+    }
+    (hoistable, blocked, candidates)
+}
+
+/// The insertion points of the greatest solution: `N-INSERT` at the
+/// earliestness frontier (start node, or predecessors where hoisting
+/// stops), `X-INSERT` where the block's own code blocks the pattern.
+pub(crate) fn insertion_points(
+    g: &FlowGraph,
+    n_hoistable: &[BitSet],
+    x_hoistable: &[BitSet],
+    loc_blocked: &[BitSet],
+    ap: usize,
+) -> (Vec<BitSet>, Vec<BitSet>) {
+    let nodes = g.node_count();
     let mut n_insert = vec![BitSet::new(ap); nodes];
     let mut x_insert = vec![BitSet::new(ap); nodes];
     for n in g.nodes() {
@@ -127,20 +174,7 @@ pub fn analyze_hoisting(g: &FlowGraph) -> HoistAnalysis {
         x_insert[ni].copy_from(&x_hoistable[ni]);
         x_insert[ni].intersect_with(&loc_blocked[ni]);
     }
-
-    HoistAnalysis {
-        universe,
-        loc_hoistable,
-        loc_blocked,
-        n_hoistable,
-        x_hoistable,
-        n_insert,
-        x_insert,
-        candidates,
-        iterations: sol.iterations,
-        worklist_pushes: sol.worklist_pushes,
-        max_worklist_len: sol.max_worklist_len,
-    }
+    (n_insert, x_insert)
 }
 
 /// Outcome of one [`hoist_assignments`] pass.

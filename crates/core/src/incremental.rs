@@ -1,0 +1,579 @@
+//! Round-incremental state for the assignment-motion fixed point.
+//!
+//! Every round of [`assignment_motion`](crate::motion::assignment_motion)
+//! re-solves the Table 1 and Table 2 systems on a program that usually
+//! differs from the previous round in a handful of instructions. The naive
+//! loop rebuilds everything from scratch each round; [`MotionContext`]
+//! carries the parts that survive:
+//!
+//! * **Pattern universe and masks** — collected once at motion entry. The
+//!   motion phase only *removes* occurrences and re-inserts instances of
+//!   existing patterns, so the entry universe is a superset of every later
+//!   round's universe and the per-bit independence of gen/kill systems
+//!   makes the extra bits harmless. Two guards keep the results identical
+//!   to a fresh-universe run: insertions are filtered to patterns that
+//!   still occur, and same-point insertions are emitted in the current
+//!   graph's first-occurrence order (the order a fresh universe would
+//!   number them). A hook that injects a *new* pattern (fault injection)
+//!   is detected by an id-lookup miss and triggers a full refresh.
+//! * **Gen/kill rows** — Table 2 rows keyed by instruction content and
+//!   Table 1 block locals keyed by block content. Unchanged instructions
+//!   and blocks reuse their rows; the `incremental/gen_kill_rows` trace
+//!   counter reports the hit rate per round.
+//! * **Schedules** — the instruction-level and node-level solver schedules,
+//!   reused while the structure fingerprint (block lengths + edges) is
+//!   unchanged, so the RPO traversals are not re-derived per solve.
+//! * **Previous hoist system** — when a round's Table 1 rows changed only
+//!   monotonically downward (candidates lost, blockades gained), the
+//!   backward must system is re-solved from the previous greatest solution
+//!   with only the dirty nodes seeded ([`am_dfa::solve_seeded`]); the old
+//!   solution is a post-fixed point of the lowered system, so the descent
+//!   reaches the new greatest fixed point. Non-monotone changes fall back
+//!   to a cold scheduled solve. A round whose hoist input is byte-identical
+//!   to the previous round's (last elimination found nothing and the last
+//!   hoist was a no-op) skips the solve outright.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+use am_bitset::BitSet;
+use am_dfa::{
+    node_adjacency, solve_scheduled, solve_seeded, Confluence, Direction, PatternMasks, PointData,
+    PointGraph, Problem, Schedule, Solution,
+};
+use am_ir::{AssignPattern, FlowGraph, Instr, Loc, PatternUniverse};
+use am_trace::Tracer;
+
+use crate::hoist::{block_locals, insertion_points, HoistOutcome};
+use crate::rae::{redundancy_row, remove_locs, RaeOutcome};
+
+/// Multiply-rotate hasher in the FxHash family. The row caches hash every
+/// instruction once per round and the fingerprints hash the whole program;
+/// SipHash is measurable overhead at that call frequency, and none of these
+/// tables face untrusted keys. Map collisions are resolved by `Eq`;
+/// fingerprint collisions can only skip a no-op re-solve or end the motion
+/// loop a round early, never corrupt a result.
+#[derive(Default)]
+struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = tail << 8 | b as u64;
+        }
+        self.add(tail);
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// Table 1 locals of one block (see [`block_locals`]).
+#[derive(Clone)]
+struct BlockLocals {
+    hoistable: BitSet,
+    blocked: BitSet,
+    candidates: Vec<(usize, usize)>,
+}
+
+/// The previous round's hoist system and solution, kept for warm-started
+/// re-solves. All content-addressed: a hook that rewires the graph changes
+/// the edge hash and invalidates it.
+struct PrevHoist {
+    edge_hash: u64,
+    gen: Vec<BitSet>,
+    kill: Vec<BitSet>,
+    solution: Solution,
+}
+
+/// The node-level solver system shared by every hoist round with the same
+/// block edges: adjacency lists plus the priority schedule, borrowed in
+/// place (never cloned) by [`MotionContext::hoist_round`].
+struct NodeSystem {
+    edge_hash: u64,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+    schedule: Schedule,
+}
+
+/// State carried across assignment-motion rounds.
+pub(crate) struct MotionContext {
+    universe: PatternUniverse,
+    masks: PatternMasks,
+    /// Table 2 rows by instruction content: `(own pattern bit, kill set)`.
+    rae_rows: HashMap<Instr, (Option<usize>, BitSet), FxBuild>,
+    /// Table 1 locals by block content.
+    hoist_rows: HashMap<Vec<Instr>, BlockLocals, FxBuild>,
+    /// Instruction-level point structure (adjacency + schedule), keyed by
+    /// the structure fingerprint; detached from the round's `PointGraph`
+    /// and re-attached next round when the structure is unchanged.
+    point_data: Option<(u64, PointData)>,
+    /// Reusable Table 2 problem buffers, keyed by (structure fingerprint,
+    /// universe size); every non-virtual point's row is overwritten each
+    /// round, and virtual points stay empty.
+    rae_problem: Option<(u64, usize, Problem)>,
+    /// Node-level adjacency and schedule, keyed by the edge fingerprint.
+    node_system: Option<NodeSystem>,
+    prev_hoist: Option<PrevHoist>,
+    /// Content hash of the last hoist input and whether that hoist changed
+    /// the program; a byte-identical re-run of a no-op is skipped.
+    last_hoist: Option<(u64, bool)>,
+    rows_reused: u64,
+    rows_recomputed: u64,
+    hoist_skipped: u64,
+    hoist_warm: u64,
+}
+
+impl MotionContext {
+    /// Builds the context for a motion run over `g`.
+    pub(crate) fn new(g: &FlowGraph) -> Self {
+        let universe = PatternUniverse::collect(g);
+        let masks = PatternMasks::build(&universe, g.pool().len());
+        MotionContext {
+            universe,
+            masks,
+            rae_rows: HashMap::default(),
+            hoist_rows: HashMap::default(),
+            point_data: None,
+            rae_problem: None,
+            node_system: None,
+            prev_hoist: None,
+            last_hoist: None,
+            rows_reused: 0,
+            rows_recomputed: 0,
+            hoist_skipped: 0,
+            hoist_warm: 0,
+        }
+    }
+
+    /// Re-collects the universe and drops every pattern-indexed cache.
+    /// Called when the program contains an assignment pattern the current
+    /// universe does not know (only possible through a mutating hook).
+    fn refresh(&mut self, g: &FlowGraph) {
+        self.universe = PatternUniverse::collect(g);
+        self.masks = PatternMasks::build(&self.universe, g.pool().len());
+        self.rae_rows.clear();
+        self.hoist_rows.clear();
+        self.rae_problem = None;
+        self.prev_hoist = None;
+    }
+
+    /// First-occurrence rank of every assignment pattern in `g` (`None` for
+    /// patterns without occurrences), refreshing the universe first if it
+    /// is stale.
+    fn occurrence_ranks(&mut self, g: &FlowGraph) -> Vec<Option<u32>> {
+        if let Some(ranks) = occurrence_ranks_in(g, &self.universe) {
+            return ranks;
+        }
+        self.refresh(g);
+        occurrence_ranks_in(g, &self.universe).expect("fresh universe covers the program")
+    }
+
+    /// The instruction-level point graph of `g`, re-attaching the cached
+    /// structure (adjacency + schedule) when it is unchanged.
+    fn point_graph<'g>(&mut self, g: &'g FlowGraph, fp: u64) -> PointGraph<'g> {
+        if let Some((h, data)) = self.point_data.take() {
+            let points: usize = g.nodes().map(|n| g.block(n).len().max(1)).sum();
+            if h == fp && data.len() == points {
+                return PointGraph::attach(g, data);
+            }
+        }
+        PointGraph::build(g)
+    }
+
+    /// One redundant-assignment-elimination pass with cached rows.
+    pub(crate) fn rae_round(&mut self, g: &mut FlowGraph, tracer: &Tracer) -> RaeOutcome {
+        let mut span = tracer.span("analysis", "rae");
+        self.ensure_fresh(g);
+        let fp = point_structure_hash(g);
+        let pg = self.point_graph(g, fp);
+        let n = pg.len();
+        let ap = self.universe.assign_count();
+        let mut problem = match self.rae_problem.take() {
+            Some((h, u, mut problem)) if h == fp && u == ap && problem.gen.len() == n => {
+                // Reused buffers: every non-virtual point's gen row is
+                // cleared below before its bit is set; virtual points were
+                // empty when first built and are never written.
+                problem.gen.iter_mut().for_each(|row| row.clear());
+                problem
+            }
+            _ => Problem::new(Direction::Forward, Confluence::Must, n, ap),
+        };
+        let mut own: Vec<Option<usize>> = vec![None; n];
+        for point in pg.points() {
+            let Some(instr) = pg.instr(point) else {
+                continue;
+            };
+            let idx = point.index();
+            match self.rae_rows.get(instr) {
+                Some((gen, kill)) => {
+                    self.rows_reused += 1;
+                    own[idx] = *gen;
+                    if let Some(i) = *gen {
+                        problem.gen[idx].insert(i);
+                    }
+                    problem.kill[idx].copy_from(kill);
+                }
+                None => {
+                    let (gen, kill) = redundancy_row(instr, &self.universe, &self.masks);
+                    self.rows_recomputed += 1;
+                    own[idx] = gen;
+                    if let Some(i) = gen {
+                        problem.gen[idx].insert(i);
+                    }
+                    problem.kill[idx].copy_from(&kill);
+                    self.rae_rows.insert(instr.clone(), (gen, kill));
+                }
+            }
+        }
+        let sol = solve_scheduled(pg.succs(), pg.preds(), &problem, pg.schedule());
+        let mut locs: Vec<Loc> = Vec::new();
+        for point in pg.points() {
+            if let (Some(i), Some(loc)) = (own[point.index()], pg.loc(point)) {
+                if sol.before[point.index()].contains(i) {
+                    locs.push(loc);
+                }
+            }
+        }
+        // Detach the structure and the problem buffers for the next round
+        // (also releases the borrow of `g` before `remove_locs` mutates it).
+        self.point_data = Some((fp, pg.into_data()));
+        self.rae_problem = Some((fp, ap, problem));
+        let eliminated = locs.len();
+        remove_locs(g, &locs);
+        tracer.counter(
+            "analysis",
+            "rae",
+            &[
+                ("iterations", sol.iterations as i64),
+                ("worklist_pushes", sol.worklist_pushes as i64),
+                ("max_worklist_len", sol.max_worklist_len as i64),
+            ],
+        );
+        span.arg("eliminated", eliminated as i64);
+        RaeOutcome {
+            eliminated,
+            iterations: sol.iterations,
+            worklist_pushes: sol.worklist_pushes,
+            max_worklist_len: sol.max_worklist_len,
+        }
+    }
+
+    /// One hoisting pass with cached block locals, schedule reuse, the
+    /// no-op skip and the monotone warm-start path. `known_hash` is the
+    /// content hash of `g` when the caller already has it (the motion loop
+    /// hashes the program at round entry).
+    pub(crate) fn hoist_round(
+        &mut self,
+        g: &mut FlowGraph,
+        tracer: &Tracer,
+        known_hash: Option<u64>,
+    ) -> HoistOutcome {
+        let input_hash = known_hash.unwrap_or_else(|| graph_content_hash(g));
+        if self.last_hoist == Some((input_hash, false)) {
+            // Byte-identical input to a hoist that changed nothing: the
+            // deterministic analysis would reproduce that no-op.
+            self.hoist_skipped += 1;
+            return HoistOutcome::default();
+        }
+        let mut span = tracer.span("analysis", "aht");
+        let occ_rank = self.occurrence_ranks(g);
+        let ap = self.universe.assign_count();
+        let nodes = g.node_count();
+
+        let mut problem = Problem::new(Direction::Backward, Confluence::Must, nodes, ap);
+        let mut candidates: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes];
+        for n in g.nodes() {
+            let instrs = &g.block(n).instrs;
+            let ni = n.index();
+            match self.hoist_rows.get(instrs) {
+                Some(locals) => {
+                    self.rows_reused += 1;
+                    problem.gen[ni].copy_from(&locals.hoistable);
+                    problem.kill[ni].copy_from(&locals.blocked);
+                    candidates[ni].clone_from(&locals.candidates);
+                }
+                None => {
+                    let (hoistable, blocked, cands) =
+                        block_locals(instrs, &self.universe, &self.masks);
+                    self.rows_recomputed += 1;
+                    problem.gen[ni].copy_from(&hoistable);
+                    problem.kill[ni].copy_from(&blocked);
+                    candidates[ni].clone_from(&cands);
+                    self.hoist_rows.insert(
+                        instrs.clone(),
+                        BlockLocals {
+                            hoistable,
+                            blocked,
+                            candidates: cands,
+                        },
+                    );
+                }
+            }
+        }
+
+        let edge_hash = edge_hash(g);
+        let valid = matches!(&self.node_system,
+            Some(ns) if ns.edge_hash == edge_hash && ns.succs.len() == nodes);
+        if !valid {
+            let (succs, preds) = node_adjacency(g);
+            let schedule = Schedule::build(&succs, &preds);
+            self.node_system = Some(NodeSystem {
+                edge_hash,
+                succs,
+                preds,
+                schedule,
+            });
+        }
+        let ns = self.node_system.as_ref().expect("node system built above");
+        let (succs, preds, schedule) = (&ns.succs, &ns.preds, &ns.schedule);
+
+        let warm = self.prev_hoist.as_ref().and_then(|prev| {
+            if prev.edge_hash != edge_hash || prev.gen.len() != nodes {
+                return None;
+            }
+            let dirty: Vec<usize> = (0..nodes)
+                .filter(|&i| prev.gen[i] != problem.gen[i] || prev.kill[i] != problem.kill[i])
+                .collect();
+            let lowered = dirty.iter().all(|&i| {
+                problem.gen[i].is_subset(&prev.gen[i]) && prev.kill[i].is_subset(&problem.kill[i])
+            });
+            lowered.then_some(dirty)
+        });
+        let sol = match warm {
+            Some(dirty) => {
+                self.hoist_warm += 1;
+                let prev = self.prev_hoist.as_ref().expect("warm implies prev");
+                solve_seeded(succs, preds, &problem, schedule, &prev.solution, &dirty)
+            }
+            None => solve_scheduled(succs, preds, &problem, schedule),
+        };
+        tracer.counter(
+            "analysis",
+            "aht",
+            &[
+                ("iterations", sol.iterations as i64),
+                ("worklist_pushes", sol.worklist_pushes as i64),
+                ("max_worklist_len", sol.max_worklist_len as i64),
+            ],
+        );
+
+        let (n_insert, x_insert) = insertion_points(g, &sol.before, &sol.after, &problem.kill, ap);
+        let mut outcome = apply_ordered(
+            g,
+            &self.universe,
+            &n_insert,
+            &x_insert,
+            &candidates,
+            &occ_rank,
+        );
+        outcome.iterations = sol.iterations;
+        outcome.worklist_pushes = sol.worklist_pushes;
+        outcome.max_worklist_len = sol.max_worklist_len;
+        self.prev_hoist = Some(PrevHoist {
+            edge_hash,
+            gen: std::mem::take(&mut problem.gen),
+            kill: std::mem::take(&mut problem.kill),
+            solution: sol,
+        });
+        self.last_hoist = Some((input_hash, outcome.changed));
+        span.arg("inserted", outcome.inserted as i64)
+            .arg("removed", outcome.removed as i64);
+        outcome
+    }
+
+    /// Refreshes the universe if the program contains an unknown pattern.
+    fn ensure_fresh(&mut self, g: &FlowGraph) {
+        let stale = g.locs().any(|(_, instr)| {
+            matches!(instr, Instr::Assign { lhs, rhs }
+                if self.universe.assign_id(&AssignPattern::new(*lhs, *rhs)).is_none())
+        });
+        if stale {
+            self.refresh(g);
+        }
+    }
+
+    /// Emits and resets the per-round incrementality counters.
+    pub(crate) fn emit_round_counters(&mut self, tracer: &Tracer) {
+        tracer.counter(
+            "incremental",
+            "gen_kill_rows",
+            &[
+                ("reused", self.rows_reused as i64),
+                ("recomputed", self.rows_recomputed as i64),
+            ],
+        );
+        if self.hoist_skipped > 0 || self.hoist_warm > 0 {
+            tracer.counter(
+                "incremental",
+                "hoist_solves",
+                &[
+                    ("skipped", self.hoist_skipped as i64),
+                    ("warm", self.hoist_warm as i64),
+                ],
+            );
+        }
+        self.rows_reused = 0;
+        self.rows_recomputed = 0;
+        self.hoist_skipped = 0;
+        self.hoist_warm = 0;
+    }
+}
+
+/// Applies the insertion/removal step using the fixed universe: insertions
+/// are filtered to patterns that still occur in the program and emitted in
+/// first-occurrence order — exactly the pattern set and bit order a
+/// universe collected fresh from `g` would produce.
+fn apply_ordered(
+    g: &mut FlowGraph,
+    universe: &PatternUniverse,
+    n_insert: &[BitSet],
+    x_insert: &[BitSet],
+    candidates: &[Vec<(usize, usize)>],
+    occ_rank: &[Option<u32>],
+) -> HoistOutcome {
+    let mut outcome = HoistOutcome::default();
+    for n in g.nodes().collect::<Vec<_>>() {
+        let ni = n.index();
+        if n_insert[ni].is_empty() && x_insert[ni].is_empty() && candidates[ni].is_empty() {
+            continue;
+        }
+        let mut fresh: Vec<Instr> = Vec::new();
+        for i in occurring_in_order(&n_insert[ni], occ_rank) {
+            let pat = universe.assign(i);
+            fresh.push(Instr::Assign {
+                lhs: pat.lhs,
+                rhs: pat.rhs,
+            });
+            outcome.inserted += 1;
+        }
+        let removed_here: Vec<usize> = candidates[ni].iter().map(|(_, idx)| *idx).collect();
+        for (idx, instr) in g.block(n).instrs.iter().enumerate() {
+            if removed_here.contains(&idx) {
+                outcome.removed += 1;
+            } else {
+                fresh.push(instr.clone());
+            }
+        }
+        for i in occurring_in_order(&x_insert[ni], occ_rank) {
+            let pat = universe.assign(i);
+            fresh.push(Instr::Assign {
+                lhs: pat.lhs,
+                rhs: pat.rhs,
+            });
+            outcome.inserted += 1;
+        }
+        if g.block(n).instrs != fresh {
+            outcome.changed = true;
+            g.block_mut(n).instrs = fresh;
+        }
+    }
+    outcome
+}
+
+/// The patterns of `set` that occur in the current program, ordered by
+/// first occurrence.
+fn occurring_in_order(set: &BitSet, occ_rank: &[Option<u32>]) -> Vec<usize> {
+    let mut patterns: Vec<usize> = set.iter().filter(|&i| occ_rank[i].is_some()).collect();
+    patterns.sort_by_key(|&i| occ_rank[i]);
+    patterns
+}
+
+/// First-occurrence ranks over `universe`, or `None` if the program
+/// contains an assignment pattern the universe does not know.
+fn occurrence_ranks_in(g: &FlowGraph, universe: &PatternUniverse) -> Option<Vec<Option<u32>>> {
+    let mut ranks: Vec<Option<u32>> = vec![None; universe.assign_count()];
+    let mut next = 0u32;
+    for (_, instr) in g.locs() {
+        if let Instr::Assign { lhs, rhs } = instr {
+            let i = universe.assign_id(&AssignPattern::new(*lhs, *rhs))?;
+            if ranks[i].is_none() {
+                ranks[i] = Some(next);
+                next += 1;
+            }
+        }
+    }
+    Some(ranks)
+}
+
+/// Fingerprint of the instruction-level point structure: per-block
+/// instruction counts plus block edges. Collisions only cost schedule
+/// quality, never correctness — any schedule converges to the same fixed
+/// point, and a length mismatch falls back to a fresh build.
+fn point_structure_hash(g: &FlowGraph) -> u64 {
+    let mut h = FxHasher::default();
+    g.node_count().hash(&mut h);
+    for n in g.nodes() {
+        g.block(n).len().hash(&mut h);
+        0xffusize.hash(&mut h);
+        for &m in g.succs(n) {
+            m.index().hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Fingerprint of the node-level edges.
+fn edge_hash(g: &FlowGraph) -> u64 {
+    let mut h = FxHasher::default();
+    g.node_count().hash(&mut h);
+    for n in g.nodes() {
+        for &m in g.succs(n) {
+            m.index().hash(&mut h);
+        }
+        0xffusize.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Content hash of the whole program: blocks, edges and boundary nodes.
+/// The motion loop uses it both for the hoist no-op skip and as the
+/// convergence check, avoiding a full program clone per round.
+pub(crate) fn graph_content_hash(g: &FlowGraph) -> u64 {
+    let mut h = FxHasher::default();
+    g.start().index().hash(&mut h);
+    g.end().index().hash(&mut h);
+    g.node_count().hash(&mut h);
+    for n in g.nodes() {
+        g.block(n).instrs.hash(&mut h);
+        for &m in g.succs(n) {
+            m.index().hash(&mut h);
+        }
+        0xffusize.hash(&mut h);
+    }
+    h.finish()
+}

@@ -42,6 +42,7 @@ pub mod copyprop;
 pub mod flush;
 pub mod global;
 pub mod hoist;
+mod incremental;
 pub mod init;
 pub mod lcm;
 pub mod motion;

@@ -11,8 +11,7 @@
 use am_ir::FlowGraph;
 use am_trace::Tracer;
 
-use crate::hoist::hoist_assignments_traced;
-use crate::rae::eliminate_redundant_assignments_traced;
+use crate::incremental::MotionContext;
 
 /// Which procedure runs first within each round. The paper leaves the
 /// order unspecified ("applied until the program stabilizes"); by local
@@ -131,19 +130,28 @@ pub fn assignment_motion_traced(
     tracer: &Tracer,
     hook: &mut dyn FnMut(usize, &mut FlowGraph),
 ) -> MotionStats {
+    let mut ctx = MotionContext::new(g);
     let mut stats = MotionStats::default();
     for round in 1..=max_rounds {
-        let mut span = tracer.span("round", format!("round {round}"));
-        let before = g.clone();
+        let name = if tracer.enabled() {
+            format!("round {round}")
+        } else {
+            String::new()
+        };
+        let mut span = tracer.span("round", name);
+        let before_hash = crate::incremental::graph_content_hash(g);
         let (rae, hoist) = match order {
             MotionOrder::RaeFirst => {
-                let rae = eliminate_redundant_assignments_traced(g, tracer);
-                let hoist = hoist_assignments_traced(g, tracer);
+                let rae = ctx.rae_round(g, tracer);
+                // An elimination-free pass leaves the program byte-identical,
+                // so the round-entry hash is still the hoist input hash.
+                let known = (rae.eliminated == 0).then_some(before_hash);
+                let hoist = ctx.hoist_round(g, tracer, known);
                 (rae, hoist)
             }
             MotionOrder::HoistFirst => {
-                let hoist = hoist_assignments_traced(g, tracer);
-                let rae = eliminate_redundant_assignments_traced(g, tracer);
+                let hoist = ctx.hoist_round(g, tracer, Some(before_hash));
+                let rae = ctx.rae_round(g, tracer);
                 (rae, hoist)
             }
         };
@@ -157,7 +165,13 @@ pub fn assignment_motion_traced(
             .arg("inserted", hoist.inserted as i64)
             .arg("removed", hoist.removed as i64);
         drop(span);
-        let stable = *g == before;
+        ctx.emit_round_counters(tracer);
+        // A round that provably changed nothing is the fixed point; the
+        // hash fallback covers changes that happen to cancel out without
+        // cloning the program every round (a collision could only end the
+        // loop one round early, never produce a wrong program).
+        let stable = (rae.eliminated == 0 && !hoist.changed)
+            || crate::incremental::graph_content_hash(g) == before_hash;
         hook(round, g);
         if stable {
             stats.converged = true;

@@ -20,8 +20,8 @@
 //! keeps.
 
 use am_bitset::BitSet;
-use am_dfa::{solve, Confluence, Direction, PointGraph, Problem, Solution};
-use am_ir::{FlowGraph, Loc, PatternUniverse};
+use am_dfa::{solve_scheduled, Confluence, Direction, PatternMasks, PointGraph, Problem, Solution};
+use am_ir::{AssignPattern, FlowGraph, Instr, Loc, PatternUniverse};
 use am_trace::Tracer;
 
 /// Outcome of one [`eliminate_redundant_assignments`] pass.
@@ -43,6 +43,17 @@ pub struct RaeOutcome {
 /// refers to assignment pattern `i` of `universe`. Self-referential
 /// patterns never appear in any set.
 pub fn redundancy(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
+    let masks = PatternMasks::build(universe, pg.graph().pool().len());
+    redundancy_with(pg, universe, &masks)
+}
+
+/// As [`redundancy`], with a prebuilt pattern-mask index (the motion loop
+/// builds the masks once and reuses them across all rounds).
+pub fn redundancy_with(
+    pg: &PointGraph<'_>,
+    universe: &PatternUniverse,
+    masks: &PatternMasks,
+) -> Solution {
     let n = pg.len();
     let mut p = Problem::new(
         Direction::Forward,
@@ -55,21 +66,40 @@ pub fn redundancy(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
             continue;
         };
         let idx = point.index();
-        for (i, pat) in universe.assign_patterns() {
-            if pat.is_self_referential() {
-                // Exclude from the universe: kill everywhere, generate never.
-                p.kill[idx].insert(i);
-                continue;
-            }
-            if pat.executed_by(instr) {
-                p.gen[idx].insert(i);
-            }
-            if !pat.transparent_for(instr) {
-                p.kill[idx].insert(i);
+        let (gen, kill) = redundancy_row(instr, universe, masks);
+        if let Some(i) = gen {
+            p.gen[idx].insert(i);
+        }
+        p.kill[idx] = kill;
+    }
+    solve_scheduled(pg.succs(), pg.preds(), &p, pg.schedule())
+}
+
+/// The Table 2 gen/kill row of a single instruction, built from the mask
+/// index with a constant number of word-level set operations.
+///
+/// Self-referential patterns are excluded from the universe (killed
+/// everywhere, generated never); an assignment generates its own pattern
+/// bit and kills every pattern whose left-hand side or operands it
+/// modifies, except the one it re-establishes.
+pub(crate) fn redundancy_row(
+    instr: &Instr,
+    universe: &PatternUniverse,
+    masks: &PatternMasks,
+) -> (Option<usize>, BitSet) {
+    let mut kill = masks.self_referential().clone();
+    let mut gen = None;
+    if let Instr::Assign { lhs, rhs } = instr {
+        kill.union_with(masks.assign_lhs(*lhs));
+        kill.union_with(masks.assign_mentions(*lhs));
+        if let Some(i) = universe.assign_id(&AssignPattern::new(*lhs, *rhs)) {
+            if !masks.self_referential().contains(i) {
+                kill.remove(i);
+                gen = Some(i);
             }
         }
     }
-    solve(pg.succs(), pg.preds(), &p)
+    (gen, kill)
 }
 
 /// The set of instruction locations whose assignment is redundant at entry.

@@ -6,10 +6,11 @@
 //! propagation uses reaching copies; assignment sinking uses liveness).
 
 use am_bitset::BitSet;
-use am_ir::{FlowGraph, Instr, PatternUniverse, Term, Var};
+use am_ir::{AssignPattern, FlowGraph, Instr, PatternUniverse, Term, Var};
 
+use crate::masks::PatternMasks;
 use crate::points::{PointGraph, PointId};
-use crate::solve::{solve, Confluence, Direction, Problem, Solution};
+use crate::solve::{solve_scheduled, Confluence, Direction, Problem, Solution};
 
 /// Whether `instr` is transparent for expression `t`: it modifies no
 /// operand of `t`.
@@ -27,61 +28,68 @@ pub fn expr_computed(instr: &Instr, t: Term) -> bool {
     found
 }
 
+/// Shared expression-pattern row construction: gen = computed occurrences,
+/// kill = patterns mentioning the defined variable ([`PatternMasks`] makes
+/// both a constant number of word-level operations per point). When
+/// `kill_removes_gen`, an instruction that both computes and kills a
+/// pattern (`x := x+1`) does not generate it — availability semantics;
+/// anticipability keeps the gen bit (the computation lies upstream of the
+/// modification in its direction).
+fn expr_problem(
+    pg: &PointGraph<'_>,
+    universe: &PatternUniverse,
+    direction: Direction,
+    confluence: Confluence,
+    kill_removes_gen: bool,
+) -> Problem {
+    let masks = PatternMasks::build(universe, pg.graph().pool().len());
+    let mut p = Problem::new(direction, confluence, pg.len(), universe.expr_count());
+    for point in pg.points() {
+        let Some(instr) = pg.instr(point) else {
+            continue;
+        };
+        let idx = point.index();
+        instr.for_each_expr_occurrence(|occ| {
+            if let Some(i) = universe.expr_id(&occ) {
+                p.gen[idx].insert(i);
+            }
+        });
+        if let Some(d) = instr.def() {
+            let mentions = masks.expr_mentions(d);
+            p.kill[idx].union_with(mentions);
+            if kill_removes_gen {
+                p.gen[idx].difference_with(mentions);
+            }
+        }
+    }
+    p
+}
+
+/// The [`available_expressions`] problem, for callers that want to inspect
+/// or solve the system themselves.
+pub fn available_expressions_problem(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Problem {
+    expr_problem(pg, universe, Direction::Forward, Confluence::Must, true)
+}
+
 /// Available expressions: expression `t` is available at a point when every
 /// path from the start computes `t` afterwards unmodified. Forward, must,
 /// greatest solution.
 pub fn available_expressions(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
-    let n = pg.len();
-    let mut p = Problem::new(
-        Direction::Forward,
-        Confluence::Must,
-        n,
-        universe.expr_count(),
-    );
-    for point in pg.points() {
-        if let Some(instr) = pg.instr(point) {
-            for (i, t) in universe.expr_patterns() {
-                if expr_computed(instr, t) {
-                    p.gen[point.index()].insert(i);
-                }
-                if !expr_transparent(instr, t) {
-                    p.kill[point.index()].insert(i);
-                    // An instruction that both computes and kills (x := x+1)
-                    // does not make the expression available after it.
-                    if instr.def().map(|d| t.mentions(d)).unwrap_or(false) {
-                        p.gen[point.index()].remove(i);
-                    }
-                }
-            }
-        }
-    }
-    solve(pg.succs(), pg.preds(), &p)
+    let p = available_expressions_problem(pg, universe);
+    solve_scheduled(pg.succs(), pg.preds(), &p, pg.schedule())
+}
+
+/// The [`anticipated_expressions`] problem.
+pub fn anticipated_expressions_problem(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Problem {
+    expr_problem(pg, universe, Direction::Backward, Confluence::Must, false)
 }
 
 /// Anticipability (down-safety): expression `t` is anticipated at a point
 /// when every path to the end computes `t` before an operand changes.
 /// Backward, must, greatest solution.
 pub fn anticipated_expressions(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
-    let n = pg.len();
-    let mut p = Problem::new(
-        Direction::Backward,
-        Confluence::Must,
-        n,
-        universe.expr_count(),
-    );
-    for point in pg.points() {
-        if let Some(instr) = pg.instr(point) {
-            for (i, t) in universe.expr_patterns() {
-                if expr_computed(instr, t) {
-                    p.gen[point.index()].insert(i);
-                }
-                if !expr_transparent(instr, t) {
-                    p.kill[point.index()].insert(i);
-                }
-            }
-        }
-    }
-    solve(pg.succs(), pg.preds(), &p)
+    let p = anticipated_expressions_problem(pg, universe);
+    solve_scheduled(pg.succs(), pg.preds(), &p, pg.schedule())
 }
 
 /// Partially available expressions: expression `t` is partially available
@@ -97,31 +105,18 @@ pub fn partially_available_expressions(
     pg: &PointGraph<'_>,
     universe: &PatternUniverse,
 ) -> Solution {
-    let n = pg.len();
-    let mut p = Problem::new(
-        Direction::Forward,
-        Confluence::May,
-        n,
-        universe.expr_count(),
-    );
-    for point in pg.points() {
-        if let Some(instr) = pg.instr(point) {
-            for (i, t) in universe.expr_patterns() {
-                if expr_computed(instr, t) {
-                    p.gen[point.index()].insert(i);
-                }
-                if !expr_transparent(instr, t) {
-                    p.kill[point.index()].insert(i);
-                    // An instruction that both computes and kills (x := x+1)
-                    // leaves the stale value unavailable on every path.
-                    if instr.def().map(|d| t.mentions(d)).unwrap_or(false) {
-                        p.gen[point.index()].remove(i);
-                    }
-                }
-            }
-        }
-    }
-    solve(pg.succs(), pg.preds(), &p)
+    let p = partially_available_expressions_problem(pg, universe);
+    solve_scheduled(pg.succs(), pg.preds(), &p, pg.schedule())
+}
+
+/// The [`partially_available_expressions`] problem. An instruction that
+/// both computes and kills (`x := x+1`) leaves the stale value unavailable
+/// on every path, so kill removes gen here too.
+pub fn partially_available_expressions_problem(
+    pg: &PointGraph<'_>,
+    universe: &PatternUniverse,
+) -> Problem {
+    expr_problem(pg, universe, Direction::Forward, Confluence::May, true)
 }
 
 /// Strongly live (non-faint) variables: `v` is strongly live at a point
@@ -136,20 +131,29 @@ pub fn partially_available_expressions(
 /// so this runs its own worklist fixpoint; backward, may, least solution,
 /// reported in the same [`Solution`] shape as the framework instances.
 pub fn strongly_live_variables(pg: &PointGraph<'_>) -> Solution {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
     let g = pg.graph();
     let n = pg.len();
     let vars = g.pool().len();
     let succs = pg.succs();
     let preds = pg.preds();
+    let schedule = pg.schedule();
     let mut before = vec![BitSet::new(vars); n];
     let mut after = vec![BitSet::new(vars); n];
     let mut iterations: u64 = 0;
     let mut on_list = vec![true; n];
-    let mut worklist: Vec<usize> = (0..n).collect();
+    // Same priority discipline as the gen/kill solver: post-order ranks
+    // for a backward propagation, each point queued at most once.
+    let mut worklist: BinaryHeap<Reverse<u32>> = (0..n)
+        .map(|p| Reverse(schedule.rank(Direction::Backward, p)))
+        .collect();
     let mut worklist_pushes = n as u64;
     let mut max_worklist_len = n;
     let mut scratch = BitSet::new(vars);
-    while let Some(p) = worklist.pop() {
+    while let Some(Reverse(rank)) = worklist.pop() {
+        let p = schedule.point_at(Direction::Backward, rank);
         on_list[p] = false;
         iterations += 1;
         // Merge: strongly-live-after = Σ over successors (exit stays ⊥).
@@ -186,7 +190,7 @@ pub fn strongly_live_variables(pg: &PointGraph<'_>) -> Solution {
             for &q in &preds[p] {
                 if !on_list[q] {
                     on_list[q] = true;
-                    worklist.push(q);
+                    worklist.push(Reverse(schedule.rank(Direction::Backward, q)));
                     worklist_pushes += 1;
                 }
             }
@@ -205,6 +209,12 @@ pub fn strongly_live_variables(pg: &PointGraph<'_>) -> Solution {
 /// Live variables: variable `v` is live at a point when some path to the
 /// end reads `v` before writing it. Backward, may, least solution.
 pub fn live_variables(pg: &PointGraph<'_>) -> Solution {
+    let p = live_variables_problem(pg);
+    solve_scheduled(pg.succs(), pg.preds(), &p, pg.schedule())
+}
+
+/// The [`live_variables`] problem.
+pub fn live_variables_problem(pg: &PointGraph<'_>) -> Problem {
     let g = pg.graph();
     let n = pg.len();
     let vars = g.pool().len();
@@ -222,7 +232,7 @@ pub fn live_variables(pg: &PointGraph<'_>) -> Solution {
             }
         }
     }
-    solve(pg.succs(), pg.preds(), &p)
+    p
 }
 
 /// Reaching copies: the copy `x := y` (or constant copy `x := 5`) reaches a
@@ -231,6 +241,13 @@ pub fn live_variables(pg: &PointGraph<'_>) -> Solution {
 /// of trivial assignment patterns of `universe` (identified by their
 /// assignment-pattern index).
 pub fn reaching_copies(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solution {
+    let p = reaching_copies_problem(pg, universe);
+    solve_scheduled(pg.succs(), pg.preds(), &p, pg.schedule())
+}
+
+/// The [`reaching_copies`] problem.
+pub fn reaching_copies_problem(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Problem {
+    let masks = PatternMasks::build(universe, pg.graph().pool().len());
     let n = pg.len();
     let mut p = Problem::new(
         Direction::Forward,
@@ -239,22 +256,33 @@ pub fn reaching_copies(pg: &PointGraph<'_>, universe: &PatternUniverse) -> Solut
         universe.assign_count(),
     );
     for point in pg.points() {
-        if let Some(instr) = pg.instr(point) {
-            for (i, pat) in universe.assign_patterns() {
-                if !matches!(pat.rhs, Term::Operand(_)) {
-                    continue;
-                }
-                if pat.executed_by(instr) {
-                    p.gen[point.index()].insert(i);
-                } else if let Some(d) = instr.def() {
-                    if d == pat.lhs || pat.rhs.mentions(d) {
-                        p.kill[point.index()].insert(i);
-                    }
-                }
+        let Some(instr) = pg.instr(point) else {
+            continue;
+        };
+        let idx = point.index();
+        // The instruction's own pattern, when it is itself a copy.
+        let own = match instr {
+            Instr::Assign { lhs, rhs } if matches!(rhs, Term::Operand(_)) => {
+                universe.assign_id(&AssignPattern::new(*lhs, *rhs))
+            }
+            _ => None,
+        };
+        if let Some(i) = own {
+            p.gen[idx].insert(i);
+        }
+        if let Some(d) = instr.def() {
+            // Kill every copy reading or writing the defined variable —
+            // except the copy this instruction executes, which re-reaches.
+            let kill = &mut p.kill[idx];
+            kill.union_with(masks.assign_lhs(d));
+            kill.union_with(masks.assign_mentions(d));
+            kill.intersect_with(masks.trivial_assigns());
+            if let Some(i) = own {
+                kill.remove(i);
             }
         }
     }
-    solve(pg.succs(), pg.preds(), &p)
+    p
 }
 
 /// Convenience: the set of variables live before point `p`.

@@ -31,8 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod classic;
+mod masks;
 mod points;
 mod solve;
 
-pub use points::{node_adjacency, PointGraph, PointId};
-pub use solve::{solve, solve_parallel, Confluence, Direction, Problem, Solution};
+pub use masks::PatternMasks;
+pub use points::{node_adjacency, PointData, PointGraph, PointId};
+pub use solve::{
+    solve, solve_parallel, solve_scheduled, solve_seeded, Confluence, Direction, Problem, Schedule,
+    Solution,
+};

@@ -1,0 +1,179 @@
+//! Word-level gen/kill row kernels.
+//!
+//! The naive way to build a gen/kill problem is a per-point × per-pattern
+//! loop asking "does this instruction generate/kill this pattern?" —
+//! `O(points · patterns)` predicate calls. But every local predicate of
+//! Tables 1–3 depends on the instruction only through its *defined
+//! variable* and its *used variables*: "kills pattern α" means "defines
+//! α's left-hand side or an operand of α's right-hand side". So the
+//! pattern sets can be indexed by variable once per universe, and each
+//! instruction's row becomes a constant number of whole-bitset unions —
+//! `O(points · words)` with the `am-bitset` word kernels doing the wide
+//! work.
+//!
+//! [`PatternMasks`] holds those per-variable indexes plus the two
+//! universe-wide masks (self-referential and trivial assignment patterns)
+//! the analyses need. Build once per universe, reuse across every solve —
+//! the assignment-motion loop caches it for all rounds.
+
+use am_bitset::BitSet;
+use am_ir::{PatternUniverse, Term, Var};
+
+/// Per-variable pattern indexes over a [`PatternUniverse`].
+///
+/// All sets over assignment patterns use the universe's assignment-pattern
+/// bit numbering, sets over expression patterns its expression numbering.
+pub struct PatternMasks {
+    /// `assign_lhs[v]` — assignment patterns whose left-hand side is `v`.
+    assign_lhs: Vec<BitSet>,
+    /// `assign_mentions[v]` — assignment patterns whose right-hand side
+    /// mentions `v`.
+    assign_mentions: Vec<BitSet>,
+    /// `expr_mentions[v]` — expression patterns mentioning `v`.
+    expr_mentions: Vec<BitSet>,
+    /// Assignment patterns with their left-hand side among their operands
+    /// (`x := x+1`), excluded from redundancy/hoisting universes.
+    self_referential: BitSet,
+    /// Assignment patterns with a trivial (operand) right-hand side.
+    trivial_assigns: BitSet,
+    /// Empty fallbacks for variables outside the indexed pool prefix.
+    empty_assign: BitSet,
+    empty_expr: BitSet,
+}
+
+impl PatternMasks {
+    /// Indexes `universe` for a variable pool of size `vars`.
+    ///
+    /// Variables created after the build (their index ≥ `vars`) resolve to
+    /// empty masks — correct, since they cannot appear in any pattern of
+    /// the universe.
+    pub fn build(universe: &PatternUniverse, vars: usize) -> Self {
+        let ap = universe.assign_count();
+        let ep = universe.expr_count();
+        let mut masks = PatternMasks {
+            assign_lhs: vec![BitSet::new(ap); vars],
+            assign_mentions: vec![BitSet::new(ap); vars],
+            expr_mentions: vec![BitSet::new(ep); vars],
+            self_referential: BitSet::new(ap),
+            trivial_assigns: BitSet::new(ap),
+            empty_assign: BitSet::new(ap),
+            empty_expr: BitSet::new(ep),
+        };
+        for (i, pat) in universe.assign_patterns() {
+            if let Some(row) = masks.assign_lhs.get_mut(pat.lhs.index()) {
+                row.insert(i);
+            }
+            pat.rhs.for_each_var(|v| {
+                if let Some(row) = masks.assign_mentions.get_mut(v.index()) {
+                    row.insert(i);
+                }
+            });
+            if pat.is_self_referential() {
+                masks.self_referential.insert(i);
+            }
+            if matches!(pat.rhs, Term::Operand(_)) {
+                masks.trivial_assigns.insert(i);
+            }
+        }
+        for (i, t) in universe.expr_patterns() {
+            t.for_each_var(|v| {
+                if let Some(row) = masks.expr_mentions.get_mut(v.index()) {
+                    row.insert(i);
+                }
+            });
+        }
+        masks
+    }
+
+    /// Assignment patterns with left-hand side `v`.
+    pub fn assign_lhs(&self, v: Var) -> &BitSet {
+        self.assign_lhs.get(v.index()).unwrap_or(&self.empty_assign)
+    }
+
+    /// Assignment patterns whose right-hand side mentions `v`.
+    pub fn assign_mentions(&self, v: Var) -> &BitSet {
+        self.assign_mentions
+            .get(v.index())
+            .unwrap_or(&self.empty_assign)
+    }
+
+    /// Expression patterns mentioning `v`.
+    pub fn expr_mentions(&self, v: Var) -> &BitSet {
+        self.expr_mentions
+            .get(v.index())
+            .unwrap_or(&self.empty_expr)
+    }
+
+    /// Self-referential assignment patterns.
+    pub fn self_referential(&self) -> &BitSet {
+        &self.self_referential
+    }
+
+    /// Trivial (copy/constant) assignment patterns.
+    pub fn trivial_assigns(&self) -> &BitSet {
+        &self.trivial_assigns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_ir::text::parse;
+    use am_ir::AssignPattern;
+
+    #[test]
+    fn masks_agree_with_the_predicates() {
+        let g = parse(
+            "start 1\nend 2\n\
+             node 1 { x := a+b; y := x; i := i+1 }\n\
+             node 2 { out(x,y,i) }\n\
+             edge 1 -> 2",
+        )
+        .unwrap();
+        let universe = PatternUniverse::collect(&g);
+        let masks = PatternMasks::build(&universe, g.pool().len());
+        for v in g.pool().iter() {
+            for (i, pat) in universe.assign_patterns() {
+                assert_eq!(masks.assign_lhs(v).contains(i), pat.lhs == v);
+                assert_eq!(masks.assign_mentions(v).contains(i), pat.rhs.mentions(v));
+            }
+            for (i, t) in universe.expr_patterns() {
+                assert_eq!(masks.expr_mentions(v).contains(i), t.mentions(v));
+            }
+        }
+        for (i, pat) in universe.assign_patterns() {
+            assert_eq!(
+                masks.self_referential().contains(i),
+                pat.is_self_referential()
+            );
+            assert_eq!(
+                masks.trivial_assigns().contains(i),
+                matches!(pat.rhs, Term::Operand(_))
+            );
+        }
+        let x = g.pool().lookup("x").unwrap();
+        let y = g.pool().lookup("y").unwrap();
+        let copy = universe
+            .assign_id(&AssignPattern::new(y, Term::operand(x)))
+            .unwrap();
+        assert!(masks.trivial_assigns().contains(copy));
+    }
+
+    #[test]
+    fn out_of_pool_variables_resolve_to_empty_masks() {
+        let mut g =
+            parse("start 1\nend 2\nnode 1 { x := a+b }\nnode 2 { out(x) }\nedge 1 -> 2").unwrap();
+        let universe = PatternUniverse::collect(&g);
+        let masks = PatternMasks::build(&universe, g.pool().len());
+        // A temp created after the build has no patterns.
+        let late = g.temp_for(
+            universe
+                .expr_patterns()
+                .next()
+                .map(|(_, t)| t)
+                .expect("one expression"),
+        );
+        assert!(masks.assign_lhs(late).is_empty());
+        assert!(masks.expr_mentions(late).is_empty());
+    }
+}

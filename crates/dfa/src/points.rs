@@ -10,6 +10,8 @@
 
 use am_ir::{FlowGraph, Instr, Loc, NodeId};
 
+use crate::solve::Schedule;
+
 /// Identifier of a program point (an instruction or a virtual pass-through).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct PointId(pub u32);
@@ -21,9 +23,14 @@ impl PointId {
     }
 }
 
-/// The instruction-level point graph of a flow graph.
-pub struct PointGraph<'g> {
-    graph: &'g FlowGraph,
+/// The owned structural part of a [`PointGraph`]: point locations,
+/// adjacency and the solver schedule. It depends only on per-block
+/// instruction *counts* and block edges — never on instruction content —
+/// so a caller that fingerprints that structure (the assignment-motion
+/// loop) can detach it with [`PointGraph::into_data`] and re-attach it to
+/// a later revision of the graph with [`PointGraph::attach`], skipping the
+/// whole rebuild.
+pub struct PointData {
     /// Location of each point; `None` for virtual points of empty blocks.
     locs: Vec<Option<Loc>>,
     node_of: Vec<NodeId>,
@@ -31,6 +38,25 @@ pub struct PointGraph<'g> {
     last_of: Vec<PointId>,
     preds: Vec<Vec<usize>>,
     succs: Vec<Vec<usize>>,
+    schedule: Schedule,
+}
+
+impl PointData {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// Returns `true` if there are no points (impossible for valid graphs).
+    pub fn is_empty(&self) -> bool {
+        self.locs.is_empty()
+    }
+}
+
+/// The instruction-level point graph of a flow graph.
+pub struct PointGraph<'g> {
+    graph: &'g FlowGraph,
+    data: PointData,
 }
 
 impl<'g> PointGraph<'g> {
@@ -74,15 +100,39 @@ impl<'g> PointGraph<'g> {
                 preds[target].push(last);
             }
         }
+        let schedule = Schedule::build(&succs, &preds);
         PointGraph {
             graph: g,
-            locs,
-            node_of,
-            first_of,
-            last_of,
-            preds,
-            succs,
+            data: PointData {
+                locs,
+                node_of,
+                first_of,
+                last_of,
+                preds,
+                succs,
+                schedule,
+            },
         }
+    }
+
+    /// Attaches previously built [`PointData`] to `g`. The caller must
+    /// guarantee the point structure is unchanged since the data was built
+    /// — same per-block instruction counts and same block edges (the
+    /// assignment-motion loop fingerprints both). Panics in debug builds
+    /// when the point count disagrees.
+    pub fn attach(g: &'g FlowGraph, data: PointData) -> Self {
+        debug_assert_eq!(
+            data.len(),
+            g.nodes().map(|n| g.block(n).len().max(1)).sum::<usize>(),
+            "stale point data for this flow graph"
+        );
+        PointGraph { graph: g, data }
+    }
+
+    /// Releases the owned structural data (and the borrow of the graph)
+    /// for reuse via [`PointGraph::attach`].
+    pub fn into_data(self) -> PointData {
+        self.data
     }
 
     /// The underlying flow graph.
@@ -92,39 +142,39 @@ impl<'g> PointGraph<'g> {
 
     /// Number of points.
     pub fn len(&self) -> usize {
-        self.locs.len()
+        self.data.locs.len()
     }
 
     /// Returns `true` if the graph has no points (impossible for valid
     /// graphs, which have at least start and end).
     pub fn is_empty(&self) -> bool {
-        self.locs.is_empty()
+        self.data.locs.is_empty()
     }
 
     /// The instruction at `p`, or `None` for a virtual pass-through point.
     pub fn instr(&self, p: PointId) -> Option<&'g Instr> {
-        let loc = self.locs[p.index()]?;
+        let loc = self.data.locs[p.index()]?;
         Some(&self.graph.block(loc.node).instrs[loc.index])
     }
 
     /// The location of `p`, or `None` for a virtual point.
     pub fn loc(&self, p: PointId) -> Option<Loc> {
-        self.locs[p.index()]
+        self.data.locs[p.index()]
     }
 
     /// The node containing `p`.
     pub fn node(&self, p: PointId) -> NodeId {
-        self.node_of[p.index()]
+        self.data.node_of[p.index()]
     }
 
     /// First point of block `n`.
     pub fn first_of(&self, n: NodeId) -> PointId {
-        self.first_of[n.index()]
+        self.data.first_of[n.index()]
     }
 
     /// Last point of block `n`.
     pub fn last_of(&self, n: NodeId) -> PointId {
-        self.last_of[n.index()]
+        self.data.last_of[n.index()]
     }
 
     /// The entry point of the program: first point of the start node (the
@@ -140,17 +190,24 @@ impl<'g> PointGraph<'g> {
 
     /// Predecessor point indices (shared with the solver).
     pub fn preds(&self) -> &[Vec<usize>] {
-        &self.preds
+        &self.data.preds
     }
 
     /// Successor point indices (shared with the solver).
     pub fn succs(&self) -> &[Vec<usize>] {
-        &self.succs
+        &self.data.succs
     }
 
     /// Iterates over all points.
     pub fn points(&self) -> impl Iterator<Item = PointId> {
-        (0..self.locs.len() as u32).map(PointId)
+        (0..self.data.locs.len() as u32).map(PointId)
+    }
+
+    /// The priority schedule of this point set, computed once at build
+    /// time; pass to [`solve_scheduled`](crate::solve_scheduled) to avoid
+    /// re-deriving traversal orders per solve.
+    pub fn schedule(&self) -> &Schedule {
+        &self.data.schedule
     }
 }
 

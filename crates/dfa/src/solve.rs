@@ -12,6 +12,21 @@
 //! successor adjacency over any point set — instruction-level points
 //! ([`PointGraph`](crate::PointGraph), Tables 2–3) or whole blocks
 //! (Table 1).
+//!
+//! # Scheduling
+//!
+//! Points are processed in priority order, not stack order: a [`Schedule`]
+//! ranks every point in reverse postorder of the propagation direction
+//! (RPO over successors for forward problems, RPO over predecessors —
+//! i.e. post-order — for backward ones), and the worklist is a min-heap on
+//! that rank with an "on worklist" bitmask so each point is queued at most
+//! once at a time. On a reducible graph one heap drain visits points in
+//! topological order modulo back edges, so the solver converges in a small
+//! number of passes (Kam–Ullman priority iteration) instead of chasing a
+//! LIFO stack around the graph.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use am_bitset::BitSet;
 
@@ -73,6 +88,113 @@ impl Problem {
     }
 }
 
+/// One direction's processing order: a permutation of the points and its
+/// inverse.
+#[derive(Clone, Debug)]
+struct Order {
+    /// `rank[p]` — position of point `p` in the traversal.
+    rank: Vec<u32>,
+    /// `seq[r]` — the point at position `r` (inverse of `rank`).
+    seq: Vec<u32>,
+}
+
+/// Direction-aware priority schedule of a point set.
+///
+/// Computed once per graph (e.g. cached on
+/// [`PointGraph`](crate::PointGraph)) and shared by every solve over that
+/// graph: the forward order is reverse postorder over successors, the
+/// backward order reverse postorder over predecessors. Depth-first search
+/// starts from the boundary points of the respective direction (no
+/// upstream neighbour), then sweeps any remaining unvisited points in
+/// index order, so unreachable regions still get deterministic ranks.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    forward: Order,
+    backward: Order,
+}
+
+impl Schedule {
+    /// Builds the schedule for the point set described by `succs`/`preds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `succs` and `preds` disagree on the number of points.
+    pub fn build(succs: &[Vec<usize>], preds: &[Vec<usize>]) -> Self {
+        assert_eq!(preds.len(), succs.len(), "preds/succs length mismatch");
+        Schedule {
+            forward: reverse_postorder(succs, preds),
+            backward: reverse_postorder(preds, succs),
+        }
+    }
+
+    /// The number of points the schedule covers.
+    pub fn len(&self) -> usize {
+        self.forward.rank.len()
+    }
+
+    /// Whether the schedule covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.forward.rank.is_empty()
+    }
+
+    /// Priority rank of point `p` for `direction` (lower runs earlier).
+    pub fn rank(&self, direction: Direction, p: usize) -> u32 {
+        self.order(direction).rank[p]
+    }
+
+    /// The point at position `rank` of `direction`'s traversal — the
+    /// inverse of [`rank`](Self::rank), for callers running their own
+    /// priority worklists over non-gen/kill transfer functions.
+    pub fn point_at(&self, direction: Direction, rank: u32) -> usize {
+        self.order(direction).seq[rank as usize] as usize
+    }
+
+    fn order(&self, direction: Direction) -> &Order {
+        match direction {
+            Direction::Forward => &self.forward,
+            Direction::Backward => &self.backward,
+        }
+    }
+}
+
+/// Reverse postorder over `adj`, with DFS roots chosen boundary-first:
+/// points with no `adj_in` neighbour seed the search (in index order), any
+/// point left unvisited afterwards roots its own tree.
+fn reverse_postorder(adj: &[Vec<usize>], adj_in: &[Vec<usize>]) -> Order {
+    let n = adj.len();
+    let mut post: Vec<u32> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    // (point, next child index) — an explicit stack keeps deep chains
+    // (straight-line code is one point per instruction) off the call stack.
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let roots = (0..n).filter(|&p| adj_in[p].is_empty()).chain(0..n);
+    for root in roots {
+        if visited[root] {
+            continue;
+        }
+        visited[root] = true;
+        stack.push((root, 0));
+        while let Some(&mut (p, ref mut child)) = stack.last_mut() {
+            if let Some(&q) = adj[p].get(*child) {
+                *child += 1;
+                if !visited[q] {
+                    visited[q] = true;
+                    stack.push((q, 0));
+                }
+            } else {
+                post.push(p as u32);
+                stack.pop();
+            }
+        }
+    }
+    post.reverse();
+    let mut rank = vec![0u32; n];
+    for (r, &p) in post.iter().enumerate() {
+        rank[p as usize] = r as u32;
+    }
+    Order { rank, seq: post }
+}
+
 /// The fixed-point solution of a [`Problem`].
 #[derive(Clone, Debug)]
 pub struct Solution {
@@ -83,12 +205,14 @@ pub struct Solution {
     /// Number of point updates performed until convergence — the iteration
     /// count reported by the complexity study.
     pub iterations: u64,
-    /// Number of worklist pushes, including the initial seeding of every
-    /// point. Since the solver runs until the worklist drains, this always
-    /// equals [`iterations`](Self::iterations) for a single solve; the
-    /// parallel solver reports the sum over its partitions.
+    /// Number of worklist pushes, including the initial seeding. Since the
+    /// solver runs until the worklist drains, this always equals
+    /// [`iterations`](Self::iterations) for a single solve; the parallel
+    /// solver reports the sum over its partitions.
     pub worklist_pushes: u64,
-    /// Peak worklist length observed (≥ the point count, which seeds it).
+    /// Peak worklist length observed. A cold solve seeds every point, so
+    /// this is at least the point count; a warm-started solve
+    /// ([`solve_seeded`]) seeds only the dirty points.
     pub max_worklist_len: usize,
 }
 
@@ -107,43 +231,132 @@ impl Solution {
 /// Solves `problem` over the point set described by `succs`/`preds`.
 ///
 /// Must-problems are initialized to ⊤ and shrink to the greatest fixed
-/// point; may-problems start at ⊥ and grow to the least. A worklist over
-/// the appropriate traversal order keeps the pass count low (linear for
-/// acyclic graphs, proportional to loop nesting otherwise).
+/// point; may-problems start at ⊥ and grow to the least. Builds a
+/// [`Schedule`] for the graph and delegates to [`solve_scheduled`]; when
+/// the same graph is solved repeatedly, build the schedule once and call
+/// [`solve_scheduled`] directly.
 ///
 /// # Panics
 ///
 /// Panics if the adjacency, gen and kill vectors disagree on the number of
 /// points.
 pub fn solve(succs: &[Vec<usize>], preds: &[Vec<usize>], problem: &Problem) -> Solution {
+    check_lengths(succs, preds, problem);
+    let schedule = Schedule::build(succs, preds);
+    solve_scheduled(succs, preds, problem, &schedule)
+}
+
+fn check_lengths(succs: &[Vec<usize>], preds: &[Vec<usize>], problem: &Problem) {
     let n = succs.len();
     assert_eq!(preds.len(), n, "preds/succs length mismatch");
     assert_eq!(problem.gen.len(), n, "gen length mismatch");
     assert_eq!(problem.kill.len(), n, "kill length mismatch");
-    let universe = problem.universe;
+}
 
+/// Solves `problem` using a precomputed [`Schedule`], seeding every point.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`solve`], and if the schedule
+/// covers a different number of points.
+pub fn solve_scheduled(
+    succs: &[Vec<usize>],
+    preds: &[Vec<usize>],
+    problem: &Problem,
+    schedule: &Schedule,
+) -> Solution {
+    check_lengths(succs, preds, problem);
+    let n = succs.len();
     let top = match problem.confluence {
-        Confluence::Must => BitSet::full(universe),
-        Confluence::May => BitSet::new(universe),
+        Confluence::Must => BitSet::full(problem.universe),
+        Confluence::May => BitSet::new(problem.universe),
     };
-    // `input[p]` is the merged incoming fact, `output[p]` the transferred
-    // one. For forward problems input = before/entry, output = after/exit;
-    // for backward problems input = after/exit, output = before/entry.
-    let mut input: Vec<BitSet> = vec![top.clone(); n];
-    let mut output: Vec<BitSet> = vec![top; n];
+    let input: Vec<BitSet> = vec![top.clone(); n];
+    let output: Vec<BitSet> = vec![top; n];
+    let seed: Vec<usize> = (0..n).collect();
+    run(succs, preds, problem, schedule, input, output, &seed)
+}
 
+/// Continues a previous solve after a localized change to the problem.
+///
+/// `warm` is the previous [`Solution`] of a problem over the same graph;
+/// `dirty` lists every point whose gen/kill row changed since then. The
+/// solver restarts chaotic iteration from the warm facts with only the
+/// dirty points seeded, and converges to the same fixed point a cold
+/// [`solve`] of the new problem would, **provided the change moved the
+/// transfer functions in the problem's safe direction**:
+///
+/// * **Must** (greatest fixed point): the warm facts must be ≥ the new
+///   fixed point, which holds when rows only *lowered* — gen bits removed
+///   and/or kill bits added. Any fixed point above the greatest one does
+///   not exist, so descending iteration from above lands exactly on it.
+/// * **May** (least fixed point): dually, rows may only *raise* — gen bits
+///   added and/or kill bits removed — keeping the warm facts ≤ the new
+///   fixed point.
+///
+/// Changes in the unsafe direction (e.g. a must-problem whose kill bits
+/// disappeared) can converge to a stale inner fixed point; callers must
+/// fall back to a cold solve in that case. The returned metrics count only
+/// the incremental work: `worklist_pushes` starts at `dirty.len()`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`solve_scheduled`], and if `warm`
+/// covers a different number of points.
+pub fn solve_seeded(
+    succs: &[Vec<usize>],
+    preds: &[Vec<usize>],
+    problem: &Problem,
+    schedule: &Schedule,
+    warm: &Solution,
+    dirty: &[usize],
+) -> Solution {
+    check_lengths(succs, preds, problem);
+    let n = succs.len();
+    assert_eq!(warm.before.len(), n, "warm solution length mismatch");
+    // Undo the direction normalization: `input` is the merged incoming
+    // fact (entry for forward, exit for backward), `output` the
+    // transferred one.
+    let (input, output) = match problem.direction {
+        Direction::Forward => (warm.before.clone(), warm.after.clone()),
+        Direction::Backward => (warm.after.clone(), warm.before.clone()),
+    };
+    run(succs, preds, problem, schedule, input, output, dirty)
+}
+
+/// The priority worklist loop shared by cold and warm solves.
+fn run(
+    succs: &[Vec<usize>],
+    preds: &[Vec<usize>],
+    problem: &Problem,
+    schedule: &Schedule,
+    mut input: Vec<BitSet>,
+    mut output: Vec<BitSet>,
+    seed: &[usize],
+) -> Solution {
+    let n = succs.len();
+    assert_eq!(schedule.len(), n, "schedule length mismatch");
     let (upstream, downstream) = match problem.direction {
         Direction::Forward => (preds, succs),
         Direction::Backward => (succs, preds),
     };
+    let order = schedule.order(problem.direction);
 
     let mut iterations: u64 = 0;
-    let mut on_list = vec![true; n];
-    let mut worklist: Vec<usize> = (0..n).collect();
-    let mut worklist_pushes = n as u64;
-    let mut max_worklist_len = n;
-    let mut scratch = BitSet::new(universe);
-    while let Some(p) = worklist.pop() {
+    let mut worklist_pushes: u64 = 0;
+    let mut on_list = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<u32>> = BinaryHeap::with_capacity(n);
+    for &p in seed {
+        if !on_list[p] {
+            on_list[p] = true;
+            heap.push(Reverse(order.rank[p]));
+            worklist_pushes += 1;
+        }
+    }
+    let mut max_worklist_len = heap.len();
+    let mut scratch = BitSet::new(problem.universe);
+    while let Some(Reverse(rank)) = heap.pop() {
+        let p = order.seq[rank as usize] as usize;
         on_list[p] = false;
         iterations += 1;
         // Merge incoming facts.
@@ -173,11 +386,11 @@ pub fn solve(succs: &[Vec<usize>], preds: &[Vec<usize>], problem: &Problem) -> S
             for &q in &downstream[p] {
                 if !on_list[q] {
                     on_list[q] = true;
-                    worklist.push(q);
+                    heap.push(Reverse(order.rank[q]));
                     worklist_pushes += 1;
                 }
             }
-            max_worklist_len = max_worklist_len.max(worklist.len());
+            max_worklist_len = max_worklist_len.max(heap.len());
         }
     }
 
@@ -252,13 +465,7 @@ mod tests {
         // on the cycle only if it is true on every path into it; with a
         // false boundary it collapses to gen-reachability.
         let succs = vec![vec![1], vec![2, 3], vec![1], vec![]];
-        let preds = vec![vec![], vec![0, 2], vec![1], vec![3]];
-        // preds[3] should be [1]; typo guard below.
-        let preds = {
-            let mut p = preds;
-            p[3] = vec![1];
-            p
-        };
+        let preds = vec![vec![], vec![0, 2], vec![1], vec![1]];
         let mut p = Problem::new(Direction::Forward, Confluence::Must, 4, 1);
         p.gen[0].insert(0);
         let sol = solve(&succs, &preds, &p);
@@ -303,10 +510,105 @@ mod tests {
         assert_eq!(sol.worklist_pushes, sol.iterations);
         // All four points seed the worklist, so the peak is at least that.
         assert!(sol.max_worklist_len >= 4, "{}", sol.max_worklist_len);
-        // Seeding LIFO order pops 3,2,1,0; each update re-enqueues its
-        // downstream point(s): 0 pushes {1,2}, 1 and 2 each push 3.
-        // 4 seeds + at most 4 re-pushes for this acyclic graph.
+        // RPO pops 0 before both branches and both branches before the
+        // join, so every downstream point is still seeded when its
+        // upstream fact changes: no re-pushes at all on an acyclic graph.
         assert!(sol.worklist_pushes >= 4 && sol.worklist_pushes <= 8);
+    }
+
+    #[test]
+    fn rpo_converges_in_one_pass_on_the_diamond() {
+        // Regression for the old arbitrary-order seeding: the LIFO stack
+        // popped the join first and re-processed it after each branch,
+        // spending 7 updates on this graph. Priority order does exactly
+        // one update per point.
+        let (succs, preds) = diamond();
+        let mut p = Problem::new(Direction::Forward, Confluence::Must, 4, 2);
+        p.gen[0].insert(0);
+        p.gen[1].insert(1);
+        let sol = solve(&succs, &preds, &p);
+        assert_eq!(sol.iterations, 4, "one update per point in RPO");
+        assert_eq!(sol.worklist_pushes, 4, "no re-pushes on an acyclic graph");
+
+        // Same property for a backward problem: post-order pops the join
+        // side first.
+        let mut p = Problem::new(Direction::Backward, Confluence::Must, 4, 2);
+        p.gen[3].insert(0);
+        let sol = solve(&succs, &preds, &p);
+        assert_eq!(sol.iterations, 4);
+    }
+
+    #[test]
+    fn schedule_ranks_are_direction_aware() {
+        let (succs, preds) = diamond();
+        let s = Schedule::build(&succs, &preds);
+        assert_eq!(s.len(), 4);
+        // Forward: entry first, join last.
+        assert_eq!(s.rank(Direction::Forward, 0), 0);
+        assert_eq!(s.rank(Direction::Forward, 3), 3);
+        // Backward: exit first, entry last.
+        assert_eq!(s.rank(Direction::Backward, 3), 0);
+        assert_eq!(s.rank(Direction::Backward, 0), 3);
+    }
+
+    #[test]
+    fn seeded_resolve_from_converged_state_is_a_fixed_point() {
+        let (succs, preds) = diamond();
+        let mut p = Problem::new(Direction::Forward, Confluence::Must, 4, 2);
+        p.gen[0].insert(0);
+        p.gen[1].insert(1);
+        let schedule = Schedule::build(&succs, &preds);
+        let cold = solve(&succs, &preds, &p);
+        // Re-seeding everything over an unchanged problem: one sweep, no
+        // changes, identical facts.
+        let warm = solve_seeded(&succs, &preds, &p, &schedule, &cold, &[0, 1, 2, 3]);
+        assert_eq!(warm.before, cold.before);
+        assert_eq!(warm.after, cold.after);
+        assert_eq!(warm.iterations, 4);
+        // An empty dirty set does no work at all.
+        let idle = solve_seeded(&succs, &preds, &p, &schedule, &cold, &[]);
+        assert_eq!(idle.before, cold.before);
+        assert_eq!(idle.iterations, 0);
+        assert_eq!(idle.worklist_pushes, 0);
+    }
+
+    #[test]
+    fn seeded_resolve_tracks_a_lowering_must_change() {
+        // Cyclic graph: 0 -> 1 <-> 2 -> 3 (via 1). Lower point 1's row
+        // (remove a gen bit, add a kill bit) and re-solve warm from the old
+        // facts: must-facts only shrink, so the warm run lands on the same
+        // greatest fixed point as a cold solve of the new problem.
+        let succs = vec![vec![1], vec![2, 3], vec![1], vec![]];
+        let preds = vec![vec![], vec![0, 2], vec![1], vec![1]];
+        let schedule = Schedule::build(&succs, &preds);
+        let mut p = Problem::new(Direction::Forward, Confluence::Must, 4, 3);
+        p.gen[0].insert(0);
+        p.gen[0].insert(1);
+        p.gen[1].insert(2);
+        let old = solve(&succs, &preds, &p);
+        p.gen[1].remove(2);
+        p.kill[1].insert(0);
+        let cold = solve(&succs, &preds, &p);
+        let warm = solve_seeded(&succs, &preds, &p, &schedule, &old, &[1]);
+        assert_eq!(warm.before, cold.before);
+        assert_eq!(warm.after, cold.after);
+        assert!(warm.iterations <= cold.iterations);
+    }
+
+    #[test]
+    fn seeded_resolve_tracks_a_raising_may_change() {
+        let succs = vec![vec![1], vec![2, 3], vec![1], vec![]];
+        let preds = vec![vec![], vec![0, 2], vec![1], vec![1]];
+        let schedule = Schedule::build(&succs, &preds);
+        let mut p = Problem::new(Direction::Backward, Confluence::May, 4, 2);
+        p.gen[3].insert(0);
+        let old = solve(&succs, &preds, &p);
+        // Raise point 2's row: new gen bit, kill bit dropped.
+        p.gen[2].insert(1);
+        let cold = solve(&succs, &preds, &p);
+        let warm = solve_seeded(&succs, &preds, &p, &schedule, &old, &[2]);
+        assert_eq!(warm.before, cold.before);
+        assert_eq!(warm.after, cold.after);
     }
 
     #[test]
@@ -363,8 +665,9 @@ fn restrict(problem: &Problem, range: std::ops::Range<usize>) -> Problem {
 ///
 /// A gen/kill system is a product of independent one-bit systems, so the
 /// universe can be chunked and solved concurrently; the merged solution is
-/// identical to [`solve`]'s. Worth it for programs with many patterns;
-/// for small universes the sequential solver wins.
+/// identical to [`solve`]'s. The schedule is built once and shared by all
+/// partitions. Worth it for programs with many patterns; for small
+/// universes the sequential solver wins.
 ///
 /// # Panics
 ///
@@ -380,6 +683,8 @@ pub fn solve_parallel(
     if threads == 1 || universe < 2 * threads {
         return solve(succs, preds, problem);
     }
+    check_lengths(succs, preds, problem);
+    let schedule = Schedule::build(succs, preds);
     let chunk = universe.div_ceil(threads);
     let ranges: Vec<std::ops::Range<usize>> = (0..threads)
         .map(|t| (t * chunk).min(universe)..((t + 1) * chunk).min(universe))
@@ -390,9 +695,10 @@ pub fn solve_parallel(
             .iter()
             .map(|range| {
                 let range = range.clone();
+                let schedule = &schedule;
                 scope.spawn(move || {
                     let sub = restrict(problem, range.clone());
-                    (range, solve(succs, preds, &sub))
+                    (range, solve_scheduled(succs, preds, &sub, schedule))
                 })
             })
             .collect();

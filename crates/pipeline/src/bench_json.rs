@@ -1,0 +1,183 @@
+//! The `am-bench-dataflow/v1` benchmark record schema.
+//!
+//! One JSON document per benchmark run, shared between the
+//! `bench_dataflow` scaling harness (`crates/bench`) and
+//! `amopt --bench-json`: a `schema` tag, the producing `generator`, and a
+//! flat list of per-workload (or per-job) records carrying wall time,
+//! per-phase timings and the solver counters. Hand-written writer — the
+//! workspace builds offline, so no serde.
+//!
+//! Consumers diff successive documents to track the solver trajectory:
+//! `wall_micros` and `worklist_pushes` are the regression-gated fields
+//! (see `docs/PERFORMANCE.md`).
+
+/// Schema identifier embedded in every document.
+pub const BENCH_SCHEMA: &str = "am-bench-dataflow/v1";
+
+/// One benchmarked workload or job.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Workload or job label, e.g. `nest d=4 w=4`.
+    pub label: String,
+    /// Input CFG nodes.
+    pub nodes: usize,
+    /// Input instructions.
+    pub instrs: usize,
+    /// Instruction-level program points of the input (`PointGraph` size).
+    pub points: usize,
+    /// End-to-end `optimize` wall time, microseconds (best of N).
+    pub wall_micros: u128,
+    /// Critical-edge splitting time, microseconds.
+    pub split_micros: u128,
+    /// Initialization time, microseconds.
+    pub init_micros: u128,
+    /// Assignment-motion time, microseconds.
+    pub motion_micros: u128,
+    /// Final-flush time, microseconds.
+    pub flush_micros: u128,
+    /// Motion rounds until stabilization.
+    pub rounds: usize,
+    /// Whether motion converged within its round budget.
+    pub converged: bool,
+    /// Solver iterations (motion + flush).
+    pub iterations: u64,
+    /// Solver worklist pushes (motion + flush).
+    pub worklist_pushes: u64,
+    /// Peak solver worklist length across all solves.
+    pub max_worklist_len: usize,
+    /// Assignment occurrences eliminated by motion.
+    pub eliminated: usize,
+    /// Instances inserted by hoisting.
+    pub inserted: usize,
+    /// Hoisting candidates removed.
+    pub removed: usize,
+    /// Whether the record was served from the result cache (always false
+    /// for the scaling harness; per-job for `amopt --bench-json`, where a
+    /// hit reports zero timings).
+    pub cache_hit: bool,
+}
+
+impl BenchRecord {
+    /// Worklist pushes per program point: the dedup/ordering health metric
+    /// gated in CI. Counts every solve of the run, so a well-ordered
+    /// engine stays in the low tens even over many motion rounds.
+    pub fn pushes_per_point(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.worklist_pushes as f64 / self.points as f64
+        }
+    }
+}
+
+/// Renders a full document: schema tag, generator name, records.
+pub fn render(generator: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", escape(BENCH_SCHEMA)));
+    out.push_str(&format!("  \"generator\": {},\n", escape(generator)));
+    out.push_str("  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&render_record(r));
+    }
+    if !records.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn render_record(r: &BenchRecord) -> String {
+    format!(
+        "{{\"label\": {}, \"nodes\": {}, \"instrs\": {}, \"points\": {}, \
+         \"wall_micros\": {}, \"split_micros\": {}, \"init_micros\": {}, \
+         \"motion_micros\": {}, \"flush_micros\": {}, \"rounds\": {}, \
+         \"converged\": {}, \"iterations\": {}, \"worklist_pushes\": {}, \
+         \"max_worklist_len\": {}, \"eliminated\": {}, \"inserted\": {}, \
+         \"removed\": {}, \"cache_hit\": {}}}",
+        escape(&r.label),
+        r.nodes,
+        r.instrs,
+        r.points,
+        r.wall_micros,
+        r.split_micros,
+        r.init_micros,
+        r.motion_micros,
+        r.flush_micros,
+        r.rounds,
+        r.converged,
+        r.iterations,
+        r.worklist_pushes,
+        r.max_worklist_len,
+        r.eliminated,
+        r.inserted,
+        r.removed,
+        r.cache_hit,
+    )
+}
+
+/// JSON string literal with the required escapes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_shape_and_escaping() {
+        let rec = BenchRecord {
+            label: "nest \"d=1\"".to_owned(),
+            nodes: 3,
+            instrs: 7,
+            points: 8,
+            wall_micros: 1234,
+            converged: true,
+            worklist_pushes: 40,
+            ..Default::default()
+        };
+        let doc = render("bench_dataflow", &[rec]);
+        assert!(doc.starts_with("{\n  \"schema\": \"am-bench-dataflow/v1\""));
+        assert!(doc.contains("\"generator\": \"bench_dataflow\""));
+        assert!(doc.contains("\"label\": \"nest \\\"d=1\\\"\""));
+        assert!(doc.contains("\"wall_micros\": 1234"));
+        assert!(doc.contains("\"converged\": true"));
+        assert!(doc.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn empty_document_is_valid() {
+        let doc = render("amopt", &[]);
+        assert!(doc.contains("\"records\": []"));
+    }
+
+    #[test]
+    fn pushes_per_point_handles_zero_points() {
+        assert_eq!(BenchRecord::default().pushes_per_point(), 0.0);
+        let r = BenchRecord {
+            points: 8,
+            worklist_pushes: 40,
+            ..Default::default()
+        };
+        assert!((r.pushes_per_point() - 5.0).abs() < 1e-9);
+    }
+}

@@ -16,7 +16,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use am_lang::SourceKind;
-use am_pipeline::{Job, JobOutcome, Pipeline, PipelineConfig};
+use am_pipeline::bench_json::{self, BenchRecord};
+use am_pipeline::{Job, JobOutcome, Pipeline, PipelineConfig, PipelineReport};
 use am_trace::{export, Tracer};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,7 @@ struct Options {
     lint: bool,
     trace: Option<PathBuf>,
     trace_format: TraceFormat,
+    bench_json: Option<PathBuf>,
     synthetic: usize,
     inputs: Vec<PathBuf>,
 }
@@ -62,6 +64,9 @@ options:
   --trace-format F trace output format: chrome (chrome://tracing JSON,
                    default), jsonl (one event per line, amstat input),
                    or summary (human-readable tree)
+  --bench-json F   write per-job phase timings and solver counters of the
+                   last pass to F (am-bench-dataflow/v1 JSON, the schema
+                   bench_dataflow emits); cache hits report zero timings
   --synthetic N    append N deterministic synthetic programs to the batch
                    (seeded random structured programs; no files needed)
   --help           this text";
@@ -78,6 +83,7 @@ fn parse_args() -> Result<Options, String> {
         lint: false,
         trace: None,
         trace_format: TraceFormat::Chrome,
+        bench_json: None,
         synthetic: 0,
         inputs: Vec::new(),
     };
@@ -132,6 +138,9 @@ fn parse_args() -> Result<Options, String> {
                         ))
                     }
                 };
+            }
+            "--bench-json" => {
+                opts.bench_json = Some(PathBuf::from(value(&mut args, "--bench-json")?));
             }
             "--synthetic" => {
                 opts.synthetic = value(&mut args, "--synthetic")?
@@ -203,6 +212,41 @@ fn collect_jobs(inputs: &[PathBuf]) -> Result<Vec<Job>, String> {
     Ok(files.into_iter().map(Job::from_path).collect())
 }
 
+/// One `am-bench-dataflow/v1` record per optimized job of a pass. The
+/// solver counters come from the cached result (deterministic in the
+/// input); the phase timings are the job's own, so a cache hit reports
+/// zeros. Failed and panicked jobs produce no record.
+fn bench_records(report: &PipelineReport) -> Vec<BenchRecord> {
+    report
+        .jobs
+        .iter()
+        .filter_map(|job| {
+            let o = job.optimized()?;
+            let r = &o.result;
+            Some(BenchRecord {
+                label: job.name.clone(),
+                nodes: r.nodes,
+                instrs: r.instrs,
+                points: r.points,
+                wall_micros: o.timings.total().as_micros(),
+                split_micros: o.timings.split.as_micros(),
+                init_micros: o.timings.init.as_micros(),
+                motion_micros: o.timings.motion.as_micros(),
+                flush_micros: o.timings.flush.as_micros(),
+                rounds: r.motion.rounds,
+                converged: r.motion.converged,
+                iterations: r.motion.iterations + r.flush.iterations,
+                worklist_pushes: r.motion.worklist_pushes + r.flush.worklist_pushes,
+                max_worklist_len: r.flush.max_worklist_len,
+                eliminated: r.motion.eliminated,
+                inserted: r.motion.inserted,
+                removed: r.motion.removed,
+                cache_hit: o.cache_hit,
+            })
+        })
+        .collect()
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -239,8 +283,12 @@ fn main() -> ExitCode {
         tracer,
     });
     let mut any_failed = false;
+    let mut last_bench: Option<Vec<BenchRecord>> = None;
     for pass in 1..=opts.repeat {
         let report = pipeline.run(&jobs);
+        if opts.bench_json.is_some() && pass == opts.repeat {
+            last_bench = Some(bench_records(&report));
+        }
         if opts.repeat > 1 && !opts.quiet {
             println!("== pass {pass}/{} ==", opts.repeat);
         }
@@ -274,6 +322,20 @@ fn main() -> ExitCode {
         }
         any_failed |=
             report.failed() + report.panicked() + report.verify_failed() + report.lint_errors() > 0;
+    }
+    if let (Some(path), Some(records)) = (&opts.bench_json, &last_bench) {
+        let doc = bench_json::render("amopt", records);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("--bench-json {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            println!(
+                "bench: {} record(s) written to {}",
+                records.len(),
+                path.display()
+            );
+        }
     }
     if let (Some(path), Some(collector)) = (&opts.trace, &collector) {
         let events = collector.take();

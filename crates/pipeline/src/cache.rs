@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use am_core::flush::FlushStats;
+use am_core::global::PhaseTimings;
 use am_core::init::InitStats;
 use am_core::motion::MotionStats;
 use am_lint::LintSummary;
@@ -19,6 +20,12 @@ use am_lint::LintSummary;
 pub struct CachedResult {
     /// Canonical text of the optimized program ([`am_ir::alpha::canonical_text`]).
     pub canonical: String,
+    /// Input CFG nodes (as parsed, before edge splitting).
+    pub nodes: usize,
+    /// Input instructions.
+    pub instrs: usize,
+    /// Instruction-level program points of the input.
+    pub points: usize,
     /// Initialization statistics.
     pub init: InitStats,
     /// Assignment-motion statistics.
@@ -27,6 +34,11 @@ pub struct CachedResult {
     pub flush: FlushStats,
     /// Critical edges split before the phases ran.
     pub edges_split: usize,
+    /// Per-phase wall times of the run that produced this entry — the cost
+    /// to (re)produce the result, kept for provenance. Jobs served from the
+    /// cache report zero timings of their own (`OptimizedJob::timings`) but
+    /// can still show what the original optimization cost.
+    pub timings: PhaseTimings,
     /// `am-lint` findings on the optimized program. Deterministic in the
     /// input, so it is cached with the result; `None` when the entry was
     /// produced by a run without linting enabled.
@@ -148,10 +160,14 @@ mod tests {
     fn entry(tag: &str) -> CachedResult {
         CachedResult {
             canonical: tag.to_owned(),
+            nodes: 0,
+            instrs: 0,
+            points: 0,
             init: InitStats::default(),
             motion: MotionStats::default(),
             flush: FlushStats::default(),
             edges_split: 0,
+            timings: PhaseTimings::default(),
             lint: None,
         }
     }

@@ -222,14 +222,29 @@ impl Pipeline {
             );
             am_lint::LintSummary::from(&report)
         });
+        // Input shape, for bench reporting: every non-empty block contributes
+        // one program point per instruction, empty blocks one virtual point
+        // (mirrors `am_dfa::PointGraph::build`).
+        let nodes = graph.node_count();
+        let mut instrs = 0;
+        let mut points = 0;
+        for n in graph.nodes() {
+            let len = graph.block(n).len();
+            instrs += len;
+            points += len.max(1);
+        }
         let result = self.cache.insert(
             input_hash,
             CachedResult {
                 canonical: canonical_text(&out.program),
+                nodes,
+                instrs,
+                points,
                 init: out.init,
                 motion: out.motion,
                 flush: out.flush,
                 edges_split: out.edges_split,
+                timings: out.timings,
                 lint,
             },
         );

@@ -47,11 +47,13 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_json;
 pub mod cache;
 pub mod engine;
 pub mod job;
 pub mod report;
 
+pub use bench_json::{BenchRecord, BENCH_SCHEMA};
 pub use cache::{CacheStats, CachedResult, ResultCache};
 pub use engine::{Pipeline, PipelineConfig};
 pub use job::{Job, JobInput, JobOutcome, JobReport, OptimizedJob};
