@@ -120,6 +120,75 @@ fn render_record(r: &BenchRecord) -> String {
     )
 }
 
+/// Parses a full `am-bench-dataflow/v1` document back into its generator
+/// name and records — the inverse of [`render`], built on the zero-dep
+/// JSON reader in `am-trace`. Consumers (tests, baseline diffing) use it
+/// to guard the schema against drift: every field [`render`] writes must
+/// come back, and an unknown schema tag is an error.
+pub fn parse_document(text: &str) -> Result<(String, Vec<BenchRecord>), String> {
+    let v = am_trace::json::parse(text).map_err(|e| e.to_string())?;
+    let schema = v
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or("missing \"schema\"")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!(
+            "unsupported schema \"{schema}\" (expected \"{BENCH_SCHEMA}\")"
+        ));
+    }
+    let generator = v
+        .get("generator")
+        .and_then(|g| g.as_str())
+        .ok_or("missing \"generator\"")?
+        .to_owned();
+    let records = v
+        .get("records")
+        .and_then(|r| r.as_arr())
+        .ok_or("missing \"records\" array")?;
+    let records = records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| parse_record(r).map_err(|e| format!("record {i}: {e}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((generator, records))
+}
+
+fn parse_record(v: &am_trace::json::Json) -> Result<BenchRecord, String> {
+    let uint = |key: &str| {
+        v.get(key)
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| format!("missing or non-integer \"{key}\""))
+    };
+    let boolean = |key: &str| match v.get(key) {
+        Some(am_trace::json::Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing or non-boolean \"{key}\"")),
+    };
+    Ok(BenchRecord {
+        label: v
+            .get("label")
+            .and_then(|x| x.as_str())
+            .ok_or("missing or non-string \"label\"")?
+            .to_owned(),
+        nodes: uint("nodes")? as usize,
+        instrs: uint("instrs")? as usize,
+        points: uint("points")? as usize,
+        wall_micros: uint("wall_micros")? as u128,
+        split_micros: uint("split_micros")? as u128,
+        init_micros: uint("init_micros")? as u128,
+        motion_micros: uint("motion_micros")? as u128,
+        flush_micros: uint("flush_micros")? as u128,
+        rounds: uint("rounds")? as usize,
+        converged: boolean("converged")?,
+        iterations: uint("iterations")?,
+        worklist_pushes: uint("worklist_pushes")?,
+        max_worklist_len: uint("max_worklist_len")? as usize,
+        eliminated: uint("eliminated")? as usize,
+        inserted: uint("inserted")? as usize,
+        removed: uint("removed")? as usize,
+        cache_hit: boolean("cache_hit")?,
+    })
+}
+
 /// JSON string literal with the required escapes.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -168,6 +237,67 @@ mod tests {
     fn empty_document_is_valid() {
         let doc = render("amopt", &[]);
         assert!(doc.contains("\"records\": []"));
+    }
+
+    #[test]
+    fn render_parse_round_trip_preserves_every_field() {
+        let records = vec![
+            BenchRecord {
+                label: "service \"p99\"\n".to_owned(),
+                nodes: 98,
+                instrs: 354,
+                points: 360,
+                wall_micros: 123_456_789,
+                split_micros: 11,
+                init_micros: 22,
+                motion_micros: 33,
+                flush_micros: 44,
+                rounds: 7,
+                converged: true,
+                iterations: 9001,
+                worklist_pushes: 4242,
+                max_worklist_len: 77,
+                eliminated: 12,
+                inserted: 3,
+                removed: 4,
+                cache_hit: true,
+            },
+            BenchRecord::default(),
+        ];
+        let doc = render("amopt", &records);
+        let (generator, parsed) = parse_document(&doc).unwrap();
+        assert_eq!(generator, "amopt");
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn parse_rejects_schema_drift() {
+        let doc = render("amopt", &[]).replace("am-bench-dataflow/v1", "am-bench-dataflow/v2");
+        let err = parse_document(&doc).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+        assert!(parse_document("{}").is_err());
+        assert!(parse_document("not json").is_err());
+        let missing =
+            r#"{"schema":"am-bench-dataflow/v1","generator":"x","records":[{"label":"a"}]}"#;
+        let err = parse_document(missing).unwrap_err();
+        assert!(err.contains("record 0"), "{err}");
+    }
+
+    #[test]
+    fn checked_in_baseline_parses_through_the_schema() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dataflow.json");
+        let text = std::fs::read_to_string(path).expect("checked-in BENCH_dataflow.json");
+        let (generator, records) = parse_document(&text).unwrap();
+        assert_eq!(generator, "bench_dataflow");
+        assert!(
+            records.len() >= 12,
+            "workload ladder shrank: {}",
+            records.len()
+        );
+        for r in &records {
+            assert!(r.points > 0, "{}: zero points", r.label);
+            assert!(r.converged, "{}: did not converge", r.label);
+        }
     }
 
     #[test]

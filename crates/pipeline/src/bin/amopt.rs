@@ -50,7 +50,8 @@ non-recursively). With no inputs, uses ./programs.
 
 options:
   --workers N      worker threads (default: available parallelism)
-  --cache-size N   result-cache capacity in entries (default 256)
+  --cache-cap N    in-memory result-cache capacity in entries (default
+                   256; --cache-size is accepted as an alias)
   --rounds N       motion-round budget per job (default: paper's bound)
   --repeat N       run the batch N times; repeats hit the cache (default 1)
   --emit           print each optimized program (canonical text)
@@ -100,10 +101,10 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--workers: {e}"))?,
                 );
             }
-            "--cache-size" => {
-                opts.cache_capacity = value(&mut args, "--cache-size")?
+            "--cache-cap" | "--cache-size" => {
+                opts.cache_capacity = value(&mut args, &arg)?
                     .parse()
-                    .map_err(|e| format!("--cache-size: {e}"))?;
+                    .map_err(|e| format!("{arg}: {e}"))?;
             }
             "--rounds" => {
                 opts.max_motion_rounds = Some(
@@ -281,6 +282,7 @@ fn main() -> ExitCode {
         verify: opts.verify,
         lint: opts.lint,
         tracer,
+        secondary: None,
     });
     let mut any_failed = false;
     let mut last_bench: Option<Vec<BenchRecord>> = None;
@@ -310,6 +312,23 @@ fn main() -> ExitCode {
                 report.cache_hits(),
                 report.wall.as_secs_f64() * 1e3
             );
+            println!(
+                "cache: {} hits, {} misses, {} evictions ({:.0}% hit rate)",
+                report.cache.hits,
+                report.cache.misses,
+                report.cache.evictions,
+                report.cache.hit_rate() * 100.0
+            );
+            // Quiet suppresses the per-job table, never the failures: each
+            // bad input still gets one clean per-file line on stderr.
+            for job in &report.jobs {
+                match &job.outcome {
+                    // Failed messages already carry the job name as a prefix.
+                    JobOutcome::Failed(e) => eprintln!("amopt: {e}"),
+                    JobOutcome::Panicked(e) => eprintln!("amopt: {}: panicked: {e}", job.name),
+                    JobOutcome::Optimized(_) => {}
+                }
+            }
         } else {
             println!("{report}");
         }

@@ -58,6 +58,35 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+impl CacheStats {
+    /// Hits as a fraction of all lookups, in `[0, 1]`; 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// A second cache tier consulted on in-memory misses and fed on fresh
+/// optimizations — typically persistent (the `am-serve` on-disk store).
+///
+/// The engine treats it as strictly slower and strictly larger than the
+/// in-memory [`ResultCache`]: a successful [`load`](SecondaryCache::load)
+/// is promoted into memory, and every freshly computed result is offered
+/// via [`store`](SecondaryCache::store). Implementations must be safe to
+/// call from many worker threads at once; both operations are best-effort
+/// (an implementation may drop stores or miss loads without affecting
+/// correctness, only reuse).
+pub trait SecondaryCache: Send + Sync {
+    /// Fetches the entry for `key`, if present.
+    fn load(&self, key: u64) -> Option<CachedResult>;
+    /// Offers a freshly computed entry for `key`.
+    fn store(&self, key: u64, value: &CachedResult);
+}
+
 struct Inner {
     map: HashMap<u64, Slot>,
     tick: u64,
@@ -193,6 +222,16 @@ mod tests {
         assert!(cache.get(1).is_some());
         assert!(cache.get(3).is_some());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn hit_rate_is_hits_over_lookups() {
+        let cache = ResultCache::new(4);
+        assert_eq!(cache.stats().hit_rate(), 0.0, "idle cache");
+        cache.insert(1, entry("one"));
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none());
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -10,22 +10,23 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Instant;
 
 use am_check::validate::{validate, ValidationConfig};
 use am_core::global::{optimize_with, GlobalConfig, PhaseTimings};
 use am_ir::alpha::{canonical_text, stable_hash};
+use am_ir::FlowGraph;
 use am_lang::{compile_source, SourceKind};
 use am_trace::Tracer;
 
-use crate::cache::{CachedResult, ResultCache};
-use crate::job::{Job, JobInput, JobOutcome, JobReport, OptimizedJob};
+use crate::cache::{CachedResult, ResultCache, SecondaryCache};
+use crate::job::{Job, JobInput, JobOutcome, JobReport, OptimizedJob, ResultSource};
 use crate::report::PipelineReport;
 
 /// Engine configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct PipelineConfig {
     /// Worker threads; `None` uses [`std::thread::available_parallelism`].
     pub workers: Option<usize>,
@@ -50,6 +51,24 @@ pub struct PipelineConfig {
     /// counters and the optimizer's own phase/round/analysis events.
     /// Disabled (a no-op) by default.
     pub tracer: Tracer,
+    /// Second cache tier consulted on in-memory misses and fed on fresh
+    /// optimizations (e.g. the `am-serve` persistent on-disk store).
+    /// `None` (the default) keeps the engine purely in-memory.
+    pub secondary: Option<Arc<dyn SecondaryCache>>,
+}
+
+impl std::fmt::Debug for PipelineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineConfig")
+            .field("workers", &self.workers)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("max_motion_rounds", &self.max_motion_rounds)
+            .field("verify", &self.verify)
+            .field("lint", &self.lint)
+            .field("tracer", &self.tracer)
+            .field("secondary", &self.secondary.is_some())
+            .finish()
+    }
 }
 
 impl Default for PipelineConfig {
@@ -61,6 +80,7 @@ impl Default for PipelineConfig {
             verify: false,
             lint: false,
             tracer: Tracer::disabled(),
+            secondary: None,
         }
     }
 }
@@ -159,7 +179,12 @@ impl Pipeline {
         }
     }
 
-    fn run_job(&self, job: &Job) -> JobReport {
+    /// Runs one job through the full engine path — I/O or in-memory parse,
+    /// cache lookup (memory, then secondary), optimize on miss — with the
+    /// same panic isolation and tracing a batch worker applies. This is the
+    /// entry point services use to serve individual requests off the batch
+    /// machinery.
+    pub fn run_job(&self, job: &Job) -> JobReport {
         let started = Instant::now();
         let mut span = self.config.tracer.span("job", "job");
         let outcome = match catch_unwind(AssertUnwindSafe(|| self.process(job))) {
@@ -196,22 +221,47 @@ impl Pipeline {
         };
         let graph = compile_source(kind, &text).map_err(|e| format!("{}: {e}", job.name))?;
         let verification = self.config.verify.then(|| self.verify_graph(&graph));
-        let input_hash = stable_hash(&graph);
+        let mut optimized = self.optimize_graph(&graph);
+        optimized.verification = verification;
+        Ok(optimized)
+    }
+
+    /// Optimizes one already-parsed program through the cache tiers:
+    /// in-memory hit, then secondary-cache hit (promoted into memory), then
+    /// a fresh optimizer run (offered to the secondary cache). Verification
+    /// is a per-request concern and is left `None`; callers wanting it use
+    /// [`Pipeline::run_job`].
+    pub fn optimize_graph(&self, graph: &FlowGraph) -> OptimizedJob {
+        let input_hash = stable_hash(graph);
         if let Some(result) = self.cache.get(input_hash) {
-            return Ok(OptimizedJob {
+            return OptimizedJob {
                 input_hash,
+                source: ResultSource::Memory,
                 cache_hit: true,
                 result,
                 timings: PhaseTimings::default(),
-                verification,
-            });
+                verification: None,
+            };
+        }
+        if let Some(secondary) = &self.config.secondary {
+            if let Some(loaded) = secondary.load(input_hash) {
+                let result = self.cache.insert(input_hash, loaded);
+                return OptimizedJob {
+                    input_hash,
+                    source: ResultSource::Secondary,
+                    cache_hit: true,
+                    result,
+                    timings: PhaseTimings::default(),
+                    verification: None,
+                };
+            }
         }
         let config = GlobalConfig {
             max_motion_rounds: self.config.max_motion_rounds,
             keep_snapshots: false,
             tracer: self.config.tracer.clone(),
         };
-        let out = optimize_with(&graph, &config);
+        let out = optimize_with(graph, &config);
         let lint = self.config.lint.then(|| {
             let report = am_lint::lint_graph(
                 &out.program,
@@ -233,28 +283,30 @@ impl Pipeline {
             instrs += len;
             points += len.max(1);
         }
-        let result = self.cache.insert(
+        let entry = CachedResult {
+            canonical: canonical_text(&out.program),
+            nodes,
+            instrs,
+            points,
+            init: out.init,
+            motion: out.motion,
+            flush: out.flush,
+            edges_split: out.edges_split,
+            timings: out.timings,
+            lint,
+        };
+        if let Some(secondary) = &self.config.secondary {
+            secondary.store(input_hash, &entry);
+        }
+        let result = self.cache.insert(input_hash, entry);
+        OptimizedJob {
             input_hash,
-            CachedResult {
-                canonical: canonical_text(&out.program),
-                nodes,
-                instrs,
-                points,
-                init: out.init,
-                motion: out.motion,
-                flush: out.flush,
-                edges_split: out.edges_split,
-                timings: out.timings,
-                lint,
-            },
-        );
-        Ok(OptimizedJob {
-            input_hash,
+            source: ResultSource::Fresh,
             cache_hit: false,
             result,
             timings: out.timings,
-            verification,
-        })
+            verification: None,
+        }
     }
 
     /// Differentially validates every optimizer phase on `graph`.

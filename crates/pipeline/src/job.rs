@@ -79,12 +79,43 @@ pub enum JobOutcome {
     Panicked(String),
 }
 
+/// Where a job's result came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResultSource {
+    /// The optimizer ran; nothing cached matched.
+    Fresh,
+    /// Served from the in-memory [`ResultCache`](crate::ResultCache).
+    Memory,
+    /// Served from the configured
+    /// [`SecondaryCache`](crate::cache::SecondaryCache) (and promoted into
+    /// memory).
+    Secondary,
+}
+
+impl ResultSource {
+    /// Whether any cache tier served the result.
+    pub fn is_cached(self) -> bool {
+        !matches!(self, ResultSource::Fresh)
+    }
+
+    /// Stable lower-case label (`fresh`, `memory`, `disk`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ResultSource::Fresh => "fresh",
+            ResultSource::Memory => "memory",
+            ResultSource::Secondary => "disk",
+        }
+    }
+}
+
 /// A successful optimization, possibly served from the cache.
 #[derive(Clone, Debug)]
 pub struct OptimizedJob {
     /// Stable content hash of the *input* program (the cache key).
     pub input_hash: u64,
-    /// Whether the result came from the cache.
+    /// Which tier produced the result.
+    pub source: ResultSource,
+    /// Whether the result came from a cache (memory or secondary).
     pub cache_hit: bool,
     /// The optimized program and its per-phase statistics.
     pub result: Arc<CachedResult>,

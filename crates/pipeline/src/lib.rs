@@ -54,7 +54,7 @@ pub mod job;
 pub mod report;
 
 pub use bench_json::{BenchRecord, BENCH_SCHEMA};
-pub use cache::{CacheStats, CachedResult, ResultCache};
+pub use cache::{CacheStats, CachedResult, ResultCache, SecondaryCache};
 pub use engine::{Pipeline, PipelineConfig};
-pub use job::{Job, JobInput, JobOutcome, JobReport, OptimizedJob};
+pub use job::{Job, JobInput, JobOutcome, JobReport, OptimizedJob, ResultSource};
 pub use report::PipelineReport;

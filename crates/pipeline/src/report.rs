@@ -63,6 +63,17 @@ impl PipelineReport {
             .count()
     }
 
+    /// Jobs served from the secondary (persistent) cache tier.
+    pub fn secondary_hits(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| {
+                j.optimized()
+                    .is_some_and(|o| o.source == crate::job::ResultSource::Secondary)
+            })
+            .count()
+    }
+
     /// Jobs whose translation validation passed.
     pub fn verified(&self) -> usize {
         self.jobs
@@ -129,10 +140,10 @@ impl fmt::Display for PipelineReport {
         for job in &self.jobs {
             match &job.outcome {
                 JobOutcome::Optimized(o) => {
-                    let src = if o.cache_hit { "cache" } else { "fresh" };
+                    let src = o.source.label();
                     writeln!(
                         f,
-                        "  ok    {:<32} {:>8.2} ms  {}  hash {:016x}  rounds {}  eliminated {}  flush -{}+{}",
+                        "  ok    {:<32} {:>8.2} ms  {:<6}  hash {:016x}  rounds {}  eliminated {}  flush -{}+{}",
                         job.name,
                         ms(job.wall),
                         src,
@@ -166,13 +177,14 @@ impl fmt::Display for PipelineReport {
         }
         writeln!(
             f,
-            "  cache: batch {} hits, {} misses; lifetime {} hits, {} misses, {} evictions, {} resident",
+            "  cache: batch {} hits, {} misses; lifetime {} hits, {} misses, {} evictions, {} resident ({:.0}% hit rate)",
             self.batch_cache_hits,
             self.batch_cache_misses,
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
-            self.cache.entries
+            self.cache.entries,
+            self.cache.hit_rate() * 100.0
         )?;
         if self.verified() + self.verify_failed() > 0 {
             writeln!(

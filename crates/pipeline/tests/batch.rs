@@ -287,6 +287,142 @@ fn without_the_flag_no_verification_verdicts_are_reported() {
 }
 
 #[test]
+fn a_malformed_ir_file_fails_alone_with_a_clean_diagnostic() {
+    // Regression: a job file that fails to parse (or read) must produce a
+    // per-file `Failed` outcome with a located message — never a panic, and
+    // never abort the rest of the batch.
+    let dir = std::env::temp_dir().join(format!("am_pipeline_badir_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.ir");
+    std::fs::write(
+        &bad,
+        "start s\nend e\nnode s { x := a+b }\nthis line is not ir\n",
+    )
+    .unwrap();
+    let good = dir.join("good.ir");
+    std::fs::write(
+        &good,
+        "start s\nend e\nnode s { x := a+b }\nnode e { out(x) }\nedge s -> e",
+    )
+    .unwrap();
+    let missing = dir.join("does_not_exist.ir");
+
+    let jobs = vec![
+        Job::from_path(bad.clone()),
+        Job::from_path(good),
+        Job::from_path(missing.clone()),
+    ];
+    let report = pipeline_with(2).run(&jobs);
+    assert_eq!(report.succeeded(), 1, "{report}");
+    assert_eq!(report.failed(), 2);
+    assert_eq!(report.panicked(), 0, "parse failures must not panic");
+    match &report.jobs[0].outcome {
+        JobOutcome::Failed(e) => {
+            assert!(e.contains("bad.ir"), "names the file: {e}");
+            assert!(e.contains("line 4"), "locates the error: {e}");
+        }
+        other => panic!("{other:?}"),
+    }
+    match &report.jobs[2].outcome {
+        JobOutcome::Failed(e) => assert!(e.contains("does_not_exist.ir"), "{e}"),
+        other => panic!("{other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A secondary tier backed by a plain mutexed map, standing in for the
+/// on-disk store: counts loads and stores so the layering contract
+/// (memory first, secondary on miss, store on fresh) is observable.
+struct MapSecondary {
+    map: std::sync::Mutex<std::collections::HashMap<u64, am_pipeline::CachedResult>>,
+    loads: std::sync::atomic::AtomicUsize,
+    stores: std::sync::atomic::AtomicUsize,
+}
+
+impl MapSecondary {
+    fn new() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(MapSecondary {
+            map: std::sync::Mutex::new(std::collections::HashMap::new()),
+            loads: std::sync::atomic::AtomicUsize::new(0),
+            stores: std::sync::atomic::AtomicUsize::new(0),
+        })
+    }
+}
+
+impl am_pipeline::SecondaryCache for MapSecondary {
+    fn load(&self, key: u64) -> Option<am_pipeline::CachedResult> {
+        self.loads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.map.lock().unwrap().get(&key).cloned()
+    }
+
+    fn store(&self, key: u64, value: &am_pipeline::CachedResult) {
+        self.stores
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.map.lock().unwrap().insert(key, value.clone());
+    }
+}
+
+#[test]
+fn secondary_cache_is_layered_under_the_memory_cache() {
+    use am_pipeline::ResultSource;
+    use std::sync::atomic::Ordering;
+
+    let secondary = MapSecondary::new();
+    let jobs = corpus(4);
+    let p = Pipeline::new(PipelineConfig {
+        workers: Some(1),
+        secondary: Some(secondary.clone()),
+        ..Default::default()
+    });
+    let first = p.run(&jobs);
+    assert_eq!(first.succeeded(), 4);
+    for job in &first.jobs {
+        assert_eq!(job.optimized().unwrap().source, ResultSource::Fresh);
+    }
+    assert_eq!(
+        secondary.stores.load(Ordering::Relaxed),
+        4,
+        "fresh results offered"
+    );
+    assert_eq!(first.secondary_hits(), 0);
+
+    // Same engine again: memory hits, secondary untouched.
+    let loads_before = secondary.loads.load(Ordering::Relaxed);
+    let second = p.run(&jobs);
+    assert_eq!(second.cache_hits(), 4);
+    for job in &second.jobs {
+        assert_eq!(job.optimized().unwrap().source, ResultSource::Memory);
+    }
+    assert_eq!(secondary.loads.load(Ordering::Relaxed), loads_before);
+
+    // A cold engine sharing the secondary: everything served from the
+    // secondary tier, promoted into memory, bit-identical output.
+    let cold = Pipeline::new(PipelineConfig {
+        workers: Some(1),
+        secondary: Some(secondary.clone()),
+        ..Default::default()
+    });
+    let third = cold.run(&jobs);
+    assert_eq!(third.succeeded(), 4);
+    assert_eq!(third.secondary_hits(), 4, "{third}");
+    for job in &third.jobs {
+        let o = job.optimized().unwrap();
+        assert_eq!(o.source, ResultSource::Secondary);
+        assert!(o.cache_hit);
+        assert!(o.source.is_cached());
+    }
+    assert_eq!(observable(&first), observable(&third));
+    assert_eq!(secondary.stores.load(Ordering::Relaxed), 4, "no re-stores");
+
+    // And once promoted, the cold engine serves from memory.
+    let fourth = cold.run(&jobs);
+    for job in &fourth.jobs {
+        assert_eq!(job.optimized().unwrap().source, ResultSource::Memory);
+    }
+}
+
+#[test]
 fn file_jobs_dispatch_on_extension() {
     let dir = std::env::temp_dir().join(format!("am_pipeline_test_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,366 @@
+//! `amclient`: command-line client for the `amserve` daemon.
+//!
+//! Submits programs (files, or the built-in 80-program corpus) over one
+//! pipelined connection, prints per-job results in submission order, and
+//! can assert a minimum cache-hit rate — which is how CI checks that a
+//! second pass over the same corpus is served from the cache.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use am_lang::SourceKind;
+use am_serve::client::{Client, ClientError};
+use am_serve::net::Endpoint;
+use am_serve::proto::{Reply, ResultPayload};
+
+fn usage() -> ! {
+    eprintln!("usage: amclient [--connect EP] COMMAND");
+    eprintln!();
+    eprintln!("commands:");
+    eprintln!("  ping                     liveness probe");
+    eprintln!("  stats                    print live server metrics");
+    eprintln!("  shutdown                 drain the server and stop it");
+    eprintln!("  optimize [FILES...]      submit .wl/.ir files (or --corpus)");
+    eprintln!();
+    eprintln!("optimize options:");
+    eprintln!("  --corpus                 submit the built-in 80-program corpus");
+    eprintln!("  --repeat N               submit the job list N times (default 1)");
+    eprintln!("  --window N               max pipelined in-flight requests (default 32)");
+    eprintln!("  --emit DIR               write each optimized program to DIR/<name>.out");
+    eprintln!("  --expect-hit-rate PCT    exit 1 unless >= PCT%% of results were cached");
+    eprintln!("  --quiet                  summary only, no per-job lines");
+    eprintln!();
+    eprintln!("--connect accepts tcp://HOST:PORT, unix://PATH, HOST:PORT or a socket path");
+    eprintln!("(default tcp://127.0.0.1:7345).");
+    std::process::exit(2);
+}
+
+fn fmt_micros(micros: u64) -> String {
+    if micros >= 10_000 {
+        format!("{:.2}ms", micros as f64 / 1e3)
+    } else {
+        format!("{micros}us")
+    }
+}
+
+struct OptimizeOptions {
+    jobs: Vec<(String, SourceKind, String)>,
+    repeat: usize,
+    window: usize,
+    emit: Option<String>,
+    expect_hit_rate: Option<f64>,
+    quiet: bool,
+}
+
+fn load_jobs(files: &[String], corpus: bool) -> Result<Vec<(String, SourceKind, String)>, String> {
+    let mut jobs = Vec::new();
+    for path in files {
+        let kind = SourceKind::from_path(std::path::Path::new(path))
+            .ok_or_else(|| format!("{path}: unknown file type (expected .wl or .ir)"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        jobs.push((path.clone(), kind, text));
+    }
+    if corpus {
+        for (name, graph) in am_ir::random::corpus80() {
+            jobs.push((name, SourceKind::Ir, am_ir::text::to_text(&graph)));
+        }
+    }
+    if jobs.is_empty() {
+        return Err("nothing to submit (give FILES or --corpus)".to_owned());
+    }
+    Ok(jobs)
+}
+
+/// Submits every job with up to `window` requests in flight; returns the
+/// results in submission order. `busy` responses are retried after the
+/// window drains — backpressure, not failure.
+fn run_optimize(client: &mut Client, options: &OptimizeOptions) -> Result<ExitCode, String> {
+    let total = options.jobs.len() * options.repeat;
+    let mut results: Vec<Option<ResultPayload>> = (0..total).map(|_| None).collect();
+    let mut errors = 0usize;
+    let started = Instant::now();
+    let mut in_flight: HashMap<u64, usize> = HashMap::new();
+    let mut retry: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+
+    let job_of = |slot: usize| &options.jobs[slot % options.jobs.len()];
+    while next < total || !in_flight.is_empty() || !retry.is_empty() {
+        // Fill the window, preferring retries (they were bounced by
+        // backpressure and the server has drained since).
+        while in_flight.len() < options.window {
+            let Some(slot) = retry.pop().or_else(|| {
+                (next < total).then(|| {
+                    next += 1;
+                    next - 1
+                })
+            }) else {
+                break;
+            };
+            let (name, kind, text) = job_of(slot);
+            let id = client
+                .submit(name.clone(), *kind, text.clone())
+                .map_err(|e| format!("submit: {e}"))?;
+            in_flight.insert(id, slot);
+        }
+        if in_flight.is_empty() {
+            break;
+        }
+        let (id, reply) = client.recv().map_err(|e| format!("recv: {e}"))?;
+        let Some(slot) = in_flight.remove(&id) else {
+            return Err(format!("response for unknown request id {id}"));
+        };
+        match reply {
+            Reply::Result(result) => results[slot] = Some(*result),
+            Reply::Busy { .. } => retry.push(slot),
+            Reply::Error { message } => {
+                errors += 1;
+                eprintln!("amclient: {message}");
+            }
+            other => return Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+    let wall = started.elapsed();
+
+    let mut by_source: HashMap<&str, usize> = HashMap::new();
+    let done = results.iter().flatten().count();
+    for (slot, result) in results.iter().enumerate() {
+        let Some(r) = result else { continue };
+        *by_source
+            .entry(
+                ["fresh", "memory", "disk", "coalesced"]
+                    .iter()
+                    .find(|s| **s == r.source)
+                    .copied()
+                    .unwrap_or("other"),
+            )
+            .or_insert(0) += 1;
+        if !options.quiet {
+            println!(
+                "{:<28} {:<9} hash={} rounds={} eliminated={} queue={} service={}",
+                r.name,
+                r.source,
+                r.hash,
+                r.rounds,
+                r.eliminated,
+                fmt_micros(r.queue_micros),
+                fmt_micros(r.service_micros),
+            );
+        }
+        if let Some(dir) = &options.emit {
+            let safe: String = r
+                .name
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            let path = std::path::Path::new(dir).join(format!("{safe}.{slot:05}.out"));
+            std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+            std::fs::write(&path, &r.canonical).map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+    }
+    let cached = done - by_source.get("fresh").copied().unwrap_or(0);
+    let hit_rate = if done == 0 {
+        0.0
+    } else {
+        100.0 * cached as f64 / done as f64
+    };
+    println!(
+        "{done} results in {:.2?}: {} fresh, {} memory, {} disk, {} coalesced, {errors} errors ({hit_rate:.0}% cached)",
+        wall,
+        by_source.get("fresh").copied().unwrap_or(0),
+        by_source.get("memory").copied().unwrap_or(0),
+        by_source.get("disk").copied().unwrap_or(0),
+        by_source.get("coalesced").copied().unwrap_or(0),
+    );
+    if let Some(expected) = options.expect_hit_rate {
+        if hit_rate < expected {
+            eprintln!("amclient: hit rate {hit_rate:.1}% below the expected {expected:.1}%");
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(if errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn print_stats(client: &mut Client) -> Result<(), ClientError> {
+    let s = client.stats()?;
+    println!(
+        "uptime: {:.1}s, workers: {}",
+        s.uptime_micros as f64 / 1e6,
+        s.workers
+    );
+    println!(
+        "connections: {} open, {} total",
+        s.connections_open, s.connections_total
+    );
+    println!(
+        "requests: {} optimize, {} stats, {} ping ({} busy, {} errors)",
+        s.requests_optimize, s.requests_stats, s.requests_ping, s.busy, s.errors
+    );
+    println!(
+        "sources: {} fresh, {} memory, {} disk, {} coalesced",
+        s.fresh, s.memory_hits, s.disk_hits, s.coalesced
+    );
+    println!("queue: {} now, {} peak", s.queued_now, s.queue_peak);
+    let m = &s.memory_cache;
+    println!(
+        "memory cache: {} hits, {} misses, {} evictions, {} entries",
+        m.hits, m.misses, m.evictions, m.entries
+    );
+    match &s.disk_cache {
+        None => println!("disk cache: disabled"),
+        Some(d) => {
+            println!(
+                "disk cache: {} hits, {} misses, {} stores, {} evictions, {} entries, {}/{} KiB",
+                d.hits,
+                d.misses,
+                d.stores,
+                d.evictions,
+                d.entries,
+                d.bytes >> 10,
+                d.budget_bytes >> 10
+            );
+            if d.load_errors > 0 {
+                println!("disk cache load errors: {}", d.load_errors);
+            }
+        }
+    }
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "latency", "count", "p50", "p95", "p99", "max"
+    );
+    let mut rows = vec![("request", &s.latency_request), ("queue", &s.latency_queue)];
+    for (name, q) in am_serve::proto::PHASE_NAMES.iter().zip(&s.phases) {
+        rows.push((name, q));
+    }
+    for (name, q) in rows {
+        println!(
+            "{name:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            q.count,
+            fmt_micros(q.p50),
+            fmt_micros(q.p95),
+            fmt_micros(q.p99),
+            fmt_micros(q.max)
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut endpoint = Endpoint::Tcp("127.0.0.1:7345".to_owned());
+    let mut command: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut corpus = false;
+    let mut options = OptimizeOptions {
+        jobs: Vec::new(),
+        repeat: 1,
+        window: 32,
+        emit: None,
+        expect_hit_rate: None,
+        quiet: false,
+    };
+
+    let fail = |message: String| -> ExitCode {
+        eprintln!("amclient: {message}");
+        ExitCode::from(2)
+    };
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
+        let parsed = match arg.as_str() {
+            "-h" | "--help" => usage(),
+            "--connect" => {
+                value("--connect").and_then(|v| Endpoint::parse(&v).map(|ep| endpoint = ep))
+            }
+            "--corpus" => {
+                corpus = true;
+                Ok(())
+            }
+            "--repeat" => value("--repeat").and_then(|v| {
+                v.parse()
+                    .map(|n| options.repeat = n)
+                    .map_err(|_| "--repeat needs an integer".to_owned())
+            }),
+            "--window" => value("--window").and_then(|v| {
+                v.parse()
+                    .map(|n: usize| options.window = n.max(1))
+                    .map_err(|_| "--window needs an integer".to_owned())
+            }),
+            "--emit" => value("--emit").map(|v| options.emit = Some(v)),
+            "--expect-hit-rate" => value("--expect-hit-rate").and_then(|v| {
+                v.parse()
+                    .map(|p| options.expect_hit_rate = Some(p))
+                    .map_err(|_| "--expect-hit-rate needs a number".to_owned())
+            }),
+            "--quiet" => {
+                options.quiet = true;
+                Ok(())
+            }
+            other if other.starts_with('-') => Err(format!("unknown option '{other}'")),
+            other => {
+                if command.is_none() {
+                    command = Some(other.to_owned());
+                } else {
+                    files.push(other.to_owned());
+                }
+                Ok(())
+            }
+        };
+        if let Err(message) = parsed {
+            return fail(message);
+        }
+    }
+    let Some(command) = command else { usage() };
+
+    let mut client = match Client::connect(&endpoint) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("amclient: connect {endpoint}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match command.as_str() {
+        "ping" => client
+            .ping()
+            .map(|()| {
+                println!("ok");
+                ExitCode::SUCCESS
+            })
+            .map_err(|e| e.to_string()),
+        "stats" => print_stats(&mut client)
+            .map(|()| ExitCode::SUCCESS)
+            .map_err(|e| e.to_string()),
+        "shutdown" => client
+            .shutdown()
+            .map(|()| {
+                println!("server drained and stopped");
+                ExitCode::SUCCESS
+            })
+            .map_err(|e| e.to_string()),
+        "optimize" => match load_jobs(&files, corpus) {
+            Err(message) => Err(message),
+            Ok(jobs) => {
+                options.jobs = jobs;
+                run_optimize(&mut client, &options)
+            }
+        },
+        other => return fail(format!("unknown command '{other}'")),
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("amclient: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The client library `amclient` and `bench_service` are built on.
+//!
+//! One connection, client-assigned request ids, and support for
+//! pipelining: [`Client::submit`] sends without waiting, [`Client::recv`]
+//! returns the next response whatever its id, and the synchronous
+//! helpers ([`Client::ping`], [`Client::optimize`], …) wait for their own
+//! id while buffering any other responses for a later `recv`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+
+use am_lang::SourceKind;
+
+use crate::net::{Endpoint, NetStream};
+use crate::proto::{self, Envelope, OptimizeRequest, Reply, Request, StatsSnapshot};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (or the server closed the connection).
+    Io(io::Error),
+    /// The peer spoke something that isn't the protocol.
+    Protocol(String),
+    /// The server answered, but with `error`.
+    Server(String),
+    /// The server answered `busy` (per-connection queue full).
+    Busy {
+        /// Jobs already queued for this connection.
+        queued: u64,
+        /// The server's per-connection limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server(m) => write!(f, "server: {m}"),
+            ClientError::Busy { queued, limit } => {
+                write!(
+                    f,
+                    "server busy: {queued}/{limit} jobs queued on this connection"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    stream: NetStream,
+    next_id: u64,
+    /// Responses read while waiting for a different id.
+    buffered: VecDeque<(u64, Reply)>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        Ok(Client {
+            stream: NetStream::connect(endpoint)?,
+            next_id: 1,
+            buffered: VecDeque::new(),
+        })
+    }
+
+    fn send(&mut self, request: Request) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = proto::encode_request(&Envelope { id, request });
+        proto::write_frame(&mut self.stream, &payload)?;
+        Ok(id)
+    }
+
+    /// Sends an `optimize` without waiting for the response; returns the
+    /// request id to match against [`Client::recv`]. Pipelining requests
+    /// this way keeps the server's workers busy with one connection.
+    pub fn submit(
+        &mut self,
+        name: impl Into<String>,
+        kind: SourceKind,
+        text: impl Into<String>,
+    ) -> io::Result<u64> {
+        self.send(Request::Optimize(OptimizeRequest {
+            name: name.into(),
+            kind,
+            text: text.into(),
+        }))
+    }
+
+    /// Returns the next response — a buffered one if a synchronous helper
+    /// read past it, otherwise the next frame off the wire (blocking).
+    pub fn recv(&mut self) -> Result<(u64, Reply), ClientError> {
+        if let Some(ready) = self.buffered.pop_front() {
+            return Ok(ready);
+        }
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> Result<(u64, Reply), ClientError> {
+        let payload = proto::read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        proto::parse_response(&payload).map_err(ClientError::Protocol)
+    }
+
+    /// Reads until the response for `id` arrives, buffering others.
+    fn wait_for(&mut self, id: u64) -> Result<Reply, ClientError> {
+        if let Some(at) = self.buffered.iter().position(|(rid, _)| *rid == id) {
+            return Ok(self.buffered.remove(at).expect("position exists").1);
+        }
+        loop {
+            let (rid, reply) = self.read_reply()?;
+            if rid == id {
+                return Ok(reply);
+            }
+            self.buffered.push_back((rid, reply));
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.send(Request::Ping)?;
+        match self.wait_for(id)? {
+            Reply::Ok => Ok(()),
+            Reply::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to ping: {other:?}"
+            ))),
+        }
+    }
+
+    /// Optimizes one program, waiting for the result.
+    pub fn optimize(
+        &mut self,
+        name: impl Into<String>,
+        kind: SourceKind,
+        text: impl Into<String>,
+    ) -> Result<proto::ResultPayload, ClientError> {
+        let id = self.submit(name, kind, text)?;
+        match self.wait_for(id)? {
+            Reply::Result(result) => Ok(*result),
+            Reply::Busy { queued, limit } => Err(ClientError::Busy { queued, limit }),
+            Reply::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to optimize: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches live server metrics.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let id = self.send(Request::Stats)?;
+        match self.wait_for(id)? {
+            Reply::Stats(snapshot) => Ok(*snapshot),
+            Reply::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and stop; returns once the drain has
+    /// completed and been acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let id = self.send(Request::Shutdown)?;
+        match self.wait_for(id)? {
+            Reply::Ok => Ok(()),
+            Reply::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to shutdown: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Live server metrics.
+//!
+//! One mutex-guarded aggregate, updated by the connection handlers and
+//! workers, snapshotted on demand by `stats` requests. Latencies reuse
+//! `am-trace`'s [`DurStats`] (exact percentiles + log₂ histogram), so the
+//! `stats` response and `amstat`'s offline trace aggregation report the
+//! same quantile semantics.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use am_pipeline::{CacheStats, ResultSource};
+use am_trace::stats::DurStats;
+
+use crate::proto::{DiskCacheSnapshot, MemoryCacheSnapshot, QuantileSummary, StatsSnapshot};
+
+#[derive(Default)]
+struct Counters {
+    connections_open: u64,
+    connections_total: u64,
+    requests_optimize: u64,
+    requests_stats: u64,
+    requests_ping: u64,
+    fresh: u64,
+    memory_hits: u64,
+    disk_hits: u64,
+    coalesced: u64,
+    busy: u64,
+    errors: u64,
+    queue_peak: u64,
+    latency_request: DurStats,
+    latency_queue: DurStats,
+    phases: [DurStats; 4],
+}
+
+/// The server's metric aggregate.
+pub struct Metrics {
+    started: Instant,
+    inner: Mutex<Counters>,
+}
+
+fn summarize(d: &DurStats) -> QuantileSummary {
+    QuantileSummary {
+        count: d.count,
+        total_micros: d.total_micros,
+        p50: d.quantile(0.50),
+        p95: d.quantile(0.95),
+        p99: d.quantile(0.99),
+        max: d.max_micros,
+    }
+}
+
+impl Metrics {
+    /// A fresh aggregate; uptime counts from now.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            inner: Mutex::new(Counters::default()),
+        }
+    }
+
+    /// A connection was accepted.
+    pub fn connection_opened(&self) {
+        let mut c = self.inner.lock().unwrap();
+        c.connections_open += 1;
+        c.connections_total += 1;
+    }
+
+    /// A connection ended.
+    pub fn connection_closed(&self) {
+        let mut c = self.inner.lock().unwrap();
+        c.connections_open = c.connections_open.saturating_sub(1);
+    }
+
+    /// A `ping` was answered.
+    pub fn ping(&self) {
+        self.inner.lock().unwrap().requests_ping += 1;
+    }
+
+    /// A `stats` was answered.
+    pub fn stats_request(&self) {
+        self.inner.lock().unwrap().requests_stats += 1;
+    }
+
+    /// An `optimize` was accepted into a queue; `depth` is the total
+    /// queued population after the push.
+    pub fn optimize_enqueued(&self, depth: u64) {
+        let mut c = self.inner.lock().unwrap();
+        c.requests_optimize += 1;
+        c.queue_peak = c.queue_peak.max(depth);
+    }
+
+    /// An `optimize` bounced with `busy`.
+    pub fn rejected_busy(&self) {
+        let mut c = self.inner.lock().unwrap();
+        c.requests_optimize += 1;
+        c.busy += 1;
+    }
+
+    /// A request was answered with `error`.
+    pub fn request_error(&self) {
+        self.inner.lock().unwrap().errors += 1;
+    }
+
+    /// An `optimize` was answered with a result. `coalesced` marks jobs
+    /// answered by riding an identical in-flight job rather than by their
+    /// own engine call.
+    pub fn optimize_answered(
+        &self,
+        source: ResultSource,
+        coalesced: bool,
+        queue_micros: u64,
+        request_micros: u64,
+    ) {
+        let mut c = self.inner.lock().unwrap();
+        if coalesced {
+            c.coalesced += 1;
+        } else {
+            match source {
+                ResultSource::Fresh => c.fresh += 1,
+                ResultSource::Memory => c.memory_hits += 1,
+                ResultSource::Secondary => c.disk_hits += 1,
+            }
+        }
+        c.latency_queue.record(queue_micros);
+        c.latency_request.record(request_micros);
+    }
+
+    /// Folds the phase timings of one fresh optimization, microseconds in
+    /// `split`, `init`, `motion`, `flush` order.
+    pub fn phase_timings(&self, micros: [u64; 4]) {
+        let mut c = self.inner.lock().unwrap();
+        for (slot, m) in c.phases.iter_mut().zip(micros) {
+            slot.record(m);
+        }
+    }
+
+    /// The current aggregate in wire shape. The caller supplies what the
+    /// metrics don't own: worker/queue population and the two cache tiers'
+    /// counters.
+    pub fn snapshot(
+        &self,
+        workers: u64,
+        queued_now: u64,
+        memory: CacheStats,
+        disk: Option<DiskCacheSnapshot>,
+    ) -> StatsSnapshot {
+        let c = self.inner.lock().unwrap();
+        StatsSnapshot {
+            uptime_micros: self.started.elapsed().as_micros() as u64,
+            workers,
+            connections_open: c.connections_open,
+            connections_total: c.connections_total,
+            requests_optimize: c.requests_optimize,
+            requests_stats: c.requests_stats,
+            requests_ping: c.requests_ping,
+            fresh: c.fresh,
+            memory_hits: c.memory_hits,
+            disk_hits: c.disk_hits,
+            coalesced: c.coalesced,
+            busy: c.busy,
+            errors: c.errors,
+            queued_now,
+            queue_peak: c.queue_peak,
+            memory_cache: MemoryCacheSnapshot {
+                hits: memory.hits,
+                misses: memory.misses,
+                evictions: memory.evictions,
+                entries: memory.entries as u64,
+            },
+            disk_cache: disk,
+            latency_request: summarize(&c.latency_request),
+            latency_queue: summarize(&c.latency_queue),
+            phases: [
+                summarize(&c.phases[0]),
+                summarize(&c.phases[1]),
+                summarize(&c.phases[2]),
+                summarize(&c.phases[3]),
+            ],
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_in_the_snapshot() {
+        let m = Metrics::new();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        m.ping();
+        m.stats_request();
+        m.optimize_enqueued(3);
+        m.optimize_enqueued(7);
+        m.rejected_busy();
+        m.request_error();
+        m.optimize_answered(ResultSource::Fresh, false, 5, 100);
+        m.optimize_answered(ResultSource::Memory, false, 1, 10);
+        m.optimize_answered(ResultSource::Secondary, false, 2, 20);
+        m.optimize_answered(ResultSource::Memory, true, 9, 30);
+        m.phase_timings([1, 2, 30, 4]);
+
+        let s = m.snapshot(8, 2, CacheStats::default(), None);
+        assert_eq!(s.workers, 8);
+        assert_eq!(s.queued_now, 2);
+        assert_eq!((s.connections_open, s.connections_total), (1, 2));
+        assert_eq!(
+            (s.requests_ping, s.requests_stats, s.requests_optimize),
+            (1, 1, 3)
+        );
+        assert_eq!(
+            (s.fresh, s.memory_hits, s.disk_hits, s.coalesced),
+            (1, 1, 1, 1)
+        );
+        assert_eq!((s.busy, s.errors), (1, 1));
+        assert_eq!(s.queue_peak, 7);
+        assert_eq!(s.latency_request.count, 4);
+        assert_eq!(s.latency_request.max, 100);
+        assert_eq!(s.latency_queue.total_micros, 17);
+        assert_eq!(s.phases[2].max, 30);
+        assert!(s.disk_cache.is_none());
+    }
+}

@@ -1,0 +1,829 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is a 4-byte big-endian length followed by that many bytes
+//! of UTF-8 JSON. Requests carry a client-assigned `id` which the server
+//! echoes in the response, so responses may be delivered out of order and
+//! clients may pipeline many requests over one connection. Program hashes
+//! are 64-bit and JSON numbers are doubles, so hashes travel as 16-digit
+//! hex strings.
+//!
+//! Request operations (`"op"`):
+//!
+//! * `ping` — liveness probe, answered with `ok`;
+//! * `optimize` — `name` (a label), `kind` (`"while"` or `"ir"`) and
+//!   `text` (the program source), answered with `result`, `busy` or
+//!   `error`;
+//! * `stats` — answered with a [`StatsSnapshot`];
+//! * `shutdown` — graceful drain; the `ok` answer arrives after every
+//!   queued job has been answered and the persistent cache index flushed.
+//!
+//! The reader/writer works over any `Read`/`Write`, so tests can run it
+//! over in-memory buffers; the parser is `am-trace`'s zero-dependency JSON
+//! reader.
+
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+
+use am_lang::SourceKind;
+use am_trace::json::{self, Json};
+
+/// Protocol version, carried as `"am"` in every request.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Frame size cap (64 MiB): a length prefix beyond this is treated as a
+/// corrupt stream rather than an allocation request.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME}-byte cap",
+                bytes.len()
+            ),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean close (EOF before the first
+/// byte). A read timeout *before* the frame starts surfaces as the
+/// underlying `WouldBlock`/`TimedOut` error so a polling caller can check
+/// its shutdown flag and retry; once the first byte has arrived the rest
+/// of the frame is awaited across timeouts (a half-frame only fails when
+/// the peer actually goes away).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut header = [0u8; 4];
+    loop {
+        match r.read(&mut header[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    read_full(r, &mut header[1..])?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// `read_exact` that rides out timeouts: mid-frame, a `WouldBlock` or
+/// `TimedOut` from a socket read timeout means "not yet", not "gone".
+fn read_full(r: &mut impl Read, mut buf: &mut [u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match r.read(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => buf = &mut buf[n..],
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted
+                        | io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// An `optimize` request body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptimizeRequest {
+    /// Client-side label echoed in the result (typically a file name).
+    pub name: String,
+    /// How to interpret `text`.
+    pub kind: SourceKind,
+    /// Program source.
+    pub text: String,
+}
+
+/// A parsed request operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Optimize one program.
+    Optimize(OptimizeRequest),
+    /// Live server metrics.
+    Stats,
+    /// Graceful drain-and-stop.
+    Shutdown,
+}
+
+/// A request plus its client-assigned correlation id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Echoed verbatim in the response.
+    pub id: u64,
+    /// The operation.
+    pub request: Request,
+}
+
+fn kind_str(kind: SourceKind) -> &'static str {
+    match kind {
+        SourceKind::While => "while",
+        SourceKind::Ir => "ir",
+    }
+}
+
+fn kind_from_str(s: &str) -> Result<SourceKind, String> {
+    match s {
+        "while" => Ok(SourceKind::While),
+        "ir" => Ok(SourceKind::Ir),
+        other => Err(format!(
+            "unknown source kind '{other}' (expected 'while' or 'ir')"
+        )),
+    }
+}
+
+/// Renders a request frame payload.
+pub fn encode_request(envelope: &Envelope) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"am\":{PROTOCOL_VERSION},\"id\":{}", envelope.id);
+    match &envelope.request {
+        Request::Ping => out.push_str(",\"op\":\"ping\""),
+        Request::Stats => out.push_str(",\"op\":\"stats\""),
+        Request::Shutdown => out.push_str(",\"op\":\"shutdown\""),
+        Request::Optimize(req) => {
+            out.push_str(",\"op\":\"optimize\",\"name\":");
+            json::write_str(&mut out, &req.name);
+            let _ = write!(out, ",\"kind\":\"{}\",\"text\":", kind_str(req.kind));
+            json::write_str(&mut out, &req.text);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Parses a request frame payload. On failure the error carries the
+/// request id when one could still be extracted, so the server can send a
+/// correlated `error` response.
+pub fn parse_request(payload: &str) -> Result<Envelope, (Option<u64>, String)> {
+    let value = json::parse(payload).map_err(|e| (None, format!("bad request JSON: {e}")))?;
+    let id = value.get("id").and_then(Json::as_u64);
+    let fail = |msg: String| (id, msg);
+    let id = id.ok_or_else(|| (None, "request is missing a numeric \"id\"".to_owned()))?;
+    match value.get("am").and_then(Json::as_u64) {
+        Some(PROTOCOL_VERSION) => {}
+        Some(v) => return Err(fail(format!("unsupported protocol version {v}"))),
+        None => {
+            return Err(fail(
+                "request is missing \"am\" (protocol version)".to_owned(),
+            ))
+        }
+    }
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("request is missing a string \"op\"".to_owned()))?;
+    let request = match op {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "optimize" => {
+            let field = |key: &str| {
+                value
+                    .get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| fail(format!("optimize request is missing a string \"{key}\"")))
+            };
+            let kind = kind_from_str(&field("kind")?).map_err(fail)?;
+            Request::Optimize(OptimizeRequest {
+                name: field("name")?,
+                kind,
+                text: field("text")?,
+            })
+        }
+        other => return Err(fail(format!("unknown op '{other}'"))),
+    };
+    Ok(Envelope { id, request })
+}
+
+/// An `optimize` outcome as it travels over the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultPayload {
+    /// The request's label, echoed.
+    pub name: String,
+    /// Stable input-program hash, 16 hex digits.
+    pub hash: String,
+    /// Where the result came from: `fresh`, `memory`, `disk` or
+    /// `coalesced` (computed once for several concurrent requests).
+    pub source: String,
+    /// Canonical text of the optimized program.
+    pub canonical: String,
+    /// Input CFG nodes.
+    pub nodes: u64,
+    /// Input instructions.
+    pub instrs: u64,
+    /// Instruction-level program points.
+    pub points: u64,
+    /// Critical edges split.
+    pub edges_split: u64,
+    /// Assignment-motion rounds.
+    pub rounds: u64,
+    /// Whether motion reached its fixed point within budget.
+    pub converged: bool,
+    /// Assignment occurrences eliminated.
+    pub eliminated: u64,
+    /// Instances inserted by hoisting.
+    pub inserted: u64,
+    /// Hoisting candidates removed.
+    pub removed: u64,
+    /// Total solver iterations (motion + flush).
+    pub iterations: u64,
+    /// Lint errors on the optimized program (0 when linting was off).
+    pub lint_errors: u64,
+    /// Lint warnings on the optimized program.
+    pub lint_warnings: u64,
+    /// Time the job waited in the dispatch queue.
+    pub queue_micros: u64,
+    /// Time spent producing the answer (compile + optimize or cache load).
+    pub service_micros: u64,
+}
+
+/// Latency summary for one metric: sample count and microsecond
+/// percentiles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuantileSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, microseconds.
+    pub total_micros: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// In-memory result-cache counters as they travel over the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryCacheSnapshot {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+    /// Resident entries.
+    pub entries: u64,
+}
+
+/// Persistent disk-cache counters as they travel over the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskCacheSnapshot {
+    /// Loads that found a valid entry.
+    pub hits: u64,
+    /// Loads that found nothing.
+    pub misses: u64,
+    /// Entries written.
+    pub stores: u64,
+    /// Entries dropped to fit the byte budget.
+    pub evictions: u64,
+    /// Entries that failed to parse and were deleted.
+    pub load_errors: u64,
+    /// Entries currently on disk.
+    pub entries: u64,
+    /// Bytes currently on disk.
+    pub bytes: u64,
+    /// Configured byte budget.
+    pub budget_bytes: u64,
+}
+
+/// The live server metrics answered to a `stats` request.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Microseconds since the server started.
+    pub uptime_micros: u64,
+    /// Worker threads.
+    pub workers: u64,
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Connections accepted since start.
+    pub connections_total: u64,
+    /// `optimize` requests received.
+    pub requests_optimize: u64,
+    /// `stats` requests received.
+    pub requests_stats: u64,
+    /// `ping` requests received.
+    pub requests_ping: u64,
+    /// Results computed fresh.
+    pub fresh: u64,
+    /// Results served from the in-memory cache.
+    pub memory_hits: u64,
+    /// Results served from the persistent cache.
+    pub disk_hits: u64,
+    /// Results answered by coalescing onto an identical in-flight job.
+    pub coalesced: u64,
+    /// Requests rejected with `busy`.
+    pub busy: u64,
+    /// Requests answered with `error`.
+    pub errors: u64,
+    /// Jobs sitting in dispatch queues right now.
+    pub queued_now: u64,
+    /// Largest queue population observed.
+    pub queue_peak: u64,
+    /// In-memory cache counters.
+    pub memory_cache: MemoryCacheSnapshot,
+    /// Persistent cache counters; `None` when running memory-only.
+    pub disk_cache: Option<DiskCacheSnapshot>,
+    /// End-to-end request latency (enqueue → response written).
+    pub latency_request: QuantileSummary,
+    /// Queue wait (enqueue → worker pickup).
+    pub latency_queue: QuantileSummary,
+    /// Optimizer phase latencies of fresh runs, keyed `split`, `init`,
+    /// `motion`, `flush` in that order.
+    pub phases: [QuantileSummary; 4],
+}
+
+/// The four phase labels, index-aligned with [`StatsSnapshot::phases`].
+pub const PHASE_NAMES: [&str; 4] = ["split", "init", "motion", "flush"];
+
+/// A response as seen by the client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Acknowledgement (ping, shutdown).
+    Ok,
+    /// An optimize result.
+    Result(Box<ResultPayload>),
+    /// Backpressure: the connection's queue is full; retry after draining
+    /// some responses.
+    Busy {
+        /// Jobs already queued for this connection.
+        queued: u64,
+        /// The per-connection limit.
+        limit: u64,
+    },
+    /// The request failed (parse error, unknown op, optimizer panic…).
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Live metrics.
+    Stats(Box<StatsSnapshot>),
+}
+
+fn write_quantiles(out: &mut String, q: &QuantileSummary) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"total_micros\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+        q.count, q.total_micros, q.p50, q.p95, q.p99, q.max
+    );
+}
+
+/// Renders an `ok` response payload.
+pub fn encode_ok(id: u64) -> String {
+    format!("{{\"id\":{id},\"type\":\"ok\"}}")
+}
+
+/// Renders a `busy` response payload.
+pub fn encode_busy(id: u64, queued: u64, limit: u64) -> String {
+    format!("{{\"id\":{id},\"type\":\"busy\",\"queued\":{queued},\"limit\":{limit}}}")
+}
+
+/// Renders an `error` response payload.
+pub fn encode_error(id: u64, message: &str) -> String {
+    let mut out = format!("{{\"id\":{id},\"type\":\"error\",\"message\":");
+    json::write_str(&mut out, message);
+    out.push('}');
+    out
+}
+
+/// Renders a `result` response payload.
+pub fn encode_result(id: u64, r: &ResultPayload) -> String {
+    let mut out = format!("{{\"id\":{id},\"type\":\"result\",\"name\":");
+    json::write_str(&mut out, &r.name);
+    let _ = write!(out, ",\"hash\":\"{}\",\"source\":\"{}\"", r.hash, r.source);
+    out.push_str(",\"canonical\":");
+    json::write_str(&mut out, &r.canonical);
+    let _ = write!(
+        out,
+        ",\"nodes\":{},\"instrs\":{},\"points\":{},\"edges_split\":{},\"rounds\":{},\
+         \"converged\":{},\"eliminated\":{},\"inserted\":{},\"removed\":{},\"iterations\":{},\
+         \"lint_errors\":{},\"lint_warnings\":{},\"queue_micros\":{},\"service_micros\":{}}}",
+        r.nodes,
+        r.instrs,
+        r.points,
+        r.edges_split,
+        r.rounds,
+        r.converged,
+        r.eliminated,
+        r.inserted,
+        r.removed,
+        r.iterations,
+        r.lint_errors,
+        r.lint_warnings,
+        r.queue_micros,
+        r.service_micros
+    );
+    out
+}
+
+/// Renders a `stats` response payload.
+pub fn encode_stats(id: u64, s: &StatsSnapshot) -> String {
+    let mut out = format!("{{\"id\":{id},\"type\":\"stats\"");
+    let _ = write!(
+        out,
+        ",\"uptime_micros\":{},\"workers\":{},\"connections_open\":{},\"connections_total\":{}",
+        s.uptime_micros, s.workers, s.connections_open, s.connections_total
+    );
+    let _ = write!(
+        out,
+        ",\"requests\":{{\"optimize\":{},\"stats\":{},\"ping\":{}}}",
+        s.requests_optimize, s.requests_stats, s.requests_ping
+    );
+    let _ = write!(
+        out,
+        ",\"sources\":{{\"fresh\":{},\"memory\":{},\"disk\":{},\"coalesced\":{}}}",
+        s.fresh, s.memory_hits, s.disk_hits, s.coalesced
+    );
+    let _ = write!(
+        out,
+        ",\"busy\":{},\"errors\":{},\"queued_now\":{},\"queue_peak\":{}",
+        s.busy, s.errors, s.queued_now, s.queue_peak
+    );
+    let m = &s.memory_cache;
+    let _ = write!(
+        out,
+        ",\"memory_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{}}}",
+        m.hits, m.misses, m.evictions, m.entries
+    );
+    match &s.disk_cache {
+        None => out.push_str(",\"disk_cache\":null"),
+        Some(d) => {
+            let _ = write!(
+                out,
+                ",\"disk_cache\":{{\"hits\":{},\"misses\":{},\"stores\":{},\"evictions\":{},\
+                 \"load_errors\":{},\"entries\":{},\"bytes\":{},\"budget_bytes\":{}}}",
+                d.hits,
+                d.misses,
+                d.stores,
+                d.evictions,
+                d.load_errors,
+                d.entries,
+                d.bytes,
+                d.budget_bytes
+            );
+        }
+    }
+    out.push_str(",\"latency\":{\"request\":");
+    write_quantiles(&mut out, &s.latency_request);
+    out.push_str(",\"queue\":");
+    write_quantiles(&mut out, &s.latency_queue);
+    for (name, q) in PHASE_NAMES.iter().zip(&s.phases) {
+        let _ = write!(out, ",\"{name}\":");
+        write_quantiles(&mut out, q);
+    }
+    out.push_str("}}");
+    out
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer \"{key}\""))
+}
+
+fn get_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string \"{key}\""))
+}
+
+fn get_bool(v: &Json, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing or non-boolean \"{key}\"")),
+    }
+}
+
+fn parse_quantiles(v: &Json, key: &str) -> Result<QuantileSummary, String> {
+    let q = v
+        .get(key)
+        .ok_or_else(|| format!("missing latency \"{key}\""))?;
+    Ok(QuantileSummary {
+        count: get_u64(q, "count")?,
+        total_micros: get_u64(q, "total_micros")?,
+        p50: get_u64(q, "p50")?,
+        p95: get_u64(q, "p95")?,
+        p99: get_u64(q, "p99")?,
+        max: get_u64(q, "max")?,
+    })
+}
+
+/// Parses a response frame payload into its id and [`Reply`].
+pub fn parse_response(payload: &str) -> Result<(u64, Reply), String> {
+    let value = json::parse(payload).map_err(|e| format!("bad response JSON: {e}"))?;
+    let id = get_u64(&value, "id")?;
+    let reply = match get_str(&value, "type")?.as_str() {
+        "ok" => Reply::Ok,
+        "busy" => Reply::Busy {
+            queued: get_u64(&value, "queued")?,
+            limit: get_u64(&value, "limit")?,
+        },
+        "error" => Reply::Error {
+            message: get_str(&value, "message")?,
+        },
+        "result" => Reply::Result(Box::new(ResultPayload {
+            name: get_str(&value, "name")?,
+            hash: get_str(&value, "hash")?,
+            source: get_str(&value, "source")?,
+            canonical: get_str(&value, "canonical")?,
+            nodes: get_u64(&value, "nodes")?,
+            instrs: get_u64(&value, "instrs")?,
+            points: get_u64(&value, "points")?,
+            edges_split: get_u64(&value, "edges_split")?,
+            rounds: get_u64(&value, "rounds")?,
+            converged: get_bool(&value, "converged")?,
+            eliminated: get_u64(&value, "eliminated")?,
+            inserted: get_u64(&value, "inserted")?,
+            removed: get_u64(&value, "removed")?,
+            iterations: get_u64(&value, "iterations")?,
+            lint_errors: get_u64(&value, "lint_errors")?,
+            lint_warnings: get_u64(&value, "lint_warnings")?,
+            queue_micros: get_u64(&value, "queue_micros")?,
+            service_micros: get_u64(&value, "service_micros")?,
+        })),
+        "stats" => {
+            let requests = value.get("requests").ok_or("missing \"requests\"")?;
+            let sources = value.get("sources").ok_or("missing \"sources\"")?;
+            let mem = value
+                .get("memory_cache")
+                .ok_or("missing \"memory_cache\"")?;
+            let disk = match value.get("disk_cache") {
+                None | Some(Json::Null) => None,
+                Some(d) => Some(DiskCacheSnapshot {
+                    hits: get_u64(d, "hits")?,
+                    misses: get_u64(d, "misses")?,
+                    stores: get_u64(d, "stores")?,
+                    evictions: get_u64(d, "evictions")?,
+                    load_errors: get_u64(d, "load_errors")?,
+                    entries: get_u64(d, "entries")?,
+                    bytes: get_u64(d, "bytes")?,
+                    budget_bytes: get_u64(d, "budget_bytes")?,
+                }),
+            };
+            let latency = value.get("latency").ok_or("missing \"latency\"")?;
+            let mut phases = [QuantileSummary::default(); 4];
+            for (slot, name) in phases.iter_mut().zip(PHASE_NAMES) {
+                *slot = parse_quantiles(latency, name)?;
+            }
+            Reply::Stats(Box::new(StatsSnapshot {
+                uptime_micros: get_u64(&value, "uptime_micros")?,
+                workers: get_u64(&value, "workers")?,
+                connections_open: get_u64(&value, "connections_open")?,
+                connections_total: get_u64(&value, "connections_total")?,
+                requests_optimize: get_u64(requests, "optimize")?,
+                requests_stats: get_u64(requests, "stats")?,
+                requests_ping: get_u64(requests, "ping")?,
+                fresh: get_u64(sources, "fresh")?,
+                memory_hits: get_u64(sources, "memory")?,
+                disk_hits: get_u64(sources, "disk")?,
+                coalesced: get_u64(sources, "coalesced")?,
+                busy: get_u64(&value, "busy")?,
+                errors: get_u64(&value, "errors")?,
+                queued_now: get_u64(&value, "queued_now")?,
+                queue_peak: get_u64(&value, "queue_peak")?,
+                memory_cache: MemoryCacheSnapshot {
+                    hits: get_u64(mem, "hits")?,
+                    misses: get_u64(mem, "misses")?,
+                    evictions: get_u64(mem, "evictions")?,
+                    entries: get_u64(mem, "entries")?,
+                },
+                disk_cache: disk,
+                latency_request: parse_quantiles(latency, "request")?,
+                latency_queue: parse_quantiles(latency, "queue")?,
+                phases,
+            }))
+        }
+        other => return Err(format!("unknown response type '{other}'")),
+    };
+    Ok((id, reply))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"a\":1}"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_errors() {
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        assert!(read_frame(&mut &huge[..]).is_err());
+
+        let mut cut = Vec::new();
+        write_frame(&mut cut, "hello").unwrap();
+        cut.truncate(cut.len() - 2);
+        let err = read_frame(&mut &cut[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Envelope {
+                id: 1,
+                request: Request::Ping,
+            },
+            Envelope {
+                id: 2,
+                request: Request::Stats,
+            },
+            Envelope {
+                id: 3,
+                request: Request::Shutdown,
+            },
+            Envelope {
+                id: 900_719_925_474_099, // near the f64-exact ceiling
+                request: Request::Optimize(OptimizeRequest {
+                    name: "loop \"quoted\".wl".to_owned(),
+                    kind: SourceKind::While,
+                    text: "while x < 3 do\n  x := x + 1\nod".to_owned(),
+                }),
+            },
+            Envelope {
+                id: 5,
+                request: Request::Optimize(OptimizeRequest {
+                    name: "raw.ir".to_owned(),
+                    kind: SourceKind::Ir,
+                    text: "start s\nend s\nnode s { out(x) }".to_owned(),
+                }),
+            },
+        ];
+        for envelope in cases {
+            let wire = encode_request(&envelope);
+            assert_eq!(parse_request(&wire).unwrap(), envelope, "{wire}");
+        }
+    }
+
+    #[test]
+    fn request_parse_errors_keep_the_id_when_possible() {
+        let (id, msg) = parse_request("{\"am\":1,\"id\":9,\"op\":\"frobnicate\"}").unwrap_err();
+        assert_eq!(id, Some(9));
+        assert!(msg.contains("frobnicate"), "{msg}");
+
+        let (id, _) = parse_request("not json").unwrap_err();
+        assert_eq!(id, None);
+
+        let (id, msg) = parse_request("{\"am\":2,\"id\":4,\"op\":\"ping\"}").unwrap_err();
+        assert_eq!(id, Some(4));
+        assert!(msg.contains("version 2"), "{msg}");
+    }
+
+    #[test]
+    fn simple_responses_round_trip() {
+        assert_eq!(parse_response(&encode_ok(7)).unwrap(), (7, Reply::Ok));
+        assert_eq!(
+            parse_response(&encode_busy(8, 64, 64)).unwrap(),
+            (
+                8,
+                Reply::Busy {
+                    queued: 64,
+                    limit: 64
+                }
+            )
+        );
+        assert_eq!(
+            parse_response(&encode_error(9, "no \"such\" op")).unwrap(),
+            (
+                9,
+                Reply::Error {
+                    message: "no \"such\" op".to_owned()
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn result_responses_round_trip() {
+        let payload = ResultPayload {
+            name: "p01.wl".to_owned(),
+            hash: format!("{:016x}", 0xdead_beef_u64),
+            source: "coalesced".to_owned(),
+            canonical: "start 1\nend 1\nnode 1 {\n  out(x)\n}\n".to_owned(),
+            nodes: 12,
+            instrs: 40,
+            points: 64,
+            edges_split: 3,
+            rounds: 2,
+            converged: true,
+            eliminated: 5,
+            inserted: 4,
+            removed: 6,
+            iterations: 321,
+            lint_errors: 0,
+            lint_warnings: 1,
+            queue_micros: 17,
+            service_micros: 905,
+        };
+        let (id, reply) = parse_response(&encode_result(11, &payload)).unwrap();
+        assert_eq!(id, 11);
+        assert_eq!(reply, Reply::Result(Box::new(payload)));
+    }
+
+    #[test]
+    fn stats_responses_round_trip() {
+        let mut snapshot = StatsSnapshot {
+            uptime_micros: 5_000_000,
+            workers: 8,
+            connections_open: 2,
+            connections_total: 19,
+            requests_optimize: 400,
+            requests_stats: 3,
+            requests_ping: 2,
+            fresh: 100,
+            memory_hits: 250,
+            disk_hits: 30,
+            coalesced: 20,
+            busy: 7,
+            errors: 1,
+            queued_now: 4,
+            queue_peak: 63,
+            memory_cache: MemoryCacheSnapshot {
+                hits: 280,
+                misses: 120,
+                evictions: 9,
+                entries: 111,
+            },
+            disk_cache: Some(DiskCacheSnapshot {
+                hits: 30,
+                misses: 90,
+                stores: 100,
+                evictions: 2,
+                load_errors: 1,
+                entries: 98,
+                bytes: 123_456,
+                budget_bytes: 268_435_456,
+            }),
+            latency_request: QuantileSummary {
+                count: 400,
+                total_micros: 9000,
+                p50: 15,
+                p95: 60,
+                p99: 200,
+                max: 900,
+            },
+            latency_queue: QuantileSummary {
+                count: 400,
+                total_micros: 800,
+                p50: 1,
+                p95: 5,
+                p99: 11,
+                max: 40,
+            },
+            ..Default::default()
+        };
+        snapshot.phases[2] = QuantileSummary {
+            count: 100,
+            total_micros: 5000,
+            p50: 40,
+            p95: 90,
+            p99: 130,
+            max: 200,
+        };
+        let (id, reply) = parse_response(&encode_stats(21, &snapshot)).unwrap();
+        assert_eq!(id, 21);
+        assert_eq!(reply, Reply::Stats(Box::new(snapshot.clone())));
+
+        snapshot.disk_cache = None;
+        let (_, reply) = parse_response(&encode_stats(22, &snapshot)).unwrap();
+        assert_eq!(reply, Reply::Stats(Box::new(snapshot)));
+    }
+}

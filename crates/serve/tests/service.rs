@@ -1,0 +1,431 @@
+//! End-to-end service tests: real sockets, real threads, real disk.
+//!
+//! Each test boots an in-process [`Server`] on an ephemeral localhost
+//! port (or a unix socket), drives it with [`Client`] connections, and
+//! shuts it down gracefully through the protocol.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+
+use am_ir::random::{unstructured, SplitMix64, UnstructuredConfig};
+use am_lang::SourceKind;
+use am_serve::client::{Client, ClientError};
+use am_serve::diskcache::DiskCacheConfig;
+use am_serve::net::Endpoint;
+use am_serve::proto::Reply;
+use am_serve::server::{Server, ServerConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("am-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Boots a server on 127.0.0.1:0, returning its endpoint and the thread
+/// running it (joined by shutting the server down through a client).
+fn boot(config: ServerConfig) -> (Endpoint, thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(config).expect("bind");
+    let endpoint = server.endpoint().clone();
+    (endpoint, thread::spawn(move || server.run()))
+}
+
+fn stop(endpoint: &Endpoint, handle: thread::JoinHandle<std::io::Result<()>>) {
+    let mut client = Client::connect(endpoint).expect("connect for shutdown");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server run");
+}
+
+/// A mid-size program that takes a worker a little while to optimize —
+/// used to keep the single-worker queue occupied in backpressure tests.
+fn slow_program(seed: u64) -> String {
+    let mut rng = SplitMix64::new(seed);
+    let g = unstructured(
+        &mut rng,
+        &UnstructuredConfig {
+            nodes: 48,
+            extra_edges: 24,
+            max_instrs: 4,
+            num_vars: 6,
+            allow_div: false,
+        },
+    );
+    am_ir::text::to_text(&g)
+}
+
+#[test]
+fn ping_optimize_stats_shutdown_round_trip() {
+    let (endpoint, handle) = boot(ServerConfig::default());
+    let mut client = Client::connect(&endpoint).expect("connect");
+    client.ping().expect("ping");
+
+    let result = client
+        .optimize(
+            "paper.ir",
+            SourceKind::Ir,
+            "start 1\nend 4\n\
+             node 1 { y := c+d }\n\
+             node 2 { branch x+z > y+i }\n\
+             node 3 { y := c+d; x := y+z; i := i+x }\n\
+             node 4 { x := y+z; x := c+d; out(i,x,y) }\n\
+             edge 1 -> 2\nedge 2 -> 3, 4\nedge 3 -> 2",
+        )
+        .expect("optimize");
+    assert_eq!(result.source, "fresh");
+    assert_eq!(result.hash.len(), 16);
+    assert!(result.converged);
+    assert!(result.canonical.contains("node"));
+    assert!(
+        result.eliminated > 0,
+        "the paper example loses an assignment"
+    );
+
+    // Same program again: served from memory, byte-identical.
+    let again = client
+        .optimize(
+            "paper2.ir",
+            SourceKind::Ir,
+            "start 1\nend 4\n\
+             node 1 { y := c+d }\n\
+             node 2 { branch x+z > y+i }\n\
+             node 3 { y := c+d; x := y+z; i := i+x }\n\
+             node 4 { x := y+z; x := c+d; out(i,x,y) }\n\
+             edge 1 -> 2\nedge 2 -> 3, 4\nedge 3 -> 2",
+        )
+        .expect("optimize again");
+    assert_eq!(again.source, "memory");
+    assert_eq!(again.hash, result.hash);
+    assert_eq!(again.canonical, result.canonical);
+
+    // While-language front end over the same connection.
+    let wl = client
+        .optimize(
+            "count.wl",
+            SourceKind::While,
+            "x := 0; while (x < 9) { x := x + 1; } print(x);",
+        )
+        .expect("optimize wl");
+    assert_eq!(wl.source, "fresh");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests_ping, 1);
+    assert_eq!(stats.requests_optimize, 3);
+    assert_eq!((stats.fresh, stats.memory_hits), (2, 1));
+    assert_eq!(stats.connections_open, 1);
+    assert!(stats.disk_cache.is_none());
+    assert_eq!(stats.latency_request.count, 3);
+    assert!(stats.uptime_micros > 0);
+
+    stop(&endpoint, handle);
+}
+
+#[test]
+fn malformed_programs_fail_cleanly_and_the_connection_survives() {
+    let (endpoint, handle) = boot(ServerConfig::default());
+    let mut client = Client::connect(&endpoint).expect("connect");
+
+    let err = client
+        .optimize("bad.ir", SourceKind::Ir, "start 1\nend 1\nthis is not ir")
+        .expect_err("malformed program must fail");
+    let ClientError::Server(message) = err else {
+        panic!("expected a server error, got {err:?}")
+    };
+    assert!(
+        message.contains("bad.ir"),
+        "diagnostic names the job: {message}"
+    );
+
+    // The failure was per-request: the same connection still works.
+    client.ping().expect("ping after error");
+    let ok = client
+        .optimize("ok.ir", SourceKind::Ir, "start 1\nend 1\nnode 1 { out(x) }")
+        .expect("valid program after error");
+    assert_eq!(ok.source, "fresh");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.errors, 1);
+    stop(&endpoint, handle);
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_results_with_dedup() {
+    let (endpoint, handle) = boot(ServerConfig::default());
+    let corpus: Arc<Vec<(String, String)>> = Arc::new(
+        am_ir::random::corpus80()
+            .into_iter()
+            .map(|(name, g)| (name, am_ir::text::to_text(&g)))
+            .collect(),
+    );
+
+    // Two clients pipeline the same corpus twice, concurrently.
+    let mut threads = Vec::new();
+    for _ in 0..2 {
+        let endpoint = endpoint.clone();
+        let corpus = Arc::clone(&corpus);
+        threads.push(thread::spawn(move || {
+            // Windowed pipelining: keep at most 32 requests in flight so the
+            // 64-deep per-connection queue never answers `busy`.
+            const WINDOW: usize = 32;
+            let mut client = Client::connect(&endpoint).expect("connect");
+            let mut pending = HashMap::new();
+            let mut outputs: Vec<Option<(String, String)>> = vec![None; corpus.len() * 2];
+            let drain = |client: &mut Client,
+                         pending: &mut HashMap<u64, usize>,
+                         outputs: &mut Vec<Option<(String, String)>>| {
+                let (id, reply) = client.recv().expect("recv");
+                let slot = pending.remove(&id).expect("known id");
+                match reply {
+                    Reply::Result(r) => outputs[slot] = Some((r.hash.clone(), r.canonical.clone())),
+                    other => panic!("unexpected reply: {other:?}"),
+                }
+            };
+            for pass in 0..2 {
+                for (i, (name, text)) in corpus.iter().enumerate() {
+                    while pending.len() >= WINDOW {
+                        drain(&mut client, &mut pending, &mut outputs);
+                    }
+                    let id = client
+                        .submit(name.clone(), SourceKind::Ir, text.clone())
+                        .expect("submit");
+                    pending.insert(id, pass * corpus.len() + i);
+                }
+            }
+            while !pending.is_empty() {
+                drain(&mut client, &mut pending, &mut outputs);
+            }
+            outputs.into_iter().map(Option::unwrap).collect::<Vec<_>>()
+        }));
+    }
+    let results: Vec<Vec<(String, String)>> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    // Bit-identical across passes and across clients.
+    assert_eq!(results[0], results[1], "both clients saw identical results");
+    let n = corpus.len();
+    assert_eq!(
+        results[0][..n],
+        results[0][n..],
+        "second pass identical to first"
+    );
+
+    // Dedup: 4 × 80 answers, but each unique program optimized exactly once.
+    let mut control = Client::connect(&endpoint).expect("connect");
+    let stats = control.stats().expect("stats");
+    assert_eq!(
+        stats.fresh, n as u64,
+        "one fresh optimization per unique program"
+    );
+    assert_eq!(
+        stats.fresh + stats.memory_hits + stats.disk_hits + stats.coalesced,
+        4 * n as u64,
+        "every request answered from some source"
+    );
+    assert!(stats.memory_hits + stats.coalesced >= 3 * n as u64);
+
+    stop(&endpoint, handle);
+}
+
+#[test]
+fn disk_cache_serves_results_across_a_server_restart() {
+    let dir = temp_dir("restart");
+    let disk = DiskCacheConfig::new(dir.join("cache"));
+    let programs: Vec<(String, String)> = (0..6)
+        .map(|i| (format!("p{i}.ir"), slow_program(i)))
+        .collect();
+
+    // First server life: everything is fresh, write-through to disk.
+    let (endpoint, handle) = boot(ServerConfig {
+        disk: Some(disk.clone()),
+        ..ServerConfig::default()
+    });
+    let mut first_life = Vec::new();
+    {
+        let mut client = Client::connect(&endpoint).expect("connect");
+        for (name, text) in &programs {
+            let r = client
+                .optimize(name.clone(), SourceKind::Ir, text.clone())
+                .expect("optimize");
+            assert_eq!(r.source, "fresh");
+            first_life.push((r.hash, r.canonical));
+        }
+        let stats = client.stats().expect("stats");
+        let disk_stats = stats.disk_cache.expect("disk cache enabled");
+        assert_eq!(disk_stats.stores, programs.len() as u64);
+        assert_eq!(disk_stats.entries, programs.len() as u64);
+    }
+    stop(&endpoint, handle);
+
+    // Second life, same cache dir, cold memory: served from disk.
+    let (endpoint, handle) = boot(ServerConfig {
+        disk: Some(disk),
+        ..ServerConfig::default()
+    });
+    {
+        let mut client = Client::connect(&endpoint).expect("connect");
+        for ((name, text), (hash, canonical)) in programs.iter().zip(&first_life) {
+            let r = client
+                .optimize(name.clone(), SourceKind::Ir, text.clone())
+                .expect("optimize");
+            assert_eq!(r.source, "disk", "{name} served from the persistent cache");
+            assert_eq!(&r.hash, hash);
+            assert_eq!(
+                &r.canonical, canonical,
+                "{name} bit-identical across restart"
+            );
+        }
+        // Promoted into memory: a third submission is a memory hit.
+        let (name, text) = &programs[0];
+        let r = client
+            .optimize(name.clone(), SourceKind::Ir, text.clone())
+            .expect("optimize");
+        assert_eq!(r.source, "memory");
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.disk_hits, programs.len() as u64);
+    }
+    stop(&endpoint, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_full_queue_answers_busy_instead_of_buffering() {
+    // One worker, a two-deep queue, and a burst of distinct slow programs:
+    // the submissions outrun the worker, so some must bounce with `busy`.
+    let (endpoint, handle) = boot(ServerConfig {
+        workers: 1,
+        queue_depth: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let burst = 24;
+    let mut pending = Vec::new();
+    for i in 0..burst {
+        let id = client
+            .submit(format!("b{i}.ir"), SourceKind::Ir, slow_program(100 + i))
+            .expect("submit");
+        pending.push(id);
+    }
+    let mut results = 0u64;
+    let mut busy = 0u64;
+    for _ in 0..burst {
+        match client.recv().expect("recv").1 {
+            Reply::Result(_) => results += 1,
+            Reply::Busy { limit, .. } => {
+                assert_eq!(limit, 2);
+                busy += 1;
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    assert_eq!(results + busy, burst);
+    assert!(busy > 0, "burst of {burst} must overflow a 2-deep queue");
+    assert!(results > 0, "accepted jobs are still answered");
+    let stats = Client::connect(&endpoint)
+        .expect("connect")
+        .stats()
+        .expect("stats");
+    assert_eq!(stats.busy, busy);
+    stop(&endpoint, handle);
+}
+
+#[test]
+fn shutdown_drains_queued_work_before_acknowledging() {
+    let (endpoint, handle) = boot(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let jobs = 6;
+    for i in 0..jobs {
+        client
+            .submit(format!("d{i}.ir"), SourceKind::Ir, slow_program(200 + i))
+            .expect("submit");
+    }
+    // Give the reader thread time to enqueue the burst, then ask a second
+    // connection to shut the server down. The `ok` only returns once the
+    // queue has drained — after which all six results must be waiting.
+    thread::sleep(std::time::Duration::from_millis(300));
+    let mut control = Client::connect(&endpoint).expect("connect");
+    control.shutdown().expect("shutdown");
+    for _ in 0..jobs {
+        match client.recv().expect("drained result").1 {
+            Reply::Result(_) => {}
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    handle.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn server_traces_aggregate_through_amstat_model() {
+    let (tracer, collector) = am_trace::Tracer::collector();
+    let (endpoint, handle) = boot(ServerConfig {
+        tracer,
+        ..ServerConfig::default()
+    });
+    {
+        let mut client = Client::connect(&endpoint).expect("connect");
+        let text = "start 1\nend 1\nnode 1 { x := a+b; y := a+b; out(x,y) }";
+        for name in ["t0.ir", "t1.ir"] {
+            client
+                .optimize(name.to_owned(), SourceKind::Ir, text.to_owned())
+                .expect("optimize");
+        }
+        client
+            .optimize("bad.ir", SourceKind::Ir, "start 1\nend 1\nnot ir")
+            .expect_err("malformed");
+    }
+    stop(&endpoint, handle);
+
+    // The exact pipeline amstat runs: JSONL text → events → OptStats.
+    let jsonl = am_trace::export::jsonl(&collector.take());
+    let events: Vec<_> = jsonl
+        .lines()
+        .map(|l| am_trace::export::parse_jsonl_line(l).expect("parseable trace line"))
+        .collect();
+    let stats = am_trace::stats::OptStats::from_events(&events);
+    let service = stats.service().expect("server trace has a service view");
+    assert_eq!(
+        service.sessions, 2,
+        "client connection + shutdown connection"
+    );
+    assert_eq!(
+        service.fresh, 1,
+        "identical programs dedup to one fresh run"
+    );
+    assert_eq!(service.memory, 1);
+    assert_eq!(service.errors, 1);
+    assert_eq!(service.answered(), 2);
+    assert_eq!(
+        service.leaders as usize,
+        service.service.sorted_micros.len()
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_domain_sockets_work_end_to_end() {
+    let dir = temp_dir("uds");
+    let socket = dir.join("am.sock");
+    let (endpoint, handle) = boot(ServerConfig {
+        endpoint: Endpoint::Unix(socket.clone()),
+        ..ServerConfig::default()
+    });
+    assert_eq!(endpoint, Endpoint::Unix(socket.clone()));
+    let mut client = Client::connect(&endpoint).expect("connect over uds");
+    client.ping().expect("ping");
+    let r = client
+        .optimize(
+            "u.ir",
+            SourceKind::Ir,
+            "start 1\nend 1\nnode 1 { x := a+b; out(x) }",
+        )
+        .expect("optimize");
+    assert_eq!(r.source, "fresh");
+    stop(&endpoint, handle);
+    assert!(!socket.exists(), "socket file removed on exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,10 +1,13 @@
-//! `amstat`: aggregate JSONL traces produced by `amopt --trace`.
+//! `amstat`: aggregate JSONL traces produced by `amopt --trace` or
+//! `amserve --trace`.
 //!
 //! Reads one or more JSON-lines trace files, folds every event into the
 //! [`OptStats`] model and prints per-phase latency percentiles
 //! (p50/p95/p99), per-analysis fixpoint totals and the
-//! iterations-vs-program-size scatter. Exits nonzero on malformed or empty
-//! input so CI can use it as a trace-shape check.
+//! iterations-vs-program-size scatter. Server traces additionally get a
+//! service section: answered-by-source breakdown, backpressure and error
+//! totals, and worker service-latency percentiles. Exits nonzero on
+//! malformed or empty input so CI can use it as a trace-shape check.
 
 use std::process::ExitCode;
 
@@ -14,9 +17,10 @@ use am_trace::stats::OptStats;
 fn usage() -> ! {
     eprintln!("usage: amstat TRACE.jsonl [TRACE.jsonl ...]");
     eprintln!();
-    eprintln!("Aggregates JSONL traces written by `amopt --trace FILE --trace-format jsonl`:");
-    eprintln!("per-span latency percentiles, per-analysis fixpoint totals and the");
-    eprintln!("iterations-vs-nodes scatter. Exits 1 on malformed or empty input.");
+    eprintln!("Aggregates JSONL traces written by `amopt --trace FILE --trace-format jsonl`");
+    eprintln!("or `amserve --trace FILE`: per-span latency percentiles, per-analysis");
+    eprintln!("fixpoint totals, the iterations-vs-nodes scatter, and — for server traces —");
+    eprintln!("the answered-by-source service summary. Exits 1 on malformed or empty input.");
     std::process::exit(2);
 }
 
@@ -86,6 +90,35 @@ fn print_report(stats: &OptStats) {
         println!("counters");
         for (key, value) in &stats.counters {
             println!("  {key} = {value}");
+        }
+    }
+    if let Some(service) = stats.service() {
+        println!();
+        println!("service (amserve trace)");
+        println!(
+            "  sessions: {}   worker jobs: {}   answered: {} ({:.1}% cached)",
+            service.sessions,
+            service.leaders,
+            service.answered(),
+            service.cached_pct(),
+        );
+        println!(
+            "  by source: fresh {}, memory {}, disk {}, coalesced {}   busy: {}   errors: {}",
+            service.fresh,
+            service.memory,
+            service.disk,
+            service.coalesced,
+            service.busy,
+            service.errors,
+        );
+        if service.service.count > 0 {
+            println!(
+                "  service latency: p50 {} p95 {} p99 {} max {}",
+                fmt_micros(service.service.quantile(0.5)),
+                fmt_micros(service.service.quantile(0.95)),
+                fmt_micros(service.service.quantile(0.99)),
+                fmt_micros(service.service.max_micros),
+            );
         }
     }
     if !stats.scatter.is_empty() {

@@ -82,7 +82,10 @@ pub struct DurStats {
 }
 
 impl DurStats {
-    fn record(&mut self, micros: u64) {
+    /// Records one sample (used by the fold below and by live recorders
+    /// such as the `am-serve` metrics, which build `DurStats` directly
+    /// instead of going through an event stream).
+    pub fn record(&mut self, micros: u64) {
         self.count += 1;
         self.total_micros += micros;
         self.max_micros = self.max_micros.max(micros);
@@ -127,6 +130,53 @@ pub struct ScatterPoint {
     pub iterations: i64,
     /// Motion rounds until stabilization.
     pub rounds: i64,
+}
+
+/// A service-level view over an `am-serve` trace: the answered-by-source
+/// breakdown, backpressure/error totals and the session/request span
+/// statistics. Derived from the generic [`OptStats`] aggregates by
+/// [`OptStats::service`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceSummary {
+    /// Client connections (`conn/session` spans).
+    pub sessions: u64,
+    /// Jobs a worker actually processed (`request/optimize` spans) —
+    /// cache hits included, coalesced followers not.
+    pub leaders: u64,
+    /// Results computed fresh (`serve/source/fresh`).
+    pub fresh: u64,
+    /// Results served from the in-memory cache (`serve/source/memory`).
+    pub memory: u64,
+    /// Results served from the persistent cache (`serve/source/disk`).
+    pub disk: u64,
+    /// Requests answered by coalescing onto an identical in-flight job
+    /// (`serve/source/coalesced`).
+    pub coalesced: u64,
+    /// Requests rejected with `busy` (`serve/busy/count`).
+    pub busy: u64,
+    /// Requests answered with an error (`serve/error/count`).
+    pub errors: u64,
+    /// Worker service latency (the `request/optimize` span durations).
+    pub service: DurStats,
+    /// Connection lifetimes (the `conn/session` span durations).
+    pub session: DurStats,
+}
+
+impl ServiceSummary {
+    /// Successful answers across every source.
+    pub fn answered(&self) -> u64 {
+        self.fresh + self.memory + self.disk + self.coalesced
+    }
+
+    /// Fraction of answers that avoided a fresh optimization, in percent;
+    /// 0 when nothing was answered.
+    pub fn cached_pct(&self) -> f64 {
+        let answered = self.answered();
+        if answered == 0 {
+            return 0.0;
+        }
+        (answered - self.fresh) as f64 * 100.0 / answered as f64
+    }
 }
 
 /// Aggregated optimizer metrics over an event stream.
@@ -197,6 +247,32 @@ impl OptStats {
     /// Total fixpoint iterations across every analysis.
     pub fn total_iterations(&self) -> u64 {
         self.analyses.values().map(|a| a.iterations).sum()
+    }
+
+    /// The service-level view of an `am-serve` trace, or `None` when the
+    /// stream contains no server events (a plain `amopt` trace).
+    pub fn service(&self) -> Option<ServiceSummary> {
+        let has_server_events = self.spans.contains_key("conn/session")
+            || self.counters.keys().any(|k| k.starts_with("serve/"));
+        if !has_server_events {
+            return None;
+        }
+        let counter = |key: &str| self.counters.get(key).copied().unwrap_or(0).max(0) as u64;
+        let span = |key: &str| self.spans.get(key).cloned().unwrap_or_default();
+        let session = span("conn/session");
+        let service = span("request/optimize");
+        Some(ServiceSummary {
+            sessions: session.count,
+            leaders: service.count,
+            fresh: counter("serve/source/fresh"),
+            memory: counter("serve/source/memory"),
+            disk: counter("serve/source/disk"),
+            coalesced: counter("serve/source/coalesced"),
+            busy: counter("serve/busy/count"),
+            errors: counter("serve/error/count"),
+            service,
+            session,
+        })
     }
 }
 
@@ -314,5 +390,54 @@ mod tests {
         assert_eq!(stats.scatter[0].nodes, 9);
         assert_eq!(stats.scatter[0].iterations, 77);
         assert_eq!(stats.total_iterations(), 77);
+        assert_eq!(stats.service(), None, "no server events in an amopt trace");
+    }
+
+    #[test]
+    fn server_traces_summarize_by_source() {
+        let events = vec![
+            span("conn", "session", 900, vec![("requests".into(), 5)]),
+            span("conn", "session", 400, vec![("requests".into(), 2)]),
+            span("request", "optimize", 120, vec![("queue_micros".into(), 8)]),
+            span("request", "optimize", 40, vec![("queue_micros".into(), 3)]),
+            span("request", "optimize", 60, vec![("queue_micros".into(), 2)]),
+            counter(
+                "serve",
+                "source",
+                vec![("fresh".into(), 1), ("coalesced".into(), 2)],
+            ),
+            counter(
+                "serve",
+                "source",
+                vec![("memory".into(), 1), ("coalesced".into(), 0)],
+            ),
+            counter(
+                "serve",
+                "source",
+                vec![("disk".into(), 1), ("coalesced".into(), 0)],
+            ),
+            counter("serve", "busy", vec![("count".into(), 4)]),
+            counter("serve", "error", vec![("count".into(), 1)]),
+        ];
+        let summary = OptStats::from_events(&events)
+            .service()
+            .expect("service trace");
+        assert_eq!(summary.sessions, 2);
+        assert_eq!(summary.leaders, 3);
+        assert_eq!(
+            (
+                summary.fresh,
+                summary.memory,
+                summary.disk,
+                summary.coalesced
+            ),
+            (1, 1, 1, 2)
+        );
+        assert_eq!(summary.answered(), 5);
+        assert_eq!(summary.busy, 4);
+        assert_eq!(summary.errors, 1);
+        assert_eq!(summary.cached_pct(), 80.0);
+        assert_eq!(summary.service.quantile(0.5), 60);
+        assert_eq!(summary.session.max_micros, 900);
     }
 }

@@ -22,7 +22,11 @@
 //! * [`check`] ([`am_check`]) — differential translation validation with
 //!   fault injection and shrinking (ships the `amcheck` binary);
 //! * [`lint`] ([`am_lint`]) — the static-analysis suite over programs and
-//!   optimizer output (ships the `amlint` binary).
+//!   optimizer output (ships the `amlint` binary);
+//! * [`serve`] ([`am_serve`]) — the long-running optimization service:
+//!   length-prefixed JSON protocol, persistent content-addressed cache,
+//!   per-client fairness and live metrics (ships the `amserve` daemon and
+//!   `amclient` CLI).
 //!
 //! # Quickstart
 //!
@@ -59,6 +63,7 @@ pub use am_ir as ir;
 pub use am_lang as lang;
 pub use am_lint as lint;
 pub use am_pipeline as pipeline;
+pub use am_serve as serve;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
