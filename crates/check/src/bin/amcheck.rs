@@ -30,8 +30,8 @@ options:
   --decisions N     oracle decisions per run (default 14)
   --fail-fast       stop at the first failing seed
   --inject WHERE    inject a fault: init, round:N, flush (harness self-test)
-  --fault KIND      fault kind: tweak-const, drop-instr, duplicate-eval
-                    (default tweak-const; only with --inject)
+  --fault KIND      fault kind: tweak-const, drop-instr, duplicate-eval,
+                    swap-pattern-ids (default tweak-const; only with --inject)
   --lint            also run the am-lint static suite on each final
                     snapshot; reports seeds with error-severity findings
   --out DIR         bundle directory (default target/am-check)
@@ -96,8 +96,12 @@ fn main() -> ExitCode {
                 Ok("tweak-const") => fault_kind = FaultKind::TweakConst,
                 Ok("drop-instr") => fault_kind = FaultKind::DropInstr,
                 Ok("duplicate-eval") => fault_kind = FaultKind::DuplicateEval,
+                Ok("swap-pattern-ids") => fault_kind = FaultKind::SwapPatternIds,
                 Ok(_) => {
-                    return fail_usage("--fault wants tweak-const, drop-instr or duplicate-eval")
+                    return fail_usage(
+                        "--fault wants tweak-const, drop-instr, duplicate-eval \
+                         or swap-pattern-ids",
+                    )
                 }
                 Err(e) => return fail_usage(e),
             },

@@ -49,6 +49,9 @@ pub fn render_report(b: &Bundle) -> String {
         FailureKind::Structural(e) => {
             let _ = writeln!(s, "kind:      structural ({e})");
         }
+        FailureKind::Identity(e) => {
+            let _ = writeln!(s, "kind:      identity-layer corruption ({e})");
+        }
         FailureKind::Semantic { run, detail } => {
             let _ = writeln!(s, "kind:      semantic divergence (run {run})");
             let _ = writeln!(s, "detail:    {detail}");

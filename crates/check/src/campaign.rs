@@ -266,6 +266,7 @@ fn reproduce_command(seed: u64, cfg: &CampaignConfig) -> String {
             FaultKind::TweakConst => "tweak-const",
             FaultKind::DropInstr => "drop-instr",
             FaultKind::DuplicateEval => "duplicate-eval",
+            FaultKind::SwapPatternIds => "swap-pattern-ids",
         };
         cmd.push_str(&format!(" --inject {at} --fault {kind}"));
     }

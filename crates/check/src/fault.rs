@@ -9,7 +9,7 @@
 //! the shrinker reduces the witness to a handful of nodes.
 
 use am_core::global::PhaseId;
-use am_ir::{FlowGraph, Instr, Operand, Term};
+use am_ir::{FlowGraph, Instr, Operand, PatternUniverse, Term};
 
 /// Where to inject the fault: immediately after the named phase runs, so
 /// the corruption is attributed to that phase's output.
@@ -49,6 +49,14 @@ pub enum FaultKind {
     /// every execution pays an extra expression evaluation: an *optimality*
     /// regression (Thm 5.2), not a wrong-code bug.
     DuplicateEval,
+    /// Swap every occurrence of the program's first two expression patterns
+    /// (pattern ids 0 and 1 of the interning arena, i.e. the first two
+    /// distinct non-trivial terms in first-occurrence order). This models an
+    /// id-confusion bug in a hash-consed IR: every id stays in range and the
+    /// graph stays structurally valid, but terms are systematically
+    /// mis-resolved — the kind of corruption only a semantic differential
+    /// (or a redundancy lint on the now-misplaced recomputations) catches.
+    SwapPatternIds,
 }
 
 /// A fault to inject during a hooked optimizer run.
@@ -68,7 +76,38 @@ pub fn apply_fault(g: &mut FlowGraph, kind: FaultKind) -> bool {
         FaultKind::TweakConst => tweak_first_const(g),
         FaultKind::DropInstr => drop_instr(g),
         FaultKind::DuplicateEval => duplicate_eval(g),
+        FaultKind::SwapPatternIds => swap_pattern_ids(g),
     }
+}
+
+fn swap_pattern_ids(g: &mut FlowGraph) -> bool {
+    // The first two distinct non-trivial terms in first-occurrence order are
+    // exactly pattern ids 0 and 1 of the interning arena.
+    let universe = PatternUniverse::collect(g);
+    if universe.expr_count() < 2 {
+        return false;
+    }
+    let (a, b) = (universe.expr(0), universe.expr(1));
+    let swap = |t: &mut Term| {
+        if *t == a {
+            *t = b;
+        } else if *t == b {
+            *t = a;
+        }
+    };
+    for n in g.nodes().collect::<Vec<_>>() {
+        for instr in &mut g.block_mut(n).instrs {
+            match instr {
+                Instr::Assign { rhs, .. } => swap(rhs),
+                Instr::Branch(c) => {
+                    swap(&mut c.lhs);
+                    swap(&mut c.rhs);
+                }
+                Instr::Skip | Instr::Out(_) => {}
+            }
+        }
+    }
+    true
 }
 
 fn tweak_operand(op: &mut Operand) -> bool {
@@ -201,6 +240,43 @@ mod tests {
             parse("start s\nend e\nnode s { skip }\nnode e { out(x) }\nedge s -> e").unwrap();
         assert!(!apply_fault(&mut g, FaultKind::TweakConst));
         assert!(!apply_fault(&mut g, FaultKind::DuplicateEval));
+        assert!(!apply_fault(&mut g, FaultKind::SwapPatternIds));
+    }
+
+    #[test]
+    fn swap_pattern_ids_exchanges_the_first_two_patterns_everywhere() {
+        let orig = parse(SRC).unwrap();
+        let mut g = orig.clone();
+        assert!(apply_fault(&mut g, FaultKind::SwapPatternIds));
+        assert_eq!(g.validate(), Ok(()));
+        // `x := a+1; y := x+2` becomes `x := x+2; y := a+1`: same instruction
+        // shapes, same pattern universe, systematically wrong bindings.
+        let text = am_ir::text::to_text(&g);
+        assert!(text.contains("x := x+2"), "{text}");
+        assert!(text.contains("y := a+1"), "{text}");
+        let cfg = Config::with_inputs(vec![("a", 5)]);
+        assert_ne!(run(&orig, &cfg).observable(), run(&g, &cfg).observable());
+    }
+
+    #[test]
+    fn swap_pattern_ids_needs_two_distinct_patterns() {
+        // Two occurrences of the *same* pattern are one pattern id — no site.
+        let mut g = parse(
+            "start s\nend e\nnode s { x := a+1; y := a+1 }\nnode e { out(x,y) }\nedge s -> e",
+        )
+        .unwrap();
+        assert!(!apply_fault(&mut g, FaultKind::SwapPatternIds));
+    }
+
+    #[test]
+    fn swap_pattern_ids_is_an_involution() {
+        let orig = parse(SRC).unwrap();
+        let mut g = orig.clone();
+        assert!(apply_fault(&mut g, FaultKind::SwapPatternIds));
+        // First-occurrence order flips with the swap, so applying the fault
+        // again swaps the same two terms back.
+        assert!(apply_fault(&mut g, FaultKind::SwapPatternIds));
+        assert_eq!(am_ir::text::to_text(&g), am_ir::text::to_text(&orig));
     }
 
     #[test]

@@ -13,8 +13,9 @@
 use am_core::global::{optimize_hooked, GlobalConfig};
 use am_core::sink::{sink_assignments, SinkConfig};
 use am_core::verify::weakly_equivalent;
+use am_ir::alpha::{canonical_text, stable_hash, stable_hash_text};
 use am_ir::interp::{run, Config, Oracle, RunResult, StopReason};
-use am_ir::FlowGraph;
+use am_ir::{reference_universe, FlowGraph, PatternUniverse};
 use am_trace::Tracer;
 
 use crate::fault::{apply_fault, FaultSpec};
@@ -83,6 +84,13 @@ pub enum FailureKind {
         /// Human-readable account of the divergence.
         detail: String,
     },
+    /// The interned identity layer disagreed with its structural reference
+    /// on a snapshot: the streamed `stable_hash` diverged from the
+    /// text-path hash, or the arena-backed pattern universe diverged from
+    /// the naive linear-scan enumeration. Not a miscompile of the program —
+    /// a corruption of the identity layer every cache and gen/kill system
+    /// is keyed by.
+    Identity(String),
     /// The stage *increased* expression evaluations on a completed
     /// corresponding run — an optimality regression (Thm 5.2).
     Optimality {
@@ -178,6 +186,43 @@ fn describe(a: &RunResult, b: &RunResult) -> String {
     )
 }
 
+/// Cross-checks the interned identity layer on one snapshot against its
+/// structural references: the streamed `stable_hash` against the hash of
+/// the materialised canonical text, the arena-backed pattern universe
+/// against the naive linear-scan enumeration, and the arena's own internal
+/// invariants. Returns a description of the first mismatch.
+fn identity_mismatch(snap: &FlowGraph) -> Option<String> {
+    let streamed = stable_hash(snap);
+    let texted = stable_hash_text(&canonical_text(snap));
+    if streamed != texted {
+        return Some(format!(
+            "streamed stable_hash {streamed:016x} != text-path hash {texted:016x}"
+        ));
+    }
+    let interned = PatternUniverse::collect(snap);
+    let (ref_assigns, ref_exprs) = reference_universe(snap);
+    let assigns: Vec<_> = interned.assign_patterns().map(|(_, p)| p).collect();
+    if assigns != ref_assigns {
+        return Some(format!(
+            "assign-pattern universe diverges from reference: {} interned vs {} reference",
+            assigns.len(),
+            ref_assigns.len()
+        ));
+    }
+    let exprs: Vec<_> = interned.expr_patterns().map(|(_, t)| t).collect();
+    if exprs != ref_exprs {
+        return Some(format!(
+            "expression universe diverges from reference: {} interned vs {} reference",
+            exprs.len(),
+            ref_exprs.len()
+        ));
+    }
+    if let Err(e) = interned.arena().verify() {
+        return Some(format!("arena invariant violated: {e}"));
+    }
+    None
+}
+
 fn decisions_of(oracle: &Oracle) -> Vec<usize> {
     match oracle {
         Oracle::Fixed(v) => v.clone(),
@@ -231,13 +276,19 @@ pub fn validate(g: &FlowGraph, cfg: &ValidationConfig) -> Validation {
         am_lint::LintSummary::from(&report)
     });
 
-    // 2. Every snapshot must be structurally valid.
+    // 2. Every snapshot must be structurally valid, and the interned
+    //    identity layer must agree with its structural reference on it.
     for (stage, snap) in &chain {
-        if let Err(e) = snap.validate() {
+        let kind = if let Err(e) = snap.validate() {
+            Some(FailureKind::Structural(e.to_string()))
+        } else {
+            identity_mismatch(snap).map(FailureKind::Identity)
+        };
+        if let Some(kind) = kind {
             return Validation {
                 failure: Some(Failure {
                     stage: *stage,
-                    kind: FailureKind::Structural(e.to_string()),
+                    kind,
                     decisions: Vec::new(),
                     inputs: cfg.inputs.clone(),
                 }),
@@ -476,6 +527,13 @@ mod tests {
     }
 
     #[test]
+    fn identity_oracle_is_silent_on_sound_graphs() {
+        assert_eq!(identity_mismatch(&diamond()), None);
+        let opt = am_core::global::optimize(&diamond()).program;
+        assert_eq!(identity_mismatch(&opt), None);
+    }
+
+    #[test]
     fn kind_classes_ignore_payloads() {
         let a = FailureKind::Semantic {
             run: 0,
@@ -487,6 +545,8 @@ mod tests {
         };
         assert!(a.same_class(&b));
         assert!(!a.same_class(&FailureKind::Structural("z".into())));
+        assert!(!a.same_class(&FailureKind::Identity("w".into())));
+        assert!(FailureKind::Identity("p".into()).same_class(&FailureKind::Identity("q".into())));
     }
 
     #[test]

@@ -15,11 +15,18 @@
 //!   still occur, and same-point insertions are emitted in the current
 //!   graph's first-occurrence order (the order a fresh universe would
 //!   number them). A hook that injects a *new* pattern (fault injection)
-//!   is detected by an id-lookup miss and triggers a full refresh.
-//! * **Gen/kill rows** — Table 2 rows keyed by instruction content and
-//!   Table 1 block locals keyed by block content. Unchanged instructions
-//!   and blocks reuse their rows; the `incremental/gen_kill_rows` trace
-//!   counter reports the hit rate per round.
+//!   is detected when the instruction is first interned and triggers an
+//!   in-place universe extension: existing pattern ids stay stable and the
+//!   new patterns take the next free indices, so only the caches whose
+//!   bitset width depends on the universe size are dropped.
+//! * **Gen/kill rows** — Table 2 rows keyed by hash-consed instruction id
+//!   ([`am_ir::intern::InstrInterner`]) and Table 1 block locals keyed by
+//!   the block's id vector. Each distinct instruction content is
+//!   structurally hashed once, at interning; from then on row lookups,
+//!   block keys and the program content hash compose cached hashes and
+//!   compare ids. Unchanged instructions and blocks reuse their rows; the
+//!   `incremental/gen_kill_rows` trace counter reports the hit rate per
+//!   round.
 //! * **Schedules** — the instruction-level and node-level solver schedules,
 //!   reused while the structure fingerprint (block lengths + edges) is
 //!   unchanged, so the RPO traversals are not re-derived per solve.
@@ -41,6 +48,7 @@ use am_dfa::{
     node_adjacency, solve_scheduled, solve_seeded, Confluence, Direction, PatternMasks, PointData,
     PointGraph, Problem, Schedule, Solution,
 };
+use am_ir::intern::{InstrId, InstrInterner};
 use am_ir::{AssignPattern, FlowGraph, Instr, Loc, PatternUniverse};
 use am_trace::Tracer;
 
@@ -134,10 +142,19 @@ struct NodeSystem {
 pub(crate) struct MotionContext {
     universe: PatternUniverse,
     masks: PatternMasks,
-    /// Table 2 rows by instruction content: `(own pattern bit, kill set)`.
-    rae_rows: HashMap<Instr, (Option<usize>, BitSet), FxBuild>,
-    /// Table 1 locals by block content.
-    hoist_rows: HashMap<Vec<Instr>, BlockLocals, FxBuild>,
+    /// Hash-consing interner shared by every fingerprint below: each
+    /// distinct instruction content is structurally hashed once, after
+    /// which row lookups compare ids and the program content hash composes
+    /// cached per-instruction hashes.
+    interner: InstrInterner,
+    /// Set when an interned instruction carries an assignment pattern the
+    /// universe does not know (only possible through a mutating hook);
+    /// consumed by [`Self::refresh_if_stale`].
+    stale: bool,
+    /// Table 2 rows by interned instruction: `(own pattern bit, kill set)`.
+    rae_rows: HashMap<InstrId, (Option<usize>, BitSet), FxBuild>,
+    /// Table 1 locals by interned block content.
+    hoist_rows: HashMap<Vec<InstrId>, BlockLocals, FxBuild>,
     /// Instruction-level point structure (adjacency + schedule), keyed by
     /// the structure fingerprint; detached from the round's `PointGraph`
     /// and re-attached next round when the structure is unchanged.
@@ -166,6 +183,8 @@ impl MotionContext {
         MotionContext {
             universe,
             masks,
+            interner: InstrInterner::new(),
+            stale: false,
             rae_rows: HashMap::default(),
             hoist_rows: HashMap::default(),
             point_data: None,
@@ -180,16 +199,75 @@ impl MotionContext {
         }
     }
 
-    /// Re-collects the universe and drops every pattern-indexed cache.
-    /// Called when the program contains an assignment pattern the current
-    /// universe does not know (only possible through a mutating hook).
+    /// Extends the universe over `g` and drops every pattern-indexed
+    /// cache. Called when the program contains an assignment pattern the
+    /// current universe does not know (only possible through a mutating
+    /// hook). Extension keeps all existing pattern ids stable — new
+    /// patterns take fresh indices — so nothing that survives the refresh
+    /// (schedules, the interner, the previous point structure) has to be
+    /// renumbered; the caches cleared here are exactly the ones whose
+    /// bitset width depends on the universe size.
     fn refresh(&mut self, g: &FlowGraph) {
-        self.universe = PatternUniverse::collect(g);
+        self.universe.extend(g);
         self.masks = PatternMasks::build(&self.universe, g.pool().len());
         self.rae_rows.clear();
         self.hoist_rows.clear();
         self.rae_problem = None;
         self.prev_hoist = None;
+        self.stale = false;
+    }
+
+    /// Consumes the staleness flag raised by [`Self::intern_instr`].
+    fn refresh_if_stale(&mut self, g: &FlowGraph) {
+        if self.stale {
+            self.refresh(g);
+        }
+    }
+
+    /// Interns one instruction, flagging the context stale when a *new*
+    /// content carries an assignment pattern the universe does not know.
+    /// The universe only grows, so any instruction interned before is
+    /// covered forever and the check runs exactly once per distinct
+    /// content — staleness detection costs nothing beyond the intern
+    /// lookup that the row caches need anyway.
+    fn intern_instr(&mut self, instr: &Instr) -> InstrId {
+        let (id, is_new) = self.interner.intern(instr);
+        if is_new {
+            if let Instr::Assign { lhs, rhs } = instr {
+                if self
+                    .universe
+                    .assign_id(&AssignPattern::new(*lhs, *rhs))
+                    .is_none()
+                {
+                    self.stale = true;
+                }
+            }
+        }
+        id
+    }
+
+    /// Content hash of the whole program — blocks, edges and boundary
+    /// nodes — composed from the interner's cached per-instruction hashes.
+    /// The motion loop uses it both for the hoist no-op skip and as the
+    /// convergence check, avoiding a full program clone per round; a
+    /// collision can only skip a no-op re-solve or end the loop a round
+    /// early, never corrupt a result.
+    pub(crate) fn content_hash(&mut self, g: &FlowGraph) -> u64 {
+        let mut h = FxHasher::default();
+        g.start().index().hash(&mut h);
+        g.end().index().hash(&mut h);
+        g.node_count().hash(&mut h);
+        for n in g.nodes() {
+            for instr in &g.block(n).instrs {
+                let id = self.intern_instr(instr);
+                h.write_u64(self.interner.hash(id));
+            }
+            for &m in g.succs(n) {
+                m.index().hash(&mut h);
+            }
+            0xffusize.hash(&mut h);
+        }
+        h.finish()
     }
 
     /// First-occurrence rank of every assignment pattern in `g` (`None` for
@@ -218,10 +296,19 @@ impl MotionContext {
     /// One redundant-assignment-elimination pass with cached rows.
     pub(crate) fn rae_round(&mut self, g: &mut FlowGraph, tracer: &Tracer) -> RaeOutcome {
         let mut span = tracer.span("analysis", "rae");
-        self.ensure_fresh(g);
         let fp = point_structure_hash(g);
         let pg = self.point_graph(g, fp);
         let n = pg.len();
+        // One intern pass over the instruction points: yields the row-cache
+        // key per point and doubles as the staleness scan that used to walk
+        // the program separately.
+        let mut ids: Vec<Option<InstrId>> = vec![None; n];
+        for point in pg.points() {
+            if let Some(instr) = pg.instr(point) {
+                ids[point.index()] = Some(self.intern_instr(instr));
+            }
+        }
+        self.refresh_if_stale(g);
         let ap = self.universe.assign_count();
         let mut problem = match self.rae_problem.take() {
             Some((h, u, mut problem)) if h == fp && u == ap && problem.gen.len() == n => {
@@ -239,7 +326,8 @@ impl MotionContext {
                 continue;
             };
             let idx = point.index();
-            match self.rae_rows.get(instr) {
+            let id = ids[idx].expect("instruction points were interned above");
+            match self.rae_rows.get(&id) {
                 Some((gen, kill)) => {
                     self.rows_reused += 1;
                     own[idx] = *gen;
@@ -256,7 +344,7 @@ impl MotionContext {
                         problem.gen[idx].insert(i);
                     }
                     problem.kill[idx].copy_from(&kill);
-                    self.rae_rows.insert(instr.clone(), (gen, kill));
+                    self.rae_rows.insert(id, (gen, kill));
                 }
             }
         }
@@ -303,7 +391,10 @@ impl MotionContext {
         tracer: &Tracer,
         known_hash: Option<u64>,
     ) -> HoistOutcome {
-        let input_hash = known_hash.unwrap_or_else(|| graph_content_hash(g));
+        let input_hash = match known_hash {
+            Some(h) => h,
+            None => self.content_hash(g),
+        };
         if self.last_hoist == Some((input_hash, false)) {
             // Byte-identical input to a hoist that changed nothing: the
             // deterministic analysis would reproduce that no-op.
@@ -311,16 +402,27 @@ impl MotionContext {
             return HoistOutcome::default();
         }
         let mut span = tracer.span("analysis", "aht");
+        let nodes = g.node_count();
+        // Intern every block once: the id vector is the row-cache key
+        // (compared id-by-id on collision instead of re-walking the
+        // instructions) and the pass doubles as staleness detection.
+        let mut keys: Vec<Vec<InstrId>> = Vec::with_capacity(nodes);
+        for n in g.nodes() {
+            let mut key = Vec::with_capacity(g.block(n).instrs.len());
+            for instr in &g.block(n).instrs {
+                key.push(self.intern_instr(instr));
+            }
+            keys.push(key);
+        }
+        self.refresh_if_stale(g);
         let occ_rank = self.occurrence_ranks(g);
         let ap = self.universe.assign_count();
-        let nodes = g.node_count();
 
         let mut problem = Problem::new(Direction::Backward, Confluence::Must, nodes, ap);
         let mut candidates: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes];
         for n in g.nodes() {
-            let instrs = &g.block(n).instrs;
             let ni = n.index();
-            match self.hoist_rows.get(instrs) {
+            match self.hoist_rows.get(&keys[ni]) {
                 Some(locals) => {
                     self.rows_reused += 1;
                     problem.gen[ni].copy_from(&locals.hoistable);
@@ -329,13 +431,13 @@ impl MotionContext {
                 }
                 None => {
                     let (hoistable, blocked, cands) =
-                        block_locals(instrs, &self.universe, &self.masks);
+                        block_locals(&g.block(n).instrs, &self.universe, &self.masks);
                     self.rows_recomputed += 1;
                     problem.gen[ni].copy_from(&hoistable);
                     problem.kill[ni].copy_from(&blocked);
                     candidates[ni].clone_from(&cands);
                     self.hoist_rows.insert(
-                        instrs.clone(),
+                        keys[ni].clone(),
                         BlockLocals {
                             hoistable,
                             blocked,
@@ -414,17 +516,6 @@ impl MotionContext {
         span.arg("inserted", outcome.inserted as i64)
             .arg("removed", outcome.removed as i64);
         outcome
-    }
-
-    /// Refreshes the universe if the program contains an unknown pattern.
-    fn ensure_fresh(&mut self, g: &FlowGraph) {
-        let stale = g.locs().any(|(_, instr)| {
-            matches!(instr, Instr::Assign { lhs, rhs }
-                if self.universe.assign_id(&AssignPattern::new(*lhs, *rhs)).is_none())
-        });
-        if stale {
-            self.refresh(g);
-        }
     }
 
     /// Emits and resets the per-round incrementality counters.
@@ -552,24 +643,6 @@ fn edge_hash(g: &FlowGraph) -> u64 {
     let mut h = FxHasher::default();
     g.node_count().hash(&mut h);
     for n in g.nodes() {
-        for &m in g.succs(n) {
-            m.index().hash(&mut h);
-        }
-        0xffusize.hash(&mut h);
-    }
-    h.finish()
-}
-
-/// Content hash of the whole program: blocks, edges and boundary nodes.
-/// The motion loop uses it both for the hoist no-op skip and as the
-/// convergence check, avoiding a full program clone per round.
-pub(crate) fn graph_content_hash(g: &FlowGraph) -> u64 {
-    let mut h = FxHasher::default();
-    g.start().index().hash(&mut h);
-    g.end().index().hash(&mut h);
-    g.node_count().hash(&mut h);
-    for n in g.nodes() {
-        g.block(n).instrs.hash(&mut h);
         for &m in g.succs(n) {
             m.index().hash(&mut h);
         }

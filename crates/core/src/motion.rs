@@ -139,7 +139,7 @@ pub fn assignment_motion_traced(
             String::new()
         };
         let mut span = tracer.span("round", name);
-        let before_hash = crate::incremental::graph_content_hash(g);
+        let before_hash = ctx.content_hash(g);
         let (rae, hoist) = match order {
             MotionOrder::RaeFirst => {
                 let rae = ctx.rae_round(g, tracer);
@@ -170,8 +170,7 @@ pub fn assignment_motion_traced(
         // hash fallback covers changes that happen to cancel out without
         // cloning the program every round (a collision could only end the
         // loop one round early, never produce a wrong program).
-        let stable = (rae.eliminated == 0 && !hoist.changed)
-            || crate::incremental::graph_content_hash(g) == before_hash;
+        let stable = (rae.eliminated == 0 && !hoist.changed) || ctx.content_hash(g) == before_hash;
         hook(round, g);
         if stable {
             stats.converged = true;

@@ -19,7 +19,7 @@ use am_dfa::classic::{
 use am_dfa::{solve, solve_scheduled, solve_seeded, Confluence, Direction, PointGraph, Problem};
 use am_ir::random::{corpus80, structured, unstructured, StructuredConfig, UnstructuredConfig};
 use am_ir::rng::SplitMix64;
-use am_ir::{FlowGraph, PatternUniverse};
+use am_ir::{reference_universe, FlowGraph, PatternUniverse};
 
 /// A random DAG plus optional back edges over `n` points.
 #[derive(Clone, Debug)]
@@ -335,10 +335,43 @@ fn check_classic_equivalence(name: &str, g: &FlowGraph) {
     }
 }
 
+/// Interned-vs-structural differential for the pattern universe: the
+/// arena-backed `PatternUniverse::collect` must enumerate exactly the
+/// patterns the naive linear-scan `reference_universe` finds — same
+/// content, same first-occurrence order, both for assignment patterns and
+/// for the expression universe the classic gen/kill systems are built
+/// over. Any divergence here would silently re-index every bit vector.
+fn check_universe_equivalence(name: &str, g: &FlowGraph) {
+    let interned = PatternUniverse::collect(g);
+    let (ref_assigns, ref_exprs) = reference_universe(g);
+    let assigns: Vec<_> = interned.assign_patterns().map(|(_, p)| p).collect();
+    assert_eq!(
+        assigns, ref_assigns,
+        "{name}: assign-pattern universe diverges"
+    );
+    let exprs: Vec<_> = interned.expr_patterns().map(|(_, t)| t).collect();
+    assert_eq!(exprs, ref_exprs, "{name}: expression universe diverges");
+    for (i, t) in ref_exprs.iter().enumerate() {
+        assert_eq!(interned.expr_id(t), Some(i), "{name}: expr id lookup {i}");
+    }
+    for (i, p) in ref_assigns.iter().enumerate() {
+        assert_eq!(
+            interned.assign_id(p),
+            Some(i),
+            "{name}: assign id lookup {i}"
+        );
+    }
+    interned
+        .arena()
+        .verify()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+}
+
 #[test]
 fn classic_analyses_match_naive_reference_on_the_corpus() {
     for (name, g) in corpus80() {
         check_classic_equivalence(&name, &g);
+        check_universe_equivalence(&name, &g);
     }
 }
 
@@ -358,6 +391,7 @@ fn classic_analyses_match_naive_reference_on_random_graphs() {
             },
         );
         check_classic_equivalence(&format!("structured/{seed}"), &g);
+        check_universe_equivalence(&format!("structured/{seed}"), &g);
     }
     for seed in 2000..2100u64 {
         let mut rng = SplitMix64::new(seed);
@@ -372,6 +406,7 @@ fn classic_analyses_match_naive_reference_on_random_graphs() {
             },
         );
         check_classic_equivalence(&format!("unstructured/{seed}"), &g);
+        check_universe_equivalence(&format!("unstructured/{seed}"), &g);
     }
 }
 

@@ -7,10 +7,11 @@
 //! first occurrence, so the comparison is insensitive to internal naming.
 
 use std::collections::HashMap;
+use std::fmt::{self, Write};
 
 use crate::graph::FlowGraph;
 use crate::instr::{Cond, Instr};
-use crate::term::Term;
+use crate::term::{Operand, Term};
 use crate::text::to_text;
 use crate::var::Var;
 
@@ -100,26 +101,143 @@ pub fn alpha_eq(a: &FlowGraph, b: &FlowGraph) -> bool {
     canonical_text(a) == canonical_text(b)
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An [`fmt::Write`] sink that FNV-1a-hashes every byte written to it, so
+/// the canonical text can be hashed as it is produced instead of being
+/// materialized first.
+struct FnvWriter(u64);
+
+impl Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        Ok(())
+    }
+}
+
 /// A stable 64-bit content hash of `g`, insensitive to temporary naming:
 /// alpha-equivalent programs hash equal on every platform and in every
 /// process (the hash is FNV-1a over [`canonical_text`], with no per-process
 /// randomization — unlike `DefaultHasher`). Suitable as a
-/// content-addressed cache key.
+/// content-addressed cache key; the `am-serve` disk cache and the pipeline
+/// result cache address entries by this value, so it must never drift (a
+/// golden fixture over the shared corpus pins it).
+///
+/// The bytes are streamed straight into the hash: the canonical renaming is
+/// computed as a name substitution and the text is re-rendered into the
+/// hasher, with no program clone and no intermediate `String`. The
+/// regression suite asserts byte-for-byte agreement with the
+/// clone-and-print path (`stable_hash_text(&canonical_text(g))`) on every
+/// corpus program — two independent render paths, differentially pinned.
 pub fn stable_hash(g: &FlowGraph) -> u64 {
-    stable_hash_text(&canonical_text(g))
+    let mut w = FnvWriter(FNV_OFFSET);
+    write_canonical(&mut w, g).expect("hashing sink never fails");
+    w.0
 }
 
 /// The raw FNV-1a hash used by [`stable_hash`], exposed so callers that
 /// already hold a canonical text can avoid recomputing it.
 pub fn stable_hash_text(canonical: &str) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in canonical.as_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
+    let mut w = FnvWriter(FNV_OFFSET);
+    w.write_str(canonical).expect("hashing sink never fails");
+    w.0
+}
+
+/// Streams the canonical text of `g` (exactly the bytes of
+/// [`canonical_text`]) into `w`: positional temporary names substituted on
+/// the fly, everything else rendered as [`to_text`] renders it.
+fn write_canonical(w: &mut impl Write, g: &FlowGraph) -> fmt::Result {
+    // Positional names for temporaries, in first-occurrence order — the
+    // same order `rename_temps_canonically` assigns. Renaming only changes
+    // what `display` prints for a variable, so substituting names during
+    // rendering yields byte-identical text without cloning the graph.
+    let mut renamed: HashMap<Var, String> = HashMap::new();
+    let note = |v: Var, renamed: &mut HashMap<Var, String>| {
+        if g.pool().is_temp(v) && !renamed.contains_key(&v) {
+            let name = format!("h{}", renamed.len() + 1);
+            renamed.insert(v, name);
+        }
+    };
+    for (_, instr) in g.locs() {
+        if let Some(d) = instr.def() {
+            note(d, &mut renamed);
+        }
+        instr.for_each_use(|v| note(v, &mut renamed));
     }
-    h
+    let name = |v: Var| -> &str {
+        renamed
+            .get(&v)
+            .map(String::as_str)
+            .unwrap_or_else(|| g.pool().name(v))
+    };
+    let operand = |w: &mut dyn Write, o: Operand| -> fmt::Result {
+        match o {
+            Operand::Var(v) => w.write_str(name(v)),
+            Operand::Const(c) => write!(w, "{c}"),
+        }
+    };
+    let term = |w: &mut dyn Write, t: Term| -> fmt::Result {
+        match t {
+            Term::Operand(o) => operand(w, o),
+            Term::Binary { op, lhs, rhs } => {
+                operand(w, lhs)?;
+                w.write_str(op.symbol())?;
+                operand(w, rhs)
+            }
+        }
+    };
+
+    writeln!(w, "start {}", g.label(g.start()))?;
+    writeln!(w, "end {}", g.label(g.end()))?;
+    for n in g.nodes() {
+        writeln!(w, "node {} {{", g.label(n))?;
+        for instr in &g.block(n).instrs {
+            w.write_str("  ")?;
+            match instr {
+                Instr::Skip => w.write_str("skip")?,
+                Instr::Assign { lhs, rhs } => {
+                    w.write_str(name(*lhs))?;
+                    w.write_str(" := ")?;
+                    term(w, *rhs)?;
+                }
+                Instr::Out(ops) => {
+                    w.write_str("out(")?;
+                    for (i, &o) in ops.iter().enumerate() {
+                        if i > 0 {
+                            w.write_str(",")?;
+                        }
+                        operand(w, o)?;
+                    }
+                    w.write_str(")")?;
+                }
+                Instr::Branch(c) => {
+                    w.write_str("branch ")?;
+                    term(w, c.lhs)?;
+                    write!(w, " {} ", c.op.symbol())?;
+                    term(w, c.rhs)?;
+                }
+            }
+            w.write_str("\n")?;
+        }
+        w.write_str("}\n")?;
+    }
+    for n in g.nodes() {
+        if !g.succs(n).is_empty() {
+            write!(w, "edge {} -> ", g.label(n))?;
+            for (i, &m) in g.succs(n).iter().enumerate() {
+                if i > 0 {
+                    w.write_str(", ")?;
+                }
+                w.write_str(g.label(m))?;
+            }
+            w.write_str("\n")?;
+        }
+    }
+    Ok(())
 }
 
 /// Helper for terms in tests: maps a term's variables.
@@ -194,6 +312,21 @@ mod tests {
         // platforms, or cache keys silently change meaning.
         assert_eq!(stable_hash_text(""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(stable_hash_text("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn streamed_hash_equals_text_path_hash() {
+        // The streaming renderer inside `stable_hash` and the
+        // clone-and-print path must produce identical bytes — including on
+        // programs with temporaries, where the renaming substitution does
+        // the work the clone path does by rebuilding the pool.
+        for g in [
+            with_temp("a+b"),
+            with_temp("weird_name"),
+            parse("start s\nend e\nnode s { skip }\nnode e { out(x) }\nedge s -> e").unwrap(),
+        ] {
+            assert_eq!(stable_hash(&g), stable_hash_text(&canonical_text(&g)));
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod builder;
 pub mod dot;
 mod graph;
 mod instr;
+pub mod intern;
 pub mod interp;
 pub mod patterns;
 pub mod random;
@@ -59,6 +60,7 @@ mod var;
 
 pub use graph::{Block, FlowGraph, GraphError, Loc, NodeId};
 pub use instr::{Cond, Instr};
-pub use patterns::{AssignPattern, PatternUniverse};
+pub use intern::{InstrId, InstrInterner, PatternId, TermArena, TermId};
+pub use patterns::{reference_universe, AssignPattern, PatternUniverse};
 pub use term::{BinOp, Operand, Term};
 pub use var::{Var, VarPool};

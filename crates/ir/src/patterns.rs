@@ -6,6 +6,7 @@ use std::fmt;
 
 use crate::graph::FlowGraph;
 use crate::instr::Instr;
+use crate::intern::{FxMapBuild, PatternId, TermArena};
 use crate::term::Term;
 use crate::var::{Var, VarPool};
 
@@ -77,12 +78,17 @@ impl AssignPattern {
 /// use one bit per pattern.
 ///
 /// Pattern indices are assigned in order of first occurrence in node/index
-/// order, which makes analysis results reproducible.
+/// order, which makes analysis results reproducible. The expression side is
+/// backed by a hash-consing [`TermArena`]: expression index `i` *is* the
+/// dense [`PatternId`] `i` of the arena, each term's structural hash is
+/// computed once at interning, and [`extend`](Self::extend) grows the
+/// universe over a changed program without renumbering existing patterns —
+/// which is what lets the motion engine refresh in place instead of
+/// rebuilding per round.
 pub struct PatternUniverse {
     assigns: Vec<AssignPattern>,
-    assign_index: HashMap<AssignPattern, usize>,
-    exprs: Vec<Term>,
-    expr_index: HashMap<Term, usize>,
+    assign_index: HashMap<AssignPattern, usize, FxMapBuild>,
+    arena: TermArena,
 }
 
 impl PatternUniverse {
@@ -90,19 +96,40 @@ impl PatternUniverse {
     pub fn collect(g: &FlowGraph) -> Self {
         let mut u = PatternUniverse {
             assigns: Vec::new(),
-            assign_index: HashMap::new(),
-            exprs: Vec::new(),
-            expr_index: HashMap::new(),
+            assign_index: HashMap::default(),
+            arena: TermArena::new(),
         };
+        u.extend(g);
+        u
+    }
+
+    /// Interns every pattern of `g` that is not already known, keeping all
+    /// existing indices stable (the universe only ever grows, and new
+    /// patterns take the next free indices in `g`'s first-occurrence
+    /// order). Per-bit independence of the gen/kill analyses makes a
+    /// superset universe safe; stable numbering keeps cached rows and
+    /// solver solutions indexed by pattern valid across the extension.
+    pub fn extend(&mut self, g: &FlowGraph) {
         for (_, instr) in g.locs() {
             if let Instr::Assign { lhs, rhs } = instr {
-                u.intern_assign(AssignPattern::new(*lhs, *rhs));
+                self.intern_assign(AssignPattern::new(*lhs, *rhs));
             }
             instr.for_each_expr_occurrence(|t| {
-                u.intern_expr(t);
+                self.intern_expr(t);
             });
         }
-        u
+    }
+
+    /// Whether every assignment and expression pattern of `g` is known.
+    pub fn covers(&self, g: &FlowGraph) -> bool {
+        let mut ok = true;
+        for (_, instr) in g.locs() {
+            if let Instr::Assign { lhs, rhs } = instr {
+                ok &= self.assign_id(&AssignPattern::new(*lhs, *rhs)).is_some();
+            }
+            instr.for_each_expr_occurrence(|t| ok &= self.expr_id(&t).is_some());
+        }
+        ok
     }
 
     fn intern_assign(&mut self, p: AssignPattern) -> usize {
@@ -117,13 +144,11 @@ impl PatternUniverse {
 
     fn intern_expr(&mut self, t: Term) -> usize {
         debug_assert!(t.is_nontrivial());
-        if let Some(&i) = self.expr_index.get(&t) {
-            return i;
-        }
-        let i = self.exprs.len();
-        self.exprs.push(t);
-        self.expr_index.insert(t, i);
-        i
+        let id = self.arena.intern(t);
+        self.arena
+            .pattern_of(id)
+            .expect("non-trivial terms carry a pattern id")
+            .index()
     }
 
     /// Number of assignment patterns.
@@ -133,7 +158,7 @@ impl PatternUniverse {
 
     /// Number of expression patterns.
     pub fn expr_count(&self) -> usize {
-        self.exprs.len()
+        self.arena.pattern_count()
     }
 
     /// The assignment pattern with index `i`.
@@ -143,7 +168,7 @@ impl PatternUniverse {
 
     /// The expression pattern with index `i`.
     pub fn expr(&self, i: usize) -> Term {
-        self.exprs[i]
+        self.arena.pattern_term(PatternId::from_index(i))
     }
 
     /// The index of an assignment pattern, if it occurs in the program.
@@ -153,7 +178,7 @@ impl PatternUniverse {
 
     /// The index of an expression pattern, if it occurs in the program.
     pub fn expr_id(&self, t: &Term) -> Option<usize> {
-        self.expr_index.get(t).copied()
+        self.arena.pattern_id(t).map(PatternId::index)
     }
 
     /// Iterates over `(index, pattern)` for all assignment patterns.
@@ -163,7 +188,12 @@ impl PatternUniverse {
 
     /// Iterates over `(index, term)` for all expression patterns.
     pub fn expr_patterns(&self) -> impl Iterator<Item = (usize, Term)> + '_ {
-        self.exprs.iter().copied().enumerate()
+        self.arena.patterns().map(|(p, t)| (p.index(), t))
+    }
+
+    /// The hash-consing arena backing the expression universe.
+    pub fn arena(&self) -> &TermArena {
+        &self.arena
     }
 }
 
@@ -171,9 +201,37 @@ impl fmt::Debug for PatternUniverse {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PatternUniverse")
             .field("assigns", &self.assigns)
-            .field("exprs", &self.exprs)
+            .field(
+                "exprs",
+                &self.arena.patterns().map(|(_, t)| t).collect::<Vec<_>>(),
+            )
             .finish()
     }
+}
+
+/// The structural reference implementation of universe collection: the same
+/// first-occurrence numbering, computed with plain vectors and linear-scan
+/// deduplication — no arena, no hash table, no cached hashes. The
+/// differential oracle compares [`PatternUniverse::collect`] against this
+/// on every corpus program; a bug shared by both implementations would have
+/// to survive two unrelated algorithms.
+pub fn reference_universe(g: &FlowGraph) -> (Vec<AssignPattern>, Vec<Term>) {
+    let mut assigns: Vec<AssignPattern> = Vec::new();
+    let mut exprs: Vec<Term> = Vec::new();
+    for (_, instr) in g.locs() {
+        if let Instr::Assign { lhs, rhs } = instr {
+            let p = AssignPattern::new(*lhs, *rhs);
+            if !assigns.contains(&p) {
+                assigns.push(p);
+            }
+        }
+        instr.for_each_expr_occurrence(|t| {
+            if !exprs.contains(&t) {
+                exprs.push(t);
+            }
+        });
+    }
+    (assigns, exprs)
 }
 
 #[cfg(test)]
@@ -235,6 +293,53 @@ mod tests {
         let x = g.pool().lookup("x").unwrap();
         let z = g.pool().lookup("z").unwrap();
         assert_eq!(u.expr_id(&Term::binary(BinOp::Add, x, z)), Some(0));
+    }
+
+    #[test]
+    fn extend_keeps_existing_indices_stable() {
+        let g = sample_graph();
+        let mut u = PatternUniverse::collect(&g);
+        let before: Vec<(usize, Term)> = u.expr_patterns().collect();
+        let before_assigns: Vec<(usize, AssignPattern)> = u.assign_patterns().collect();
+        assert!(u.covers(&g));
+
+        // A second program introduces one new expression and one new
+        // assignment pattern; the old indices must not move.
+        let mut g2 = g.clone();
+        let w = g2.pool_mut().intern("w");
+        let y = g2.pool().lookup("y").unwrap();
+        let n = g2.start();
+        g2.block_mut(n)
+            .instrs
+            .push(Instr::assign(w, Term::binary(BinOp::Mul, y, w)));
+        assert!(!u.covers(&g2));
+        u.extend(&g2);
+        assert!(u.covers(&g2));
+        assert_eq!(
+            &u.expr_patterns().collect::<Vec<_>>()[..before.len()],
+            &before[..]
+        );
+        assert_eq!(
+            &u.assign_patterns().collect::<Vec<_>>()[..before_assigns.len()],
+            &before_assigns[..]
+        );
+        assert_eq!(u.expr_count(), before.len() + 1);
+        assert_eq!(
+            u.expr_id(&Term::binary(BinOp::Mul, y, w)),
+            Some(before.len())
+        );
+    }
+
+    #[test]
+    fn reference_universe_matches_collect() {
+        let g = sample_graph();
+        let u = PatternUniverse::collect(&g);
+        let (assigns, exprs) = reference_universe(&g);
+        assert_eq!(
+            u.assign_patterns().map(|(_, p)| p).collect::<Vec<_>>(),
+            assigns
+        );
+        assert_eq!(u.expr_patterns().map(|(_, t)| t).collect::<Vec<_>>(), exprs);
     }
 
     #[test]

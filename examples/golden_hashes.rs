@@ -1,0 +1,67 @@
+//! Regenerates the golden stable-hash fixture used by
+//! `tests/interned_oracle.rs`.
+//!
+//! For every program of the shared 80-program corpus plus the 200 extra
+//! seeded random graphs of the solver property suite, prints one line:
+//!
+//! ```text
+//! <family> <name> <input stable_hash> <optimized stable_hash>
+//! ```
+//!
+//! The fixture (`tests/fixtures/golden_hashes.txt`) pins two things at
+//! once: the `stable_hash` values of the *inputs* (the content addresses
+//! under which `am-pipeline`'s result cache and `am-serve`'s on-disk
+//! `v1/<shard>/<hash>.json` store live — they must never drift, or
+//! persisted caches silently change meaning) and the hashes of the
+//! *optimized outputs* (so any change to the optimizer's identity layer
+//! that moves a single byte of output is caught as a diff).
+//!
+//! Run `cargo run --release --example golden_hashes >
+//! tests/fixtures/golden_hashes.txt` only when an output change is
+//! intentional, and say so in the commit.
+
+use am_core::global::optimize;
+use am_ir::alpha::stable_hash;
+use am_ir::random::{corpus80, structured, unstructured, StructuredConfig, UnstructuredConfig};
+use am_ir::rng::SplitMix64;
+use am_ir::FlowGraph;
+
+fn line(family: &str, name: &str, g: &FlowGraph) {
+    let input = stable_hash(g);
+    let output = stable_hash(&optimize(g).program);
+    println!("{family} {name} {input:016x} {output:016x}");
+}
+
+fn main() {
+    for (name, g) in corpus80() {
+        line("corpus80", &name, &g);
+    }
+    // The same 200 extra programs `crates/dfa/tests/solver_props.rs` uses,
+    // seeded apart from the corpus seed ranges.
+    for seed in 1000..1100u64 {
+        let mut rng = SplitMix64::new(seed);
+        let g = structured(
+            &mut rng,
+            &StructuredConfig {
+                allow_div: seed % 2 == 0,
+                max_depth: 2 + (seed as usize % 3),
+                ..Default::default()
+            },
+        );
+        line("structured", &seed.to_string(), &g);
+    }
+    for seed in 2000..2100u64 {
+        let mut rng = SplitMix64::new(seed);
+        let g = unstructured(
+            &mut rng,
+            &UnstructuredConfig {
+                nodes: 4 + (seed as usize % 16),
+                extra_edges: 1 + (seed as usize % 10),
+                max_instrs: 4,
+                num_vars: 6,
+                allow_div: seed % 3 == 0,
+            },
+        );
+        line("unstructured", &seed.to_string(), &g);
+    }
+}

@@ -12,7 +12,7 @@
 
 use am_check::campaign::{run_campaign, seed_program, CampaignConfig};
 use am_check::fault::{FaultKind, FaultSpec, InjectAt};
-use am_check::validate::{validate, Validation, ValidationConfig};
+use am_check::validate::{validate, FailureKind, Validation, ValidationConfig};
 use am_ir::random::corpus80;
 use assignment_motion::prelude::*;
 
@@ -108,6 +108,45 @@ fn duplicate_eval_after_flush_trips_the_redundancy_lint() {
     assert!(
         lint.lines.iter().any(|l| l.contains("L101")),
         "expected L101, got: {:?}",
+        lint.lines
+    );
+}
+
+/// `SwapPatternIds` systematically exchanges the program's first two
+/// expression patterns — an id-confusion bug in a hash-consed IR. The
+/// fixture is built so the swap leaves one assignment recomputing an
+/// expression that is must-available (`z` picks up `y`'s right-hand side,
+/// still available at `z`): the static redundancy lint (L101) and the
+/// dynamic differential must *both* see the corruption.
+#[test]
+fn swap_pattern_ids_after_flush_trips_validation_and_the_redundancy_lint() {
+    let fixture = "start s\nend e\n\
+         node s { x := v0+v1; y := v2+v3; v0 := y+1; z := v0+v1; out(x,y,z) }\n\
+         node e { }\n\
+         edge s -> e";
+    let clean = lint_after(fixture, None);
+    assert!(
+        clean.passed(),
+        "clean fixture must validate: {:?}",
+        clean.failure
+    );
+    assert_eq!(clean.lint.expect("lint ran").errors, 0);
+
+    let v = lint_after(fixture, Some(FaultKind::SwapPatternIds));
+    assert!(v.fault_injected, "fixture must offer two distinct patterns");
+    let f = v.failure.expect("swapped pattern ids must be caught");
+    assert!(
+        matches!(f.kind, FailureKind::Semantic { .. }),
+        "mis-resolved terms must diverge observably: {f:?}"
+    );
+    let lint = v.lint.expect("lint ran");
+    assert!(
+        lint.errors > 0,
+        "swapped patterns must leave a lint error: {lint:?}"
+    );
+    assert!(
+        lint.lines.iter().any(|l| l.contains("L101")),
+        "expected the full-redundancy lint L101, got: {:?}",
         lint.lines
     );
 }
