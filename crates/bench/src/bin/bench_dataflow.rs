@@ -28,6 +28,7 @@ struct Options {
     iters: u32,
     small: bool,
     max_pushes_per_point: Option<f64>,
+    history: Option<String>,
 }
 
 const USAGE: &str = "usage: bench_dataflow [options]
@@ -41,6 +42,9 @@ options:
   --small                   CI ladder: smallest two sizes per family
   --max-pushes-per-point X  fail (exit 1) if any workload exceeds this
                             worklist_pushes / points ratio
+  --history PATH            also append the run to an append-only history
+                            (default BENCH_history.jsonl; see amstat regress)
+  --no-history              skip the history append
   --help                    this text";
 
 fn parse_args() -> Result<Options, String> {
@@ -49,6 +53,7 @@ fn parse_args() -> Result<Options, String> {
         iters: 5,
         small: false,
         max_pushes_per_point: None,
+        history: Some("BENCH_history.jsonl".to_owned()),
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -73,6 +78,8 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--max-pushes-per-point: {e}"))?,
                 );
             }
+            "--history" => opts.history = Some(value(&mut args, "--history")?),
+            "--no-history" => opts.history = None,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument '{other}'; --help for usage")),
         }
@@ -191,6 +198,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {} records to {}", records.len(), opts.out);
+    if let Some(history) = &opts.history {
+        match am_obs::regress::append_history(std::path::Path::new(history), &doc) {
+            Ok(()) => println!("appended this run to {history}"),
+            Err(e) => {
+                eprintln!("bench_dataflow: history: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(ceiling) = opts.max_pushes_per_point {
         let mut over = false;
         for rec in &records {

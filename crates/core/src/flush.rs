@@ -33,6 +33,7 @@ use std::collections::HashMap;
 use am_bitset::BitSet;
 use am_dfa::{solve_scheduled, Confluence, Direction, PatternMasks, PointGraph, Problem};
 use am_ir::{Cond, FlowGraph, Instr, Operand, PatternUniverse, Term, Var};
+use am_obs::{ProvKind, ProvRecord, ProvRecorder};
 use am_trace::Tracer;
 
 /// Statistics of a [`final_flush`] run.
@@ -209,6 +210,18 @@ pub fn final_flush(g: &mut FlowGraph) -> FlushStats {
 /// As [`final_flush`], with tracing: emits one `analysis` counter per
 /// solved system (`delayability`, `usability`) with its fixpoint metrics.
 pub fn final_flush_traced(g: &mut FlowGraph, tracer: &Tracer) -> FlushStats {
+    final_flush_observed(g, tracer, &ProvRecorder::disabled())
+}
+
+/// As [`final_flush_traced`], with provenance capture: every instance
+/// removal, initialization insertion and reconstruction appends one
+/// [`am_obs::ProvRecord`] to `recorder`. A disabled recorder costs one
+/// branch per potential record.
+pub fn final_flush_observed(
+    g: &mut FlowGraph,
+    tracer: &Tracer,
+    recorder: &ProvRecorder,
+) -> FlushStats {
     let analysis = analyze_flush(g);
     for (name, sol) in [
         ("delayability", &analysis.delay),
@@ -284,6 +297,20 @@ pub fn final_flush_traced(g: &mut FlowGraph, tracer: &Tracer) -> FlushStats {
     }
 
     // Rewrite the program.
+    let observe_insert = |instr: &Instr, pattern: usize, n: am_ir::NodeId, fact: &str| {
+        recorder.record(ProvRecord {
+            kind: ProvKind::FlushInsert,
+            phase: "flush",
+            round: 0,
+            node: g_snapshot.label(n).to_owned(),
+            index: None,
+            instr: instr.display(g_snapshot.pool()),
+            new_instr: None,
+            pattern: Some(pattern as u32),
+            instr_id: None,
+            justification: fact.to_owned(),
+        });
+    };
     for n in g_snapshot.nodes() {
         let mut fresh: Vec<Instr> = Vec::new();
         let first = pg.first_of(n);
@@ -296,10 +323,19 @@ pub fn final_flush_traced(g: &mut FlowGraph, tracer: &Tracer) -> FlushStats {
                     // Virtual point of an empty block: it can still carry
                     // edge insertions (X-LATEST on a split edge).
                     for i in insert_before[pi].iter().chain(insert_after[pi].iter()) {
-                        fresh.push(Instr::Assign {
+                        let init = Instr::Assign {
                             lhs: temps[i],
                             rhs: universe.expr(i),
-                        });
+                        };
+                        if recorder.is_enabled() {
+                            observe_insert(
+                                &init,
+                                i,
+                                n,
+                                "LATEST on the empty (split-edge) block, usable onward",
+                            );
+                        }
+                        fresh.push(init);
                         stats.inserted += 1;
                     }
                     continue;
@@ -307,10 +343,14 @@ pub fn final_flush_traced(g: &mut FlowGraph, tracer: &Tracer) -> FlushStats {
             };
             // Insertions before this instruction.
             for i in insert_before[pi].iter() {
-                fresh.push(Instr::Assign {
+                let init = Instr::Assign {
                     lhs: temps[i],
                     rhs: universe.expr(i),
-                });
+                };
+                if recorder.is_enabled() {
+                    observe_insert(&init, i, n, "N-INIT = N-LATEST · X-USABLE*");
+                }
+                fresh.push(init);
                 stats.inserted += 1;
             }
             // The instruction itself.
@@ -319,6 +359,23 @@ pub fn final_flush_traced(g: &mut FlowGraph, tracer: &Tracer) -> FlushStats {
                 for i in reconstruct[pi].iter() {
                     match reconstruct_use(&rewritten, temps[i], universe.expr(i)) {
                         Some(new_instr) => {
+                            if recorder.is_enabled() {
+                                recorder.record(ProvRecord {
+                                    kind: ProvKind::FlushReconstruct,
+                                    phase: "flush",
+                                    round: 0,
+                                    node: g_snapshot.label(n).to_owned(),
+                                    index: Some((pi - first.index()) as u32),
+                                    instr: rewritten.display(g_snapshot.pool()),
+                                    new_instr: Some(new_instr.display(g_snapshot.pool())),
+                                    pattern: Some(i as u32),
+                                    instr_id: None,
+                                    justification:
+                                        "RECONSTRUCT = USED · N-LATEST · ¬X-USABLE*: sole use, \
+                                         original term restored"
+                                            .to_owned(),
+                                });
+                            }
                             rewritten = new_instr;
                             stats.reconstructed += 1;
                         }
@@ -326,10 +383,19 @@ pub fn final_flush_traced(g: &mut FlowGraph, tracer: &Tracer) -> FlushStats {
                             // The use position cannot hold a term (it sits
                             // inside a binary term): keep the
                             // initialization instead.
-                            fresh.push(Instr::Assign {
+                            let init = Instr::Assign {
                                 lhs: temps[i],
                                 rhs: universe.expr(i),
-                            });
+                            };
+                            if recorder.is_enabled() {
+                                observe_insert(
+                                    &init,
+                                    i,
+                                    n,
+                                    "RECONSTRUCT held, but the use position cannot carry a term",
+                                );
+                            }
+                            fresh.push(init);
                             stats.inserted += 1;
                         }
                     }
@@ -343,21 +409,51 @@ pub fn final_flush_traced(g: &mut FlowGraph, tracer: &Tracer) -> FlushStats {
                 // removed instance — materialize the initialization here,
                 // where it dominates every re-insertion point reached
                 // through this path.
+                if recorder.is_enabled() {
+                    recorder.record(ProvRecord {
+                        kind: ProvKind::FlushRemove,
+                        phase: "flush",
+                        round: 0,
+                        node: g_snapshot.label(n).to_owned(),
+                        index: Some((pi - first.index()) as u32),
+                        instr: instr.display(g_snapshot.pool()),
+                        new_instr: None,
+                        pattern: is_inst[pi].iter().next().map(|i| i as u32),
+                        instr_id: None,
+                        justification:
+                            "IS-INST: the instance leaves its motion position for its latest points"
+                                .to_owned(),
+                    });
+                }
                 stats.instances_removed += 1;
                 for i in reconstruct[pi].iter() {
-                    fresh.push(Instr::Assign {
+                    let init = Instr::Assign {
                         lhs: temps[i],
                         rhs: universe.expr(i),
-                    });
+                    };
+                    if recorder.is_enabled() {
+                        observe_insert(
+                            &init,
+                            i,
+                            n,
+                            "reconstruction use travels with a removed instance; initialization \
+                             materialized here",
+                        );
+                    }
+                    fresh.push(init);
                     stats.inserted += 1;
                 }
             }
             // Insertions after this instruction.
             for i in insert_after[pi].iter() {
-                fresh.push(Instr::Assign {
+                let init = Instr::Assign {
                     lhs: temps[i],
                     rhs: universe.expr(i),
-                });
+                };
+                if recorder.is_enabled() {
+                    observe_insert(&init, i, n, "X-INIT = X-LATEST · X-USABLE*");
+                }
+                fresh.push(init);
                 stats.inserted += 1;
             }
         }

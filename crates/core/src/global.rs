@@ -6,11 +6,12 @@
 use std::time::Duration;
 
 use am_ir::FlowGraph;
+use am_obs::ProvRecorder;
 use am_trace::Tracer;
 
-use crate::flush::{final_flush_traced, FlushStats};
+use crate::flush::{final_flush_observed, FlushStats};
 use crate::init::{initialize, InitStats};
-use crate::motion::{assignment_motion_traced, default_round_budget, MotionOrder, MotionStats};
+use crate::motion::{assignment_motion_observed, default_round_budget, MotionOrder, MotionStats};
 
 /// A phase boundary of the global algorithm, as reported to the hook of
 /// [`optimize_hooked`]. Ordered: `Split < Init < MotionRound(1) < … < Flush`.
@@ -48,6 +49,10 @@ pub struct GlobalConfig {
     pub keep_snapshots: bool,
     /// Trace sink for spans and counters; disabled (a no-op) by default.
     pub tracer: Tracer,
+    /// Provenance sink recording one [`am_obs::ProvRecord`] per individual
+    /// transformation (`amopt --explain`); disabled (one branch per
+    /// potential record) by default.
+    pub recorder: ProvRecorder,
 }
 
 impl Default for GlobalConfig {
@@ -56,6 +61,7 @@ impl Default for GlobalConfig {
             max_motion_rounds: None,
             keep_snapshots: true,
             tracer: Tracer::disabled(),
+            recorder: ProvRecorder::disabled(),
         }
     }
 }
@@ -199,17 +205,18 @@ pub fn optimize_hooked(
         .max_motion_rounds
         .unwrap_or_else(|| default_round_budget(&program));
     let span = tracer.span("phase", "motion");
-    let motion = assignment_motion_traced(
+    let motion = assignment_motion_observed(
         &mut program,
         budget,
         MotionOrder::RaeFirst,
         tracer,
+        &config.recorder,
         &mut |round, g| hook(PhaseId::MotionRound(round), g),
     );
     timings.motion = span.end();
     let after_motion = config.keep_snapshots.then(|| program.clone());
     let span = tracer.span("phase", "flush");
-    let flush = final_flush_traced(&mut program, tracer);
+    let flush = final_flush_observed(&mut program, tracer, &config.recorder);
     timings.flush = span.end();
     hook(PhaseId::Flush, &mut program);
     root.arg("rounds", motion.rounds as i64)

@@ -50,6 +50,7 @@ use am_dfa::{
 };
 use am_ir::intern::{InstrId, InstrInterner};
 use am_ir::{AssignPattern, FlowGraph, Instr, Loc, PatternUniverse};
+use am_obs::{ProvKind, ProvRecord, ProvRecorder};
 use am_trace::Tracer;
 
 use crate::hoist::{block_locals, insertion_points, HoistOutcome};
@@ -294,7 +295,13 @@ impl MotionContext {
     }
 
     /// One redundant-assignment-elimination pass with cached rows.
-    pub(crate) fn rae_round(&mut self, g: &mut FlowGraph, tracer: &Tracer) -> RaeOutcome {
+    pub(crate) fn rae_round(
+        &mut self,
+        g: &mut FlowGraph,
+        tracer: &Tracer,
+        recorder: &ProvRecorder,
+        round: u32,
+    ) -> RaeOutcome {
         let mut span = tracer.span("analysis", "rae");
         let fp = point_structure_hash(g);
         let pg = self.point_graph(g, fp);
@@ -353,6 +360,25 @@ impl MotionContext {
         for point in pg.points() {
             if let (Some(i), Some(loc)) = (own[point.index()], pg.loc(point)) {
                 if sol.before[point.index()].contains(i) {
+                    if recorder.is_enabled() {
+                        let instr = pg
+                            .instr(point)
+                            .expect("occurrence point has an instruction");
+                        recorder.record(ProvRecord {
+                            kind: ProvKind::Eliminate,
+                            phase: "motion",
+                            round,
+                            node: g.label(loc.node).to_owned(),
+                            index: Some(loc.index as u32),
+                            instr: instr.display(g.pool()),
+                            new_instr: None,
+                            pattern: Some(i as u32),
+                            instr_id: ids[point.index()].map(|id| id.index() as u32),
+                            justification: format!(
+                                "N-REDUNDANT bit {i} holds at entry of this occurrence (forward must solution)"
+                            ),
+                        });
+                    }
                     locs.push(loc);
                 }
             }
@@ -390,6 +416,8 @@ impl MotionContext {
         g: &mut FlowGraph,
         tracer: &Tracer,
         known_hash: Option<u64>,
+        recorder: &ProvRecorder,
+        round: u32,
     ) -> HoistOutcome {
         let input_hash = match known_hash {
             Some(h) => h,
@@ -502,6 +530,8 @@ impl MotionContext {
             &x_insert,
             &candidates,
             &occ_rank,
+            recorder,
+            round,
         );
         outcome.iterations = sol.iterations;
         outcome.worklist_pushes = sol.worklist_pushes;
@@ -549,6 +579,7 @@ impl MotionContext {
 /// are filtered to patterns that still occur in the program and emitted in
 /// first-occurrence order — exactly the pattern set and bit order a
 /// universe collected fresh from `g` would produce.
+#[allow(clippy::too_many_arguments)]
 fn apply_ordered(
     g: &mut FlowGraph,
     universe: &PatternUniverse,
@@ -556,6 +587,8 @@ fn apply_ordered(
     x_insert: &[BitSet],
     candidates: &[Vec<(usize, usize)>],
     occ_rank: &[Option<u32>],
+    recorder: &ProvRecorder,
+    round: u32,
 ) -> HoistOutcome {
     let mut outcome = HoistOutcome::default();
     for n in g.nodes().collect::<Vec<_>>() {
@@ -563,18 +596,58 @@ fn apply_ordered(
         if n_insert[ni].is_empty() && x_insert[ni].is_empty() && candidates[ni].is_empty() {
             continue;
         }
+        let observe =
+            |g: &FlowGraph, kind: ProvKind, index, instr: &Instr, pattern: usize, fact: &str| {
+                recorder.record(ProvRecord {
+                    kind,
+                    phase: "motion",
+                    round,
+                    node: g.label(n).to_owned(),
+                    index,
+                    instr: instr.display(g.pool()),
+                    new_instr: None,
+                    pattern: Some(pattern as u32),
+                    instr_id: None,
+                    justification: fact.to_owned(),
+                });
+            };
         let mut fresh: Vec<Instr> = Vec::new();
         for i in occurring_in_order(&n_insert[ni], occ_rank) {
             let pat = universe.assign(i);
-            fresh.push(Instr::Assign {
+            let instr = Instr::Assign {
                 lhs: pat.lhs,
                 rhs: pat.rhs,
-            });
+            };
+            if recorder.is_enabled() {
+                observe(
+                    g,
+                    ProvKind::HoistInsert,
+                    None,
+                    &instr,
+                    i,
+                    "N-INSERT: hoistable at entry, not hoistable out of some predecessor",
+                );
+            }
+            fresh.push(instr);
             outcome.inserted += 1;
         }
         let removed_here: Vec<usize> = candidates[ni].iter().map(|(_, idx)| *idx).collect();
         for (idx, instr) in g.block(n).instrs.iter().enumerate() {
             if removed_here.contains(&idx) {
+                if recorder.is_enabled() {
+                    let (pattern, _) = candidates[ni][removed_here
+                        .iter()
+                        .position(|&r| r == idx)
+                        .expect("idx came from removed_here")];
+                    observe(
+                        g,
+                        ProvKind::HoistRemove,
+                        Some(idx as u32),
+                        instr,
+                        pattern,
+                        "first unblocked occurrence in its block, covered by hoisted instances",
+                    );
+                }
                 outcome.removed += 1;
             } else {
                 fresh.push(instr.clone());
@@ -582,10 +655,21 @@ fn apply_ordered(
         }
         for i in occurring_in_order(&x_insert[ni], occ_rank) {
             let pat = universe.assign(i);
-            fresh.push(Instr::Assign {
+            let instr = Instr::Assign {
                 lhs: pat.lhs,
                 rhs: pat.rhs,
-            });
+            };
+            if recorder.is_enabled() {
+                observe(
+                    g,
+                    ProvKind::HoistInsert,
+                    None,
+                    &instr,
+                    i,
+                    "X-INSERT: hoistable at exit, blocked from entering this block",
+                );
+            }
+            fresh.push(instr);
             outcome.inserted += 1;
         }
         if g.block(n).instrs != fresh {

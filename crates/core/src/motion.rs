@@ -9,6 +9,7 @@
 //! [`MotionStats::rounds`] counter feeds the complexity study.
 
 use am_ir::FlowGraph;
+use am_obs::ProvRecorder;
 use am_trace::Tracer;
 
 use crate::incremental::MotionContext;
@@ -130,6 +131,29 @@ pub fn assignment_motion_traced(
     tracer: &Tracer,
     hook: &mut dyn FnMut(usize, &mut FlowGraph),
 ) -> MotionStats {
+    assignment_motion_observed(
+        g,
+        max_rounds,
+        order,
+        tracer,
+        &ProvRecorder::disabled(),
+        hook,
+    )
+}
+
+/// As [`assignment_motion_traced`], with provenance capture: every
+/// elimination, hoist insertion and hoist removal appends one
+/// [`am_obs::ProvRecord`] to `recorder`, keyed by node, instruction text,
+/// pattern bit and round. A disabled recorder costs one branch per
+/// potential record.
+pub fn assignment_motion_observed(
+    g: &mut FlowGraph,
+    max_rounds: usize,
+    order: MotionOrder,
+    tracer: &Tracer,
+    recorder: &ProvRecorder,
+    hook: &mut dyn FnMut(usize, &mut FlowGraph),
+) -> MotionStats {
     let mut ctx = MotionContext::new(g);
     let mut stats = MotionStats::default();
     for round in 1..=max_rounds {
@@ -142,16 +166,16 @@ pub fn assignment_motion_traced(
         let before_hash = ctx.content_hash(g);
         let (rae, hoist) = match order {
             MotionOrder::RaeFirst => {
-                let rae = ctx.rae_round(g, tracer);
+                let rae = ctx.rae_round(g, tracer, recorder, round as u32);
                 // An elimination-free pass leaves the program byte-identical,
                 // so the round-entry hash is still the hoist input hash.
                 let known = (rae.eliminated == 0).then_some(before_hash);
-                let hoist = ctx.hoist_round(g, tracer, known);
+                let hoist = ctx.hoist_round(g, tracer, known, recorder, round as u32);
                 (rae, hoist)
             }
             MotionOrder::HoistFirst => {
-                let hoist = ctx.hoist_round(g, tracer, Some(before_hash));
-                let rae = ctx.rae_round(g, tracer);
+                let hoist = ctx.hoist_round(g, tracer, Some(before_hash), recorder, round as u32);
+                let rae = ctx.rae_round(g, tracer, recorder, round as u32);
                 (rae, hoist)
             }
         };

@@ -1,0 +1,138 @@
+//! A minimal HTTP/1.1 exchange, std-only — just enough to serve the
+//! Prometheus scrape endpoint and for `amclient metrics` to fetch it.
+//!
+//! The server side parses a request head (method + path, headers skipped)
+//! and writes a `Connection: close` response; the client side writes a
+//! plain `GET` and splits the response at the blank line. No keep-alive, no
+//! chunked encoding, no TLS — scrapers speak this subset happily and the
+//! listener closes each connection after one exchange.
+
+use std::io::{Read, Write};
+
+/// A parsed request head.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The method (`GET`, `HEAD`, ...), uppercase as sent.
+    pub method: String,
+    /// The request target (`/metrics`), query string included.
+    pub path: String,
+}
+
+/// Reads and parses one request head from `stream` (headers and any body
+/// are read until the blank line and discarded). Returns `None` on
+/// malformed input or a closed connection.
+pub fn read_request(stream: &mut dyn Read) -> Option<Request> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // Read byte-wise until CRLFCRLF (or LFLF); request heads are tiny and
+    // the listener serves one exchange per connection.
+    while !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => head.push(byte[0]),
+            _ => return None,
+        }
+        if head.len() > 8192 {
+            return None;
+        }
+    }
+    let head = std::str::from_utf8(&head).ok()?;
+    let line = head.lines().next()?;
+    let mut parts = line.split_ascii_whitespace();
+    let method = parts.next()?.to_owned();
+    let path = parts.next()?.to_owned();
+    let version = parts.next()?;
+    version
+        .starts_with("HTTP/1.")
+        .then_some(Request { method, path })
+}
+
+/// Writes a complete response with the given status line suffix (e.g.
+/// `200 OK`), content type and body, then flushes.
+pub fn write_response(
+    stream: &mut dyn Write,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Performs one `GET path` exchange over an already-connected stream and
+/// returns `(status line, body)`.
+pub fn get<S: Read + Write>(stream: &mut S, path: &str) -> std::io::Result<(String, String)> {
+    let request = format!("GET {path} HTTP/1.1\r\nHost: amserve\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let text = String::from_utf8_lossy(&response);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .or_else(|| text.split_once("\n\n"))
+        .unwrap_or((&text, ""));
+    let status = head.lines().next().unwrap_or("").to_owned();
+    Ok((status, body.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_request_head() {
+        let mut input: &[u8] =
+            b"GET /metrics?x=1 HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n";
+        let request = read_request(&mut input).unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/metrics?x=1");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut input: &[u8] = b"not http at all\r\n\r\n";
+        assert_eq!(read_request(&mut input), None);
+        let mut truncated: &[u8] = b"GET /metrics HTTP/1.1\r\n";
+        assert_eq!(read_request(&mut truncated), None);
+    }
+
+    #[test]
+    fn response_round_trips_through_get() {
+        // Serve into a buffer, then parse that buffer as the client.
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            "200 OK",
+            "text/plain; version=0.0.4",
+            "am_up 1\n",
+        )
+        .unwrap();
+        struct Fake {
+            reply: std::io::Cursor<Vec<u8>>,
+        }
+        impl Read for Fake {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.reply.read(buf)
+            }
+        }
+        impl Write for Fake {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut fake = Fake {
+            reply: std::io::Cursor::new(wire),
+        };
+        let (status, body) = get(&mut fake, "/metrics").unwrap();
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "am_up 1\n");
+    }
+}

@@ -1,0 +1,288 @@
+//! Prometheus text exposition (format 0.0.4), hand-written.
+//!
+//! A [`Registry`] collects one snapshot of named metric families —
+//! counters, gauges and histograms — and renders them as the plain-text
+//! format every Prometheus-compatible scraper understands: a `# HELP` and
+//! `# TYPE` line per family, one sample line per label set, and cumulative
+//! `_bucket`/`_sum`/`_count` series for histograms.
+//!
+//! Histograms are built directly from [`am_trace::DurStats`]: the log₂
+//! latency buckets the tracer already maintains become cumulative
+//! `le`-labeled buckets in seconds, so `amserve --metrics` exposes the same
+//! distribution `amclient stats` prints, with no second recording path.
+
+use std::fmt::Write as _;
+
+use am_trace::stats::HISTOGRAM_BUCKETS;
+use am_trace::DurStats;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Sample {
+    /// A plain value with its label set.
+    Value(Vec<(String, String)>, f64),
+    /// A histogram with its label set.
+    Hist(Vec<(String, String)>, Box<DurStats>),
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    samples: Vec<Sample>,
+}
+
+/// One metrics snapshot, rendered with [`Registry::render`].
+#[derive(Default)]
+pub struct Registry {
+    families: Vec<Family>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: Kind) -> &mut Family {
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            debug_assert!(self.families[i].kind == kind, "kind clash for {name}");
+            return &mut self.families[i];
+        }
+        self.families.push(Family {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            kind,
+            samples: Vec::new(),
+        });
+        self.families.last_mut().expect("just pushed")
+    }
+
+    fn owned(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    /// Adds a monotone counter sample (repeat with different labels to
+    /// grow the family).
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.family(name, help, Kind::Counter)
+            .samples
+            .push(Sample::Value(Self::owned(labels), value as f64));
+    }
+
+    /// Adds a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.family(name, help, Kind::Gauge)
+            .samples
+            .push(Sample::Value(Self::owned(labels), value));
+    }
+
+    /// Adds a latency histogram built from a [`DurStats`] (microsecond
+    /// samples exposed as seconds, per Prometheus convention).
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], d: &DurStats) {
+        self.family(name, help, Kind::Histogram)
+            .samples
+            .push(Sample::Hist(Self::owned(labels), Box::new(d.clone())));
+    }
+
+    /// Renders the whole snapshot in the text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+            let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.label());
+            for sample in &family.samples {
+                match sample {
+                    Sample::Value(labels, value) => {
+                        out.push_str(&family.name);
+                        write_labels(&mut out, labels, None);
+                        out.push(' ');
+                        write_value(&mut out, *value);
+                        out.push('\n');
+                    }
+                    Sample::Hist(labels, d) => write_histogram(&mut out, &family.name, labels, d),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Writes `{k="v",...}` (with `le` appended when given); nothing for an
+/// empty label set without `le`.
+fn write_labels(out: &mut String, labels: &[(String, String)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (key, value) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(key);
+        out.push_str("=\"");
+        for ch in value.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn write_value(out: &mut String, value: f64) {
+    if value.fract() == 0.0 && value.abs() < 9.0e15 {
+        let _ = write!(out, "{}", value as i64);
+    } else {
+        let _ = write!(out, "{value}");
+    }
+}
+
+/// Cumulative buckets from the log₂ histogram: bucket `i ≥ 1` of
+/// [`am_trace::Histogram`] holds durations in `[2^(i-1), 2^i)` µs, so its
+/// inclusive upper bound is `(2^i - 1)` µs, rendered in seconds. Buckets
+/// past the last sample are folded into `+Inf`.
+fn write_histogram(out: &mut String, name: &str, labels: &[(String, String)], d: &DurStats) {
+    let mut cumulative = 0u64;
+    for (i, &n) in d.histogram.buckets.iter().enumerate() {
+        cumulative += n;
+        let le_micros = if i == 0 { 0 } else { (1u64 << i) - 1 };
+        let le = format_le_seconds(le_micros);
+        out.push_str(name);
+        out.push_str("_bucket");
+        write_labels(out, labels, Some(&le));
+        let _ = writeln!(out, " {cumulative}");
+        if cumulative == d.count && i + 1 < HISTOGRAM_BUCKETS && i >= 14 {
+            // All samples covered and sub-second bounds emitted: the
+            // remaining empty powers of two fold into +Inf.
+            break;
+        }
+    }
+    out.push_str(name);
+    out.push_str("_bucket");
+    write_labels(out, labels, Some("+Inf"));
+    let _ = writeln!(out, " {}", d.count);
+    out.push_str(name);
+    out.push_str("_sum");
+    write_labels(out, labels, None);
+    let _ = writeln!(out, " {}", d.total_micros as f64 / 1e6);
+    out.push_str(name);
+    out.push_str("_count");
+    write_labels(out, labels, None);
+    let _ = writeln!(out, " {}", d.count);
+}
+
+fn format_le_seconds(micros: u64) -> String {
+    let seconds = micros as f64 / 1e6;
+    if seconds.fract() == 0.0 && seconds.abs() < 9.0e15 {
+        format!("{}", seconds as i64)
+    } else {
+        format!("{seconds}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_with_labels() {
+        let mut r = Registry::new();
+        r.counter(
+            "am_requests_total",
+            "Requests by verb.",
+            &[("verb", "ping")],
+            3,
+        );
+        r.counter(
+            "am_requests_total",
+            "Requests by verb.",
+            &[("verb", "optimize")],
+            17,
+        );
+        r.gauge("am_queue_depth", "Queued jobs now.", &[], 2.0);
+        let text = r.render();
+        assert!(text.contains("# HELP am_requests_total Requests by verb.\n"));
+        assert!(text.contains("# TYPE am_requests_total counter\n"));
+        assert!(text.contains("am_requests_total{verb=\"ping\"} 3\n"));
+        assert!(text.contains("am_requests_total{verb=\"optimize\"} 17\n"));
+        assert!(text.contains("# TYPE am_queue_depth gauge\n"));
+        assert!(text.contains("am_queue_depth 2\n"));
+        // One HELP/TYPE pair per family, not per sample.
+        assert_eq!(text.matches("# TYPE am_requests_total").count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let mut d = DurStats::default();
+        for v in [1u64, 2, 3, 1000] {
+            d.record(v);
+        }
+        let mut r = Registry::new();
+        r.histogram("am_lat_seconds", "Latency.", &[("phase", "motion")], &d);
+        let text = r.render();
+        assert!(text.contains("# TYPE am_lat_seconds histogram\n"));
+        assert!(
+            text.contains("am_lat_seconds_bucket{phase=\"motion\",le=\"+Inf\"} 4\n"),
+            "{text}"
+        );
+        assert!(text.contains("am_lat_seconds_count{phase=\"motion\"} 4\n"));
+        assert!(text.contains("am_lat_seconds_sum{phase=\"motion\"} 0.001006\n"));
+        // Bucket counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "non-monotone: {line}");
+            last = count;
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = Registry::new();
+        r.gauge("g", "h", &[("k", "a\"b\\c\nd")], 1.0);
+        assert!(r.render().contains("g{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn empty_histogram_is_well_formed() {
+        let mut r = Registry::new();
+        r.histogram("h_seconds", "Empty.", &[], &DurStats::default());
+        let text = r.render();
+        assert!(text.contains("h_seconds_bucket{le=\"+Inf\"} 0\n"), "{text}");
+        assert!(text.contains("h_seconds_count 0\n"));
+        assert!(text.contains("h_seconds_sum 0\n"));
+    }
+}

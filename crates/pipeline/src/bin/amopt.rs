@@ -16,8 +16,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use am_lang::SourceKind;
+use am_obs::provenance;
 use am_pipeline::bench_json::{self, BenchRecord};
-use am_pipeline::{Job, JobOutcome, Pipeline, PipelineConfig, PipelineReport};
+use am_pipeline::{
+    explain_graph, Job, JobInput, JobOutcome, Pipeline, PipelineConfig, PipelineReport,
+};
 use am_trace::{export, Tracer};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -38,6 +41,8 @@ struct Options {
     lint: bool,
     trace: Option<PathBuf>,
     trace_format: TraceFormat,
+    explain: bool,
+    explain_dir: Option<PathBuf>,
     bench_json: Option<PathBuf>,
     synthetic: usize,
     inputs: Vec<PathBuf>,
@@ -65,6 +70,13 @@ options:
   --trace-format F trace output format: chrome (chrome://tracing JSON,
                    default), jsonl (one event per line, amstat input),
                    or summary (human-readable tree)
+  --explain        re-optimize each job with provenance recording (cache
+                   bypassed) and print the decision log: one line per
+                   eliminated/hoisted/flushed assignment naming the paper
+                   rule and the analysis fact that justified it
+  --explain-dir D  with --explain, also write per-job exports under D:
+                   <name>.prov.jsonl (machine-readable decision log) and
+                   <name>.prov.txt (the human report)
   --bench-json F   write per-job phase timings and solver counters of the
                    last pass to F (am-bench-dataflow/v1 JSON, the schema
                    bench_dataflow emits); cache hits report zero timings
@@ -84,6 +96,8 @@ fn parse_args() -> Result<Options, String> {
         lint: false,
         trace: None,
         trace_format: TraceFormat::Chrome,
+        explain: false,
+        explain_dir: None,
         bench_json: None,
         synthetic: 0,
         inputs: Vec::new(),
@@ -139,6 +153,11 @@ fn parse_args() -> Result<Options, String> {
                         ))
                     }
                 };
+            }
+            "--explain" => opts.explain = true,
+            "--explain-dir" => {
+                opts.explain = true;
+                opts.explain_dir = Some(PathBuf::from(value(&mut args, "--explain-dir")?));
             }
             "--bench-json" => {
                 opts.bench_json = Some(PathBuf::from(value(&mut args, "--bench-json")?));
@@ -248,6 +267,69 @@ fn bench_records(report: &PipelineReport) -> Vec<BenchRecord> {
         .collect()
 }
 
+/// The `--explain` pass: re-optimizes every job sequentially with the
+/// provenance recorder enabled (no cache — a cache hit is exactly a run
+/// whose decisions were not replayed), printing the human report and
+/// optionally exporting per-job JSONL + report files.
+fn run_explain(jobs: &[Job], opts: &Options) -> Result<(), String> {
+    if let Some(dir) = &opts.explain_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("--explain-dir {}: {e}", dir.display()))?;
+    }
+    let mut total = 0usize;
+    for job in jobs {
+        let (kind, text) = match &job.input {
+            JobInput::Memory { kind, text } => (*kind, text.clone()),
+            JobInput::Path(path) => {
+                let kind = SourceKind::from_path(path).ok_or_else(|| {
+                    format!(
+                        "{}: unknown file type (expected .wl or .ir)",
+                        path.display()
+                    )
+                })?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                (kind, text)
+            }
+            JobInput::Poison => continue,
+        };
+        let graph =
+            am_lang::compile_source(kind, &text).map_err(|e| format!("{}: {e}", job.name))?;
+        let explanation = explain_graph(&graph, opts.max_motion_rounds);
+        total += explanation.records.len();
+        if let Some(dir) = &opts.explain_dir {
+            let stem = job.name.replace(['/', '\\'], "_");
+            let jsonl_path = dir.join(format!("{stem}.prov.jsonl"));
+            std::fs::write(&jsonl_path, provenance::jsonl(&explanation.records))
+                .map_err(|e| format!("{}: {e}", jsonl_path.display()))?;
+            let txt_path = dir.join(format!("{stem}.prov.txt"));
+            std::fs::write(&txt_path, provenance::report(&explanation.records))
+                .map_err(|e| format!("{}: {e}", txt_path.display()))?;
+        }
+        if !opts.quiet {
+            print!(
+                "== explain {} ==\n{}",
+                job.name,
+                provenance::report(&explanation.records)
+            );
+        }
+    }
+    match &opts.explain_dir {
+        Some(dir) => println!(
+            "explain: {} transformation(s) across {} job(s), exports under {}",
+            total,
+            jobs.len(),
+            dir.display()
+        ),
+        None => println!(
+            "explain: {} transformation(s) across {} job(s)",
+            total,
+            jobs.len()
+        ),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -341,6 +423,12 @@ fn main() -> ExitCode {
         }
         any_failed |=
             report.failed() + report.panicked() + report.verify_failed() + report.lint_errors() > 0;
+    }
+    if opts.explain {
+        if let Err(msg) = run_explain(&jobs, &opts) {
+            eprintln!("amopt: {msg}");
+            return ExitCode::FAILURE;
+        }
     }
     if let (Some(path), Some(records)) = (&opts.bench_json, &last_bench) {
         let doc = bench_json::render("amopt", records);

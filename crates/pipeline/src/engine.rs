@@ -260,6 +260,7 @@ impl Pipeline {
             max_motion_rounds: self.config.max_motion_rounds,
             keep_snapshots: false,
             tracer: self.config.tracer.clone(),
+            ..GlobalConfig::default()
         };
         let out = optimize_with(graph, &config);
         let lint = self.config.lint.then(|| {

@@ -10,16 +10,22 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use am_lang::SourceKind;
+use am_obs::httpx;
 use am_serve::client::{Client, ClientError};
-use am_serve::net::Endpoint;
-use am_serve::proto::{Reply, ResultPayload};
+use am_serve::net::{Endpoint, NetStream};
+use am_serve::proto::{self, Reply, ResultPayload};
 
 fn usage() -> ! {
     eprintln!("usage: amclient [--connect EP] COMMAND");
     eprintln!();
     eprintln!("commands:");
     eprintln!("  ping                     liveness probe");
-    eprintln!("  stats                    print live server metrics");
+    eprintln!("  stats [--json]           print live server metrics (--json: am-stats/v1");
+    eprintln!("                           document, pipeable into amstat)");
+    eprintln!("  metrics                  dump the Prometheus exposition (--connect is the");
+    eprintln!("                           server's *metrics* endpoint)");
+    eprintln!("  trace-tail [--limit N]   print the newest traced requests as span trees");
+    eprintln!("                           (default 16)");
     eprintln!("  shutdown                 drain the server and stop it");
     eprintln!("  optimize [FILES...]      submit .wl/.ir files (or --corpus)");
     eprintln!();
@@ -191,6 +197,48 @@ fn run_optimize(client: &mut Client, options: &OptimizeOptions) -> Result<ExitCo
     })
 }
 
+/// Connects to the server's *metrics* endpoint and prints the Prometheus
+/// text exposition — what a scraper would see, without needing curl.
+fn print_metrics(endpoint: &Endpoint) -> Result<(), String> {
+    let mut stream =
+        NetStream::connect(endpoint).map_err(|e| format!("connect {endpoint}: {e}"))?;
+    let (status, body) = httpx::get(&mut stream, "/metrics").map_err(|e| e.to_string())?;
+    if !status.contains("200") {
+        return Err(format!("GET /metrics: {status}"));
+    }
+    print!("{body}");
+    Ok(())
+}
+
+fn print_trace_tail(client: &mut Client, limit: u64) -> Result<(), ClientError> {
+    let (entries, dropped) = client.trace_tail(limit)?;
+    if entries.is_empty() {
+        println!("no traced requests in the ring");
+    }
+    for e in &entries {
+        println!(
+            "{} {} [{}] conn={} t+{}",
+            e.trace_id,
+            e.name,
+            e.source,
+            e.conn,
+            fmt_micros(e.ts_micros)
+        );
+        for (depth, name, micros) in e.spans() {
+            println!(
+                "  {:indent$}{name} {}",
+                "",
+                fmt_micros(micros),
+                indent = depth * 2
+            );
+        }
+    }
+    if dropped > 0 {
+        println!("({dropped} older traces evicted from the ring)");
+    }
+    Ok(())
+}
+
 fn print_stats(client: &mut Client) -> Result<(), ClientError> {
     let s = client.stats()?;
     println!(
@@ -261,6 +309,8 @@ fn main() -> ExitCode {
     let mut command: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut corpus = false;
+    let mut json = false;
+    let mut limit = 16u64;
     let mut options = OptimizeOptions {
         jobs: Vec::new(),
         repeat: 1,
@@ -306,6 +356,15 @@ fn main() -> ExitCode {
                 options.quiet = true;
                 Ok(())
             }
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--limit" => value("--limit").and_then(|v| {
+                v.parse()
+                    .map(|n| limit = n)
+                    .map_err(|_| "--limit needs an integer".to_owned())
+            }),
             other if other.starts_with('-') => Err(format!("unknown option '{other}'")),
             other => {
                 if command.is_none() {
@@ -322,6 +381,14 @@ fn main() -> ExitCode {
     }
     let Some(command) = command else { usage() };
 
+    // `metrics` speaks HTTP to the scrape listener, not the job protocol.
+    if command == "metrics" {
+        return match print_metrics(&endpoint) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => fail(message),
+        };
+    }
+
     let mut client = match Client::connect(&endpoint) {
         Ok(client) => client,
         Err(e) => {
@@ -337,7 +404,17 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             })
             .map_err(|e| e.to_string()),
+        "stats" if json => client
+            .stats()
+            .map(|s| {
+                println!("{}", proto::encode_stats_doc(&s));
+                ExitCode::SUCCESS
+            })
+            .map_err(|e| e.to_string()),
         "stats" => print_stats(&mut client)
+            .map(|()| ExitCode::SUCCESS)
+            .map_err(|e| e.to_string()),
+        "trace-tail" => print_trace_tail(&mut client, limit)
             .map(|()| ExitCode::SUCCESS)
             .map_err(|e| e.to_string()),
         "shutdown" => client

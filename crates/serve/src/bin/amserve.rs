@@ -28,7 +28,12 @@ fn usage() -> ! {
     eprintln!("  --max-rounds N       motion-round budget per job");
     eprintln!("  --lint               lint optimized programs, report counts in results");
     eprintln!("  --trace FILE         write a JSONL trace (amstat-compatible) on exit");
+    eprintln!("  --metrics EP         serve Prometheus text on a second endpoint");
+    eprintln!("                       (GET /metrics, plus /healthz)");
+    eprintln!("  --trace-ring N       completed-request traces kept for trace-tail");
+    eprintln!("                       (default 256)");
     eprintln!("  --ready-file FILE    write the bound endpoint to FILE once listening");
+    eprintln!("                       (second line 'metrics EP' when --metrics is on)");
     eprintln!("  --quiet              suppress startup/shutdown chatter");
     std::process::exit(2);
 }
@@ -88,6 +93,12 @@ fn parse_args() -> Result<Options, String> {
             }
             "--lint" => options.config.lint = true,
             "--trace" => options.trace_path = Some(value("--trace")?),
+            "--metrics" => options.config.metrics = Some(Endpoint::parse(&value("--metrics")?)?),
+            "--trace-ring" => {
+                options.config.trace_ring = value("--trace-ring")?
+                    .parse()
+                    .map_err(|_| "--trace-ring needs an integer".to_owned())?
+            }
             "--ready-file" => options.ready_file = Some(value("--ready-file")?),
             "--quiet" => options.quiet = true,
             other => return Err(format!("unknown option '{other}'")),
@@ -111,10 +122,16 @@ fn run(mut options: Options) -> Result<(), String> {
     let disk_enabled = options.config.disk.is_some();
     let server = Server::bind(options.config).map_err(|e| format!("bind: {e}"))?;
     let endpoint = server.endpoint().clone();
+    let metrics_endpoint = server.metrics_endpoint().cloned();
     if let Some(path) = &options.ready_file {
         // Written after bind, so a reader that sees the file can connect
-        // immediately — this is how CI discovers an ephemeral port.
-        std::fs::write(path, format!("{endpoint}\n")).map_err(|e| format!("{path}: {e}"))?;
+        // immediately — this is how CI discovers an ephemeral port (for
+        // both listeners: the metrics endpoint rides on a second line).
+        let mut ready = format!("{endpoint}\n");
+        if let Some(m) = &metrics_endpoint {
+            ready.push_str(&format!("metrics {m}\n"));
+        }
+        std::fs::write(path, ready).map_err(|e| format!("{path}: {e}"))?;
     }
     if !options.quiet {
         eprintln!(
@@ -125,6 +142,9 @@ fn run(mut options: Options) -> Result<(), String> {
                 "in-memory"
             }
         );
+        if let Some(m) = &metrics_endpoint {
+            eprintln!("amserve: metrics on {m} (GET /metrics)");
+        }
     }
     server.run().map_err(|e| format!("serve: {e}"))?;
     if let (Some(path), Some(collector)) = (&options.trace_path, &collector) {

@@ -43,6 +43,11 @@ options:
   --window N       pipelined in-flight requests per client (default 16)
   --workers N      server worker threads (default: all cores)
   --cache-dir DIR  run with the persistent disk cache under DIR
+  --metrics        also serve (and scrape once) a Prometheus endpoint, to
+                   measure the exposition's overhead in the same run
+  --history PATH   also append the run to an append-only history
+                   (default BENCH_history.jsonl; see amstat regress)
+  --no-history     skip the history append
   --help           this text";
 
 struct Options {
@@ -52,6 +57,8 @@ struct Options {
     window: usize,
     workers: usize,
     cache_dir: Option<String>,
+    metrics: bool,
+    history: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -62,6 +69,8 @@ fn parse_args() -> Result<Options, String> {
         window: 16,
         workers: 0,
         cache_dir: None,
+        metrics: false,
+        history: Some("BENCH_history.jsonl".to_owned()),
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -98,6 +107,9 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--workers: {e}"))?;
             }
             "--cache-dir" => opts.cache_dir = Some(value(&mut args, "--cache-dir")?),
+            "--metrics" => opts.metrics = true,
+            "--history" => opts.history = Some(value(&mut args, "--history")?),
+            "--no-history" => opts.history = None,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument '{other}'; --help for usage")),
         }
@@ -289,11 +301,15 @@ fn run(opts: &Options) -> Result<BenchDoc, String> {
             .cache_dir
             .as_ref()
             .map(|dir| DiskCacheConfig::new(dir.clone())),
+        metrics: opts
+            .metrics
+            .then(|| Endpoint::Tcp("127.0.0.1:0".to_owned())),
         ..ServerConfig::default()
     };
     let persistent_cache = config.disk.is_some();
     let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     let endpoint = server.endpoint().clone();
+    let metrics_endpoint = server.metrics_endpoint().cloned();
     let server_thread = std::thread::spawn(move || server.run());
 
     let started = Instant::now();
@@ -315,6 +331,19 @@ fn run(opts: &Options) -> Result<BenchDoc, String> {
         );
     }
     let wall_micros = started.elapsed().as_micros() as u64;
+
+    // One scrape, to prove the exposition works while the benchmark's
+    // counters are still live — and so the --metrics run exercises the
+    // listener it is measuring the overhead of.
+    if let Some(m) = &metrics_endpoint {
+        let mut stream =
+            am_serve::net::NetStream::connect(m).map_err(|e| format!("metrics connect: {e}"))?;
+        let (status, body) =
+            am_obs::httpx::get(&mut stream, "/metrics").map_err(|e| format!("scrape: {e}"))?;
+        if !status.contains("200") || !body.contains("am_requests_total") {
+            return Err(format!("metrics scrape failed: {status}"));
+        }
+    }
 
     let mut control = Client::connect(&endpoint).map_err(|e| format!("connect: {e}"))?;
     let stats = control.stats().map_err(|e| format!("stats: {e}"))?;
@@ -394,6 +423,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {}", opts.out);
+    if let Some(history) = &opts.history {
+        match am_obs::regress::append_history(std::path::Path::new(history), &doc.render()) {
+            Ok(()) => println!("appended this run to {history}"),
+            Err(e) => {
+                eprintln!("bench_service: history: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if doc.errors > 0 {
         return ExitCode::FAILURE;
     }

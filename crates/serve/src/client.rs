@@ -9,8 +9,10 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::io;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use am_lang::SourceKind;
+use am_obs::TraceEntry;
 
 use crate::net::{Endpoint, NetStream};
 use crate::proto::{self, Envelope, OptimizeRequest, Reply, Request, StatsSnapshot};
@@ -61,6 +63,8 @@ impl From<io::Error> for ClientError {
 pub struct Client {
     stream: NetStream,
     next_id: u64,
+    /// Per-connection trace-id prefix; see [`Client::next_trace_id`].
+    trace_prefix: u32,
     /// Responses read while waiting for a different id.
     buffered: VecDeque<(u64, Reply)>,
 }
@@ -68,11 +72,24 @@ pub struct Client {
 impl Client {
     /// Connects to a server.
     pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
         Ok(Client {
             stream: NetStream::connect(endpoint)?,
             next_id: 1,
+            trace_prefix: nanos ^ std::process::id().rotate_left(16),
             buffered: VecDeque::new(),
         })
+    }
+
+    /// The trace id for the next request: 16 hex digits, a per-connection
+    /// prefix (clock entropy mixed with the pid) followed by the request
+    /// id, so ids are unique across concurrent clients *and* sortable
+    /// within one connection's `trace-tail` output.
+    fn next_trace_id(&self) -> String {
+        format!("{:08x}{:08x}", self.trace_prefix, self.next_id as u32)
     }
 
     fn send(&mut self, request: Request) -> io::Result<u64> {
@@ -86,16 +103,21 @@ impl Client {
     /// Sends an `optimize` without waiting for the response; returns the
     /// request id to match against [`Client::recv`]. Pipelining requests
     /// this way keeps the server's workers busy with one connection.
+    ///
+    /// Every submit carries a generated trace id, so the request is
+    /// observable in the server's `trace-tail` ring.
     pub fn submit(
         &mut self,
         name: impl Into<String>,
         kind: SourceKind,
         text: impl Into<String>,
     ) -> io::Result<u64> {
+        let trace = Some(self.next_trace_id());
         self.send(Request::Optimize(OptimizeRequest {
             name: name.into(),
             kind,
             text: text.into(),
+            trace,
         }))
     }
 
@@ -170,6 +192,19 @@ impl Client {
             Reply::Error { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::Protocol(format!(
                 "unexpected reply to stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the newest completed request traces: up to `limit`
+    /// entries, oldest first, plus how many the ring has evicted.
+    pub fn trace_tail(&mut self, limit: u64) -> Result<(Vec<TraceEntry>, u64), ClientError> {
+        let id = self.send(Request::TraceTail { limit })?;
+        match self.wait_for(id)? {
+            Reply::Trace { entries, dropped } => Ok((entries, dropped)),
+            Reply::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to trace-tail: {other:?}"
             ))),
         }
     }

@@ -9,9 +9,11 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
+use am_obs::promtext::Registry;
 use am_pipeline::{CacheStats, ResultSource};
 use am_trace::stats::DurStats;
 
+use crate::proto::PHASE_NAMES;
 use crate::proto::{DiskCacheSnapshot, MemoryCacheSnapshot, QuantileSummary, StatsSnapshot};
 
 #[derive(Default)]
@@ -132,6 +134,96 @@ impl Metrics {
         let mut c = self.inner.lock().unwrap();
         for (slot, m) in c.phases.iter_mut().zip(micros) {
             slot.record(m);
+        }
+    }
+
+    /// Exports the aggregate into a Prometheus [`Registry`]. The latency
+    /// histograms reuse the very [`DurStats`] the `stats` response
+    /// summarizes, so the scrape endpoint and `amclient stats` report one
+    /// distribution, not two recordings. The caller adds what the metrics
+    /// don't own (workers, queue depth, cache tiers) as its own families.
+    pub fn export(&self, r: &mut Registry) {
+        let c = self.inner.lock().unwrap();
+        r.gauge(
+            "am_uptime_seconds",
+            "Seconds since the server started.",
+            &[],
+            self.started.elapsed().as_secs_f64(),
+        );
+        r.gauge(
+            "am_connections_open",
+            "Connections currently open.",
+            &[],
+            c.connections_open as f64,
+        );
+        r.counter(
+            "am_connections_total",
+            "Connections accepted since start.",
+            &[],
+            c.connections_total,
+        );
+        for (verb, n) in [
+            ("optimize", c.requests_optimize),
+            ("stats", c.requests_stats),
+            ("ping", c.requests_ping),
+        ] {
+            r.counter(
+                "am_requests_total",
+                "Requests received, by verb.",
+                &[("verb", verb)],
+                n,
+            );
+        }
+        for (source, n) in [
+            ("fresh", c.fresh),
+            ("memory", c.memory_hits),
+            ("disk", c.disk_hits),
+            ("coalesced", c.coalesced),
+        ] {
+            r.counter(
+                "am_optimize_results_total",
+                "Optimize results answered, by source.",
+                &[("source", source)],
+                n,
+            );
+        }
+        r.counter(
+            "am_busy_total",
+            "Optimize requests bounced with busy.",
+            &[],
+            c.busy,
+        );
+        r.counter(
+            "am_errors_total",
+            "Requests answered with error.",
+            &[],
+            c.errors,
+        );
+        r.gauge(
+            "am_queue_peak",
+            "Largest queued population observed.",
+            &[],
+            c.queue_peak as f64,
+        );
+        r.histogram(
+            "am_request_latency_seconds",
+            "End-to-end request latency (enqueue to response written).",
+            &[],
+            &c.latency_request,
+        );
+        r.histogram(
+            "am_queue_latency_seconds",
+            "Queue wait (enqueue to worker pickup).",
+            &[],
+            &c.latency_queue,
+        );
+        for (name, d) in PHASE_NAMES.iter().zip(&c.phases) {
+            r.histogram(
+                "am_phase_latency_seconds",
+                "Optimizer phase latency of fresh runs.",
+                &[("phase", name)],
+                d,
+            );
         }
     }
 

@@ -25,6 +25,7 @@ use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 
 use am_lang::SourceKind;
+use am_obs::TraceEntry;
 use am_trace::json::{self, Json};
 
 /// Protocol version, carried as `"am"` in every request.
@@ -116,6 +117,11 @@ pub struct OptimizeRequest {
     pub kind: SourceKind,
     /// Program source.
     pub text: String,
+    /// Client-generated trace id, propagated end to end: the server links
+    /// the request's measured stages under this id in its trace ring
+    /// (`trace-tail`). Optional and ignored by older servers — the field
+    /// is simply absent on the wire when `None`.
+    pub trace: Option<String>,
 }
 
 /// A parsed request operation.
@@ -127,6 +133,11 @@ pub enum Request {
     Optimize(OptimizeRequest),
     /// Live server metrics.
     Stats,
+    /// The newest entries of the server's request-trace ring.
+    TraceTail {
+        /// Maximum entries to return.
+        limit: u64,
+    },
     /// Graceful drain-and-stop.
     Shutdown,
 }
@@ -164,12 +175,19 @@ pub fn encode_request(envelope: &Envelope) -> String {
     match &envelope.request {
         Request::Ping => out.push_str(",\"op\":\"ping\""),
         Request::Stats => out.push_str(",\"op\":\"stats\""),
+        Request::TraceTail { limit } => {
+            let _ = write!(out, ",\"op\":\"trace-tail\",\"limit\":{limit}");
+        }
         Request::Shutdown => out.push_str(",\"op\":\"shutdown\""),
         Request::Optimize(req) => {
             out.push_str(",\"op\":\"optimize\",\"name\":");
             json::write_str(&mut out, &req.name);
             let _ = write!(out, ",\"kind\":\"{}\",\"text\":", kind_str(req.kind));
             json::write_str(&mut out, &req.text);
+            if let Some(trace) = &req.trace {
+                out.push_str(",\"trace\":");
+                json::write_str(&mut out, trace);
+            }
         }
     }
     out.push('}');
@@ -200,6 +218,9 @@ pub fn parse_request(payload: &str) -> Result<Envelope, (Option<u64>, String)> {
     let request = match op {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
+        "trace-tail" => Request::TraceTail {
+            limit: value.get("limit").and_then(Json::as_u64).unwrap_or(16),
+        },
         "shutdown" => Request::Shutdown,
         "optimize" => {
             let field = |key: &str| {
@@ -214,6 +235,7 @@ pub fn parse_request(payload: &str) -> Result<Envelope, (Option<u64>, String)> {
                 name: field("name")?,
                 kind,
                 text: field("text")?,
+                trace: value.get("trace").and_then(Json::as_str).map(str::to_owned),
             })
         }
         other => return Err(fail(format!("unknown op '{other}'"))),
@@ -386,6 +408,13 @@ pub enum Reply {
     },
     /// Live metrics.
     Stats(Box<StatsSnapshot>),
+    /// The newest request traces.
+    Trace {
+        /// Entries, oldest first.
+        entries: Vec<TraceEntry>,
+        /// Ring evictions so far (history `trace-tail` can no longer see).
+        dropped: u64,
+    },
 }
 
 fn write_quantiles(out: &mut String, q: &QuantileSummary) {
@@ -444,9 +473,37 @@ pub fn encode_result(id: u64, r: &ResultPayload) -> String {
     out
 }
 
+/// Renders a `trace` response payload.
+pub fn encode_trace(id: u64, entries: &[TraceEntry], dropped: u64) -> String {
+    let mut out = format!("{{\"id\":{id},\"type\":\"trace\",\"dropped\":{dropped},\"entries\":[");
+    for (i, entry) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        entry.write_json(&mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Renders a `stats` response payload.
 pub fn encode_stats(id: u64, s: &StatsSnapshot) -> String {
     let mut out = format!("{{\"id\":{id},\"type\":\"stats\"");
+    write_stats_body(&mut out, s);
+    out
+}
+
+/// Renders a snapshot as a standalone `am-stats/v1` document — the shape
+/// `amclient stats --json` prints and `amstat` reads directly (same body
+/// as the wire `stats` response, with a schema tag instead of the
+/// response envelope).
+pub fn encode_stats_doc(s: &StatsSnapshot) -> String {
+    let mut out = String::from("{\"schema\":\"am-stats/v1\"");
+    write_stats_body(&mut out, s);
+    out
+}
+
+fn write_stats_body(out: &mut String, s: &StatsSnapshot) {
     let _ = write!(
         out,
         ",\"uptime_micros\":{},\"workers\":{},\"connections_open\":{},\"connections_total\":{}",
@@ -492,15 +549,14 @@ pub fn encode_stats(id: u64, s: &StatsSnapshot) -> String {
         }
     }
     out.push_str(",\"latency\":{\"request\":");
-    write_quantiles(&mut out, &s.latency_request);
+    write_quantiles(out, &s.latency_request);
     out.push_str(",\"queue\":");
-    write_quantiles(&mut out, &s.latency_queue);
+    write_quantiles(out, &s.latency_queue);
     for (name, q) in PHASE_NAMES.iter().zip(&s.phases) {
         let _ = write!(out, ",\"{name}\":");
-        write_quantiles(&mut out, q);
+        write_quantiles(out, q);
     }
     out.push_str("}}");
-    out
 }
 
 fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
@@ -543,6 +599,20 @@ pub fn parse_response(payload: &str) -> Result<(u64, Reply), String> {
     let id = get_u64(&value, "id")?;
     let reply = match get_str(&value, "type")?.as_str() {
         "ok" => Reply::Ok,
+        "trace" => {
+            let items = value
+                .get("entries")
+                .and_then(Json::as_arr)
+                .ok_or("missing \"entries\"")?;
+            let entries = items
+                .iter()
+                .map(|item| TraceEntry::from_json(item).ok_or("malformed trace entry".to_owned()))
+                .collect::<Result<Vec<_>, _>>()?;
+            Reply::Trace {
+                entries,
+                dropped: get_u64(&value, "dropped")?,
+            }
+        }
         "busy" => Reply::Busy {
             queued: get_u64(&value, "queued")?,
             limit: get_u64(&value, "limit")?,
@@ -676,6 +746,7 @@ mod tests {
                     name: "loop \"quoted\".wl".to_owned(),
                     kind: SourceKind::While,
                     text: "while x < 3 do\n  x := x + 1\nod".to_owned(),
+                    trace: Some("00c0ffee00c0ffee".to_owned()),
                 }),
             },
             Envelope {
@@ -684,7 +755,12 @@ mod tests {
                     name: "raw.ir".to_owned(),
                     kind: SourceKind::Ir,
                     text: "start s\nend s\nnode s { out(x) }".to_owned(),
+                    trace: None,
                 }),
+            },
+            Envelope {
+                id: 6,
+                request: Request::TraceTail { limit: 25 },
             },
         ];
         for envelope in cases {
@@ -729,6 +805,69 @@ mod tests {
                 }
             )
         );
+    }
+
+    #[test]
+    fn trace_requests_without_limit_use_the_default() {
+        let envelope = parse_request("{\"am\":1,\"id\":3,\"op\":\"trace-tail\"}").unwrap();
+        assert_eq!(envelope.request, Request::TraceTail { limit: 16 });
+    }
+
+    #[test]
+    fn trace_responses_round_trip() {
+        let entries = vec![
+            TraceEntry {
+                trace_id: "a1".into(),
+                name: "p1.wl".into(),
+                source: "fresh".into(),
+                queue_micros: 3,
+                service_micros: 90,
+                phases: Some([1, 2, 60, 9]),
+                conn: 4,
+                ts_micros: 1000,
+            },
+            TraceEntry {
+                trace_id: "a2".into(),
+                name: "p2.wl".into(),
+                source: "memory".into(),
+                queue_micros: 1,
+                service_micros: 5,
+                phases: None,
+                conn: 4,
+                ts_micros: 2000,
+            },
+        ];
+        let (id, reply) = parse_response(&encode_trace(31, &entries, 7)).unwrap();
+        assert_eq!(id, 31);
+        assert_eq!(
+            reply,
+            Reply::Trace {
+                entries,
+                dropped: 7
+            }
+        );
+
+        let (_, empty) = parse_response(&encode_trace(32, &[], 0)).unwrap();
+        assert_eq!(
+            empty,
+            Reply::Trace {
+                entries: Vec::new(),
+                dropped: 0
+            }
+        );
+    }
+
+    #[test]
+    fn stats_doc_carries_the_schema_tag_and_the_full_body() {
+        let doc = encode_stats_doc(&StatsSnapshot {
+            workers: 3,
+            ..Default::default()
+        });
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some("am-stats/v1"));
+        assert_eq!(v.get("workers").and_then(Json::as_u64), Some(3));
+        assert!(v.get("latency").is_some());
+        assert!(v.get("id").is_none(), "a doc is not a response envelope");
     }
 
     #[test]

@@ -31,6 +31,8 @@ use std::time::{Duration, Instant};
 use am_ir::alpha::stable_hash;
 use am_ir::FlowGraph;
 use am_lang::compile_source;
+use am_obs::promtext::Registry;
+use am_obs::{httpx, TraceEntry, TraceRing};
 use am_pipeline::{OptimizedJob, Pipeline, PipelineConfig, ResultSource, SecondaryCache};
 use am_trace::Tracer;
 
@@ -66,6 +68,12 @@ pub struct ServerConfig {
     /// Trace sink: per-connection spans, per-request spans and `serve`
     /// counters (see `docs/SERVICE.md`).
     pub tracer: Tracer,
+    /// Optional second listener serving Prometheus text exposition over
+    /// HTTP (`GET /metrics`, plus `/healthz`); `None` disables it.
+    pub metrics: Option<Endpoint>,
+    /// Request-trace ring capacity: how many completed traced requests
+    /// `trace-tail` can look back on.
+    pub trace_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +87,8 @@ impl Default for ServerConfig {
             max_motion_rounds: None,
             lint: false,
             tracer: Tracer::disabled(),
+            metrics: None,
+            trace_ring: 256,
         }
     }
 }
@@ -102,6 +112,8 @@ struct PendingJob {
     name: String,
     hash: u64,
     graph: FlowGraph,
+    /// Client-generated trace id; requests carrying one land in the ring.
+    trace: Option<String>,
     conn: Arc<ConnState>,
     /// Enqueue time until pickup, then reset to service start.
     clock: Instant,
@@ -154,6 +166,8 @@ struct Shared {
     pipeline: Pipeline,
     disk: Option<Arc<DiskCache>>,
     metrics: Metrics,
+    ring: TraceRing,
+    started: Instant,
     dispatch: Mutex<Dispatch>,
     work_ready: Condvar,
     drained: Condvar,
@@ -174,6 +188,94 @@ impl Shared {
         )
     }
 
+    /// Links one completed (or rejected) traced request into the ring.
+    #[allow(clippy::too_many_arguments)]
+    fn record_trace(
+        &self,
+        trace: &Option<String>,
+        name: &str,
+        source: &str,
+        queue_micros: u64,
+        service_micros: u64,
+        phases: Option<[u64; 4]>,
+        conn: u64,
+    ) {
+        let Some(trace_id) = trace else { return };
+        self.ring.push(TraceEntry {
+            trace_id: trace_id.clone(),
+            name: name.to_owned(),
+            source: source.to_owned(),
+            queue_micros,
+            service_micros,
+            phases,
+            conn,
+            ts_micros: self.started.elapsed().as_micros() as u64,
+        });
+    }
+
+    /// The full Prometheus text exposition: request/latency families from
+    /// [`Metrics`], plus the populations and cache tiers only the server
+    /// knows.
+    fn prometheus(&self) -> String {
+        let mut r = Registry::new();
+        self.metrics.export(&mut r);
+        r.gauge("am_workers", "Worker threads.", &[], self.workers as f64);
+        let queued = self.dispatch.lock().unwrap().queued;
+        r.gauge(
+            "am_queue_depth",
+            "Jobs sitting in dispatch queues now.",
+            &[],
+            queued as f64,
+        );
+        let mem = self.pipeline.cache().stats();
+        let mut tier = |name: &str, hits: u64, misses: u64, evictions: u64, entries: u64| {
+            let labels = &[("tier", name)];
+            r.counter("am_cache_hits_total", "Cache lookup hits.", labels, hits);
+            r.counter(
+                "am_cache_misses_total",
+                "Cache lookup misses.",
+                labels,
+                misses,
+            );
+            r.counter(
+                "am_cache_evictions_total",
+                "Cache evictions.",
+                labels,
+                evictions,
+            );
+            r.gauge(
+                "am_cache_entries",
+                "Cache entries resident.",
+                labels,
+                entries as f64,
+            );
+        };
+        tier(
+            "memory",
+            mem.hits,
+            mem.misses,
+            mem.evictions,
+            mem.entries as u64,
+        );
+        if let Some(disk) = &self.disk {
+            let d = disk.snapshot();
+            tier("disk", d.hits, d.misses, d.evictions, d.entries);
+        }
+        r.gauge(
+            "am_trace_ring_entries",
+            "Request traces held in the ring.",
+            &[],
+            self.ring.len() as f64,
+        );
+        r.counter(
+            "am_trace_ring_dropped_total",
+            "Request traces evicted from the ring.",
+            &[],
+            self.ring.dropped(),
+        );
+        r.render()
+    }
+
     fn notify_if_drained(&self, dispatch: &Dispatch) {
         if dispatch.outstanding() == 0 {
             self.drained.notify_all();
@@ -189,6 +291,8 @@ pub struct Server {
     shared: Arc<Shared>,
     listener: NetListener,
     endpoint: Endpoint,
+    metrics_listener: Option<NetListener>,
+    metrics_endpoint: Option<Endpoint>,
 }
 
 impl Server {
@@ -211,6 +315,13 @@ impl Server {
                 .map(|d| Arc::clone(d) as Arc<dyn SecondaryCache>),
         });
         let (listener, endpoint) = NetListener::bind(&config.endpoint)?;
+        let (metrics_listener, metrics_endpoint) = match &config.metrics {
+            Some(ep) => {
+                let (l, bound) = NetListener::bind(ep)?;
+                (Some(l), Some(bound))
+            }
+            None => (None, None),
+        };
         let workers = if config.workers == 0 {
             thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -223,6 +334,8 @@ impl Server {
                 pipeline,
                 disk,
                 metrics: Metrics::new(),
+                ring: TraceRing::new(config.trace_ring),
+                started: Instant::now(),
                 dispatch: Mutex::new(Dispatch::default()),
                 work_ready: Condvar::new(),
                 drained: Condvar::new(),
@@ -233,12 +346,19 @@ impl Server {
             }),
             listener,
             endpoint,
+            metrics_listener,
+            metrics_endpoint,
         })
     }
 
     /// The endpoint actually bound (real port for TCP port 0).
     pub fn endpoint(&self) -> &Endpoint {
         &self.endpoint
+    }
+
+    /// The metrics endpoint actually bound, when `--metrics` was given.
+    pub fn metrics_endpoint(&self) -> Option<&Endpoint> {
+        self.metrics_endpoint.as_ref()
     }
 
     /// Serves until a client's `shutdown` request drains the server. All
@@ -251,6 +371,14 @@ impl Server {
             let shared = Arc::clone(shared);
             workers.push(thread::spawn(move || worker_loop(&shared)));
         }
+        let metrics_thread = match self.metrics_listener {
+            Some(listener) => {
+                listener.set_nonblocking(true)?;
+                let shared = Arc::clone(shared);
+                Some(thread::spawn(move || metrics_loop(&shared, &listener)))
+            }
+            None => None,
+        };
         self.listener.set_nonblocking(true)?;
         let mut handlers = Vec::new();
         let mut next_conn_id = 1u64;
@@ -280,6 +408,9 @@ impl Server {
         for handle in workers {
             let _ = handle.join();
         }
+        if let Some(handle) = metrics_thread {
+            let _ = handle.join();
+        }
         if let Some(disk) = &shared.disk {
             let _ = disk.flush_index();
         }
@@ -287,8 +418,67 @@ impl Server {
         if let Endpoint::Unix(path) = &self.endpoint {
             let _ = std::fs::remove_file(path);
         }
+        #[cfg(unix)]
+        if let Some(Endpoint::Unix(path)) = &self.metrics_endpoint {
+            let _ = std::fs::remove_file(path);
+        }
         result
     }
+}
+
+/// The metrics listener: one short HTTP exchange per connection
+/// (`/metrics` renders the Prometheus exposition, `/healthz` answers
+/// liveness), polled so the shutdown flag stops it with the rest of the
+/// server.
+fn metrics_loop(shared: &Arc<Shared>, listener: &NetListener) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok(stream) => {
+                let shared = Arc::clone(shared);
+                // Per-exchange thread: a stalled scraper must not block
+                // the next scrape.
+                thread::spawn(move || serve_metrics_exchange(&shared, stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_metrics_exchange(shared: &Shared, mut stream: NetStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let Some(request) = httpx::read_request(&mut stream) else {
+        return;
+    };
+    let path = request.path.split('?').next().unwrap_or("");
+    let _ = if request.method != "GET" {
+        httpx::write_response(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        )
+    } else {
+        match path {
+            "/metrics" => httpx::write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &shared.prometheus(),
+            ),
+            "/healthz" => httpx::write_response(&mut stream, "200 OK", "text/plain", "ok\n"),
+            _ => httpx::write_response(
+                &mut stream,
+                "404 Not Found",
+                "text/plain",
+                "try /metrics or /healthz\n",
+            ),
+        }
+    };
 }
 
 fn handle_connection(shared: &Arc<Shared>, mut stream: NetStream, conn_id: u64) {
@@ -368,12 +558,19 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<ConnState>, envelope: Envelop
             conn.send(&proto::encode_ok(id));
             false
         }
+        Request::TraceTail { limit } => {
+            shared.metrics.stats_request();
+            let entries = shared.ring.tail(limit as usize);
+            conn.send(&proto::encode_trace(id, &entries, shared.ring.dropped()));
+            true
+        }
         Request::Optimize(req) => {
             let graph = match compile_source(req.kind, &req.text) {
                 Ok(graph) => graph,
                 Err(e) => {
                     shared.metrics.request_error();
                     shared.tracer.counter("serve", "error", &[("count", 1)]);
+                    shared.record_trace(&req.trace, &req.name, "error", 0, 0, None, conn.id);
                     conn.send(&proto::encode_error(id, &format!("{}: {e}", req.name)));
                     return true;
                 }
@@ -394,6 +591,7 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<ConnState>, envelope: Envelop
                 drop(dispatch);
                 shared.metrics.rejected_busy();
                 shared.tracer.counter("serve", "busy", &[("count", 1)]);
+                shared.record_trace(&req.trace, &req.name, "busy", 0, 0, None, conn.id);
                 conn.send(&proto::encode_busy(id, queued, shared.queue_depth as u64));
                 return true;
             }
@@ -403,6 +601,7 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<ConnState>, envelope: Envelop
                 name: req.name,
                 hash,
                 graph,
+                trace: req.trace,
                 conn: Arc::clone(conn),
                 clock: Instant::now(),
                 queue_micros: 0,
@@ -519,6 +718,15 @@ fn process_leader(shared: &Shared, job: PendingJob) {
             shared.tracer.counter("serve", "error", &[("count", count)]);
             for failed in std::iter::once(&job).chain(&followers) {
                 shared.metrics.request_error();
+                shared.record_trace(
+                    &failed.trace,
+                    &failed.name,
+                    "error",
+                    failed.queue_micros,
+                    failed.clock.elapsed().as_micros() as u64,
+                    None,
+                    failed.conn.id,
+                );
                 failed.conn.send(&proto::encode_error(
                     failed.id,
                     &format!("{}: optimizer panicked: {message}", failed.name),
@@ -552,6 +760,23 @@ fn answer(shared: &Shared, job: &PendingJob, out: &OptimizedJob, source: &str, c
         service_micros,
     };
     job.conn.send(&proto::encode_result(job.id, &payload));
+    // Phase spans only for the run that actually executed the optimizer;
+    // cache hits and coalesced riders carry the flat request span alone.
+    let phases = (!coalesced && out.source == ResultSource::Fresh).then_some([
+        out.timings.split.as_micros() as u64,
+        out.timings.init.as_micros() as u64,
+        out.timings.motion.as_micros() as u64,
+        out.timings.flush.as_micros() as u64,
+    ]);
+    shared.record_trace(
+        &job.trace,
+        &job.name,
+        source,
+        job.queue_micros,
+        service_micros,
+        phases,
+        job.conn.id,
+    );
     shared.metrics.optimize_answered(
         out.source,
         coalesced,

@@ -405,6 +405,74 @@ fn server_traces_aggregate_through_amstat_model() {
     );
 }
 
+#[test]
+fn metrics_listener_and_trace_ring_observe_requests_end_to_end() {
+    let server = Server::bind(ServerConfig {
+        metrics: Some(Endpoint::Tcp("127.0.0.1:0".to_owned())),
+        trace_ring: 8,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let endpoint = server.endpoint().clone();
+    let metrics_endpoint = server.metrics_endpoint().expect("metrics bound").clone();
+    let handle = thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let text = "start 1\nend 1\nnode 1 { x := a+b; y := a+b; out(x,y) }";
+    let fresh = client
+        .optimize("m0.ir", SourceKind::Ir, text.to_owned())
+        .expect("optimize");
+    assert_eq!(fresh.source, "fresh");
+    let hit = client
+        .optimize("m1.ir", SourceKind::Ir, text.to_owned())
+        .expect("optimize again");
+    assert_eq!(hit.source, "memory");
+
+    // Every request carried a client-generated trace id, so both sit in
+    // the ring: the fresh run with phase children, the hit without.
+    let (entries, dropped) = client.trace_tail(16).expect("trace-tail");
+    assert_eq!(dropped, 0);
+    assert_eq!(entries.len(), 2, "both traced requests in the ring");
+    assert_eq!(entries[0].name, "m0.ir");
+    assert_eq!(entries[0].source, "fresh");
+    assert!(entries[0].phases.is_some(), "fresh run has phase spans");
+    assert_eq!(entries[0].spans().len(), 7);
+    assert_eq!(entries[1].source, "memory");
+    assert!(entries[1].phases.is_none(), "cache hit has no phase spans");
+    assert_eq!(entries[0].trace_id.len(), 16);
+    assert_ne!(entries[0].trace_id, entries[1].trace_id);
+    assert_eq!(
+        entries[0].trace_id[..8],
+        entries[1].trace_id[..8],
+        "one connection shares a trace-id prefix"
+    );
+
+    // The scrape endpoint speaks HTTP and exports the expected families.
+    let mut stream = am_serve::net::NetStream::connect(&metrics_endpoint).expect("connect http");
+    let (status, body) = am_obs::httpx::get(&mut stream, "/metrics").expect("GET /metrics");
+    assert!(status.contains("200"), "status: {status}");
+    for needle in [
+        "# TYPE am_requests_total counter",
+        "am_requests_total{verb=\"optimize\"} 2",
+        "am_optimize_results_total{source=\"fresh\"} 1",
+        "am_optimize_results_total{source=\"memory\"} 1",
+        "# TYPE am_request_latency_seconds histogram",
+        "am_request_latency_seconds_count 2",
+        "am_cache_hits_total{tier=\"memory\"} 1",
+        "am_trace_ring_entries 2",
+        "am_workers",
+    ] {
+        assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
+    }
+
+    // Unknown paths and non-GET methods answer with proper HTTP errors.
+    let mut stream = am_serve::net::NetStream::connect(&metrics_endpoint).expect("connect http");
+    let (status, _) = am_obs::httpx::get(&mut stream, "/nope").expect("GET /nope");
+    assert!(status.contains("404"), "status: {status}");
+
+    stop(&endpoint, handle);
+}
+
 #[cfg(unix)]
 #[test]
 fn unix_domain_sockets_work_end_to_end() {

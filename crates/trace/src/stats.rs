@@ -94,7 +94,11 @@ impl DurStats {
         self.sorted_micros.insert(at, micros);
     }
 
-    /// Exact quantile `q` (0 < q ≤ 1) over the recorded samples.
+    /// Exact quantile `q` (0 < q ≤ 1) over the recorded samples. Degenerate
+    /// inputs stay total: an empty recorder answers 0 for every `q`, a
+    /// single sample answers itself for every `q`, and out-of-range `q`
+    /// clamps to the smallest/largest sample rather than indexing out of
+    /// bounds.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.sorted_micros.is_empty() {
             return 0;
@@ -339,6 +343,40 @@ mod tests {
         assert_eq!(d.quantile(1.0), 50);
         assert_eq!(d.max_micros, 50);
         assert_eq!(d.total_micros, 150);
+    }
+
+    #[test]
+    fn durstats_quantiles_survive_degenerate_inputs() {
+        // Empty: every quantile is 0, including the out-of-range ones.
+        let empty = DurStats::default();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0, 2.0] {
+            assert_eq!(empty.quantile(q), 0, "empty at q={q}");
+        }
+        assert_eq!(empty.histogram.quantile(0.5), 0, "empty histogram");
+
+        // One sample: every quantile is that sample.
+        let mut single = DurStats::default();
+        single.record(42);
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), 42, "single sample at q={q}");
+        }
+        assert_eq!((single.count, single.max_micros), (1, 42));
+
+        // Out-of-range q clamps instead of panicking: below the first
+        // sample's rank lands on the minimum, above the last on the max.
+        let mut d = DurStats::default();
+        for v in [10u64, 20, 30] {
+            d.record(v);
+        }
+        assert_eq!(d.quantile(0.0), 10);
+        assert_eq!(d.quantile(-1.0), 10);
+        assert_eq!(d.quantile(5.0), 30);
+
+        // A zero-microsecond sample is representable end to end.
+        let mut zero = DurStats::default();
+        zero.record(0);
+        assert_eq!(zero.quantile(0.5), 0);
+        assert_eq!(zero.histogram.count, 1);
     }
 
     #[test]

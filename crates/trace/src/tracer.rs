@@ -200,6 +200,40 @@ mod tests {
     }
 
     #[test]
+    fn disabled_fast_path_carries_no_state() {
+        // Clones and the Default impl stay disabled.
+        let tracer = Tracer::disabled();
+        assert!(!tracer.clone().enabled());
+        assert!(!Tracer::default().enabled());
+
+        // Disabled spans take the no-sink arm: args are dropped, nothing
+        // allocates into the span, and drop order doesn't matter.
+        let mut span = tracer.span("phase", "outer");
+        span.arg("nodes", 1).arg("instrs", 2);
+        let inner = tracer.span("phase", "inner");
+        drop(span);
+        drop(inner);
+
+        // Crucially, a disabled span never touches the thread-local depth
+        // counter — so interleaving disabled spans with an enabled tracer
+        // must not skew the enabled tracer's recorded nesting.
+        let (enabled, collector) = Tracer::collector();
+        let _quiet = tracer.span("phase", "quiet");
+        {
+            let _loud = enabled.span("phase", "loud");
+            let _quiet_inner = tracer.span("phase", "quiet-inner");
+            let _loud_inner = enabled.span("phase", "loud-inner");
+        }
+        let events = collector.take();
+        assert_eq!(events.len(), 2, "only the enabled tracer emits");
+        assert_eq!(
+            (events[0].name.as_str(), events[0].depth),
+            ("loud-inner", 1)
+        );
+        assert_eq!((events[1].name.as_str(), events[1].depth), ("loud", 0));
+    }
+
+    #[test]
     fn spans_nest_and_record_depth() {
         let (tracer, collector) = Tracer::collector();
         {
