@@ -1,0 +1,38 @@
+//! Prints a phase-by-phase proof transcript for one *campaign* seed —
+//! the distribution `amcheck` sweeps (`seed_program`), which is
+//! division-heavier than the test-suite generators. Handy when the CI
+//! `--max-inconclusive` gate trips: failing pairs are dumped in full so
+//! the reason string can be traced to the programs.
+//!
+//! Usage: `cargo run --example dbg_campaign_seed -p am-check -- <seed>`
+
+use am_check::seed_program;
+use am_core::global::{optimize_hooked, GlobalConfig};
+use am_ir::text::to_text;
+use am_ir::FlowGraph;
+use am_prove::{prove_pair, ProveConfig, Verdict};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let g = seed_program(seed);
+    let mut snaps: Vec<(String, FlowGraph)> = Vec::new();
+    optimize_hooked(&g, &GlobalConfig::default(), &mut |p, prog| {
+        snaps.push((format!("{p:?}"), prog.clone()));
+    });
+    let cfg = ProveConfig::default();
+    let mut prev = g.clone();
+    let mut prev_name = "input".to_owned();
+    for (name, snap) in snaps {
+        let o = prove_pair(&prev, &snap, &cfg);
+        println!("{prev_name} -> {name}: {} ({})", o.verdict, o.reason);
+        if o.verdict != Verdict::Proved {
+            println!("==== LEFT ({prev_name}) ====\n{}", to_text(&prev));
+            println!("==== RIGHT ({name}) ====\n{}", to_text(&snap));
+        }
+        prev = snap;
+        prev_name = name;
+    }
+}

@@ -34,6 +34,12 @@ options:
                     swap-pattern-ids (default tweak-const; only with --inject)
   --lint            also run the am-lint static suite on each final
                     snapshot; reports seeds with error-severity findings
+  --no-prove        disable the symbolic equivalence prover (on by default:
+                    each phase pair is proved for all inputs first, and the
+                    interpreter only runs on inconclusive pairs)
+  --max-inconclusive PCT
+                    fail if more than PCT percent of proof attempts were
+                    inconclusive (CI gate; only meaningful with the prover on)
   --out DIR         bundle directory (default target/am-check)
   --no-bundles      do not shrink or write bundles
   -h, --help        show this help
@@ -52,6 +58,7 @@ fn main() -> ExitCode {
     let mut inject: Option<InjectAt> = None;
     let mut fault_kind = FaultKind::TweakConst;
     let mut files: Vec<String> = Vec::new();
+    let mut max_inconclusive_pct: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -79,6 +86,11 @@ fn main() -> ExitCode {
             },
             "--fail-fast" => cfg.fail_fast = true,
             "--lint" => cfg.lint = true,
+            "--no-prove" => cfg.prove = false,
+            "--max-inconclusive" => match value("--max-inconclusive").map(|v| v.parse()) {
+                Ok(Ok(n)) => max_inconclusive_pct = Some(n),
+                _ => return fail_usage("--max-inconclusive wants a percentage"),
+            },
             "--inject" => match value("--inject") {
                 Ok(v) => {
                     inject = Some(match v.as_str() {
@@ -161,7 +173,21 @@ fn main() -> ExitCode {
             report.stages_checked,
             report.failures.len()
         );
+        if !report.prove.is_empty() {
+            println!("amcheck prover: {}", report.prove);
+        }
         failed += report.failures.len();
+        if let Some(pct) = max_inconclusive_pct {
+            let t = report.prove.total();
+            if t.inconclusive * 100 > t.total() * pct {
+                eprintln!(
+                    "amcheck: inconclusive rate above {pct}% ({} of {} proof attempts)",
+                    t.inconclusive,
+                    t.total()
+                );
+                failed += 1;
+            }
+        }
     } else {
         for file in &files {
             let src = match std::fs::read_to_string(file) {

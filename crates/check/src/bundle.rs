@@ -20,7 +20,9 @@ use am_ir::alpha::canonical_text;
 use am_ir::FlowGraph;
 
 use crate::shrink::ShrinkResult;
+use crate::stage::Stage;
 use crate::validate::{Failure, FailureKind};
+use am_prove::Verdict;
 
 /// Everything a reproduction needs.
 #[derive(Clone, Debug)]
@@ -37,6 +39,9 @@ pub struct Bundle {
     pub failure: Failure,
     /// An exact command line that replays the failure.
     pub command: String,
+    /// Per-stage prover verdicts of the failing validation, in chain
+    /// order (empty when the prover was off).
+    pub prove_verdicts: Vec<(Stage, Verdict)>,
 }
 
 /// The human-readable `report.txt` body for `b`.
@@ -62,12 +67,27 @@ pub fn render_report(b: &Bundle) -> String {
                 "kind:      optimality regression (run {run}): {before} -> {after} expr evals"
             );
         }
+        FailureKind::Proof { detail } => {
+            let _ = writeln!(
+                s,
+                "kind:      statically refuted by the prover (interpreter-confirmed witness)"
+            );
+            let _ = writeln!(s, "detail:    {detail}");
+        }
     }
     if let Some(seed) = b.seed {
         let _ = writeln!(s, "seed:      {seed}");
     }
     let _ = writeln!(s, "decisions: {:?}", b.failure.decisions);
     let _ = writeln!(s, "inputs:    {:?}", b.failure.inputs);
+    if !b.prove_verdicts.is_empty() {
+        let rendered: Vec<String> = b
+            .prove_verdicts
+            .iter()
+            .map(|(stage, v)| format!("{stage} {v}"))
+            .collect();
+        let _ = writeln!(s, "prover:    {}", rendered.join("; "));
+    }
     if let Some(r) = &b.shrunk {
         let _ = writeln!(
             s,
@@ -122,6 +142,10 @@ mod tests {
             shrunk: None,
             failure: dummy_failure(),
             command: "amcheck --seeds 7..8".into(),
+            prove_verdicts: vec![
+                (Stage::Split, Verdict::Proved),
+                (Stage::Init, Verdict::Refuted),
+            ],
         };
         let root = std::env::temp_dir().join("am-check-bundle-rt");
         let _ = std::fs::remove_dir_all(&root);
@@ -133,6 +157,10 @@ mod tests {
         assert!(report.contains("motion round 2"), "{report}");
         assert!(report.contains("seed:      7"), "{report}");
         assert!(report.contains("amcheck --seeds 7..8"), "{report}");
+        assert!(
+            report.contains("prover:    split proved; init refuted"),
+            "{report}"
+        );
         assert!(!dir.join("minimized.ir").exists());
     }
 }

@@ -16,7 +16,9 @@ use am_trace::Tracer;
 use crate::bundle::{write_bundle, Bundle};
 use crate::fault::FaultSpec;
 use crate::shrink::{shrink, ShrinkConfig};
-use crate::validate::{validate, Failure, ValidationConfig};
+use crate::stage::Stage;
+use crate::validate::{validate, Failure, ValidationConfig, VerdictCounts};
+use am_prove::Verdict;
 
 /// The deterministic program for `seed` — one third structured, one third
 /// structured with division and deeper nesting, one third unstructured
@@ -93,6 +95,12 @@ pub struct CampaignConfig {
     /// Trace sink: one `campaign/seed` span per seed plus running
     /// progress counters. Disabled (a no-op) by default.
     pub tracer: Tracer,
+    /// Run the symbolic equivalence prover on every snapshot pair before
+    /// the interpreter (see [`ValidationConfig::prove`]). **On by
+    /// default**: campaigns demand that injected faults be refuted
+    /// statically, for all inputs, and that clean seeds be statically
+    /// proved rather than merely sampled.
+    pub prove: bool,
 }
 
 impl Default for CampaignConfig {
@@ -108,7 +116,73 @@ impl Default for CampaignConfig {
             bundle_dir: None,
             shrink: ShrinkConfig::default(),
             tracer: Tracer::disabled(),
+            prove: true,
         }
+    }
+}
+
+/// Per-phase prover verdict counts accumulated across a campaign, keyed
+/// by stage class (every motion round lands in [`ProveSummary::motion`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProveSummary {
+    /// Original vs. split snapshot.
+    pub split: VerdictCounts,
+    /// Split vs. initialization snapshot.
+    pub init: VerdictCounts,
+    /// All consecutive motion-round pairs.
+    pub motion: VerdictCounts,
+    /// Last round vs. flush snapshot.
+    pub flush: VerdictCounts,
+    /// Original vs. final snapshot, end to end.
+    pub end_to_end: VerdictCounts,
+}
+
+impl ProveSummary {
+    /// Records one verdict under its stage class. Baseline stages are
+    /// never proved and are ignored.
+    pub fn add(&mut self, stage: Stage, v: Verdict) {
+        let slot = match stage {
+            Stage::Split => &mut self.split,
+            Stage::Init => &mut self.init,
+            Stage::MotionRound(_) => &mut self.motion,
+            Stage::Flush => &mut self.flush,
+            Stage::Final => &mut self.end_to_end,
+            Stage::Lcm | Stage::Sink => return,
+        };
+        slot.add(v);
+    }
+
+    /// Totals over all stage classes.
+    pub fn total(&self) -> VerdictCounts {
+        let mut t = VerdictCounts::default();
+        for c in [
+            self.split,
+            self.init,
+            self.motion,
+            self.flush,
+            self.end_to_end,
+        ] {
+            t.proved += c.proved;
+            t.refuted += c.refuted;
+            t.inconclusive += c.inconclusive;
+        }
+        t
+    }
+
+    /// No proof attempt was recorded (the prover was off).
+    pub fn is_empty(&self) -> bool {
+        self.total().total() == 0
+    }
+}
+
+impl std::fmt::Display for ProveSummary {
+    /// Per-phase `proved/refuted/inconclusive` counts.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "split {}, init {}, motion {}, flush {}, final {} (proved/refuted/inconclusive)",
+            self.split, self.init, self.motion, self.flush, self.end_to_end
+        )
     }
 }
 
@@ -137,6 +211,9 @@ pub struct CampaignReport {
     /// Seeds whose final snapshot had error-severity lint findings
     /// (always 0 unless [`CampaignConfig::lint`] is set).
     pub lints_tripped: u64,
+    /// Per-phase prover verdict counts, across all seeds (empty when
+    /// [`CampaignConfig::prove`] is off).
+    pub prove: ProveSummary,
     /// Every failing seed, in order.
     pub failures: Vec<SeedFailure>,
 }
@@ -161,6 +238,7 @@ pub fn run_campaign(cfg: &CampaignConfig, progress: &mut dyn FnMut(u64, usize)) 
             fault: cfg.fault,
             lint: cfg.lint,
             tracer: cfg.tracer.clone(),
+            prove: cfg.prove,
             ..seed_validation_config(seed, cfg.runs, cfg.decisions)
         };
         let v = validate(&program, &vcfg);
@@ -173,6 +251,9 @@ pub fn run_campaign(cfg: &CampaignConfig, progress: &mut dyn FnMut(u64, usize)) 
         }
         report.seeds_checked += 1;
         report.stages_checked += v.stages_checked as u64;
+        for (stage, verdict) in &v.prove_verdicts {
+            report.prove.add(*stage, *verdict);
+        }
         span.arg("stages", v.stages_checked as i64);
         if let Some(lint) = &v.lint {
             if lint.has_errors() {
@@ -182,7 +263,7 @@ pub fn run_campaign(cfg: &CampaignConfig, progress: &mut dyn FnMut(u64, usize)) 
         }
         let failed = v.failure.is_some();
         if let Some(failure) = v.failure {
-            let entry = handle_failure(seed, &program, &vcfg, failure, cfg);
+            let entry = handle_failure(seed, &program, &vcfg, failure, v.prove_verdicts, cfg);
             report.failures.push(entry);
         }
         span.arg("failed", failed as i64);
@@ -210,6 +291,7 @@ fn handle_failure(
     program: &FlowGraph,
     vcfg: &ValidationConfig,
     failure: Failure,
+    prove_verdicts: Vec<(Stage, Verdict)>,
     cfg: &CampaignConfig,
 ) -> SeedFailure {
     let Some(dir) = &cfg.bundle_dir else {
@@ -237,6 +319,7 @@ fn handle_failure(
         failure: shrunk.failure.clone(),
         command: reproduce_command(seed, cfg),
         shrunk: Some(shrunk),
+        prove_verdicts,
     };
     let written = write_bundle(dir, &bundle).ok();
     SeedFailure {
@@ -255,6 +338,9 @@ fn reproduce_command(seed: u64, cfg: &CampaignConfig) -> String {
         cfg.runs,
         cfg.decisions
     );
+    if !cfg.prove {
+        cmd.push_str(" --no-prove");
+    }
     if let Some(f) = cfg.fault {
         use crate::fault::{FaultKind, InjectAt};
         let at = match f.at {
@@ -284,13 +370,15 @@ pub fn check_file(
         runs: cfg.runs,
         decisions: cfg.decisions,
         fault: cfg.fault,
+        prove: cfg.prove,
         ..ValidationConfig::default()
     };
     let v = validate(program, &vcfg);
     match v.failure {
         None => Ok(()),
         Some(failure) => {
-            let mut entry = handle_failure(0, program, &vcfg, failure, cfg);
+            let verdicts = v.prove_verdicts.clone();
+            let mut entry = handle_failure(0, program, &vcfg, failure, v.prove_verdicts, cfg);
             if let Some(dir) = &cfg.bundle_dir {
                 // Rename the bundle after the file, not a fake seed.
                 let _ = std::fs::remove_dir_all(dir.join("seed-0"));
@@ -305,6 +393,7 @@ pub fn check_file(
                     shrunk: None,
                     failure: entry.failure.clone(),
                     command: format!("cargo run --release -p am-check --bin amcheck -- {name}"),
+                    prove_verdicts: verdicts,
                 };
                 entry.bundle = write_bundle(dir, &b).ok();
             }
@@ -357,6 +446,39 @@ mod tests {
         assert_eq!(r.seeds_checked, 12);
         assert_eq!(r.seeds_skipped, 0);
         assert!(r.stages_checked >= 12 * 4);
+        // The prover is on by default and must discharge every phase of
+        // every clean seed without a single refutation.
+        let totals = r.prove.total();
+        assert_eq!(totals.refuted, 0, "{:?}", r.prove);
+        assert!(totals.proved > 0, "{:?}", r.prove);
+        assert_eq!(r.prove.split.refuted + r.prove.end_to_end.refuted, 0);
+    }
+
+    #[test]
+    fn an_injected_fault_is_refuted_statically() {
+        let cfg = CampaignConfig {
+            seed_start: 0,
+            seed_end: 10,
+            runs: 4,
+            fault: Some(FaultSpec {
+                at: InjectAt::Flush,
+                kind: FaultKind::DropInstr,
+            }),
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&cfg, &mut |_, _| {});
+        assert!(!r.failures.is_empty());
+        // Every caught fault must be a *static* refutation: the prover
+        // finds the witness before the interpreter ever runs the pair.
+        for f in &r.failures {
+            assert!(
+                matches!(f.failure.kind, crate::validate::FailureKind::Proof { .. }),
+                "seed {} fell back to the dynamic oracle: {:?}",
+                f.seed,
+                f.failure
+            );
+        }
+        assert!(r.prove.total().refuted as usize >= r.failures.len());
     }
 
     #[test]

@@ -15,6 +15,14 @@
 //! The LCM and sink baselines are validated against the original program
 //! the same way.
 //!
+//! Campaigns additionally run the `am-prove` symbolic equivalence prover
+//! on every snapshot pair *before* the interpreter (on by default, see
+//! [`validate::ValidationConfig::prove`]): statically proved pairs are
+//! discharged for all inputs without a single concrete run, statically
+//! refuted pairs fail as [`validate::FailureKind::Proof`] with the
+//! prover's interpreter-confirmed witness path, and only inconclusive
+//! pairs fall back to the dynamic differential oracle.
+//!
 //! On failure, a delta-debugging [`shrink`](shrink::shrink) pass cuts the
 //! program down (drop nodes and edges, truncate blocks, simplify terms),
 //! re-checking after each cut that the *same class* of failure survives,
@@ -53,8 +61,10 @@ pub mod stage;
 pub mod validate;
 
 pub use bundle::{write_bundle, Bundle};
-pub use campaign::{run_campaign, seed_program, CampaignConfig, CampaignReport, SeedFailure};
+pub use campaign::{
+    run_campaign, seed_program, CampaignConfig, CampaignReport, ProveSummary, SeedFailure,
+};
 pub use fault::{FaultKind, FaultSpec, InjectAt};
 pub use shrink::{shrink, ShrinkConfig, ShrinkResult};
 pub use stage::Stage;
-pub use validate::{validate, Failure, FailureKind, Validation, ValidationConfig};
+pub use validate::{validate, Failure, FailureKind, Validation, ValidationConfig, VerdictCounts};

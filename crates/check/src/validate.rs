@@ -9,6 +9,15 @@
 //! algorithm must individually preserve semantics and never increase the
 //! number of expression evaluations on corresponding paths, the first pair
 //! that disagrees names the exact phase that introduced the bug.
+//!
+//! When [`ValidationConfig::prove`] is set, each pair is first handed to
+//! the symbolic equivalence prover (`am-prove`): a statically *Proved*
+//! pair never touches the interpreter, a *Refuted* pair fails immediately
+//! as [`FailureKind::Proof`] with the prover's interpreter-confirmed
+//! witness path, and only an *Inconclusive* pair falls back to the
+//! dynamic differential oracle. Campaigns enable this by default, so
+//! every injected fault must be refuted statically, for all inputs — not
+//! merely observed to diverge on the sampled runs.
 
 use am_core::global::{optimize_hooked, GlobalConfig};
 use am_core::sink::{sink_assignments, SinkConfig};
@@ -16,6 +25,7 @@ use am_core::verify::weakly_equivalent;
 use am_ir::alpha::{canonical_text, stable_hash, stable_hash_text};
 use am_ir::interp::{run, Config, Oracle, RunResult, StopReason};
 use am_ir::{reference_universe, FlowGraph, PatternUniverse};
+use am_prove::{prove_pair, ProveConfig, Verdict};
 use am_trace::Tracer;
 
 use crate::fault::{apply_fault, FaultSpec};
@@ -49,6 +59,13 @@ pub struct ValidationConfig {
     /// campaign traces include phase/round/analysis events. Disabled
     /// (a no-op) by default.
     pub tracer: Tracer,
+    /// Run the symbolic equivalence prover on every snapshot pair before
+    /// the interpreter: statically proved pairs skip the dynamic runs,
+    /// statically refuted pairs fail as [`FailureKind::Proof`], and
+    /// inconclusive pairs fall back to the differential oracle. Off by
+    /// default here (the plain differential harness); campaigns turn it
+    /// on.
+    pub prove: bool,
 }
 
 impl Default for ValidationConfig {
@@ -68,6 +85,7 @@ impl Default for ValidationConfig {
             fault: None,
             lint: false,
             tracer: Tracer::disabled(),
+            prove: false,
         }
     }
 }
@@ -100,6 +118,14 @@ pub enum FailureKind {
         before: u64,
         /// Evaluations after the stage.
         after: u64,
+    },
+    /// The symbolic prover statically refuted the pair: it holds an
+    /// interpreter-confirmed witness path on which the two snapshots
+    /// diverge (the witness oracle and inputs are in the enclosing
+    /// [`Failure`]). Found without running the differential oracle first.
+    Proof {
+        /// The prover's account of the divergence along the witness path.
+        detail: String,
     },
 }
 
@@ -143,12 +169,51 @@ pub struct Validation {
     /// Findings of the `am-lint` suite on the final snapshot, when
     /// [`ValidationConfig::lint`] was set.
     pub lint: Option<am_lint::LintSummary>,
+    /// Per-stage prover verdicts, in chain order, when
+    /// [`ValidationConfig::prove`] was set. Baseline stages are never
+    /// proved (they are compared dynamically only), so they do not
+    /// appear here.
+    pub prove_verdicts: Vec<(Stage, Verdict)>,
 }
 
 impl Validation {
     /// No failure was found.
     pub fn passed(&self) -> bool {
         self.failure.is_none()
+    }
+}
+
+/// Counts of prover verdicts over some set of proof attempts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerdictCounts {
+    /// Pairs proved equivalent for all inputs.
+    pub proved: u64,
+    /// Pairs refuted with a confirmed witness.
+    pub refuted: u64,
+    /// Pairs the prover could not decide (dynamic fallback).
+    pub inconclusive: u64,
+}
+
+impl VerdictCounts {
+    /// Records one verdict.
+    pub fn add(&mut self, v: Verdict) {
+        match v {
+            Verdict::Proved => self.proved += 1,
+            Verdict::Refuted => self.refuted += 1,
+            Verdict::Inconclusive => self.inconclusive += 1,
+        }
+    }
+
+    /// Total proof attempts counted.
+    pub fn total(&self) -> u64 {
+        self.proved + self.refuted + self.inconclusive
+    }
+}
+
+impl std::fmt::Display for VerdictCounts {
+    /// Renders as `proved/refuted/inconclusive`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/{}", self.proved, self.refuted, self.inconclusive)
     }
 }
 
@@ -298,11 +363,14 @@ pub fn validate(g: &FlowGraph, cfg: &ValidationConfig) -> Validation {
                 motion_rounds,
                 fault_injected,
                 lint: lint.clone(),
+                prove_verdicts: Vec::new(),
             };
         }
     }
 
-    // 3. Fixed-oracle run configurations shared by every comparison.
+    // 3. Fixed-oracle run configurations shared by every comparison. Run
+    //    results are produced lazily per snapshot: a pair the prover
+    //    discharges statically never touches the interpreter at all.
     let run_cfgs: Vec<Config> = (0..cfg.runs)
         .map(|i| Config {
             oracle: Oracle::random(cfg.seed.wrapping_add(i as u64), cfg.decisions),
@@ -310,7 +378,21 @@ pub fn validate(g: &FlowGraph, cfg: &ValidationConfig) -> Validation {
             ..Config::default()
         })
         .collect();
-    let original_runs: Vec<RunResult> = run_cfgs.iter().map(|c| run(g, c)).collect();
+    let progs: Vec<&FlowGraph> = std::iter::once(g)
+        .chain(chain.iter().map(|(_, s)| s))
+        .collect();
+    let mut runs_cache: Vec<Option<Vec<RunResult>>> = vec![None; progs.len()];
+    fn runs_at<'c>(
+        cache: &'c mut [Option<Vec<RunResult>>],
+        progs: &[&FlowGraph],
+        cfgs: &[Config],
+        i: usize,
+    ) -> &'c [RunResult] {
+        if cache[i].is_none() {
+            cache[i] = Some(cfgs.iter().map(|c| run(progs[i], c)).collect());
+        }
+        cache[i].as_deref().unwrap()
+    }
 
     let fail = |stage: Stage, kind: FailureKind, run_idx: Option<usize>| Failure {
         stage,
@@ -353,71 +435,108 @@ pub fn validate(g: &FlowGraph, cfg: &ValidationConfig) -> Validation {
     };
 
     let mut stages_checked = 0;
-    let lint_ref = &lint;
-    let mut verdict = |failure: Option<Failure>| -> Option<Validation> {
-        stages_checked += 1;
-        failure.map(|f| Validation {
-            failure: Some(f),
-            stages_checked,
-            runs: cfg.runs,
-            motion_rounds,
-            fault_injected,
-            lint: lint_ref.clone(),
-        })
+    let mut prove_verdicts: Vec<(Stage, Verdict)> = Vec::new();
+    let prove_cfg = ProveConfig {
+        inputs: cfg.inputs.clone(),
+        tracer: cfg.tracer.clone(),
+        ..ProveConfig::default()
+    };
+    // Proves one pair when the prover is enabled. `Ok(true)` means the
+    // pair is statically discharged (skip the interpreter); `Ok(false)`
+    // means fall back to the dynamic oracle; `Err` carries the static
+    // refutation, with the prover's confirmed witness as the replay.
+    let prove_step = |verdicts: &mut Vec<(Stage, Verdict)>,
+                      stage: Stage,
+                      before: &FlowGraph,
+                      after: &FlowGraph|
+     -> Result<bool, Failure> {
+        let o = prove_pair(before, after, &prove_cfg);
+        verdicts.push((stage, o.verdict));
+        match o.verdict {
+            Verdict::Proved => Ok(true),
+            Verdict::Inconclusive => Ok(false),
+            Verdict::Refuted => {
+                let r = o.refutation.expect("a refuted outcome carries its witness");
+                Err(Failure {
+                    stage,
+                    kind: FailureKind::Proof { detail: r.detail },
+                    decisions: r.decisions,
+                    inputs: r.inputs,
+                })
+            }
+        }
     };
 
-    // 4. Pairwise consecutive checks along the phase chain, then the
-    //    end-to-end comparison backing the theorems directly.
-    let mut prev_runs = original_runs.clone();
-    for (stage, snap) in &chain {
-        let cur_runs: Vec<RunResult> = run_cfgs.iter().map(|c| run(snap, c)).collect();
-        if let Some(v) = verdict(check_pair(*stage, &prev_runs, &cur_runs)) {
-            return v;
+    // 4. Pairwise consecutive checks along the phase chain — prover
+    //    first, interpreter fallback — then the end-to-end comparison
+    //    backing the theorems directly. `progs[i]` precedes `chain[i]`.
+    let failure: Option<Failure> = 'check: {
+        let final_pairs = chain
+            .iter()
+            .enumerate()
+            .map(|(i, (stage, _))| (*stage, i, i + 1))
+            .chain((!chain.is_empty()).then_some((Stage::Final, 0, chain.len())));
+        for (stage, before_idx, after_idx) in final_pairs {
+            stages_checked += 1;
+            if cfg.prove {
+                match prove_step(
+                    &mut prove_verdicts,
+                    stage,
+                    progs[before_idx],
+                    progs[after_idx],
+                ) {
+                    Ok(true) => continue,
+                    Ok(false) => {}
+                    Err(f) => break 'check Some(f),
+                }
+            }
+            runs_at(&mut runs_cache, &progs, &run_cfgs, before_idx);
+            runs_at(&mut runs_cache, &progs, &run_cfgs, after_idx);
+            let before = runs_cache[before_idx].as_deref().unwrap();
+            let after = runs_cache[after_idx].as_deref().unwrap();
+            if let Some(f) = check_pair(stage, before, after) {
+                break 'check Some(f);
+            }
         }
-        prev_runs = cur_runs;
-    }
-    if let Some(v) = verdict(check_pair(Stage::Final, &original_runs, &prev_runs)) {
-        return v;
-    }
 
-    // 5. The standalone baselines, against the original program.
-    if cfg.check_baselines {
-        let mut lcm = g.clone();
-        lcm.split_critical_edges();
-        am_core::lcm::lazy_expression_motion(&mut lcm);
-        let mut sink = g.clone();
-        sink.split_critical_edges();
-        sink_assignments(
-            &mut sink,
-            &SinkConfig {
-                eliminate_nontrivial_dead: false,
-            },
-        );
-        for (stage, version) in [(Stage::Lcm, &lcm), (Stage::Sink, &sink)] {
-            if let Err(e) = version.validate() {
-                return Validation {
-                    failure: Some(fail(stage, FailureKind::Structural(e.to_string()), None)),
-                    stages_checked,
-                    runs: cfg.runs,
-                    motion_rounds,
-                    fault_injected,
-                    lint: lint.clone(),
-                };
-            }
-            let runs: Vec<RunResult> = run_cfgs.iter().map(|c| run(version, c)).collect();
-            if let Some(v) = verdict(check_pair(stage, &original_runs, &runs)) {
-                return v;
+        // 5. The standalone baselines, against the original program. These
+        //    are independent algorithms, not phase transitions of the run
+        //    under validation, so they are always compared dynamically.
+        if cfg.check_baselines {
+            let mut lcm = g.clone();
+            lcm.split_critical_edges();
+            am_core::lcm::lazy_expression_motion(&mut lcm);
+            let mut sink = g.clone();
+            sink.split_critical_edges();
+            sink_assignments(
+                &mut sink,
+                &SinkConfig {
+                    eliminate_nontrivial_dead: false,
+                },
+            );
+            for (stage, version) in [(Stage::Lcm, &lcm), (Stage::Sink, &sink)] {
+                if let Err(e) = version.validate() {
+                    break 'check Some(fail(stage, FailureKind::Structural(e.to_string()), None));
+                }
+                stages_checked += 1;
+                let runs: Vec<RunResult> = run_cfgs.iter().map(|c| run(version, c)).collect();
+                let original = runs_at(&mut runs_cache, &progs, &run_cfgs, 0);
+                if let Some(f) = check_pair(stage, original, &runs) {
+                    break 'check Some(f);
+                }
             }
         }
-    }
+        None
+    };
 
     Validation {
-        failure: None,
+        failure,
         stages_checked,
         runs: cfg.runs,
         motion_rounds,
         fault_injected,
         lint,
+        prove_verdicts,
     }
 }
 
@@ -548,6 +667,45 @@ mod tests {
         assert!(!a.same_class(&FailureKind::Structural("z".into())));
         assert!(!a.same_class(&FailureKind::Identity("w".into())));
         assert!(FailureKind::Identity("p".into()).same_class(&FailureKind::Identity("q".into())));
+        assert!(FailureKind::Proof { detail: "p".into() }
+            .same_class(&FailureKind::Proof { detail: "q".into() }));
+        assert!(!a.same_class(&FailureKind::Proof { detail: "r".into() }));
+    }
+
+    #[test]
+    fn prover_discharges_a_clean_program_statically() {
+        let cfg = ValidationConfig {
+            prove: true,
+            ..ValidationConfig::default()
+        };
+        let v = validate(&diamond(), &cfg);
+        assert!(v.passed(), "{:?}", v.failure);
+        assert!(!v.prove_verdicts.is_empty());
+        assert!(
+            v.prove_verdicts
+                .iter()
+                .all(|(_, vd)| *vd == Verdict::Proved),
+            "{:?}",
+            v.prove_verdicts
+        );
+    }
+
+    #[test]
+    fn prover_statically_refutes_an_injected_fault() {
+        let cfg = ValidationConfig {
+            prove: true,
+            fault: Some(FaultSpec {
+                at: InjectAt::Init,
+                kind: FaultKind::TweakConst,
+            }),
+            ..ValidationConfig::default()
+        };
+        let src = "start s\nend e\nnode s { x := v0+1; out(x) }\nnode e { out(v0) }\nedge s -> e";
+        let v = validate(&parse(src).unwrap(), &cfg);
+        assert!(v.fault_injected);
+        let f = v.failure.expect("fault must be caught");
+        assert_eq!(f.stage, Stage::Init, "{f:?}");
+        assert!(matches!(f.kind, FailureKind::Proof { .. }), "{f:?}");
     }
 
     #[test]

@@ -61,10 +61,11 @@ fn injected_fault_is_localized_shrunk_and_bundled() {
         report.seeds_skipped
     );
     for f in &report.failures {
-        // (a) localized to the injected phase.
+        // (a) localized to the injected phase, and — since campaigns
+        // prove before they run — *statically* refuted by the prover.
         assert_eq!(f.failure.stage, Stage::Flush, "seed {}: {f:?}", f.seed);
         assert!(
-            matches!(f.failure.kind, FailureKind::Semantic { .. }),
+            matches!(f.failure.kind, FailureKind::Proof { .. }),
             "seed {}: {f:?}",
             f.seed
         );
@@ -78,6 +79,7 @@ fn injected_fault_is_localized_shrunk_and_bundled() {
         let vcfg = ValidationConfig {
             fault: cfg.fault,
             check_baselines: false,
+            prove: true,
             ..ValidationConfig::default()
         };
         let v = validate(&g, &vcfg);
@@ -137,7 +139,13 @@ fn file_checking_bundles_under_the_file_name() {
         ..CampaignConfig::default()
     };
     let err = check_file("demo.ir", &g, &cfg).expect_err("duplicate eval must fail");
-    assert!(matches!(err.failure.kind, FailureKind::Optimality { .. }));
+    // The prover is on by default, so the extra evaluation is refuted
+    // statically (its witness carries the optimality divergence).
+    assert!(
+        matches!(err.failure.kind, FailureKind::Proof { .. }),
+        "{:?}",
+        err.failure
+    );
     let dir = err.bundle.expect("bundle written");
     assert!(dir.ends_with("file-demo-ir"), "{}", dir.display());
     assert!(dir.join("original.ir").exists());

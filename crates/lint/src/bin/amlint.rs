@@ -27,6 +27,7 @@ use am_trace::{export, Tracer};
 
 struct Options {
     optimize: bool,
+    provenance: bool,
     synthetic: usize,
     corpus: bool,
     jsonl: Option<PathBuf>,
@@ -45,6 +46,9 @@ invariants. With no inputs, --synthetic or --corpus, uses ./programs.
 options:
   --optimize       run the full optimizer first and lint its output
                    (checks the guarantees of Thms 5.1-5.4 statically)
+  --provenance     also re-run the optimizer with provenance recording and
+                   cross-check every Eliminate record against the L101
+                   redundancy analysis (L103; disagreement is an error)
   --synthetic N    also lint N deterministic seeded random programs
   --corpus         also lint the canonical 80-program random corpus
   --jsonl FILE     write all findings as JSON lines to FILE
@@ -59,6 +63,7 @@ exit: 0 clean or info-only, 1 warnings, 2 errors, 3 usage/IO error";
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         optimize: false,
+        provenance: false,
         synthetic: 0,
         corpus: false,
         jsonl: None,
@@ -74,6 +79,7 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--optimize" => opts.optimize = true,
+            "--provenance" => opts.provenance = true,
             "--synthetic" => {
                 opts.synthetic = value(&mut args, "--synthetic")?
                     .parse()
@@ -265,7 +271,13 @@ fn main() -> ExitCode {
             tracer: tracer.clone(),
             srcmap,
         };
-        let report = lint_graph(&graph, &cfg);
+        let mut report = lint_graph(&graph, &cfg);
+        if opts.provenance {
+            // The cross-check re-runs the optimizer itself, so it always
+            // starts from the original program.
+            let prov = am_lint::check_provenance(&unit.graph, None, &cfg);
+            report.diags.extend(prov.diags);
+        }
         totals.0 += report.errors();
         totals.1 += report.warnings();
         totals.2 += report.infos();

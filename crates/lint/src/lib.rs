@@ -23,6 +23,13 @@
 //!   have been reconstructed (Thm 5.4) and the peak number of
 //!   simultaneously live temporaries (register pressure).
 //!
+//! Separately, [`check_provenance`] (`L103`) cross-checks the optimizer's
+//! own `--explain` decision log against the redundancy analysis: every
+//! `Eliminate` provenance record must name a site the `L101` availability
+//! solver also considers must-redundant, and any disagreement is an error
+//! — the decision log and the dataflow analysis implement the same paper
+//! rule, so they must agree.
+//!
 //! Every diagnostic carries a stable code (catalogued in `docs/LINTS.md`),
 //! a severity, and a location; reports render human-readable or as JSONL.
 //!
@@ -49,11 +56,13 @@
 
 mod diag;
 mod faint;
+mod provenance;
 mod redundancy;
 mod temps;
 mod wellformed;
 
 pub use diag::{Diagnostic, LintReport, LintSummary, Severity};
+pub use provenance::check_provenance;
 
 use am_dfa::PointGraph;
 use am_ir::text::SourceMap;

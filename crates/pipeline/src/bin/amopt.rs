@@ -38,6 +38,7 @@ struct Options {
     emit: bool,
     quiet: bool,
     verify: bool,
+    prove: bool,
     lint: bool,
     trace: Option<PathBuf>,
     trace_format: TraceFormat,
@@ -63,6 +64,12 @@ options:
   --quiet          suppress the per-job report, print only the summary
   --verify         translation-validate every job per phase (am-check);
                    a failed validation fails the batch
+  --prove          statically prove every phase pair equivalent for all
+                   inputs with the am-prove symbolic prover (implies
+                   --verify; inconclusive pairs fall back to the
+                   interpreter; a refuted pair fails the batch); with
+                   --explain, also statically discharges each recorded
+                   elimination's side condition
   --lint           run the am-lint static suite on every optimized
                    program; error-severity findings fail the batch
   --trace FILE     record a structured trace of the whole run to FILE
@@ -93,6 +100,7 @@ fn parse_args() -> Result<Options, String> {
         emit: false,
         quiet: false,
         verify: false,
+        prove: false,
         lint: false,
         trace: None,
         trace_format: TraceFormat::Chrome,
@@ -138,6 +146,7 @@ fn parse_args() -> Result<Options, String> {
             "--emit" => opts.emit = true,
             "--quiet" => opts.quiet = true,
             "--verify" => opts.verify = true,
+            "--prove" => opts.prove = true,
             "--lint" => opts.lint = true,
             "--trace" => {
                 opts.trace = Some(PathBuf::from(value(&mut args, "--trace")?));
@@ -270,13 +279,18 @@ fn bench_records(report: &PipelineReport) -> Vec<BenchRecord> {
 /// The `--explain` pass: re-optimizes every job sequentially with the
 /// provenance recorder enabled (no cache — a cache hit is exactly a run
 /// whose decisions were not replayed), printing the human report and
-/// optionally exporting per-job JSONL + report files.
-fn run_explain(jobs: &[Job], opts: &Options) -> Result<(), String> {
+/// optionally exporting per-job JSONL + report files. With `--prove`,
+/// every `Eliminate` record's side condition (must-redundancy at the
+/// recorded site) is additionally discharged statically by the symbolic
+/// prover; the number of sites that were *refuted* (or could not be
+/// located) is returned and fails the batch when nonzero.
+fn run_explain(jobs: &[Job], opts: &Options) -> Result<usize, String> {
     if let Some(dir) = &opts.explain_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("--explain-dir {}: {e}", dir.display()))?;
     }
     let mut total = 0usize;
+    let mut discharge_failed = 0usize;
     for job in jobs {
         let (kind, text) = match &job.input {
             JobInput::Memory { kind, text } => (*kind, text.clone()),
@@ -313,6 +327,26 @@ fn run_explain(jobs: &[Job], opts: &Options) -> Result<(), String> {
                 provenance::report(&explanation.records)
             );
         }
+        if opts.prove {
+            let report = am_prove::discharge_provenance(
+                &graph,
+                opts.max_motion_rounds,
+                &am_prove::ProveConfig::default(),
+            );
+            discharge_failed += report.failed;
+            if !opts.quiet || report.failed > 0 {
+                println!("discharge {}: {report}", job.name);
+                for site in report.sites.iter().filter(|s| {
+                    s.status == am_prove::DischargeStatus::Failed
+                        || s.status == am_prove::DischargeStatus::Unlocatable
+                }) {
+                    println!(
+                        "  round {} node {} [{}] `{}`: {}",
+                        site.round, site.node, site.index, site.instr, site.status
+                    );
+                }
+            }
+        }
     }
     match &opts.explain_dir {
         Some(dir) => println!(
@@ -327,7 +361,10 @@ fn run_explain(jobs: &[Job], opts: &Options) -> Result<(), String> {
             jobs.len()
         ),
     }
-    Ok(())
+    if opts.prove && discharge_failed > 0 {
+        eprintln!("amopt: {discharge_failed} provenance site(s) failed static discharge");
+    }
+    Ok(discharge_failed)
 }
 
 fn main() -> ExitCode {
@@ -362,6 +399,7 @@ fn main() -> ExitCode {
         cache_capacity: opts.cache_capacity,
         max_motion_rounds: opts.max_motion_rounds,
         verify: opts.verify,
+        prove: opts.prove,
         lint: opts.lint,
         tracer,
         secondary: None,
@@ -377,8 +415,17 @@ fn main() -> ExitCode {
             println!("== pass {pass}/{} ==", opts.repeat);
         }
         if opts.quiet {
-            let verify = if opts.verify {
+            let verify = if opts.verify || opts.prove {
                 format!(", {} verified", report.verified())
+            } else {
+                String::new()
+            };
+            let prove = if opts.prove {
+                let c = report.proof_counts();
+                format!(
+                    ", proofs {}/{}/{} (p/r/i)",
+                    c.proved, c.refuted, c.inconclusive
+                )
             } else {
                 String::new()
             };
@@ -388,7 +435,7 @@ fn main() -> ExitCode {
                 String::new()
             };
             println!(
-                "pass {pass}: {}/{} ok, {} cache hits{verify}{lint}, {:.2} ms",
+                "pass {pass}: {}/{} ok, {} cache hits{verify}{prove}{lint}, {:.2} ms",
                 report.succeeded(),
                 report.jobs.len(),
                 report.cache_hits(),
@@ -425,9 +472,12 @@ fn main() -> ExitCode {
             report.failed() + report.panicked() + report.verify_failed() + report.lint_errors() > 0;
     }
     if opts.explain {
-        if let Err(msg) = run_explain(&jobs, &opts) {
-            eprintln!("amopt: {msg}");
-            return ExitCode::FAILURE;
+        match run_explain(&jobs, &opts) {
+            Ok(discharge_failed) => any_failed |= discharge_failed > 0,
+            Err(msg) => {
+                eprintln!("amopt: {msg}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if let (Some(path), Some(records)) = (&opts.bench_json, &last_bench) {

@@ -14,7 +14,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Instant;
 
-use am_check::validate::{validate, ValidationConfig};
+use am_check::validate::{validate, ValidationConfig, VerdictCounts};
 use am_core::global::{optimize_with, GlobalConfig, PhaseTimings};
 use am_ir::alpha::{canonical_text, stable_hash};
 use am_ir::FlowGraph;
@@ -41,6 +41,12 @@ pub struct PipelineConfig {
     /// the counting interpreter (see `am-check`). Runs even on cache hits
     /// — the cache stores results, not validations.
     pub verify: bool,
+    /// Run the `am-prove` symbolic equivalence prover on every phase pair
+    /// before the interpreter (implies `verify`): proved pairs are
+    /// discharged for *all* inputs statically, refuted pairs fail the job
+    /// with the prover's witness, and only inconclusive pairs fall back to
+    /// the differential interpreter runs.
+    pub prove: bool,
     /// Lint every freshly optimized program with the `am-lint` static
     /// suite and store the summary in the result cache. Unlike `verify`,
     /// the verdict is a deterministic function of the input, so cache
@@ -64,6 +70,7 @@ impl std::fmt::Debug for PipelineConfig {
             .field("cache_capacity", &self.cache_capacity)
             .field("max_motion_rounds", &self.max_motion_rounds)
             .field("verify", &self.verify)
+            .field("prove", &self.prove)
             .field("lint", &self.lint)
             .field("tracer", &self.tracer)
             .field("secondary", &self.secondary.is_some())
@@ -78,6 +85,7 @@ impl Default for PipelineConfig {
             cache_capacity: 256,
             max_motion_rounds: None,
             verify: false,
+            prove: false,
             lint: false,
             tracer: Tracer::disabled(),
             secondary: None,
@@ -220,9 +228,13 @@ impl Pipeline {
             JobInput::Poison => panic!("poison job '{}'", job.name),
         };
         let graph = compile_source(kind, &text).map_err(|e| format!("{}: {e}", job.name))?;
-        let verification = self.config.verify.then(|| self.verify_graph(&graph));
+        let verification =
+            (self.config.verify || self.config.prove).then(|| self.verify_graph(&graph));
         let mut optimized = self.optimize_graph(&graph);
-        optimized.verification = verification;
+        if let Some((verdict, counts)) = verification {
+            optimized.verification = Some(verdict);
+            optimized.prove = counts;
+        }
         Ok(optimized)
     }
 
@@ -241,6 +253,7 @@ impl Pipeline {
                 result,
                 timings: PhaseTimings::default(),
                 verification: None,
+                prove: None,
             };
         }
         if let Some(secondary) = &self.config.secondary {
@@ -253,6 +266,7 @@ impl Pipeline {
                     result,
                     timings: PhaseTimings::default(),
                     verification: None,
+                    prove: None,
                 };
             }
         }
@@ -307,22 +321,39 @@ impl Pipeline {
             result,
             timings: out.timings,
             verification: None,
+            prove: None,
         }
     }
 
-    /// Differentially validates every optimizer phase on `graph`.
-    fn verify_graph(&self, graph: &am_ir::FlowGraph) -> Result<(), String> {
+    /// Differentially validates every optimizer phase on `graph` —
+    /// prove-first when [`PipelineConfig::prove`] is on — returning the
+    /// verdict plus the per-phase prover verdict counts (when proving).
+    fn verify_graph(
+        &self,
+        graph: &am_ir::FlowGraph,
+    ) -> (Result<(), String>, Option<VerdictCounts>) {
         let vcfg = ValidationConfig {
             max_motion_rounds: self.config.max_motion_rounds,
             // The baselines are not what this pipeline ships; verify the
             // phases the batch actually ran.
             check_baselines: false,
+            prove: self.config.prove,
+            tracer: self.config.tracer.clone(),
             ..ValidationConfig::default()
         };
-        match validate(graph, &vcfg).failure {
+        let v = validate(graph, &vcfg);
+        let counts = self.config.prove.then(|| {
+            let mut c = VerdictCounts::default();
+            for (_, verdict) in &v.prove_verdicts {
+                c.add(*verdict);
+            }
+            c
+        });
+        let verdict = match v.failure {
             None => Ok(()),
             Some(f) => Err(format!("{}: {:?}", f.stage, f.kind)),
-        }
+        };
+        (verdict, counts)
     }
 }
 

@@ -126,6 +126,10 @@ pub struct OptimizedJob {
     /// requested, `Some(Err(_))` names the failing phase. Present even on
     /// cache hits — the cache stores results, not validations.
     pub verification: Option<Result<(), String>>,
+    /// Per-phase symbolic-prover verdict counts
+    /// (proved/refuted/inconclusive): `None` unless the job ran with
+    /// [`PipelineConfig::prove`](crate::PipelineConfig::prove).
+    pub prove: Option<am_check::validate::VerdictCounts>,
 }
 
 /// One job's outcome plus its end-to-end wall time (I/O + parse + optimize).

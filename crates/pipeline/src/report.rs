@@ -96,6 +96,20 @@ impl PipelineReport {
             .count()
     }
 
+    /// Summed prover verdict counts over all jobs that ran with the
+    /// symbolic prover (zero counts when no job proved anything).
+    pub fn proof_counts(&self) -> am_check::validate::VerdictCounts {
+        let mut total = am_check::validate::VerdictCounts::default();
+        for j in &self.jobs {
+            if let Some(c) = j.optimized().and_then(|o| o.prove.as_ref()) {
+                total.proved += c.proved;
+                total.refuted += c.refuted;
+                total.inconclusive += c.inconclusive;
+            }
+        }
+        total
+    }
+
     /// Jobs with a lint verdict (linted now, or served from a cache entry
     /// that stored one).
     pub fn linted(&self) -> usize {
@@ -192,6 +206,14 @@ impl fmt::Display for PipelineReport {
                 "  verify: {} ok, {} failed",
                 self.verified(),
                 self.verify_failed()
+            )?;
+        }
+        let proofs = self.proof_counts();
+        if proofs.total() > 0 {
+            writeln!(
+                f,
+                "  prove: {} proved, {} refuted, {} inconclusive (phase pairs)",
+                proofs.proved, proofs.refuted, proofs.inconclusive
             )?;
         }
         if self.linted() > 0 {

@@ -276,6 +276,28 @@ fn verification_runs_per_job_and_also_on_cache_hits() {
 }
 
 #[test]
+fn proving_discharges_jobs_statically_and_reports_counts() {
+    let p = Pipeline::new(PipelineConfig {
+        workers: Some(2),
+        prove: true, // implies verification; --verify itself stays off
+        ..Default::default()
+    });
+    let report = p.run(&corpus(4));
+    assert_eq!(report.succeeded(), 4);
+    assert_eq!(report.verified(), 4, "{report}");
+    assert_eq!(report.verify_failed(), 0);
+    let counts = report.proof_counts();
+    assert_eq!(counts.refuted, 0, "{report}");
+    assert!(counts.proved > 0, "{report}");
+    for job in &report.jobs {
+        let o = job.optimized().unwrap();
+        assert!(matches!(o.verification, Some(Ok(()))));
+        assert!(o.prove.as_ref().is_some_and(|c| c.total() > 0), "{report}");
+    }
+    assert!(report.to_string().contains("prove:"), "{report}");
+}
+
+#[test]
 fn without_the_flag_no_verification_verdicts_are_reported() {
     let report = pipeline_with(2).run(&corpus(2));
     assert_eq!(report.verified(), 0);

@@ -1,0 +1,43 @@
+//! Prints a phase-by-phase proof transcript for one random program —
+//! handy when diagnosing an Inconclusive verdict: failing pairs are
+//! dumped in full so the mismatch in the reason string can be traced.
+//!
+//! Usage: `cargo run --example debug_seed -p am-prove -- <seed>`
+//! (even seeds draw a structured program, odd seeds an unstructured one,
+//! matching the test-suite convention).
+
+use am_core::global::{optimize_hooked, GlobalConfig};
+use am_ir::random::{structured, unstructured, SplitMix64, StructuredConfig, UnstructuredConfig};
+use am_ir::text::to_text;
+use am_ir::FlowGraph;
+use am_prove::{prove_pair, ProveConfig, Verdict};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut rng = SplitMix64::new(seed);
+    let g = if seed.is_multiple_of(2) {
+        structured(&mut rng, &StructuredConfig::default())
+    } else {
+        unstructured(&mut rng, &UnstructuredConfig::default())
+    };
+    let mut snaps: Vec<(String, FlowGraph)> = Vec::new();
+    optimize_hooked(&g, &GlobalConfig::default(), &mut |p, prog| {
+        snaps.push((p.to_string(), prog.clone()));
+    });
+    let cfg = ProveConfig::default();
+    let mut prev = g.clone();
+    let mut prev_name = "input".to_owned();
+    for (name, snap) in snaps {
+        let o = prove_pair(&prev, &snap, &cfg);
+        println!("{prev_name} -> {name}: {} ({})", o.verdict, o.reason);
+        if o.verdict != Verdict::Proved {
+            println!("==== LEFT ({prev_name}) ====\n{}", to_text(&prev));
+            println!("==== RIGHT ({name}) ====\n{}", to_text(&snap));
+        }
+        prev = snap;
+        prev_name = name;
+    }
+}

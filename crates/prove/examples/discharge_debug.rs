@@ -1,0 +1,32 @@
+//! Dumps the pre-round snapshot and failing-site context for one
+//! corpus program whose provenance discharge fails.
+use am_core::global::{optimize_hooked, GlobalConfig, PhaseId};
+use am_ir::random::corpus80;
+use am_ir::text::to_text;
+use am_ir::FlowGraph;
+use am_prove::{discharge_provenance, DischargeStatus, ProveConfig};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "structured/37".into());
+    let (_, g) = corpus80().into_iter().find(|(n, _)| *n == name).unwrap();
+    let r = discharge_provenance(&g, None, &ProveConfig::default());
+    for s in &r.sites {
+        if s.status == DischargeStatus::Failed {
+            println!(
+                "FAILED round {} {}[{}] {}",
+                s.round, s.node, s.index, s.instr
+            );
+        }
+    }
+    let mut snaps: Vec<(PhaseId, FlowGraph)> = Vec::new();
+    optimize_hooked(&g, &GlobalConfig::default(), &mut |p, prog| {
+        snaps.push((p, prog.clone()));
+    });
+    for (p, s) in &snaps {
+        if matches!(p, PhaseId::MotionRound(1)) {
+            println!("==== MotionRound(1) snapshot ====\n{}", to_text(s));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Sweeps discharge_provenance over corpus80 + 60 random seeds.
+use am_ir::random::{
+    corpus80, structured, unstructured, SplitMix64, StructuredConfig, UnstructuredConfig,
+};
+use am_prove::{discharge_provenance, ProveConfig};
+fn main() {
+    let cfg = ProveConfig::default();
+    let (mut elim, mut disc, mut fail, mut inconclusive) = (0usize, 0usize, 0usize, 0usize);
+    let mut programs = corpus80();
+    for seed in 0..60u64 {
+        let mut rng = SplitMix64::new(seed);
+        let g = if seed % 2 == 0 {
+            structured(&mut rng, &StructuredConfig::default())
+        } else {
+            unstructured(&mut rng, &UnstructuredConfig::default())
+        };
+        programs.push((format!("random-{seed}"), g));
+    }
+    for (name, g) in &programs {
+        let r = discharge_provenance(g, None, &cfg);
+        elim += r.eliminations;
+        disc += r.discharged;
+        fail += r.failed;
+        for s in &r.sites {
+            if s.status == am_prove::DischargeStatus::Inconclusive {
+                inconclusive += 1;
+            }
+            if s.status == am_prove::DischargeStatus::Failed {
+                println!(
+                    "FAILED {name}: round {} {}[{}] {}",
+                    s.round, s.node, s.index, s.instr
+                );
+            }
+        }
+    }
+    println!(
+        "eliminations {elim}, discharged {disc}, failed {fail}, inconclusive-sites {inconclusive}"
+    );
+}

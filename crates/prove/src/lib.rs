@@ -1,0 +1,42 @@
+//! `am-prove` — a symbolic equivalence prover for the optimizer.
+//!
+//! The paper's correctness claims (Thms 5.2/5.4) are checked dynamically
+//! by `am-check`: the interpreter runs both programs on concrete inputs
+//! and oracles, so a miscompile that needs a specific input can slip
+//! through a finite campaign. This crate adds the *static* oracle: a
+//! cutpoint-based symbolic simulator over hash-consed, GVN-normalized
+//! value terms that proves each phase transition of the optimizer
+//! preserves observable behaviour on **every** path segment between
+//! cutpoints, for **all** inputs — or refutes it with a concrete,
+//! interpreter-confirmed witness path, or honestly gives up
+//! (Inconclusive), in which case callers fall back to the dynamic
+//! oracle. `docs/VERIFICATION.md` describes the design, its scope and
+//! its limits.
+//!
+//! The pieces:
+//!
+//! * [`value`] — the hash-consed symbolic value arena with exact
+//!   wrapping constant folding and algebraic normalization (the
+//!   value-numbering table the ROADMAP's GVN item builds on);
+//! * [`sim`] — symbolic segment simulation between decision cutpoints,
+//!   mirroring the counting interpreter instruction for instruction;
+//! * [`engine`] — the product-program fixpoint with sticky widening,
+//!   trap-obligation discharge, witness construction and the optimality
+//!   (eval-count) longest-path analysis;
+//! * [`chain`] — proving every phase transition of one `optimize_hooked`
+//!   run;
+//! * [`provenance`] — static discharge of `Eliminate` provenance
+//!   records (the must-redundancy side condition of the paper rule).
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod engine;
+pub mod provenance;
+pub mod sim;
+pub mod value;
+
+pub use chain::{prove_optimization, ChainOutcome, ProveStats};
+pub use engine::{prove_pair, PairOutcome, ProveConfig, Refutation, RefuteKind, Verdict};
+pub use provenance::{discharge_provenance, DischargeReport, DischargeStatus, SiteDischarge};
+pub use value::{ValId, ValNode, ValueArena};

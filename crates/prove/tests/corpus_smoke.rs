@@ -1,0 +1,55 @@
+//! Fast prover smoke test over a slice of the corpus (the full
+//! corpus + 200-seed sweep lives in the workspace-level property suite).
+
+use am_ir::random::{
+    corpus80, structured, unstructured, SplitMix64, StructuredConfig, UnstructuredConfig,
+};
+use am_prove::{prove_optimization, ProveConfig, ProveStats};
+
+#[test]
+fn corpus_slice_proves_every_phase() {
+    let cfg = ProveConfig::default();
+    let mut stats = ProveStats::default();
+    let mut bad: Vec<String> = Vec::new();
+    for (name, g) in corpus80().into_iter().take(20) {
+        let outcome = prove_optimization(&g, None, &cfg);
+        stats.accumulate(&outcome.stats);
+        for (stage, o) in &outcome.stages {
+            if o.verdict != am_prove::Verdict::Proved {
+                bad.push(format!("{name}/{stage}: {} ({})", o.verdict, o.reason));
+            }
+        }
+    }
+    assert_eq!(stats.refuted, 0, "{bad:?}");
+    assert!(
+        stats.inconclusive * 20 <= stats.total(),
+        "inconclusive rate above 5%: {stats} — {bad:?}"
+    );
+}
+
+#[test]
+fn random_program_slice_proves_every_phase() {
+    let cfg = ProveConfig::default();
+    let mut stats = ProveStats::default();
+    let mut bad: Vec<String> = Vec::new();
+    for seed in 0..20u64 {
+        let mut rng = SplitMix64::new(seed);
+        let g = if seed % 2 == 0 {
+            structured(&mut rng, &StructuredConfig::default())
+        } else {
+            unstructured(&mut rng, &UnstructuredConfig::default())
+        };
+        let outcome = prove_optimization(&g, None, &cfg);
+        stats.accumulate(&outcome.stats);
+        for (stage, o) in &outcome.stages {
+            if o.verdict != am_prove::Verdict::Proved {
+                bad.push(format!("seed {seed}/{stage}: {} ({})", o.verdict, o.reason));
+            }
+        }
+    }
+    assert_eq!(stats.refuted, 0, "{bad:?}");
+    assert!(
+        stats.inconclusive * 20 <= stats.total(),
+        "inconclusive rate above 5%: {stats} — {bad:?}"
+    );
+}

@@ -308,6 +308,7 @@ impl Server {
             cache_capacity: config.cache_capacity,
             max_motion_rounds: config.max_motion_rounds,
             verify: false,
+            prove: false,
             lint: config.lint,
             tracer: config.tracer.clone(),
             secondary: disk

@@ -23,6 +23,10 @@
 //!   fault injection and shrinking (ships the `amcheck` binary);
 //! * [`lint`] ([`am_lint`]) — the static-analysis suite over programs and
 //!   optimizer output (ships the `amlint` binary);
+//! * [`prove`] ([`am_prove`]) — the symbolic equivalence prover: statically
+//!   validates every phase transition of the optimizer on all inputs, with
+//!   interpreter-confirmed counterexamples on refutation (see
+//!   `docs/VERIFICATION.md`);
 //! * [`serve`] ([`am_serve`]) — the long-running optimization service:
 //!   length-prefixed JSON protocol, persistent content-addressed cache,
 //!   per-client fairness and live metrics (ships the `amserve` daemon and
@@ -63,6 +67,7 @@ pub use am_ir as ir;
 pub use am_lang as lang;
 pub use am_lint as lint;
 pub use am_pipeline as pipeline;
+pub use am_prove as prove;
 pub use am_serve as serve;
 
 /// The most commonly used items, re-exported flat.
@@ -81,4 +86,8 @@ pub mod prelude {
     pub use am_lang::{compile_source, SourceKind};
     pub use am_lint::{lint_graph, LintConfig, LintReport, Severity};
     pub use am_pipeline::{Job, Pipeline, PipelineConfig, PipelineReport};
+    pub use am_prove::{
+        discharge_provenance, prove_optimization, prove_pair, ChainOutcome, DischargeReport,
+        PairOutcome, ProveConfig, ProveStats, Verdict,
+    };
 }
