@@ -7,16 +7,28 @@
 //! cargo run --release -p am-bench --bin bench_dataflow
 //! cargo run --release -p am-bench --bin bench_dataflow -- \
 //!     --small --out target/BENCH_dataflow.json --max-pushes-per-point 64
+//! cargo run --release -p am-bench --bin bench_dataflow -- --xl --workers 8
 //! ```
 //!
 //! `--max-pushes-per-point` turns the run into a CI gate: the run fails if
 //! any workload's `worklist_pushes / points` exceeds the ceiling (which
 //! catches accidental loss of worklist dedup or priority ordering).
+//! `--max-wall-micros` is the XL smoke gate: the run fails if any
+//! workload's best wall time exceeds the ceiling.
+//!
+//! The XL ladder (`--xl`) extends the study to 10k–100k-point graphs in
+//! three families (sequential loop-nest grids, very wide fans, inlined
+//! program shapes) and prints the fitted nodes-vs-wall exponent per
+//! family, turning the paper's Sec. 4.5 complexity claim into a measured
+//! curve. `--xl-smoke` runs just the mid-size nest rung for CI.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use am_bench::workloads::{diamond_chain, loop_nest};
+use am_bench::workloads::{
+    diamond_chain, fit_nodes_exponent, inlined_program, loop_nest, nest_grid, wide_fan,
+    ComplexityRow,
+};
 use am_core::global::{optimize_with, GlobalConfig};
 use am_dfa::PointGraph;
 use am_ir::random::{unstructured, SplitMix64, UnstructuredConfig};
@@ -27,7 +39,11 @@ struct Options {
     out: String,
     iters: u32,
     small: bool,
+    xl: bool,
+    xl_smoke: bool,
+    workers: usize,
     max_pushes_per_point: Option<f64>,
+    max_wall_micros: Option<u128>,
     history: Option<String>,
 }
 
@@ -40,8 +56,13 @@ options:
   --out PATH                output file (default BENCH_dataflow.json)
   --iters N                 timed iterations per workload, best-of (default 5)
   --small                   CI ladder: smallest two sizes per family
+  --xl                      also run the XL ladder (10k-100k point graphs)
+  --xl-smoke                also run one mid-size XL rung (CI smoke)
+  --workers N               threads for cold fixpoint solves (default 1)
   --max-pushes-per-point X  fail (exit 1) if any workload exceeds this
                             worklist_pushes / points ratio
+  --max-wall-micros X       fail (exit 1) if any workload's best wall time
+                            exceeds X microseconds
   --history PATH            also append the run to an append-only history
                             (default BENCH_history.jsonl; see amstat regress)
   --no-history              skip the history append
@@ -52,7 +73,11 @@ fn parse_args() -> Result<Options, String> {
         out: "BENCH_dataflow.json".to_owned(),
         iters: 5,
         small: false,
+        xl: false,
+        xl_smoke: false,
+        workers: 1,
         max_pushes_per_point: None,
+        max_wall_micros: None,
         history: Some("BENCH_history.jsonl".to_owned()),
     };
     let mut args = std::env::args().skip(1);
@@ -71,11 +96,28 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--small" => opts.small = true,
+            "--xl" => opts.xl = true,
+            "--xl-smoke" => opts.xl_smoke = true,
+            "--workers" => {
+                opts.workers = value(&mut args, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if opts.workers == 0 {
+                    return Err("--workers must be at least 1".to_owned());
+                }
+            }
             "--max-pushes-per-point" => {
                 opts.max_pushes_per_point = Some(
                     value(&mut args, "--max-pushes-per-point")?
                         .parse()
                         .map_err(|e| format!("--max-pushes-per-point: {e}"))?,
+                );
+            }
+            "--max-wall-micros" => {
+                opts.max_wall_micros = Some(
+                    value(&mut args, "--max-wall-micros")?
+                        .parse()
+                        .map_err(|e| format!("--max-wall-micros: {e}"))?,
                 );
             }
             "--history" => opts.history = Some(value(&mut args, "--history")?),
@@ -118,11 +160,31 @@ fn ladder(small: bool) -> Vec<(String, FlowGraph)> {
     workloads
 }
 
+/// The XL ladder: 3.5k / 10k / 30k-node rungs per family. `smoke` keeps
+/// one mid-size rung (the checked-in CI gate rung).
+fn xl_ladder(smoke: bool) -> Vec<(String, FlowGraph)> {
+    if smoke {
+        return vec![("xl nest c=2000".to_owned(), nest_grid(2000, 2, 8))];
+    }
+    let mut workloads = Vec::new();
+    for copies in [700usize, 2000, 6000] {
+        workloads.push((format!("xl nest c={copies}"), nest_grid(copies, 2, 8)));
+    }
+    for branches in [3500usize, 10000, 30000] {
+        workloads.push((format!("xl fan b={branches}"), wide_fan(branches, 4)));
+    }
+    for calls in [1200usize, 3300, 10000] {
+        workloads.push((format!("xl inline c={calls}"), inlined_program(calls, 48)));
+    }
+    workloads
+}
+
 /// Runs one workload `iters` times, keeping the fastest end-to-end run
 /// (and its per-phase timings; the counters are deterministic).
-fn measure(label: &str, g: &FlowGraph, iters: u32) -> BenchRecord {
+fn measure(label: &str, g: &FlowGraph, iters: u32, workers: usize) -> BenchRecord {
     let config = GlobalConfig {
         keep_snapshots: false,
+        solver_workers: workers,
         ..Default::default()
     };
     // Warmup, then best-of-N: minimum wall time is the least noisy
@@ -163,6 +225,35 @@ fn measure(label: &str, g: &FlowGraph, iters: u32) -> BenchRecord {
     }
 }
 
+/// Writes the report via a temporary file and an atomic rename, so a
+/// crashed or interrupted run can never leave a truncated JSON document
+/// where a previous good report used to be (multi-MB XL reports made
+/// that failure mode real).
+fn write_atomic(path: &str, doc: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, doc)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Fitted nodes-vs-wall exponent of the records in `family` (by label
+/// prefix); NaN with fewer than two usable points.
+fn family_exponent(records: &[BenchRecord], family: &str) -> f64 {
+    let rows: Vec<ComplexityRow> = records
+        .iter()
+        .filter(|r| r.label.starts_with(family))
+        .map(|r| ComplexityRow {
+            label: r.label.clone(),
+            nodes: r.nodes,
+            instrs: r.instrs,
+            micros: r.wall_micros,
+            motion_rounds: r.rounds,
+            solver_iterations: r.iterations,
+            converged: r.converged,
+        })
+        .collect();
+    fit_nodes_exponent(&rows)
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -171,13 +262,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let mut workloads = ladder(opts.small);
+    if opts.xl || opts.xl_smoke {
+        workloads.extend(xl_ladder(!opts.xl));
+    }
     let mut records = Vec::new();
     println!(
         "{:<18} {:>6} {:>7} {:>7} {:>10} {:>7} {:>9} {:>9} {:>8}",
         "workload", "nodes", "instrs", "points", "wall(us)", "rounds", "iters", "pushes", "push/pt"
     );
-    for (label, g) in ladder(opts.small) {
-        let rec = measure(&label, &g, opts.iters);
+    for (label, g) in workloads {
+        // XL rungs run fewer timed iterations: a 30k-node rung at
+        // best-of-5 would dominate the whole run for little extra
+        // precision.
+        let iters = if label.starts_with("xl ") {
+            opts.iters.min(3)
+        } else {
+            opts.iters
+        };
+        let rec = measure(&label, &g, iters, opts.workers);
         println!(
             "{:<18} {:>6} {:>7} {:>7} {:>10} {:>7} {:>9} {:>9} {:>8.1}",
             rec.label,
@@ -192,8 +295,16 @@ fn main() -> ExitCode {
         );
         records.push(rec);
     }
+    if opts.xl {
+        for family in ["xl nest", "xl fan", "xl inline"] {
+            let e = family_exponent(&records, family);
+            if e.is_finite() {
+                println!("fit: {family:<10} wall ~ nodes^{e:.2}");
+            }
+        }
+    }
     let doc = render("bench_dataflow", &records);
-    if let Err(e) = std::fs::write(&opts.out, &doc) {
+    if let Err(e) = write_atomic(&opts.out, &doc) {
         eprintln!("{}: {e}", opts.out);
         return ExitCode::FAILURE;
     }
@@ -207,8 +318,8 @@ fn main() -> ExitCode {
             }
         }
     }
+    let mut over = false;
     if let Some(ceiling) = opts.max_pushes_per_point {
-        let mut over = false;
         for rec in &records {
             if rec.pushes_per_point() > ceiling {
                 eprintln!(
@@ -219,10 +330,28 @@ fn main() -> ExitCode {
                 over = true;
             }
         }
-        if over {
-            return ExitCode::FAILURE;
+        if !over {
+            println!("gate ok: every workload under {ceiling} pushes/point");
         }
-        println!("gate ok: every workload under {ceiling} pushes/point");
+    }
+    if let Some(ceiling) = opts.max_wall_micros {
+        let mut wall_over = false;
+        for rec in &records {
+            if rec.wall_micros > ceiling {
+                eprintln!(
+                    "GATE: {} took {}us (ceiling {ceiling}us)",
+                    rec.label, rec.wall_micros
+                );
+                wall_over = true;
+            }
+        }
+        if !wall_over {
+            println!("gate ok: every workload under {ceiling}us wall");
+        }
+        over |= wall_over;
+    }
+    if over {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -132,6 +132,162 @@ pub fn while_workload(bodies: usize, chain: usize) -> FlowGraph {
     am_lang::compile(&src).expect("generated while program compiles")
 }
 
+/// XL family: a long sequence of `copies` shallow loop nests (each
+/// `depth` deep, `width` invariant patterns per level) that share their
+/// loop-invariant variables, so hoisted initializations become redundant
+/// across consecutive copies — the motion fixed point has real work at
+/// 10k+ nodes without the round count growing with program size (rounds
+/// depend on the nest shape, which is constant).
+///
+/// All copies share one pattern set, so the universe (and the round
+/// count) is fixed by `depth * width` while the graph grows without
+/// bound — the wide-universe regime is covered by [`wide_fan`] and
+/// [`inlined_program`] instead.
+pub fn nest_grid(copies: usize, depth: usize, width: usize) -> FlowGraph {
+    let copies = copies.max(1);
+    let depth = depth.max(1);
+    let width = width.max(1);
+    let mut src = String::new();
+    let _ = writeln!(src, "start init");
+    let _ = writeln!(src, "end done");
+    let _ = writeln!(src, "node init {{ s := 0 }}");
+    let _ = writeln!(src, "node done {{ out(s) }}");
+    for c in 0..copies {
+        // Re-initialize the shared loop counters: keeps the counter
+        // patterns (`ik := n`, `ik := ik - 1`) shared across every copy
+        // instead of minting `copies * depth` distinct patterns.
+        let mut pre = String::new();
+        for k in 0..depth {
+            if k > 0 {
+                let _ = write!(pre, "; ");
+            }
+            let _ = write!(pre, "i{k} := n");
+        }
+        let _ = writeln!(src, "node pre{c} {{ {pre} }}");
+        for k in 0..depth {
+            let mut body = String::new();
+            for j in 0..width {
+                // Independent invariants (no slot-to-slot chain): the
+                // round count stays flat as `copies` grows.
+                let konst = k * width + j;
+                let _ = write!(body, "w{k}_{j} := a + {konst}; ");
+            }
+            let _ = write!(body, "s := s + w{k}_{}", width - 1);
+            let _ = writeln!(src, "node head{c}_{k} {{ {body} }}");
+            let _ = writeln!(
+                src,
+                "node latch{c}_{k} {{ i{k} := i{k} - 1; branch i{k} > 0 }}"
+            );
+        }
+        if c == 0 {
+            let _ = writeln!(src, "edge init -> pre0");
+        }
+        let _ = writeln!(src, "edge pre{c} -> head{c}_0");
+        for k in 0..depth {
+            if k + 1 < depth {
+                let _ = writeln!(src, "edge head{c}_{k} -> head{c}_{}", k + 1);
+            } else {
+                let _ = writeln!(src, "edge head{c}_{k} -> latch{c}_{k}");
+            }
+        }
+        for k in (0..depth).rev() {
+            let exit = if k == 0 {
+                if c + 1 < copies {
+                    format!("pre{}", c + 1)
+                } else {
+                    "done".to_owned()
+                }
+            } else {
+                format!("latch{c}_{}", k - 1)
+            };
+            let _ = writeln!(src, "edge latch{c}_{k} -> head{c}_{k}, {exit}");
+        }
+    }
+    parse(&src).expect("generated nest grid parses")
+}
+
+/// XL family: one `branches`-way fan — every branch computes the same
+/// `width` patterns (hoistable into the entry, eliminable in the leaves)
+/// plus one pattern unique to its block of 128 leaves (widening the
+/// universe with size). Exercises very wide confluence merges and gives
+/// the point-partitioned solver its best case: the leaves are mutually
+/// independent, so almost the whole graph solves in one parallel wave.
+pub fn wide_fan(branches: usize, width: usize) -> FlowGraph {
+    let branches = branches.max(2);
+    let width = width.max(1);
+    let mut src = String::new();
+    let _ = writeln!(src, "start entry");
+    let _ = writeln!(src, "end done");
+    let _ = writeln!(src, "node entry {{ skip }}");
+    for t in 0..branches {
+        let mut body = String::new();
+        for j in 0..width {
+            let _ = write!(body, "x{j} := a + {j}; ");
+        }
+        let _ = write!(body, "y := a + {}", 1000 + t / 128);
+        let _ = writeln!(src, "node b{t} {{ {body} }}");
+    }
+    let _ = writeln!(src, "node join {{ s := x0 + y }}");
+    let _ = writeln!(src, "node done {{ out(s) }}");
+    let leaves = (0..branches).map(|t| format!("b{t}")).collect::<Vec<_>>();
+    let _ = writeln!(src, "edge entry -> {}", leaves.join(", "));
+    for t in 0..branches {
+        let _ = writeln!(src, "edge b{t} -> join");
+    }
+    let _ = writeln!(src, "edge join -> done");
+    parse(&src).expect("generated wide fan parses")
+}
+
+/// XL family: the shape of a program after heavy inlining — `calls` call
+/// sites, each a branch diamond whose two arms carry the body of one of
+/// `procs` distinct procedures (so every `procs`-th site repeats the same
+/// code and the eliminator has cross-site work). Sites are spread over 8
+/// parallel lanes joined at the end, giving the partitioned solver
+/// lane-level parallelism on an otherwise chain-shaped program.
+pub fn inlined_program(calls: usize, procs: usize) -> FlowGraph {
+    const LANES: usize = 8;
+    let calls = calls.max(LANES);
+    let procs = procs.max(1);
+    let mut src = String::new();
+    let _ = writeln!(src, "start entry");
+    let _ = writeln!(src, "end done");
+    let _ = writeln!(src, "node entry {{ acc := 0 }}");
+    let per_lane = calls.div_ceil(LANES);
+    for lane in 0..LANES {
+        for i in 0..per_lane {
+            let site = lane * per_lane + i;
+            let p = site % procs;
+            // The inlined body: a tiny dependent chain per procedure.
+            // Redefining `x` at each site head kills the chain's source
+            // operand between sites, so motion is confined to one
+            // diamond (arms hoist into their own head) and the round
+            // count stays flat as `calls` grows instead of code
+            // creeping up the whole chain one diamond per round.
+            let body = format!("t{p}_0 := x + {p}; t{p}_1 := t{p}_0 + 1; acc := acc + t{p}_1");
+            let _ = writeln!(
+                src,
+                "node h{lane}_{i} {{ x := x + 1; branch x > {} }}",
+                site % 7
+            );
+            let _ = writeln!(src, "node a{lane}_{i} {{ {body} }}");
+            let _ = writeln!(src, "node b{lane}_{i} {{ {body} }}");
+            if i == 0 {
+                let _ = writeln!(src, "edge entry -> h{lane}_0");
+            } else {
+                let _ = writeln!(src, "edge a{lane}_{} -> h{lane}_{i}", i - 1);
+                let _ = writeln!(src, "edge b{lane}_{} -> h{lane}_{i}", i - 1);
+            }
+            let _ = writeln!(src, "edge h{lane}_{i} -> a{lane}_{i}, b{lane}_{i}");
+        }
+        let _ = writeln!(src, "edge a{lane}_{} -> join", per_lane - 1);
+        let _ = writeln!(src, "edge b{lane}_{} -> join", per_lane - 1);
+    }
+    let _ = writeln!(src, "node join {{ skip }}");
+    let _ = writeln!(src, "node done {{ out(acc) }}");
+    let _ = writeln!(src, "edge join -> done");
+    parse(&src).expect("generated inlined program parses")
+}
+
 /// One measured data point of the complexity study.
 #[derive(Clone, Debug)]
 pub struct ComplexityRow {
@@ -153,8 +309,16 @@ pub struct ComplexityRow {
 
 /// Runs the full pipeline on `g` and records the complexity metrics.
 pub fn measure_complexity(label: &str, g: &FlowGraph) -> ComplexityRow {
+    measure_complexity_workers(label, g, 1)
+}
+
+/// Like [`measure_complexity`], but solving cold fixpoints on `workers`
+/// threads (1 = the serial scheduled solver; the result is bit-identical
+/// either way, only the wall time moves).
+pub fn measure_complexity_workers(label: &str, g: &FlowGraph, workers: usize) -> ComplexityRow {
     let config = GlobalConfig {
         keep_snapshots: false,
+        solver_workers: workers.max(1),
         ..Default::default()
     };
     let start = Instant::now();
@@ -295,11 +459,26 @@ pub fn pipeline_throughput(
 /// Least-squares slope of `ln(time)` over `ln(size)` — the empirical
 /// scaling exponent of a sweep.
 pub fn fit_exponent(rows: &[ComplexityRow]) -> f64 {
-    let points: Vec<(f64, f64)> = rows
-        .iter()
-        .filter(|r| r.micros > 0 && r.instrs > 0)
-        .map(|r| ((r.instrs as f64).ln(), (r.micros as f64).ln()))
-        .collect();
+    fit_log_log(
+        rows.iter()
+            .filter(|r| r.micros > 0 && r.instrs > 0)
+            .map(|r| ((r.instrs as f64).ln(), (r.micros as f64).ln()))
+            .collect(),
+    )
+}
+
+/// Fitted exponent of wall time against *node count* — the axis the XL
+/// ladder scales along (Sec. 4.5 frames the complexity claim per node).
+pub fn fit_nodes_exponent(rows: &[ComplexityRow]) -> f64 {
+    fit_log_log(
+        rows.iter()
+            .filter(|r| r.micros > 0 && r.nodes > 0)
+            .map(|r| ((r.nodes as f64).ln(), (r.micros as f64).ln()))
+            .collect(),
+    )
+}
+
+fn fit_log_log(points: Vec<(f64, f64)>) -> f64 {
     if points.len() < 2 {
         return f64::NAN;
     }
@@ -330,6 +509,69 @@ mod tests {
         let g = diamond_chain(5, 3);
         assert_eq!(g.validate(), Ok(()));
         assert!(g.node_count() >= 5 * 3);
+    }
+
+    #[test]
+    fn nest_grid_is_valid_and_scales() {
+        let small = nest_grid(2, 2, 2);
+        let large = nest_grid(40, 2, 4);
+        assert_eq!(small.validate(), Ok(()));
+        assert_eq!(large.validate(), Ok(()));
+        assert!(large.node_count() > 40 * 4);
+        assert!(am_ir::analysis::is_reducible(&large));
+    }
+
+    #[test]
+    fn nest_grid_rounds_stay_flat_as_copies_grow() {
+        // The whole point of the family: 4x the program must not mean
+        // more motion rounds, or XL rungs measure round count, not
+        // solver throughput.
+        let small = measure_complexity("s", &nest_grid(5, 2, 4));
+        let large = measure_complexity("l", &nest_grid(20, 2, 4));
+        assert!(small.converged && large.converged);
+        assert!(
+            large.motion_rounds <= small.motion_rounds + 1,
+            "rounds grew with copies: {} -> {}",
+            small.motion_rounds,
+            large.motion_rounds
+        );
+    }
+
+    #[test]
+    fn wide_fan_is_valid_and_optimizes() {
+        let g = wide_fan(64, 4);
+        assert_eq!(g.validate(), Ok(()));
+        assert!(g.node_count() >= 64 + 3);
+        let row = measure_complexity("fan", &g);
+        assert!(row.converged);
+    }
+
+    #[test]
+    fn inlined_program_is_valid_and_optimizes() {
+        let g = inlined_program(64, 6);
+        assert_eq!(g.validate(), Ok(()));
+        assert!(g.node_count() >= 64 * 3);
+        let row = measure_complexity("inline", &g);
+        assert!(row.converged);
+    }
+
+    #[test]
+    fn xl_families_are_worker_count_deterministic() {
+        use am_core::global::{optimize_with, GlobalConfig};
+        for g in [nest_grid(6, 2, 3), wide_fan(48, 3), inlined_program(48, 5)] {
+            let serial = optimize_with(&g, &GlobalConfig::default());
+            let parallel = optimize_with(
+                &g,
+                &GlobalConfig {
+                    solver_workers: 8,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                am_ir::text::to_text(&serial.program),
+                am_ir::text::to_text(&parallel.program)
+            );
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod matrix;
 mod set;
 
 pub use matrix::BitMatrix;
-pub use set::BitSet;
+pub use set::{ActiveWords, BitSet};
 
 /// Number of bits per storage word.
 pub(crate) const WORD_BITS: usize = u64::BITS as usize;

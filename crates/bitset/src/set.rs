@@ -132,47 +132,118 @@ impl BitSet {
     }
 
     /// `self ∪= other`; returns `true` if `self` changed.
+    ///
+    /// Single branchless pass: the change signal is an XOR accumulator over
+    /// all words, so the loop vectorizes instead of testing per word.
     pub fn union_with(&mut self, other: &BitSet) -> bool {
         self.assert_same_universe(other);
-        let mut changed = false;
+        let mut diff = 0u64;
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             let new = *a | b;
-            changed |= new != *a;
+            diff |= *a ^ new;
             *a = new;
         }
-        changed
+        diff != 0
     }
 
     /// `self ∩= other`; returns `true` if `self` changed.
     pub fn intersect_with(&mut self, other: &BitSet) -> bool {
         self.assert_same_universe(other);
-        let mut changed = false;
+        let mut diff = 0u64;
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             let new = *a & b;
-            changed |= new != *a;
+            diff |= *a ^ new;
             *a = new;
         }
-        changed
+        diff != 0
     }
 
     /// `self −= other`; returns `true` if `self` changed.
     pub fn difference_with(&mut self, other: &BitSet) -> bool {
         self.assert_same_universe(other);
-        let mut changed = false;
+        let mut diff = 0u64;
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             let new = *a & !b;
-            changed |= new != *a;
+            diff |= *a ^ new;
             *a = new;
         }
-        changed
+        diff != 0
     }
 
     /// Replaces `self` with a copy of `other`; returns `true` if it changed.
     pub fn copy_from(&mut self, other: &BitSet) -> bool {
         self.assert_same_universe(other);
-        let changed = self.words != other.words;
-        self.words.copy_from_slice(&other.words);
-        changed
+        let mut diff = 0u64;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            diff |= *a ^ b;
+            *a = *b;
+        }
+        diff != 0
+    }
+
+    /// The fused gen/kill transfer `self = gen ∪ (input ∖ kill)`; returns
+    /// `true` if `self` changed.
+    ///
+    /// This is the solver's inner step collapsed into one pass over the
+    /// words instead of three (copy, difference, union), with the same
+    /// XOR-accumulated change detection as the binary operators. `active`
+    /// is the dirty-word index of the `(gen, kill)` row — see
+    /// [`ActiveWords`]: words outside the index are a straight copy of
+    /// `input`, so a sparse row on a wide universe touches `gen`/`kill`
+    /// storage only where they are nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand's universe differs from `self`'s, or if
+    /// `active` was built for a different word count.
+    pub fn transfer_from(
+        &mut self,
+        input: &BitSet,
+        gen: &BitSet,
+        kill: &BitSet,
+        active: &ActiveWords,
+    ) -> bool {
+        self.assert_same_universe(input);
+        self.assert_same_universe(gen);
+        self.assert_same_universe(kill);
+        let words = self.words.len();
+        let mut diff = 0u64;
+        match &active.index {
+            None => {
+                for i in 0..words {
+                    let new = gen.words[i] | (input.words[i] & !kill.words[i]);
+                    diff |= self.words[i] ^ new;
+                    self.words[i] = new;
+                }
+            }
+            Some(index) => {
+                assert_eq!(
+                    active.words, words,
+                    "active-word index built for a different universe"
+                );
+                // Runs of inactive words between index entries are plain
+                // copies (tight, vectorizable); the indexed words get the
+                // full transfer. Change detection stays exact because each
+                // word's XOR contribution uses its actual new value.
+                let mut start = 0usize;
+                for &w in index.iter() {
+                    let w = w as usize;
+                    for i in start..w {
+                        diff |= self.words[i] ^ input.words[i];
+                        self.words[i] = input.words[i];
+                    }
+                    let new = gen.words[w] | (input.words[w] & !kill.words[w]);
+                    diff |= self.words[w] ^ new;
+                    self.words[w] = new;
+                    start = w + 1;
+                }
+                for i in start..words {
+                    diff |= self.words[i] ^ input.words[i];
+                    self.words[i] = input.words[i];
+                }
+            }
+        }
+        diff != 0
     }
 
     /// Tests `self ⊆ other`.
@@ -219,6 +290,87 @@ impl Extend<usize> for BitSet {
     fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
         for bit in iter {
             self.insert(bit);
+        }
+    }
+}
+
+/// A sparse "dirty word" index over a gen/kill row pair, consumed by
+/// [`BitSet::transfer_from`].
+///
+/// On wide universes most transfer rows touch only a few words: every word
+/// where `gen | kill == 0` turns the transfer into a plain copy of the
+/// input. This index records which words are *active* (`gen | kill != 0`)
+/// so the fused transfer can stream the inactive runs as straight copies.
+/// When at least half the words are active the index degrades to a dense
+/// marker and the transfer scans every word — the sparse walk would only
+/// add bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use am_bitset::{ActiveWords, BitSet};
+///
+/// let mut gen = BitSet::new(256);
+/// gen.insert(200);
+/// let kill = BitSet::new(256);
+/// let active = ActiveWords::build(&gen, &kill);
+/// assert!(active.is_sparse());
+///
+/// let mut input = BitSet::new(256);
+/// input.insert(7);
+/// let mut out = BitSet::new(256);
+/// assert!(out.transfer_from(&input, &gen, &kill, &active));
+/// assert_eq!(out.iter().collect::<Vec<_>>(), vec![7, 200]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ActiveWords {
+    /// Word count of the universe this index was built for.
+    words: usize,
+    /// Sorted indices of the active words, or `None` for a dense row.
+    index: Option<Box<[u32]>>,
+}
+
+impl ActiveWords {
+    /// Builds the dirty-word index for the transfer row `(gen, kill)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different universe sizes.
+    pub fn build(gen: &BitSet, kill: &BitSet) -> Self {
+        gen.assert_same_universe(kill);
+        let words = gen.words.len();
+        let active: Vec<u32> = (0..words)
+            .filter(|&i| gen.words[i] | kill.words[i] != 0)
+            .map(|i| i as u32)
+            .collect();
+        if active.len() * 2 >= words {
+            ActiveWords { words, index: None }
+        } else {
+            ActiveWords {
+                words,
+                index: Some(active.into_boxed_slice()),
+            }
+        }
+    }
+
+    /// Builds a dense marker: the transfer applies gen/kill to every word.
+    pub fn dense(universe: usize) -> Self {
+        ActiveWords {
+            words: words_for(universe),
+            index: None,
+        }
+    }
+
+    /// Whether the index actually skips words (false for dense rows).
+    pub fn is_sparse(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Number of active words recorded, or the full word count when dense.
+    pub fn active_len(&self) -> usize {
+        match &self.index {
+            Some(ix) => ix.len(),
+            None => self.words,
         }
     }
 }
@@ -411,5 +563,144 @@ mod iterator_tests {
         let mut s = BitSet::new(10);
         s.extend((0..10).filter(|i| i % 3 == 0));
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 6, 9]);
+    }
+
+    /// Tiny deterministic generator for the differential kernel tests.
+    fn pseudo_random_set(universe: usize, mut seed: u64, density: u64) -> BitSet {
+        let mut s = BitSet::new(universe);
+        for bit in 0..universe {
+            seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0x632b_e593_86d1_face);
+            if (seed >> 33) % 100 < density {
+                s.insert(bit);
+            }
+        }
+        s
+    }
+
+    /// The reference formulation the fused kernel must agree with:
+    /// `out = gen ∪ (input ∖ kill)` via three passes, change = word compare.
+    fn naive_transfer(out: &mut BitSet, input: &BitSet, gen: &BitSet, kill: &BitSet) -> bool {
+        let mut scratch = input.clone();
+        scratch.difference_with(kill);
+        scratch.union_with(gen);
+        let changed = *out != scratch;
+        out.words.copy_from_slice(&scratch.words);
+        changed
+    }
+
+    #[test]
+    fn fused_transfer_matches_naive_formulation_exactly() {
+        // Sweep universes around word boundaries and several densities so
+        // both the sparse run-copy path and the dense path are exercised,
+        // including rows where nothing changes (the change bit must be
+        // exact, not conservative — the solver's counters depend on it).
+        for &universe in &[1usize, 63, 64, 65, 200, 512] {
+            for round in 0..40u64 {
+                let gen = pseudo_random_set(universe, round * 7 + 1, 5);
+                let kill = pseudo_random_set(universe, round * 7 + 2, 5);
+                let input = pseudo_random_set(universe, round * 7 + 3, 30);
+                let active = ActiveWords::build(&gen, &kill);
+                let mut fused = pseudo_random_set(universe, round * 7 + 4, 30);
+                let mut naive = fused.clone();
+                let changed_fused = fused.transfer_from(&input, &gen, &kill, &active);
+                let changed_naive = naive_transfer(&mut naive, &input, &gen, &kill);
+                assert_eq!(fused, naive, "universe {universe} round {round}");
+                assert_eq!(
+                    changed_fused, changed_naive,
+                    "change bit diverged at universe {universe} round {round}"
+                );
+                // Applying the same transfer again must report no change.
+                assert!(!fused.transfer_from(&input, &gen, &kill, &active));
+            }
+        }
+        // Force the sparse run-copy path: gen/kill confined to two words of
+        // a wide universe, input dense everywhere.
+        for round in 0..40u64 {
+            let universe = 640; // 10 words
+            let mut gen = BitSet::new(universe);
+            let mut kill = BitSet::new(universe);
+            for bit in 0..universe {
+                if !(64..128).contains(&bit) && !(512..576).contains(&bit) {
+                    continue;
+                }
+                if (round.wrapping_mul(bit as u64 + 13)) % 7 == 0 {
+                    gen.insert(bit);
+                } else if (round.wrapping_mul(bit as u64 + 29)) % 11 == 0 {
+                    kill.insert(bit);
+                }
+            }
+            let active = ActiveWords::build(&gen, &kill);
+            assert!(active.is_sparse());
+            let input = pseudo_random_set(universe, round + 101, 50);
+            let mut fused = pseudo_random_set(universe, round + 202, 50);
+            let mut naive = fused.clone();
+            let changed_fused = fused.transfer_from(&input, &gen, &kill, &active);
+            let changed_naive = naive_transfer(&mut naive, &input, &gen, &kill);
+            assert_eq!(fused, naive, "sparse round {round}");
+            assert_eq!(
+                changed_fused, changed_naive,
+                "sparse change bit, round {round}"
+            );
+            assert!(!fused.transfer_from(&input, &gen, &kill, &active));
+        }
+    }
+
+    #[test]
+    fn dense_active_index_gives_the_same_transfer() {
+        let universe = 640;
+        let mut gen = BitSet::new(universe);
+        gen.insert(3);
+        gen.insert(600);
+        let mut kill = BitSet::new(universe);
+        kill.insert(100);
+        let input = pseudo_random_set(universe, 33, 40);
+        let sparse = ActiveWords::build(&gen, &kill);
+        assert!(sparse.is_sparse());
+        let dense = ActiveWords::dense(universe);
+        assert!(!dense.is_sparse());
+        let mut a = BitSet::new(universe);
+        let mut b = BitSet::new(universe);
+        assert_eq!(
+            a.transfer_from(&input, &gen, &kill, &sparse),
+            b.transfer_from(&input, &gen, &kill, &dense)
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn active_words_degrades_to_dense_on_busy_rows() {
+        let universe = 256; // 4 words
+        let gen = BitSet::full(universe);
+        let kill = BitSet::new(universe);
+        let busy = ActiveWords::build(&gen, &kill);
+        assert!(!busy.is_sparse());
+        assert_eq!(busy.active_len(), 4);
+
+        let quiet = ActiveWords::build(&kill, &kill);
+        assert!(quiet.is_sparse());
+        assert_eq!(quiet.active_len(), 0);
+    }
+
+    #[test]
+    fn empty_active_index_makes_transfer_a_copy() {
+        let universe = 130;
+        let gen = BitSet::new(universe);
+        let kill = BitSet::new(universe);
+        let active = ActiveWords::build(&gen, &kill);
+        let input = pseudo_random_set(universe, 5, 50);
+        let mut out = BitSet::new(universe);
+        assert!(out.transfer_from(&input, &gen, &kill, &active));
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn copy_from_reports_change_exactly() {
+        let a = pseudo_random_set(100, 1, 50);
+        let mut b = BitSet::new(100);
+        assert!(b.copy_from(&a));
+        assert_eq!(a, b);
+        assert!(!b.copy_from(&a));
     }
 }

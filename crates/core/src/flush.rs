@@ -31,7 +31,10 @@
 use std::collections::HashMap;
 
 use am_bitset::BitSet;
-use am_dfa::{solve_scheduled, Confluence, Direction, PatternMasks, PointGraph, Problem};
+use am_dfa::{
+    solve_partitioned, solve_scheduled, Confluence, Direction, PatternMasks, PointGraph, Problem,
+    Schedule, Solution,
+};
 use am_ir::{Cond, FlowGraph, Instr, Operand, PatternUniverse, Term, Var};
 use am_obs::{ProvKind, ProvRecord, ProvRecorder};
 use am_trace::Tracer;
@@ -77,6 +80,13 @@ pub struct FlushAnalysis {
 /// Solves the delayability and usability systems of Table 3 over `g`
 /// (without transforming anything).
 pub fn analyze_flush(g: &mut FlowGraph) -> FlushAnalysis {
+    analyze_flush_workers(g, 1)
+}
+
+/// As [`analyze_flush`], solving the two systems on `workers` threads via
+/// the partitioned parallel solver (facts are bit-identical for any worker
+/// count; small graphs fall back to the serial path).
+pub fn analyze_flush_workers(g: &mut FlowGraph, workers: usize) -> FlushAnalysis {
     let (universe, temps) = participating(g);
     let ep = universe.expr_count();
     // Masks must be built after `participating`: `temp_for` may grow the
@@ -117,11 +127,19 @@ pub fn analyze_flush(g: &mut FlowGraph) -> FlushAnalysis {
         delay_problem.kill[p].copy_from(&used[p]);
         delay_problem.kill[p].union_with(&blocked[p]);
     }
-    let delay = solve_scheduled(pg.succs(), pg.preds(), &delay_problem, pg.schedule());
+    let solve = |problem: &Problem| -> Solution {
+        let (succs, preds, schedule): (_, _, &Schedule) = (pg.succs(), pg.preds(), pg.schedule());
+        if workers > 1 {
+            solve_partitioned(succs, preds, problem, schedule, workers)
+        } else {
+            solve_scheduled(succs, preds, problem, schedule)
+        }
+    };
+    let delay = solve(&delay_problem);
     let mut use_problem = Problem::new(Direction::Backward, Confluence::May, points, ep);
     use_problem.gen = used.clone();
     use_problem.kill = is_inst.clone();
-    let usable = solve_scheduled(pg.succs(), pg.preds(), &use_problem, pg.schedule());
+    let usable = solve(&use_problem);
     FlushAnalysis {
         universe,
         temps,
@@ -210,19 +228,21 @@ pub fn final_flush(g: &mut FlowGraph) -> FlushStats {
 /// As [`final_flush`], with tracing: emits one `analysis` counter per
 /// solved system (`delayability`, `usability`) with its fixpoint metrics.
 pub fn final_flush_traced(g: &mut FlowGraph, tracer: &Tracer) -> FlushStats {
-    final_flush_observed(g, tracer, &ProvRecorder::disabled())
+    final_flush_observed(g, tracer, &ProvRecorder::disabled(), 1)
 }
 
 /// As [`final_flush_traced`], with provenance capture: every instance
 /// removal, initialization insertion and reconstruction appends one
 /// [`am_obs::ProvRecord`] to `recorder`. A disabled recorder costs one
-/// branch per potential record.
+/// branch per potential record. `workers` threads solve the two flush
+/// systems on large graphs (1 = serial).
 pub fn final_flush_observed(
     g: &mut FlowGraph,
     tracer: &Tracer,
     recorder: &ProvRecorder,
+    workers: usize,
 ) -> FlushStats {
-    let analysis = analyze_flush(g);
+    let analysis = analyze_flush_workers(g, workers);
     for (name, sol) in [
         ("delayability", &analysis.delay),
         ("usability", &analysis.usable),
@@ -271,7 +291,7 @@ pub fn final_flush_observed(
             let x_latest = x_delay
                 && pg.succs()[idx]
                     .iter()
-                    .any(|&q| !delay.before[q].contains(i));
+                    .any(|&q| !delay.before[q as usize].contains(i));
             if n_latest {
                 let instr = pg.instr(p);
                 let multi_use = instr

@@ -152,29 +152,57 @@ pub(crate) fn insertion_points(
     loc_blocked: &[BitSet],
     ap: usize,
 ) -> (Vec<BitSet>, Vec<BitSet>) {
+    insertion_points_reusing(g, n_hoistable, x_hoistable, loc_blocked, ap, None)
+}
+
+/// As [`insertion_points`], recycling previously returned tables. The
+/// frontier `Σ ¬X-HOISTABLE*` is computed as `¬ Π X-HOISTABLE*`
+/// (De Morgan), so the whole pass runs with one reused scratch set instead
+/// of an allocation per predecessor.
+pub(crate) fn insertion_points_reusing(
+    g: &FlowGraph,
+    n_hoistable: &[BitSet],
+    x_hoistable: &[BitSet],
+    loc_blocked: &[BitSet],
+    ap: usize,
+    recycled: Option<(Vec<BitSet>, Vec<BitSet>)>,
+) -> (Vec<BitSet>, Vec<BitSet>) {
     let nodes = g.node_count();
-    let mut n_insert = vec![BitSet::new(ap); nodes];
-    let mut x_insert = vec![BitSet::new(ap); nodes];
+    let (mut n_insert, mut x_insert) = recycled.unwrap_or_default();
+    fit_rows(&mut n_insert, nodes, ap);
+    fit_rows(&mut x_insert, nodes, ap);
+    let mut inter = BitSet::new(ap);
     for n in g.nodes() {
         let ni = n.index();
-        let mut frontier = BitSet::new(ap);
-        if n == g.start() {
-            frontier.insert_all();
-        } else {
-            for &m in g.preds(n) {
-                // Σ ¬X-HOISTABLE*: union of complements.
-                let mut not_x = BitSet::full(ap);
-                not_x.difference_with(&x_hoistable[m.index()]);
-                frontier.union_with(&not_x);
+        // N-INSERT = N-HOISTABLE ∩ Σ_m ¬X-HOISTABLE_m
+        //          = N-HOISTABLE ∖ Π_m X-HOISTABLE_m   (start: full frontier).
+        n_insert[ni].copy_from(&n_hoistable[ni]);
+        if n != g.start() {
+            match g.preds(n).split_first() {
+                Some((&first, rest)) => {
+                    inter.copy_from(&x_hoistable[first.index()]);
+                    for &m in rest {
+                        inter.intersect_with(&x_hoistable[m.index()]);
+                    }
+                    n_insert[ni].difference_with(&inter);
+                }
+                // An empty merge is an empty frontier.
+                None => n_insert[ni].clear(),
             }
         }
-        n_insert[ni].copy_from(&n_hoistable[ni]);
-        n_insert[ni].intersect_with(&frontier);
-
         x_insert[ni].copy_from(&x_hoistable[ni]);
         x_insert[ni].intersect_with(&loc_blocked[ni]);
     }
     (n_insert, x_insert)
+}
+
+/// Sizes `rows` to `n` sets of width `ap`, reusing allocations where the
+/// width already matches; retained contents are overwritten by the caller.
+fn fit_rows(rows: &mut Vec<BitSet>, n: usize, ap: usize) {
+    if rows.first().is_some_and(|r| r.len() != ap) {
+        rows.clear();
+    }
+    rows.resize_with(n, || BitSet::new(ap));
 }
 
 /// Outcome of one [`hoist_assignments`] pass.

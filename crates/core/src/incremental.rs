@@ -45,15 +45,15 @@ use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 use am_bitset::BitSet;
 use am_dfa::{
-    node_adjacency, solve_scheduled, solve_seeded, Confluence, Direction, PatternMasks, PointData,
-    PointGraph, Problem, Schedule, Solution,
+    node_adjacency, solve_partitioned, solve_scheduled_reusing, solve_seeded_reusing, Adjacency,
+    Confluence, Direction, PatternMasks, Problem, Schedule, Solution,
 };
 use am_ir::intern::{InstrId, InstrInterner};
 use am_ir::{AssignPattern, FlowGraph, Instr, Loc, PatternUniverse};
 use am_obs::{ProvKind, ProvRecord, ProvRecorder};
 use am_trace::Tracer;
 
-use crate::hoist::{block_locals, insertion_points, HoistOutcome};
+use crate::hoist::{block_locals, insertion_points_reusing, HoistOutcome};
 use crate::rae::{redundancy_row, remove_locs, RaeOutcome};
 
 /// Multiply-rotate hasher in the FxHash family. The row caches hash every
@@ -129,13 +129,25 @@ struct PrevHoist {
     solution: Solution,
 }
 
-/// The node-level solver system shared by every hoist round with the same
-/// block edges: adjacency lists plus the priority schedule, borrowed in
-/// place (never cloned) by [`MotionContext::hoist_round`].
+/// The composed Table 2 transfer of one block: `out = gen ∪ (in ∖ kill)`
+/// over the whole instruction sequence (fold of the per-instruction rows:
+/// `gen := (gen ∖ kill_i) ∪ gen_i`, `kill := kill ∪ kill_i`). `occurs`
+/// records whether any instruction carries its own pattern bit — blocks
+/// without an occurrence can never host an elimination, so the recovery
+/// pass skips them.
+struct RaeBlockRow {
+    gen: BitSet,
+    kill: BitSet,
+    occurs: bool,
+}
+
+/// The node-level solver system shared by the redundancy and hoist passes
+/// of every round with the same block edges: adjacency lists plus the
+/// priority schedule, borrowed in place (never cloned).
 struct NodeSystem {
     edge_hash: u64,
-    succs: Vec<Vec<usize>>,
-    preds: Vec<Vec<usize>>,
+    succs: Adjacency,
+    preds: Adjacency,
     schedule: Schedule,
 }
 
@@ -152,24 +164,45 @@ pub(crate) struct MotionContext {
     /// universe does not know (only possible through a mutating hook);
     /// consumed by [`Self::refresh_if_stale`].
     stale: bool,
-    /// Table 2 rows by interned instruction: `(own pattern bit, kill set)`.
-    rae_rows: HashMap<InstrId, (Option<usize>, BitSet), FxBuild>,
+    /// Table 2 rows dense by interned instruction id: `(own pattern bit,
+    /// kill set)`. The interner hands out dense indices, so the row of an
+    /// already-seen instruction is one bounds-checked array load.
+    rae_rows: Vec<Option<(Option<usize>, BitSet)>>,
+    /// Composed Table 2 transfer of a whole block, by interned block
+    /// content — the node-level gen/kill row the redundancy system is
+    /// solved over (see [`MotionContext::rae_round`]).
+    rae_blocks: HashMap<Vec<InstrId>, RaeBlockRow, FxBuild>,
     /// Table 1 locals by interned block content.
     hoist_rows: HashMap<Vec<InstrId>, BlockLocals, FxBuild>,
-    /// Instruction-level point structure (adjacency + schedule), keyed by
-    /// the structure fingerprint; detached from the round's `PointGraph`
-    /// and re-attached next round when the structure is unchanged.
-    point_data: Option<(u64, PointData)>,
-    /// Reusable Table 2 problem buffers, keyed by (structure fingerprint,
-    /// universe size); every non-virtual point's row is overwritten each
-    /// round, and virtual points stay empty.
-    rae_problem: Option<(u64, usize, Problem)>,
+    /// Reusable node-level Table 2 problem buffers; every node's row is
+    /// overwritten each round, so reuse only checks the universe width.
+    rae_problem: Option<Problem>,
     /// Node-level adjacency and schedule, keyed by the edge fingerprint.
     node_system: Option<NodeSystem>,
     prev_hoist: Option<PrevHoist>,
+    /// Detached fact buffers of the previous Table 2 solve, recycled into
+    /// the next one (the facts themselves are reinitialized).
+    rae_solution: Option<Solution>,
+    /// Fact buffers of the hoist solution displaced from [`Self::prev_hoist`]
+    /// a round ago, recycled into the next hoist solve.
+    hoist_solution: Option<Solution>,
+    /// Displaced hoist problem rows (gen, kill), recycled likewise.
+    hoist_rows_spare: Option<(Vec<BitSet>, Vec<BitSet>)>,
+    /// Last round's insertion tables, recycled into the next round.
+    insert_spare: Option<(Vec<BitSet>, Vec<BitSet>)>,
+    /// Per-block intern-key buffers, reused across rounds (each pass
+    /// clears and refills them; elimination changes block contents between
+    /// the redundancy and hoist passes, so they cannot share one filling).
+    block_keys: Vec<Vec<InstrId>>,
     /// Content hash of the last hoist input and whether that hoist changed
     /// the program; a byte-identical re-run of a no-op is skipped.
     last_hoist: Option<(u64, bool)>,
+    /// `(graph revision, content hash)` memo for [`Self::content_hash`].
+    content_memo: Option<(u64, u64)>,
+    /// Worker threads for cold solves. Cold solves over large point sets
+    /// dispatch to the partitioned parallel solver; warm restarts stay
+    /// serial (their dirty sets are tiny by construction).
+    workers: usize,
     rows_reused: u64,
     rows_recomputed: u64,
     hoist_skipped: u64,
@@ -177,8 +210,9 @@ pub(crate) struct MotionContext {
 }
 
 impl MotionContext {
-    /// Builds the context for a motion run over `g`.
-    pub(crate) fn new(g: &FlowGraph) -> Self {
+    /// Builds the context for a motion run over `g`, solving cold systems
+    /// on `workers` threads (1 = fully serial).
+    pub(crate) fn new(g: &FlowGraph, workers: usize) -> Self {
         let universe = PatternUniverse::collect(g);
         let masks = PatternMasks::build(&universe, g.pool().len());
         MotionContext {
@@ -186,13 +220,20 @@ impl MotionContext {
             masks,
             interner: InstrInterner::new(),
             stale: false,
-            rae_rows: HashMap::default(),
+            rae_rows: Vec::new(),
+            rae_blocks: HashMap::default(),
             hoist_rows: HashMap::default(),
-            point_data: None,
             rae_problem: None,
             node_system: None,
             prev_hoist: None,
+            rae_solution: None,
+            hoist_solution: None,
+            hoist_rows_spare: None,
+            insert_spare: None,
+            block_keys: Vec::new(),
             last_hoist: None,
+            content_memo: None,
+            workers: workers.max(1),
             rows_reused: 0,
             rows_recomputed: 0,
             hoist_skipped: 0,
@@ -212,6 +253,7 @@ impl MotionContext {
         self.universe.extend(g);
         self.masks = PatternMasks::build(&self.universe, g.pool().len());
         self.rae_rows.clear();
+        self.rae_blocks.clear();
         self.hoist_rows.clear();
         self.rae_problem = None;
         self.prev_hoist = None;
@@ -253,7 +295,24 @@ impl MotionContext {
     /// convergence check, avoiding a full program clone per round; a
     /// collision can only skip a no-op re-solve or end the loop a round
     /// early, never corrupt a result.
+    ///
+    /// Memoized on [`FlowGraph::revision`]: the end-of-round convergence
+    /// hash doubles as the next round's entry hash for free, because the
+    /// graph is only touched through `&mut` accessors in between (round
+    /// hooks included — a mutating hook bumps the revision and invalidates
+    /// the memo).
     pub(crate) fn content_hash(&mut self, g: &FlowGraph) -> u64 {
+        if let Some((revision, hash)) = self.content_memo {
+            if revision == g.revision() {
+                return hash;
+            }
+        }
+        let hash = self.content_hash_uncached(g);
+        self.content_memo = Some((g.revision(), hash));
+        hash
+    }
+
+    fn content_hash_uncached(&mut self, g: &FlowGraph) -> u64 {
         let mut h = FxHasher::default();
         g.start().index().hash(&mut h);
         g.end().index().hash(&mut h);
@@ -282,19 +341,36 @@ impl MotionContext {
         occurrence_ranks_in(g, &self.universe).expect("fresh universe covers the program")
     }
 
-    /// The instruction-level point graph of `g`, re-attaching the cached
-    /// structure (adjacency + schedule) when it is unchanged.
-    fn point_graph<'g>(&mut self, g: &'g FlowGraph, fp: u64) -> PointGraph<'g> {
-        if let Some((h, data)) = self.point_data.take() {
-            let points: usize = g.nodes().map(|n| g.block(n).len().max(1)).sum();
-            if h == fp && data.len() == points {
-                return PointGraph::attach(g, data);
-            }
+    /// Ensures the Table 2 row of interned instruction `id` exists and
+    /// returns it. Rows are dense by id, so the hot path is two array
+    /// checks; `redundancy_row` runs once per distinct content.
+    fn rae_row(&mut self, id: InstrId, instr: &Instr) -> (Option<usize>, &BitSet) {
+        let idx = id.index();
+        if idx >= self.rae_rows.len() {
+            self.rae_rows.resize_with(idx + 1, || None);
         }
-        PointGraph::build(g)
+        if self.rae_rows[idx].is_none() {
+            self.rows_recomputed += 1;
+            self.rae_rows[idx] = Some(redundancy_row(instr, &self.universe, &self.masks));
+        } else {
+            self.rows_reused += 1;
+        }
+        let (own, kill) = self.rae_rows[idx].as_ref().expect("row filled above");
+        (*own, kill)
     }
 
     /// One redundant-assignment-elimination pass with cached rows.
+    ///
+    /// The Table 2 system is solved at **node level**: each block's
+    /// per-instruction gen/kill rows are composed into one transfer
+    /// (`RaeBlockRow`, exact for gen/kill systems — interior points of a
+    /// block have a single predecessor, so substituting them out preserves
+    /// the greatest fixed point), the fixpoint runs over the block graph,
+    /// and the per-instruction entry facts are recovered by streaming each
+    /// block's transfer from the solved entry set. On XL graphs this
+    /// shrinks the solved system by the average block length (≈5×) and
+    /// turns the per-point fact recovery into a sequential scan — the
+    /// instruction-level `PointGraph` is no longer built per round at all.
     pub(crate) fn rae_round(
         &mut self,
         g: &mut FlowGraph,
@@ -303,107 +379,161 @@ impl MotionContext {
         round: u32,
     ) -> RaeOutcome {
         let mut span = tracer.span("analysis", "rae");
-        let fp = point_structure_hash(g);
-        let pg = self.point_graph(g, fp);
-        let n = pg.len();
-        // One intern pass over the instruction points: yields the row-cache
-        // key per point and doubles as the staleness scan that used to walk
-        // the program separately.
-        let mut ids: Vec<Option<InstrId>> = vec![None; n];
-        for point in pg.points() {
-            if let Some(instr) = pg.instr(point) {
-                ids[point.index()] = Some(self.intern_instr(instr));
+        let nodes = g.node_count();
+        // Intern every instruction once: the id vectors key the block-row
+        // cache and the pass doubles as the staleness scan.
+        let mut keys = std::mem::take(&mut self.block_keys);
+        keys.iter_mut().for_each(Vec::clear);
+        keys.resize_with(nodes, Vec::new);
+        for n in g.nodes() {
+            let key = &mut keys[n.index()];
+            for instr in &g.block(n).instrs {
+                key.push(self.intern_instr(instr));
             }
         }
         self.refresh_if_stale(g);
         let ap = self.universe.assign_count();
         let mut problem = match self.rae_problem.take() {
-            Some((h, u, mut problem)) if h == fp && u == ap && problem.gen.len() == n => {
-                // Reused buffers: every non-virtual point's gen row is
-                // cleared below before its bit is set; virtual points were
-                // empty when first built and are never written.
-                problem.gen.iter_mut().for_each(|row| row.clear());
-                problem
+            // Every node's row is fully overwritten below, so reuse only
+            // needs matching width and count.
+            Some(mut p) if p.universe == ap => {
+                p.gen.resize_with(nodes, || BitSet::new(ap));
+                p.kill.resize_with(nodes, || BitSet::new(ap));
+                p
             }
-            _ => Problem::new(Direction::Forward, Confluence::Must, n, ap),
+            _ => Problem::new(Direction::Forward, Confluence::Must, nodes, ap),
         };
-        let mut own: Vec<Option<usize>> = vec![None; n];
-        for point in pg.points() {
-            let Some(instr) = pg.instr(point) else {
+        // Compose each block's transfer through the block-row cache, and
+        // remember which blocks contain an occurrence at all.
+        let mut occurs = vec![false; nodes];
+        let mut gen_b = BitSet::new(ap);
+        let mut kill_b = BitSet::new(ap);
+        for n in g.nodes() {
+            let ni = n.index();
+            if let Some(row) = self.rae_blocks.get(&keys[ni]) {
+                self.rows_reused += keys[ni].len() as u64;
+                problem.gen[ni].copy_from(&row.gen);
+                problem.kill[ni].copy_from(&row.kill);
+                occurs[ni] = row.occurs;
                 continue;
-            };
-            let idx = point.index();
-            let id = ids[idx].expect("instruction points were interned above");
-            match self.rae_rows.get(&id) {
-                Some((gen, kill)) => {
-                    self.rows_reused += 1;
-                    own[idx] = *gen;
-                    if let Some(i) = *gen {
-                        problem.gen[idx].insert(i);
-                    }
-                    problem.kill[idx].copy_from(kill);
-                }
-                None => {
-                    let (gen, kill) = redundancy_row(instr, &self.universe, &self.masks);
-                    self.rows_recomputed += 1;
-                    own[idx] = gen;
-                    if let Some(i) = gen {
-                        problem.gen[idx].insert(i);
-                    }
-                    problem.kill[idx].copy_from(&kill);
-                    self.rae_rows.insert(id, (gen, kill));
+            }
+            gen_b.clear();
+            kill_b.clear();
+            let mut any = false;
+            for (j, instr) in g.block(n).instrs.iter().enumerate() {
+                let (own, kill) = self.rae_row(keys[ni][j], instr);
+                gen_b.difference_with(kill);
+                kill_b.union_with(kill);
+                if let Some(i) = own {
+                    any = true;
+                    gen_b.insert(i);
                 }
             }
+            problem.gen[ni].copy_from(&gen_b);
+            problem.kill[ni].copy_from(&kill_b);
+            occurs[ni] = any;
+            self.rae_blocks.insert(
+                keys[ni].clone(),
+                RaeBlockRow {
+                    gen: gen_b.clone(),
+                    kill: kill_b.clone(),
+                    occurs: any,
+                },
+            );
         }
-        let sol = solve_scheduled(pg.succs(), pg.preds(), &problem, pg.schedule());
+        // Node adjacency + schedule, shared with the hoist pass of the
+        // same round (elimination never rewires edges).
+        let eh = edge_hash(g);
+        let valid = matches!(&self.node_system,
+            Some(ns) if ns.edge_hash == eh && ns.succs.len() == nodes);
+        if !valid {
+            let (succs, preds) = node_adjacency(g);
+            let schedule = Schedule::build(&succs, &preds);
+            self.node_system = Some(NodeSystem {
+                edge_hash: eh,
+                succs,
+                preds,
+                schedule,
+            });
+        }
+        let ns = self.node_system.as_ref().expect("node system built above");
+        let sol = solve_cold_reusing(
+            &ns.succs,
+            &ns.preds,
+            &problem,
+            &ns.schedule,
+            self.workers,
+            self.rae_solution.take(),
+        );
+        // Recover per-instruction entry facts by streaming each block's
+        // transfer from its solved entry set; an occurrence whose own bit
+        // holds at its entry is redundant (Def. 3.4). Applying the transfer
+        // of an instruction being eliminated is deliberate: the facts
+        // describe the pre-removal program, exactly as the point-level
+        // solve did.
         let mut locs: Vec<Loc> = Vec::new();
-        for point in pg.points() {
-            if let (Some(i), Some(loc)) = (own[point.index()], pg.loc(point)) {
-                if sol.before[point.index()].contains(i) {
-                    if recorder.is_enabled() {
-                        let instr = pg
-                            .instr(point)
-                            .expect("occurrence point has an instruction");
-                        recorder.record(ProvRecord {
-                            kind: ProvKind::Eliminate,
-                            phase: "motion",
-                            round,
-                            node: g.label(loc.node).to_owned(),
-                            index: Some(loc.index as u32),
-                            instr: instr.display(g.pool()),
-                            new_instr: None,
-                            pattern: Some(i as u32),
-                            instr_id: ids[point.index()].map(|id| id.index() as u32),
-                            justification: format!(
-                                "N-REDUNDANT bit {i} holds at entry of this occurrence (forward must solution)"
-                            ),
-                        });
+        let mut x = BitSet::new(ap);
+        for n in g.nodes() {
+            let ni = n.index();
+            if !occurs[ni] {
+                continue;
+            }
+            x.copy_from(&sol.before[ni]);
+            for (j, instr) in g.block(n).instrs.iter().enumerate() {
+                let (own, kill) = self.rae_rows[keys[ni][j].index()]
+                    .as_ref()
+                    .map(|(own, kill)| (*own, kill))
+                    .expect("rows of composed blocks exist");
+                if let Some(i) = own {
+                    if x.contains(i) {
+                        if recorder.is_enabled() {
+                            recorder.record(ProvRecord {
+                                kind: ProvKind::Eliminate,
+                                phase: "motion",
+                                round,
+                                node: g.label(n).to_owned(),
+                                index: Some(j as u32),
+                                instr: instr.display(g.pool()),
+                                new_instr: None,
+                                pattern: Some(i as u32),
+                                instr_id: Some(keys[ni][j].index() as u32),
+                                justification: format!(
+                                    "N-REDUNDANT bit {i} holds at entry of this occurrence (forward must solution)"
+                                ),
+                            });
+                        }
+                        locs.push(Loc { node: n, index: j });
                     }
-                    locs.push(loc);
+                }
+                x.difference_with(kill);
+                if let Some(i) = own {
+                    x.insert(i);
                 }
             }
         }
-        // Detach the structure and the problem buffers for the next round
-        // (also releases the borrow of `g` before `remove_locs` mutates it).
-        self.point_data = Some((fp, pg.into_data()));
-        self.rae_problem = Some((fp, ap, problem));
+        // Detach the problem, key and fact buffers for the next round.
+        self.rae_problem = Some(problem);
+        self.block_keys = keys;
+        let (iterations, worklist_pushes, max_worklist_len) =
+            (sol.iterations, sol.worklist_pushes, sol.max_worklist_len);
+        self.rae_solution = Some(sol);
         let eliminated = locs.len();
         remove_locs(g, &locs);
         tracer.counter(
             "analysis",
             "rae",
             &[
-                ("iterations", sol.iterations as i64),
-                ("worklist_pushes", sol.worklist_pushes as i64),
-                ("max_worklist_len", sol.max_worklist_len as i64),
+                ("iterations", iterations as i64),
+                ("worklist_pushes", worklist_pushes as i64),
+                ("max_worklist_len", max_worklist_len as i64),
             ],
         );
         span.arg("eliminated", eliminated as i64);
         RaeOutcome {
             eliminated,
-            iterations: sol.iterations,
-            worklist_pushes: sol.worklist_pushes,
-            max_worklist_len: sol.max_worklist_len,
+            iterations,
+            worklist_pushes,
+            max_worklist_len,
         }
     }
 
@@ -433,20 +563,33 @@ impl MotionContext {
         let nodes = g.node_count();
         // Intern every block once: the id vector is the row-cache key
         // (compared id-by-id on collision instead of re-walking the
-        // instructions) and the pass doubles as staleness detection.
-        let mut keys: Vec<Vec<InstrId>> = Vec::with_capacity(nodes);
+        // instructions) and the pass doubles as staleness detection. The
+        // key buffers persist across rounds.
+        let mut keys = std::mem::take(&mut self.block_keys);
+        keys.iter_mut().for_each(Vec::clear);
+        keys.resize_with(nodes, Vec::new);
         for n in g.nodes() {
-            let mut key = Vec::with_capacity(g.block(n).instrs.len());
+            let key = &mut keys[n.index()];
             for instr in &g.block(n).instrs {
                 key.push(self.intern_instr(instr));
             }
-            keys.push(key);
         }
         self.refresh_if_stale(g);
         let occ_rank = self.occurrence_ranks(g);
         let ap = self.universe.assign_count();
 
-        let mut problem = Problem::new(Direction::Backward, Confluence::Must, nodes, ap);
+        let mut problem = Problem::new(Direction::Backward, Confluence::Must, 0, ap);
+        // Recycle the problem rows displaced from `prev_hoist` a round ago:
+        // every node's gen/kill row is overwritten below, so only width and
+        // count need fixing up.
+        if let Some((gen, kill)) = self.hoist_rows_spare.take() {
+            if gen.first().is_none_or(|r| r.len() == ap) {
+                problem.gen = gen;
+                problem.kill = kill;
+            }
+        }
+        problem.gen.resize_with(nodes, || BitSet::new(ap));
+        problem.kill.resize_with(nodes, || BitSet::new(ap));
         let mut candidates: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes];
         for n in g.nodes() {
             let ni = n.index();
@@ -504,13 +647,22 @@ impl MotionContext {
             });
             lowered.then_some(dirty)
         });
+        let recycled = self.hoist_solution.take();
         let sol = match warm {
             Some(dirty) => {
                 self.hoist_warm += 1;
                 let prev = self.prev_hoist.as_ref().expect("warm implies prev");
-                solve_seeded(succs, preds, &problem, schedule, &prev.solution, &dirty)
+                solve_seeded_reusing(
+                    succs,
+                    preds,
+                    &problem,
+                    schedule,
+                    &prev.solution,
+                    &dirty,
+                    recycled,
+                )
             }
-            None => solve_scheduled(succs, preds, &problem, schedule),
+            None => solve_cold_reusing(succs, preds, &problem, schedule, self.workers, recycled),
         };
         tracer.counter(
             "analysis",
@@ -522,7 +674,14 @@ impl MotionContext {
             ],
         );
 
-        let (n_insert, x_insert) = insertion_points(g, &sol.before, &sol.after, &problem.kill, ap);
+        let (n_insert, x_insert) = insertion_points_reusing(
+            g,
+            &sol.before,
+            &sol.after,
+            &problem.kill,
+            ap,
+            self.insert_spare.take(),
+        );
         let mut outcome = apply_ordered(
             g,
             &self.universe,
@@ -536,12 +695,18 @@ impl MotionContext {
         outcome.iterations = sol.iterations;
         outcome.worklist_pushes = sol.worklist_pushes;
         outcome.max_worklist_len = sol.max_worklist_len;
-        self.prev_hoist = Some(PrevHoist {
+        let displaced = self.prev_hoist.replace(PrevHoist {
             edge_hash,
             gen: std::mem::take(&mut problem.gen),
             kill: std::mem::take(&mut problem.kill),
             solution: sol,
         });
+        if let Some(old) = displaced {
+            self.hoist_rows_spare = Some((old.gen, old.kill));
+            self.hoist_solution = Some(old.solution);
+        }
+        self.insert_spare = Some((n_insert, x_insert));
+        self.block_keys = keys;
         self.last_hoist = Some((input_hash, outcome.changed));
         span.arg("inserted", outcome.inserted as i64)
             .arg("removed", outcome.removed as i64);
@@ -705,21 +870,25 @@ fn occurrence_ranks_in(g: &FlowGraph, universe: &PatternUniverse) -> Option<Vec<
     Some(ranks)
 }
 
-/// Fingerprint of the instruction-level point structure: per-block
-/// instruction counts plus block edges. Collisions only cost schedule
-/// quality, never correctness — any schedule converges to the same fixed
-/// point, and a length mismatch falls back to a fresh build.
-fn point_structure_hash(g: &FlowGraph) -> u64 {
-    let mut h = FxHasher::default();
-    g.node_count().hash(&mut h);
-    for n in g.nodes() {
-        g.block(n).len().hash(&mut h);
-        0xffusize.hash(&mut h);
-        for &m in g.succs(n) {
-            m.index().hash(&mut h);
-        }
+/// Cold-solve dispatch: partitioned parallel when more than one worker is
+/// configured, serial otherwise. The partitioned solver itself falls back
+/// to the serial path below its size threshold, so small graphs pay
+/// nothing; its converged facts are bit-identical to the serial solver's
+/// for any worker count. The serial path recycles detached fact buffers
+/// (the partitioned path allocates per partition and ignores them).
+fn solve_cold_reusing(
+    succs: &Adjacency,
+    preds: &Adjacency,
+    problem: &Problem,
+    schedule: &Schedule,
+    workers: usize,
+    recycled: Option<Solution>,
+) -> Solution {
+    if workers > 1 {
+        solve_partitioned(succs, preds, problem, schedule, workers)
+    } else {
+        solve_scheduled_reusing(succs, preds, problem, schedule, recycled)
     }
-    h.finish()
 }
 
 /// Fingerprint of the node-level edges.

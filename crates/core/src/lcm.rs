@@ -125,8 +125,8 @@ pub fn busy_expression_motion(g: &mut FlowGraph) -> EmStats {
                 insert_before[idx].insert(i);
             } else {
                 for &q in preds {
-                    if !avail.after[q].contains(i) {
-                        insert_after[q].insert(i);
+                    if !avail.after[q as usize].contains(i) {
+                        insert_after[q as usize].insert(i);
                     }
                 }
             }

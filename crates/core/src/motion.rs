@@ -138,6 +138,7 @@ pub fn assignment_motion_traced(
         tracer,
         &ProvRecorder::disabled(),
         hook,
+        1,
     )
 }
 
@@ -145,7 +146,10 @@ pub fn assignment_motion_traced(
 /// elimination, hoist insertion and hoist removal appends one
 /// [`am_obs::ProvRecord`] to `recorder`, keyed by node, instruction text,
 /// pattern bit and round. A disabled recorder costs one branch per
-/// potential record.
+/// potential record. `workers` threads solve each round's cold data-flow
+/// systems on large graphs (1 = fully serial); the converged facts — and
+/// thus the optimized program — are identical for every worker count.
+#[allow(clippy::too_many_arguments)]
 pub fn assignment_motion_observed(
     g: &mut FlowGraph,
     max_rounds: usize,
@@ -153,8 +157,9 @@ pub fn assignment_motion_observed(
     tracer: &Tracer,
     recorder: &ProvRecorder,
     hook: &mut dyn FnMut(usize, &mut FlowGraph),
+    workers: usize,
 ) -> MotionStats {
-    let mut ctx = MotionContext::new(g);
+    let mut ctx = MotionContext::new(g, workers);
     let mut stats = MotionStats::default();
     for round in 1..=max_rounds {
         let name = if tracer.enabled() {

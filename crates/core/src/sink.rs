@@ -155,7 +155,10 @@ pub fn sink_assignments(g: &mut FlowGraph, config: &SinkConfig) -> SinkStats {
                     } else {
                         insert_after[idx].insert(i);
                     }
-                } else if pg.succs()[idx].iter().any(|&q| !sink.before[q].contains(i)) {
+                } else if pg.succs()[idx]
+                    .iter()
+                    .any(|&q| !sink.before[q as usize].contains(i))
+                {
                     insert_after[idx].insert(i);
                 }
             }

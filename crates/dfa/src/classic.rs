@@ -159,7 +159,7 @@ pub fn strongly_live_variables(pg: &PointGraph<'_>) -> Solution {
         // Merge: strongly-live-after = Σ over successors (exit stays ⊥).
         scratch.clear();
         for &q in &succs[p] {
-            scratch.union_with(&before[q]);
+            scratch.union_with(&before[q as usize]);
         }
         after[p].copy_from(&scratch);
         match pg.instr(PointId(p as u32)) {
@@ -188,6 +188,7 @@ pub fn strongly_live_variables(pg: &PointGraph<'_>) -> Solution {
         }
         if before[p].copy_from(&scratch) {
             for &q in &preds[p] {
+                let q = q as usize;
                 if !on_list[q] {
                     on_list[q] = true;
                     worklist.push(Reverse(schedule.rank(Direction::Backward, q)));

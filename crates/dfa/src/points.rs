@@ -10,6 +10,7 @@
 
 use am_ir::{FlowGraph, Instr, Loc, NodeId};
 
+use crate::adjacency::Adjacency;
 use crate::solve::Schedule;
 
 /// Identifier of a program point (an instruction or a virtual pass-through).
@@ -36,8 +37,8 @@ pub struct PointData {
     node_of: Vec<NodeId>,
     first_of: Vec<PointId>,
     last_of: Vec<PointId>,
-    preds: Vec<Vec<usize>>,
-    succs: Vec<Vec<usize>>,
+    preds: Adjacency,
+    succs: Adjacency,
     schedule: Schedule,
 }
 
@@ -62,10 +63,27 @@ pub struct PointGraph<'g> {
 impl<'g> PointGraph<'g> {
     /// Builds the point graph of `g`.
     pub fn build(g: &'g FlowGraph) -> Self {
-        let mut locs = Vec::new();
-        let mut node_of = Vec::new();
-        let mut first_of = Vec::with_capacity(g.node_count());
-        let mut last_of = Vec::with_capacity(g.node_count());
+        Self::build_reusing(g, None)
+    }
+
+    /// As [`build`](Self::build), recycling the allocations of a detached
+    /// [`PointData`] from an *earlier revision* of the graph. The structure
+    /// is recomputed from scratch — only the buffers (the flat adjacency
+    /// arrays in particular) are reused, which matters when the motion
+    /// loop rebuilds the point graph every round on graphs with 10⁴–10⁵
+    /// points.
+    pub fn build_reusing(g: &'g FlowGraph, recycled: Option<PointData>) -> Self {
+        let (mut locs, mut node_of, mut first_of, mut last_of, mut preds, mut succs) =
+            match recycled {
+                Some(d) => (d.locs, d.node_of, d.first_of, d.last_of, d.preds, d.succs),
+                None => Default::default(),
+            };
+        locs.clear();
+        node_of.clear();
+        first_of.clear();
+        first_of.reserve(g.node_count());
+        last_of.clear();
+        last_of.reserve(g.node_count());
         for n in g.nodes() {
             let len = g.block(n).len();
             let first = PointId(locs.len() as u32);
@@ -83,21 +101,36 @@ impl<'g> PointGraph<'g> {
             last_of.push(last);
         }
         let count = locs.len();
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); count];
-        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); count];
+        // Every point's neighbor lists are known on sight — intra-block
+        // chain plus block edges at the block boundary points — so both
+        // CSR tables fill by pure append in point order: no per-point
+        // allocation, no fill cursors.
+        succs.clear();
+        succs.reserve(count, count + count / 4);
         for n in g.nodes() {
             let first = first_of[n.index()].index();
             let last = last_of[n.index()].index();
-            // Intra-block chain.
             for p in first..last {
-                succs[p].push(p + 1);
-                preds[p + 1].push(p);
+                succs.start_point();
+                succs.push_neighbor(p as u32 + 1);
             }
-            // Block edges: last point of n to first point of each successor.
+            succs.start_point();
             for &m in g.succs(n) {
-                let target = first_of[m.index()].index();
-                succs[last].push(target);
-                preds[target].push(last);
+                succs.push_neighbor(first_of[m.index()].0);
+            }
+        }
+        preds.clear();
+        preds.reserve(count, succs.edge_count());
+        for n in g.nodes() {
+            let first = first_of[n.index()].index();
+            let last = last_of[n.index()].index();
+            preds.start_point();
+            for &m in g.preds(n) {
+                preds.push_neighbor(last_of[m.index()].0);
+            }
+            for p in first..last {
+                preds.start_point();
+                preds.push_neighbor(p as u32);
             }
         }
         let schedule = Schedule::build(&succs, &preds);
@@ -188,13 +221,13 @@ impl<'g> PointGraph<'g> {
         self.last_of(self.graph.end())
     }
 
-    /// Predecessor point indices (shared with the solver).
-    pub fn preds(&self) -> &[Vec<usize>] {
+    /// Predecessor point adjacency (shared with the solver).
+    pub fn preds(&self) -> &Adjacency {
         &self.data.preds
     }
 
-    /// Successor point indices (shared with the solver).
-    pub fn succs(&self) -> &[Vec<usize>] {
+    /// Successor point adjacency (shared with the solver).
+    pub fn succs(&self) -> &Adjacency {
         &self.data.succs
     }
 
@@ -252,12 +285,12 @@ mod tests {
         let m = g.nodes().find(|&n| g.label(n) == "m").unwrap();
         let m_pt = pg.first_of(m).index();
         let e_pt = pg.first_of(g.end()).index();
-        assert_eq!(pg.succs()[0], vec![1]);
-        assert_eq!(pg.succs()[1], vec![m_pt]);
-        assert_eq!(pg.succs()[m_pt], vec![e_pt]);
+        assert_eq!(pg.succs()[0], [1]);
+        assert_eq!(pg.succs()[1], [m_pt as u32]);
+        assert_eq!(pg.succs()[m_pt], [e_pt as u32]);
         assert!(pg.succs()[e_pt].is_empty());
         assert_eq!(pg.exit().index(), e_pt);
-        assert_eq!(pg.preds()[e_pt], vec![m_pt]);
+        assert_eq!(pg.preds()[e_pt], [m_pt as u32]);
     }
 
     #[test]
@@ -293,15 +326,21 @@ mod tests {
 /// Block-level adjacency of a flow graph as dense index lists — the point
 /// set for node-granularity analyses (Table 1 of the paper runs on whole
 /// blocks rather than instructions).
-pub fn node_adjacency(g: &FlowGraph) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
-    let succs: Vec<Vec<usize>> = g
-        .nodes()
-        .map(|n| g.succs(n).iter().map(|m| m.index()).collect())
-        .collect();
-    let preds: Vec<Vec<usize>> = g
-        .nodes()
-        .map(|n| g.preds(n).iter().map(|m| m.index()).collect())
-        .collect();
+pub fn node_adjacency(g: &FlowGraph) -> (Adjacency, Adjacency) {
+    let mut succs = Adjacency::new();
+    let mut preds = Adjacency::new();
+    succs.reserve(g.node_count(), 0);
+    preds.reserve(g.node_count(), 0);
+    for n in g.nodes() {
+        succs.start_point();
+        for &m in g.succs(n) {
+            succs.push_neighbor(m.index() as u32);
+        }
+        preds.start_point();
+        for &m in g.preds(n) {
+            preds.push_neighbor(m.index() as u32);
+        }
+    }
     (succs, preds)
 }
 

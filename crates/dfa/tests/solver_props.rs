@@ -16,7 +16,10 @@ use am_dfa::classic::{
     anticipated_expressions_problem, available_expressions_problem, live_variables_problem,
     partially_available_expressions_problem, reaching_copies_problem,
 };
-use am_dfa::{solve, solve_scheduled, solve_seeded, Confluence, Direction, PointGraph, Problem};
+use am_dfa::{
+    solve, solve_partitioned_with, solve_scheduled, solve_seeded, Adjacency, Confluence, Direction,
+    PartitionOptions, PointGraph, Problem,
+};
 use am_ir::random::{corpus80, structured, unstructured, StructuredConfig, UnstructuredConfig};
 use am_ir::rng::SplitMix64;
 use am_ir::{reference_universe, FlowGraph, PatternUniverse};
@@ -24,8 +27,8 @@ use am_ir::{reference_universe, FlowGraph, PatternUniverse};
 /// A random DAG plus optional back edges over `n` points.
 #[derive(Clone, Debug)]
 struct RandomFlow {
-    succs: Vec<Vec<usize>>,
-    preds: Vec<Vec<usize>>,
+    succs: Adjacency,
+    preds: Adjacency,
 }
 
 fn random_flow(n: usize, edges: &[(usize, usize)], back_edges: bool) -> RandomFlow {
@@ -47,7 +50,10 @@ fn random_flow(n: usize, edges: &[(usize, usize)], back_edges: bool) -> RandomFl
             preds[to].push(from);
         }
     }
-    RandomFlow { succs, preds }
+    RandomFlow {
+        succs: Adjacency::from_lists(&succs),
+        preds: Adjacency::from_lists(&preds),
+    }
 }
 
 fn random_problem(
@@ -99,14 +105,14 @@ fn reference_solve(flow: &RandomFlow, p: &Problem) -> (Vec<BitSet>, Vec<BitSet>)
                     Confluence::Must => {
                         let mut acc = BitSet::full(p.universe);
                         for &q in &upstream[point] {
-                            acc.intersect_with(&output[q]);
+                            acc.intersect_with(&output[q as usize]);
                         }
                         acc
                     }
                     Confluence::May => {
                         let mut acc = BitSet::new(p.universe);
                         for &q in &upstream[point] {
-                            acc.union_with(&output[q]);
+                            acc.union_with(&output[q as usize]);
                         }
                         acc
                     }
@@ -199,14 +205,14 @@ fn solution_is_a_fixed_point() {
                     Confluence::Must => {
                         let mut acc = BitSet::full(universe);
                         for &q in &flow.preds[point] {
-                            acc.intersect_with(&sol.after[q]);
+                            acc.intersect_with(&sol.after[q as usize]);
                         }
                         acc
                     }
                     Confluence::May => {
                         let mut acc = BitSet::new(universe);
                         for &q in &flow.preds[point] {
-                            acc.union_with(&sol.after[q]);
+                            acc.union_with(&sol.after[q as usize]);
                         }
                         acc
                     }
@@ -259,7 +265,7 @@ fn acyclic_forward_may_equals_reachability() {
             for point in 0..n {
                 // Topological order: skeleton guarantees index order works
                 // for the forward direction (all extra edges go forward).
-                let incoming = flow.preds[point].iter().any(|&q| holds_after[q]);
+                let incoming = flow.preds[point].iter().any(|&q| holds_after[q as usize]);
                 holds_after[point] = p.gen[point].contains(bit) || incoming;
                 assert_eq!(
                     sol.after[point].contains(bit),
@@ -299,8 +305,8 @@ fn check_classic_equivalence(name: &str, g: &FlowGraph) {
     let pg = PointGraph::build(g);
     let universe = PatternUniverse::collect(g);
     let flow = RandomFlow {
-        succs: pg.succs().to_vec(),
-        preds: pg.preds().to_vec(),
+        succs: pg.succs().clone(),
+        preds: pg.preds().clone(),
     };
     let every_point: Vec<usize> = (0..pg.len()).collect();
     for (analysis, problem) in classic_problems(&pg, &universe) {
@@ -332,6 +338,27 @@ fn check_classic_equivalence(name: &str, g: &FlowGraph) {
             warm.after, ref_after,
             "{name}/{analysis}: seeded after-facts diverge from naive"
         );
+        // The point-partitioned parallel solver must land on bit-identical
+        // facts for every worker count. Thresholds are forced low so the
+        // partitioned path actually engages on these small graphs instead
+        // of taking its serial fallback.
+        for workers in [1usize, 2, 4, 8] {
+            let opts = PartitionOptions {
+                workers,
+                target_points: 4,
+                min_points: 0,
+            };
+            let part =
+                solve_partitioned_with(pg.succs(), pg.preds(), &problem, pg.schedule(), &opts);
+            assert_eq!(
+                part.before, ref_before,
+                "{name}/{analysis}: partitioned before-facts diverge (workers={workers})"
+            );
+            assert_eq!(
+                part.after, ref_after,
+                "{name}/{analysis}: partitioned after-facts diverge (workers={workers})"
+            );
+        }
     }
 }
 
@@ -439,11 +466,8 @@ fn worklist_iteration_count_is_bounded() {
             &flow, universe, direction, confluence, &gen_bits, &kill_bits,
         );
         let sol = solve(&flow.succs, &flow.preds, &p);
-        let max_degree = flow
-            .succs
-            .iter()
-            .chain(flow.preds.iter())
-            .map(Vec::len)
+        let max_degree = (0..n)
+            .map(|p| flow.succs.degree(p).max(flow.preds.degree(p)))
             .max()
             .unwrap_or(0)
             .max(1);

@@ -125,7 +125,7 @@ impl std::error::Error for GraphError {}
 /// g.block_mut(n).instrs.push(Instr::assign(x, Term::binary(BinOp::Add, a, b)));
 /// assert!(g.validate().is_ok());
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct FlowGraph {
     pool: VarPool,
     blocks: Vec<Block>,
@@ -135,7 +135,27 @@ pub struct FlowGraph {
     preds: Vec<Vec<NodeId>>,
     start: NodeId,
     end: NodeId,
+    /// Monotone mutation counter: bumped by every `&mut self` accessor, so
+    /// callers can memoize graph-derived values (content hashes, caches)
+    /// and invalidate them exactly when the graph may have changed. Not
+    /// part of the graph's value — equality ignores it.
+    revision: u64,
 }
+
+impl PartialEq for FlowGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.pool == other.pool
+            && self.blocks == other.blocks
+            && self.labels == other.labels
+            && self.synthetic == other.synthetic
+            && self.succs == other.succs
+            && self.preds == other.preds
+            && self.start == other.start
+            && self.end == other.end
+    }
+}
+
+impl Eq for FlowGraph {}
 
 impl Default for FlowGraph {
     fn default() -> Self {
@@ -155,7 +175,17 @@ impl FlowGraph {
             preds: Vec::new(),
             start: NodeId(0),
             end: NodeId(0),
+            revision: 0,
         }
+    }
+
+    /// The graph's mutation revision. Every `&mut self` accessor bumps it
+    /// (including [`block_mut`](Self::block_mut), conservatively — taking
+    /// the reference counts as a mutation). Two calls returning the same
+    /// value guarantee the graph content is unchanged between them; the
+    /// converse does not hold.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Adds an empty node with the given display label.
@@ -164,6 +194,7 @@ impl FlowGraph {
     }
 
     fn add_node_inner(&mut self, label: &str, synthetic: bool) -> NodeId {
+        self.revision += 1;
         let id = NodeId(u32::try_from(self.blocks.len()).expect("too many nodes"));
         self.blocks.push(Block::new());
         self.labels.push(label.to_owned());
@@ -175,6 +206,7 @@ impl FlowGraph {
 
     /// Adds the edge `(m, n)`, appended to `m`'s ordered successor list.
     pub fn add_edge(&mut self, m: NodeId, n: NodeId) {
+        self.revision += 1;
         self.succs[m.index()].push(n);
         self.preds[n.index()].push(m);
     }
@@ -186,6 +218,7 @@ impl FlowGraph {
     /// unreachable) — callers probing reductions, like the `am-check`
     /// shrinker, should re-[`validate`](Self::validate).
     pub fn remove_edge(&mut self, m: NodeId, n: NodeId) -> bool {
+        self.revision += 1;
         let Some(si) = self.succs[m.index()].iter().position(|&t| t == n) else {
             return false;
         };
@@ -259,11 +292,13 @@ impl FlowGraph {
 
     /// Declares `n` as the start node `s`.
     pub fn set_start(&mut self, n: NodeId) {
+        self.revision += 1;
         self.start = n;
     }
 
     /// Declares `n` as the end node `e`.
     pub fn set_end(&mut self, n: NodeId) {
+        self.revision += 1;
         self.end = n;
     }
 
@@ -309,6 +344,7 @@ impl FlowGraph {
 
     /// Mutable access to the block of `n`.
     pub fn block_mut(&mut self, n: NodeId) -> &mut Block {
+        self.revision += 1;
         &mut self.blocks[n.index()]
     }
 
@@ -329,6 +365,7 @@ impl FlowGraph {
 
     /// Mutable access to the variable pool.
     pub fn pool_mut(&mut self) -> &mut VarPool {
+        self.revision += 1;
         &mut self.pool
     }
 

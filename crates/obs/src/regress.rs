@@ -103,6 +103,11 @@ pub struct Report {
     pub skipped_time: usize,
     /// Metrics present on only one side (labels added/removed).
     pub unmatched: usize,
+    /// No metric name appeared on both sides (fully disjoint rung sets,
+    /// e.g. an XL-only candidate against the full-ladder baseline). The
+    /// comparison is a defined skip — nothing was gated — rather than a
+    /// failure, so `ok()` still holds.
+    pub disjoint: bool,
     /// Metrics outside their allowed band.
     pub regressions: Vec<Finding>,
     /// Metrics that *improved* beyond the tolerance (informational).
@@ -140,6 +145,12 @@ impl Report {
                 out,
                 "  improved   {}: {} -> {}",
                 f.name, f.baseline, f.candidate
+            );
+        }
+        if self.disjoint {
+            let _ = writeln!(
+                out,
+                "  SKIP: baseline and candidate share no workload labels; nothing gated"
             );
         }
         let _ = writeln!(
@@ -312,9 +323,11 @@ pub fn compare(baseline: &Json, candidate: &Json, t: &Thresholds) -> Result<Repo
         }
     }
     report.unmatched = (base.len() - matched) + (cand.len() - matched);
-    if report.compared == 0 && report.skipped_time == 0 {
-        return Err("no comparable metrics (disjoint workload labels?)".into());
-    }
+    // Fully disjoint rung sets (no shared labels at all) are a defined
+    // skip, not an error: partial bench runs (XL smoke, --small) must be
+    // comparable against a wider baseline without tripping CI when the
+    // overlap happens to be empty.
+    report.disjoint = matched == 0 && !(base.is_empty() && cand.is_empty());
     Ok(report)
 }
 
@@ -513,12 +526,28 @@ mod tests {
     }
 
     #[test]
-    fn kind_mismatch_and_disjoint_labels_error() {
+    fn kind_mismatch_errors() {
         let d = parse(&dataflow_doc(1, 1, 1));
         let s = parse(&service_doc(1.0, 0));
         assert!(compare(&d, &s, &Thresholds::default()).is_err());
-        let other = parse(&dataflow_doc(1, 1, 1).replace("nest d=1", "other"));
-        assert!(compare(&d, &other, &Thresholds::default()).is_err());
+    }
+
+    #[test]
+    fn disjoint_rung_sets_skip_instead_of_failing() {
+        // An XL-smoke candidate compared against a baseline whose rungs
+        // it doesn't share must be a defined no-op gate, not a failure.
+        let d = parse(&dataflow_doc(376, 222, 8));
+        let other = parse(&dataflow_doc(376, 222, 8).replace("nest d=1", "xl nest c=2000"));
+        let report = compare(&d, &other, &Thresholds::default()).unwrap();
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.disjoint);
+        assert_eq!(report.compared, 0);
+        assert!(report.unmatched > 0);
+        assert!(report.render().contains("SKIP"), "{}", report.render());
+        // A partial overlap is an ordinary comparison, not a skip.
+        let report = compare(&d, &d, &Thresholds::default()).unwrap();
+        assert!(!report.disjoint);
+        assert!(!report.render().contains("SKIP"));
     }
 
     #[test]

@@ -70,19 +70,28 @@ impl BenchRecord {
     }
 }
 
-/// Renders a full document: schema tag, generator name, records.
+/// Estimated rendered size of one record — used to reserve the output
+/// buffer up front so multi-MB documents build in one allocation instead
+/// of repeatedly growing (and copying) the string.
+const RECORD_RESERVE: usize = 384;
+
+/// Renders a full document: schema tag, generator name, records. Writes
+/// into a single pre-reserved buffer; callers persisting the result
+/// should write it through a temporary file + rename so an interrupted
+/// run never leaves a truncated document behind.
 pub fn render(generator: &str, records: &[BenchRecord]) -> String {
-    let mut out = String::new();
+    use std::fmt::Write;
+    let mut out = String::with_capacity(64 + records.len() * RECORD_RESERVE);
     out.push_str("{\n");
-    out.push_str(&format!("  \"schema\": {},\n", escape(BENCH_SCHEMA)));
-    out.push_str(&format!("  \"generator\": {},\n", escape(generator)));
+    let _ = writeln!(out, "  \"schema\": {},", escape(BENCH_SCHEMA));
+    let _ = writeln!(out, "  \"generator\": {},", escape(generator));
     out.push_str("  \"records\": [");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str("\n    ");
-        out.push_str(&render_record(r));
+        render_record(&mut out, r);
     }
     if !records.is_empty() {
         out.push_str("\n  ");
@@ -91,8 +100,10 @@ pub fn render(generator: &str, records: &[BenchRecord]) -> String {
     out
 }
 
-fn render_record(r: &BenchRecord) -> String {
-    format!(
+fn render_record(out: &mut String, r: &BenchRecord) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
         "{{\"label\": {}, \"nodes\": {}, \"instrs\": {}, \"points\": {}, \
          \"wall_micros\": {}, \"split_micros\": {}, \"init_micros\": {}, \
          \"motion_micros\": {}, \"flush_micros\": {}, \"rounds\": {}, \
@@ -117,7 +128,7 @@ fn render_record(r: &BenchRecord) -> String {
         r.inserted,
         r.removed,
         r.cache_hit,
-    )
+    );
 }
 
 /// Parses a full `am-bench-dataflow/v1` document back into its generator
@@ -267,6 +278,32 @@ mod tests {
         let doc = render("amopt", &records);
         let (generator, parsed) = parse_document(&doc).unwrap();
         assert_eq!(generator, "amopt");
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn multi_megabyte_document_round_trips_untruncated() {
+        // XL ladder reports reach tens of thousands of records; the
+        // writer must neither truncate nor corrupt at that size.
+        let records: Vec<BenchRecord> = (0..20_000)
+            .map(|i| BenchRecord {
+                label: format!("xl synthetic rung #{i} \"q\""),
+                nodes: 30_000 + i,
+                instrs: 150_003,
+                points: 180_000,
+                wall_micros: 8_000_000_000_000_000 + i as u128,
+                iterations: 4_000_000_000_000_000 - i as u64,
+                worklist_pushes: 1_000_000_000_000_000 + i as u64,
+                converged: i % 2 == 0,
+                ..Default::default()
+            })
+            .collect();
+        let doc = render("bench_dataflow", &records);
+        assert!(doc.len() > 2_000_000, "not a multi-MB document");
+        assert!(doc.ends_with("]\n}\n"), "document truncated");
+        let (generator, parsed) = parse_document(&doc).unwrap();
+        assert_eq!(generator, "bench_dataflow");
+        assert_eq!(parsed.len(), records.len());
         assert_eq!(parsed, records);
     }
 

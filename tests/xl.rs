@@ -1,0 +1,108 @@
+//! XL-scale solver equivalence: the point-partitioned parallel solver
+//! must produce bit-identical `Solution`s to the serial scheduled solver
+//! on the three XL workload shapes, for every tested worker count, and
+//! the full optimizer must be worker-count deterministic on graphs big
+//! enough to engage the partitioned path at its default thresholds.
+//!
+//! Shapes are scaled-down instances of the `bench_dataflow --xl` ladder
+//! families (same generators, same topology) so the suite stays fast;
+//! partition thresholds are forced low where the default ones would
+//! bypass the partitioned path on the smaller graphs.
+
+use am_bench::workloads::{inlined_program, nest_grid, wide_fan};
+use am_core::global::{optimize_with, GlobalConfig};
+use am_dfa::classic::{
+    anticipated_expressions_problem, available_expressions_problem, live_variables_problem,
+    partially_available_expressions_problem, reaching_copies_problem,
+};
+use am_dfa::{solve_partitioned_with, solve_scheduled, PartitionOptions, PointGraph};
+use am_ir::{FlowGraph, PatternUniverse};
+
+fn xl_shapes() -> Vec<(&'static str, FlowGraph)> {
+    vec![
+        ("nest-grid", nest_grid(60, 2, 4)),
+        ("wide-fan", wide_fan(300, 4)),
+        ("inlined-program", inlined_program(200, 12)),
+    ]
+}
+
+#[test]
+fn partitioned_solver_is_bit_identical_on_xl_shapes_for_every_worker_count() {
+    for (name, g) in xl_shapes() {
+        assert_eq!(g.validate(), Ok(()), "{name}");
+        let pg = PointGraph::build(&g);
+        let universe = PatternUniverse::collect(&g);
+        let problems = [
+            ("available", available_expressions_problem(&pg, &universe)),
+            (
+                "anticipated",
+                anticipated_expressions_problem(&pg, &universe),
+            ),
+            (
+                "partially-available",
+                partially_available_expressions_problem(&pg, &universe),
+            ),
+            ("live", live_variables_problem(&pg)),
+            ("reaching-copies", reaching_copies_problem(&pg, &universe)),
+        ];
+        for (analysis, problem) in &problems {
+            let serial = solve_scheduled(pg.succs(), pg.preds(), problem, pg.schedule());
+            let mut counters = None;
+            for workers in [1usize, 2, 4, 8] {
+                let opts = PartitionOptions {
+                    workers,
+                    target_points: 64,
+                    min_points: 0,
+                };
+                let part =
+                    solve_partitioned_with(pg.succs(), pg.preds(), problem, pg.schedule(), &opts);
+                assert_eq!(
+                    part.before, serial.before,
+                    "{name}/{analysis}: before-facts diverge (workers={workers})"
+                );
+                assert_eq!(
+                    part.after, serial.after,
+                    "{name}/{analysis}: after-facts diverge (workers={workers})"
+                );
+                // Counters must not depend on thread timing: every worker
+                // count that actually partitions reports the same work.
+                if workers > 1 {
+                    let snapshot = (part.iterations, part.worklist_pushes, part.max_worklist_len);
+                    match counters {
+                        None => counters = Some(snapshot),
+                        Some(expected) => assert_eq!(
+                            snapshot, expected,
+                            "{name}/{analysis}: counters vary with worker count"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn optimizer_is_worker_count_deterministic_at_default_thresholds() {
+    // Big enough that cold solves clear the partitioned path's default
+    // 4096-point engagement threshold.
+    let g = nest_grid(300, 2, 4);
+    assert!(PointGraph::build(&g).len() >= 4096);
+    let serial = optimize_with(&g, &GlobalConfig::default());
+    let parallel = optimize_with(
+        &g,
+        &GlobalConfig {
+            solver_workers: 8,
+            ..Default::default()
+        },
+    );
+    assert!(serial.motion.converged && parallel.motion.converged);
+    assert_eq!(
+        am_ir::text::to_text(&serial.program),
+        am_ir::text::to_text(&parallel.program),
+        "optimized program depends on worker count"
+    );
+    assert_eq!(serial.motion.rounds, parallel.motion.rounds);
+    assert_eq!(serial.motion.eliminated, parallel.motion.eliminated);
+    assert_eq!(serial.motion.inserted, parallel.motion.inserted);
+    assert_eq!(serial.motion.removed, parallel.motion.removed);
+}
